@@ -1,0 +1,41 @@
+//! Disassembler.
+
+use mipsx_isa::Instr;
+
+/// Render memory words as assembly text, one `addr: instruction` line per
+/// word, starting at `origin`.
+///
+/// ```
+/// use mipsx_asm::{assemble, disassemble};
+///
+/// let p = assemble("li r1, 7\nhalt")?;
+/// let text = disassemble(p.origin, &p.words);
+/// assert!(text[0].contains("addi r1, r0, 7"));
+/// assert!(text[1].contains("halt"));
+/// # Ok::<(), mipsx_asm::AsmError>(())
+/// ```
+pub fn disassemble(origin: u32, words: &[u32]) -> Vec<String> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| format!("{:#07x}:  {}", origin + i as u32, Instr::decode(w)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn disassembly_matches_length() {
+        let p = assemble("nop\nnop\nhalt").unwrap();
+        assert_eq!(disassemble(p.origin, &p.words).len(), 3);
+    }
+
+    #[test]
+    fn shows_illegal_words_as_data() {
+        let lines = disassemble(0, &[0xCAFE_BABE]);
+        assert!(lines[0].contains(".word"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Assembler errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while assembling a program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A mnemonic that is not part of the instruction set.
+    UnknownMnemonic { line: usize, mnemonic: String },
+    /// An operand did not parse (bad register name, malformed address, ...).
+    BadOperand { line: usize, detail: String },
+    /// The wrong number of operands for a mnemonic.
+    OperandCount {
+        line: usize,
+        mnemonic: String,
+        expected: usize,
+        found: usize,
+    },
+    /// A label was used but never defined.
+    UndefinedLabel { line: usize, label: String },
+    /// A label was defined twice.
+    DuplicateLabel { line: usize, label: String },
+    /// An immediate or displacement does not fit its field.
+    OutOfRange {
+        line: usize,
+        what: &'static str,
+        value: i64,
+        bits: u32,
+    },
+    /// A malformed directive (`.org`, `.word`, ...).
+    BadDirective { line: usize, detail: String },
+    /// `.org` attempted to move the location counter backwards.
+    OrgBackwards { line: usize, from: u32, to: u32 },
+}
+
+impl AsmError {
+    /// The 1-based source line the error refers to (0 for builder-level
+    /// errors with no source text).
+    pub fn line(&self) -> usize {
+        match *self {
+            AsmError::UnknownMnemonic { line, .. }
+            | AsmError::BadOperand { line, .. }
+            | AsmError::OperandCount { line, .. }
+            | AsmError::UndefinedLabel { line, .. }
+            | AsmError::DuplicateLabel { line, .. }
+            | AsmError::OutOfRange { line, .. }
+            | AsmError::BadDirective { line, .. }
+            | AsmError::OrgBackwards { line, .. } => line,
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic { line, mnemonic } => {
+                write!(f, "line {line}: unknown mnemonic `{mnemonic}`")
+            }
+            AsmError::BadOperand { line, detail } => {
+                write!(f, "line {line}: bad operand: {detail}")
+            }
+            AsmError::OperandCount {
+                line,
+                mnemonic,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: `{mnemonic}` takes {expected} operand(s), found {found}"
+            ),
+            AsmError::UndefinedLabel { line, label } => {
+                write!(f, "line {line}: undefined label `{label}`")
+            }
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label `{label}`")
+            }
+            AsmError::OutOfRange {
+                line,
+                what,
+                value,
+                bits,
+            } => write!(
+                f,
+                "line {line}: {what} {value} does not fit in {bits} signed bits"
+            ),
+            AsmError::BadDirective { line, detail } => {
+                write!(f, "line {line}: bad directive: {detail}")
+            }
+            AsmError::OrgBackwards { line, from, to } => write!(
+                f,
+                "line {line}: .org moves location counter backwards ({from:#x} -> {to:#x})"
+            ),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::UndefinedLabel {
+            line: 12,
+            label: "loop".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        assert!(e.to_string().contains("loop"));
+        assert_eq!(e.line(), 12);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(AsmError::BadDirective {
+            line: 1,
+            detail: "x".into(),
+        });
+        assert!(!e.to_string().is_empty());
+    }
+}

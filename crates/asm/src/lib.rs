@@ -1,0 +1,46 @@
+//! # mipsx-asm — assembler, disassembler and program images for MIPS-X
+//!
+//! This crate turns MIPS-X assembly into executable [`Program`] images, three
+//! ways:
+//!
+//! - [`assemble`] parses the textual assembly language (two passes, labels,
+//!   directives) — used by the examples and hand-written workload kernels;
+//! - [`Asm`] is a programmatic builder with label/fixup support — used by the
+//!   synthetic workload generators and the IR code generator, which emit
+//!   thousands of instructions and should not go through text;
+//! - [`disassemble`] renders memory words back to assembly for debugging and
+//!   round-trip testing.
+//!
+//! ## Example
+//!
+//! ```
+//! use mipsx_asm::assemble;
+//!
+//! let program = assemble(
+//!     r#"
+//!     start:  addi r1, r0, 10      ; r1 = 10
+//!             addi r2, r0, 0       ; r2 = sum
+//!     loop:   add  r2, r2, r1
+//!             addi r1, r1, -1
+//!             bne  r1, r0, loop
+//!             nop                  ; delay slot 1
+//!             nop                  ; delay slot 2
+//!             halt
+//!     "#,
+//! )?;
+//! assert_eq!(program.entry, 0);
+//! assert!(program.words.len() >= 8);
+//! # Ok::<(), mipsx_asm::AsmError>(())
+//! ```
+
+mod builder;
+mod disasm;
+mod error;
+mod program;
+mod text;
+
+pub use builder::{Asm, Label};
+pub use disasm::disassemble;
+pub use error::AsmError;
+pub use program::Program;
+pub use text::{assemble, assemble_at};

@@ -1,0 +1,155 @@
+//! Executable program images.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mipsx_isa::Instr;
+
+/// An assembled MIPS-X program: a contiguous block of words plus metadata.
+///
+/// Addresses are **word** addresses (MIPS-X is word-addressed; instructions
+/// and data are both one word). `words[i]` lives at address `origin + i`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    /// The memory image.
+    pub words: Vec<u32>,
+    /// Word address the image is loaded at.
+    pub origin: u32,
+    /// Word address execution starts at.
+    pub entry: u32,
+    /// Label name → word address.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Create an empty program at origin 0.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Create a program from raw words at an origin, entering at the origin.
+    pub fn from_words(origin: u32, words: Vec<u32>) -> Program {
+        Program {
+            words,
+            origin,
+            entry: origin,
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    /// Number of words in the image.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The word at a given address, if inside the image.
+    pub fn word_at(&self, addr: u32) -> Option<u32> {
+        addr.checked_sub(self.origin)
+            .and_then(|i| self.words.get(i as usize))
+            .copied()
+    }
+
+    /// The decoded instruction at a given address, if inside the image.
+    pub fn instr_at(&self, addr: u32) -> Option<Instr> {
+        self.word_at(addr).map(Instr::decode)
+    }
+
+    /// Address of a label.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Iterate over `(address, instruction)` pairs of the whole image.
+    pub fn iter_instrs(&self) -> impl Iterator<Item = (u32, Instr)> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .map(move |(i, &w)| (self.origin + i as u32, Instr::decode(w)))
+    }
+
+    /// Count the explicit `nop` instructions in the image — the static
+    /// version of the paper's no-op statistic.
+    pub fn static_nop_count(&self) -> usize {
+        self.iter_instrs().filter(|(_, i)| i.is_nop()).count()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let by_addr: BTreeMap<u32, &str> = self
+            .symbols
+            .iter()
+            .map(|(name, &addr)| (addr, name.as_str()))
+            .collect();
+        for (addr, instr) in self.iter_instrs() {
+            if let Some(name) = by_addr.get(&addr) {
+                writeln!(f, "{name}:")?;
+            }
+            writeln!(f, "  {addr:#07x}:  {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mipsx_isa::Reg;
+
+    fn tiny() -> Program {
+        let mut p = Program::from_words(
+            0x100,
+            vec![
+                Instr::Addi {
+                    rs1: Reg::ZERO,
+                    rd: Reg::new(1),
+                    imm: 5,
+                }
+                .encode(),
+                Instr::Nop.encode(),
+                Instr::Halt.encode(),
+            ],
+        );
+        p.symbols.insert("start".into(), 0x100);
+        p
+    }
+
+    #[test]
+    fn word_lookup_respects_origin() {
+        let p = tiny();
+        assert!(p.word_at(0x0FF).is_none());
+        assert!(p.word_at(0x100).is_some());
+        assert!(p.word_at(0x102).is_some());
+        assert!(p.word_at(0x103).is_none());
+    }
+
+    #[test]
+    fn instr_at_decodes() {
+        let p = tiny();
+        assert_eq!(p.instr_at(0x101), Some(Instr::Nop));
+        assert_eq!(p.instr_at(0x102), Some(Instr::Halt));
+    }
+
+    #[test]
+    fn static_nops_counted() {
+        assert_eq!(tiny().static_nop_count(), 1);
+    }
+
+    #[test]
+    fn display_lists_labels() {
+        let text = tiny().to_string();
+        assert!(text.contains("start:"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        assert_eq!(tiny().symbol("start"), Some(0x100));
+        assert_eq!(tiny().symbol("missing"), None);
+    }
+}

@@ -1,0 +1,804 @@
+//! The textual two-pass assembler.
+//!
+//! Syntax, one statement per line:
+//!
+//! ```text
+//! [label:] [mnemonic operand, ...] [; comment]   # '#' comments also work
+//! ```
+//!
+//! Directives: `.org <addr>` (move the location counter forward),
+//! `.word <value-or-label>` (emit a data word), `.entry <label>` (set the
+//! entry point).
+//!
+//! Memory operands are written `offset(base)` as in `ld r4, -8(r30)`.
+//! Branch mnemonics are `b<cond>` plus an optional squash suffix:
+//! `beq`/`beqsq`/`beqsqg` (no squash / squash-if-don't-go / squash-if-go).
+//! Pseudo-instructions: `li rd, imm`, `la rd, label`, `mv rd, rs`,
+//! `jump label`, `call label` (links through `r31`), `ret`.
+
+use std::collections::BTreeMap;
+
+use mipsx_isa::{Cond, ComputeOp, Instr, Reg, SpecialReg, SquashMode};
+
+use crate::{AsmError, Program};
+
+/// Assemble MIPS-X source text into a [`Program`] loaded at word address 0.
+///
+/// # Errors
+/// Returns the first [`AsmError`] encountered, tagged with its source line.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    assemble_at(source, 0)
+}
+
+/// Assemble at a non-zero origin.
+///
+/// # Errors
+/// See [`assemble`].
+pub fn assemble_at(source: &str, origin: u32) -> Result<Program, AsmError> {
+    let statements = parse_lines(source)?;
+    let symbols = layout(&statements, origin)?;
+    encode(&statements, &symbols, origin)
+}
+
+/// One parsed source statement.
+#[derive(Debug)]
+struct Statement {
+    line: usize,
+    label: Option<String>,
+    body: Option<Body>,
+}
+
+#[derive(Debug)]
+enum Body {
+    Instr {
+        mnemonic: String,
+        operands: Vec<String>,
+    },
+    Org(u32),
+    Word(String),
+    Entry(String),
+}
+
+fn parse_lines(source: &str) -> Result<Vec<Statement>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split(|c| c == ';' || c == '#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let (label, rest) = match text.split_once(':') {
+            Some((l, r)) if is_ident(l.trim()) => (Some(l.trim().to_owned()), r.trim()),
+            _ => (None, text),
+        };
+        let body = if rest.is_empty() {
+            None
+        } else if let Some(dir) = rest.strip_prefix('.') {
+            let mut parts = dir.splitn(2, char::is_whitespace);
+            let name = parts.next().unwrap_or("");
+            let arg = parts.next().unwrap_or("").trim();
+            match name {
+                "org" => {
+                    let v = parse_int(arg).ok_or_else(|| AsmError::BadDirective {
+                        line,
+                        detail: format!("bad .org operand `{arg}`"),
+                    })?;
+                    Some(Body::Org(v as u32))
+                }
+                "word" => Some(Body::Word(arg.to_owned())),
+                "entry" => Some(Body::Entry(arg.to_owned())),
+                other => {
+                    return Err(AsmError::BadDirective {
+                        line,
+                        detail: format!("unknown directive `.{other}`"),
+                    })
+                }
+            }
+        } else {
+            let mut parts = rest.splitn(2, char::is_whitespace);
+            let mnemonic = parts.next().unwrap_or("").to_lowercase();
+            let operands: Vec<String> = parts
+                .next()
+                .unwrap_or("")
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect();
+            Some(Body::Instr { mnemonic, operands })
+        };
+        out.push(Statement { line, label, body });
+    }
+    Ok(out)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = s.strip_prefix("-0x").or_else(|| s.strip_prefix("-0X")) {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Pass 1: assign an address to every statement and collect labels.
+fn layout(statements: &[Statement], origin: u32) -> Result<BTreeMap<String, u32>, AsmError> {
+    let mut symbols = BTreeMap::new();
+    let mut pc = origin;
+    for st in statements {
+        if let Some(label) = &st.label {
+            if symbols.insert(label.clone(), pc).is_some() {
+                return Err(AsmError::DuplicateLabel {
+                    line: st.line,
+                    label: label.clone(),
+                });
+            }
+        }
+        match &st.body {
+            Some(Body::Org(addr)) => {
+                if *addr < pc {
+                    return Err(AsmError::OrgBackwards {
+                        line: st.line,
+                        from: pc,
+                        to: *addr,
+                    });
+                }
+                pc = *addr;
+                // A label on a .org line names the new location.
+                if let Some(label) = &st.label {
+                    symbols.insert(label.clone(), pc);
+                }
+            }
+            Some(Body::Instr { .. }) | Some(Body::Word(_)) => pc += 1,
+            Some(Body::Entry(_)) | None => {}
+        }
+    }
+    Ok(symbols)
+}
+
+/// Pass 2: encode every statement.
+fn encode(
+    statements: &[Statement],
+    symbols: &BTreeMap<String, u32>,
+    origin: u32,
+) -> Result<Program, AsmError> {
+    let mut words: Vec<u32> = Vec::new();
+    let mut pc = origin;
+    let mut entry = origin;
+
+    let push = |words: &mut Vec<u32>, pc: &mut u32, w: u32| {
+        let index = (*pc - origin) as usize;
+        if words.len() <= index {
+            words.resize(index + 1, Instr::Nop.encode());
+        }
+        words[index] = w;
+        *pc += 1;
+    };
+
+    for st in statements {
+        match &st.body {
+            None => {}
+            Some(Body::Org(addr)) => pc = *addr,
+            Some(Body::Entry(label)) => {
+                entry = *symbols.get(label.as_str()).ok_or_else(|| {
+                    AsmError::UndefinedLabel {
+                        line: st.line,
+                        label: label.clone(),
+                    }
+                })?;
+            }
+            Some(Body::Word(arg)) => {
+                let value = match parse_int(arg) {
+                    Some(v) => v as u32,
+                    None => *symbols
+                        .get(arg.as_str())
+                        .ok_or_else(|| AsmError::UndefinedLabel {
+                            line: st.line,
+                            label: arg.clone(),
+                        })?,
+                };
+                push(&mut words, &mut pc, value);
+            }
+            Some(Body::Instr { mnemonic, operands }) => {
+                let instr = encode_instr(st.line, mnemonic, operands, symbols, pc)?;
+                push(&mut words, &mut pc, instr.encode());
+            }
+        }
+    }
+
+    Ok(Program {
+        words,
+        origin,
+        entry,
+        symbols: symbols.clone(),
+    })
+}
+
+struct Ctx<'a> {
+    line: usize,
+    mnemonic: &'a str,
+    operands: &'a [String],
+    symbols: &'a BTreeMap<String, u32>,
+    pc: u32,
+}
+
+impl Ctx<'_> {
+    fn expect(&self, n: usize) -> Result<(), AsmError> {
+        if self.operands.len() != n {
+            Err(AsmError::OperandCount {
+                line: self.line,
+                mnemonic: self.mnemonic.to_owned(),
+                expected: n,
+                found: self.operands.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn reg(&self, i: usize) -> Result<Reg, AsmError> {
+        parse_reg(&self.operands[i]).ok_or_else(|| AsmError::BadOperand {
+            line: self.line,
+            detail: format!("expected register, found `{}`", self.operands[i]),
+        })
+    }
+
+    fn imm(&self, i: usize, what: &'static str, bits: u32) -> Result<i32, AsmError> {
+        let text = &self.operands[i];
+        let value = match parse_int(text) {
+            Some(v) => v,
+            None => *self
+                .symbols
+                .get(text.as_str())
+                .ok_or_else(|| AsmError::UndefinedLabel {
+                    line: self.line,
+                    label: text.clone(),
+                })? as i64,
+        };
+        check_range(self.line, what, value, bits)
+    }
+
+    /// Parse `offset(base)` memory operands.
+    fn mem(&self, i: usize) -> Result<(i32, Reg), AsmError> {
+        let text = &self.operands[i];
+        let open = text.find('(').ok_or_else(|| AsmError::BadOperand {
+            line: self.line,
+            detail: format!("expected offset(base), found `{text}`"),
+        })?;
+        let close = text.rfind(')').ok_or_else(|| AsmError::BadOperand {
+            line: self.line,
+            detail: format!("missing `)` in `{text}`"),
+        })?;
+        let off_text = text[..open].trim();
+        let off = if off_text.is_empty() {
+            0
+        } else {
+            match parse_int(off_text) {
+                Some(v) => check_range(self.line, "memory offset", v, 17)?,
+                None => {
+                    let addr = *self.symbols.get(off_text).ok_or_else(|| {
+                        AsmError::UndefinedLabel {
+                            line: self.line,
+                            label: off_text.to_owned(),
+                        }
+                    })?;
+                    check_range(self.line, "memory offset", addr as i64, 17)?
+                }
+            }
+        };
+        let base = parse_reg(text[open + 1..close].trim()).ok_or_else(|| AsmError::BadOperand {
+            line: self.line,
+            detail: format!("bad base register in `{text}`"),
+        })?;
+        Ok((off, base))
+    }
+
+    fn branch_target(&self, i: usize) -> Result<i32, AsmError> {
+        let text = &self.operands[i];
+        let target = match parse_int(text) {
+            Some(v) => v,
+            None => *self
+                .symbols
+                .get(text.as_str())
+                .ok_or_else(|| AsmError::UndefinedLabel {
+                    line: self.line,
+                    label: text.clone(),
+                })? as i64,
+        };
+        let disp = target - self.pc as i64;
+        check_range(self.line, "branch displacement", disp, 13)
+    }
+
+    fn fpu_reg(&self, i: usize) -> Result<u8, AsmError> {
+        let text = &self.operands[i];
+        text.strip_prefix('f')
+            .and_then(|n| n.parse::<u8>().ok())
+            .filter(|&n| n < 32)
+            .ok_or_else(|| AsmError::BadOperand {
+                line: self.line,
+                detail: format!("expected FPU register f0..f31, found `{text}`"),
+            })
+    }
+
+    fn coproc(&self, i: usize) -> Result<u8, AsmError> {
+        let text = &self.operands[i];
+        text.strip_prefix('c')
+            .and_then(|n| n.parse::<u8>().ok())
+            .filter(|&n| n < 8)
+            .ok_or_else(|| AsmError::BadOperand {
+                line: self.line,
+                detail: format!("expected coprocessor c0..c7, found `{text}`"),
+            })
+    }
+
+    fn sreg(&self, i: usize) -> Result<SpecialReg, AsmError> {
+        SpecialReg::parse(&self.operands[i]).ok_or_else(|| AsmError::BadOperand {
+            line: self.line,
+            detail: format!("expected special register, found `{}`", self.operands[i]),
+        })
+    }
+}
+
+fn check_range(line: usize, what: &'static str, value: i64, bits: u32) -> Result<i32, AsmError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if value < min || value > max {
+        Err(AsmError::OutOfRange {
+            line,
+            what,
+            value,
+            bits,
+        })
+    } else {
+        Ok(value as i32)
+    }
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    let n: u8 = s.strip_prefix('r')?.parse().ok()?;
+    Reg::try_new(n)
+}
+
+/// Recognize `b<cond>[sq|sqg]` mnemonics.
+fn parse_branch_mnemonic(m: &str) -> Option<(Cond, SquashMode)> {
+    let rest = m.strip_prefix('b')?;
+    for cond in Cond::ALL {
+        if let Some(suffix) = rest.strip_prefix(cond.mnemonic()) {
+            let squash = match suffix {
+                "" => SquashMode::NoSquash,
+                "sq" => SquashMode::SquashIfNotTaken,
+                "sqg" => SquashMode::SquashIfGo,
+                _ => continue,
+            };
+            return Some((cond, squash));
+        }
+    }
+    None
+}
+
+fn compute_op(m: &str) -> Option<ComputeOp> {
+    ComputeOp::ALL.iter().copied().find(|op| op.mnemonic() == m)
+}
+
+fn encode_instr(
+    line: usize,
+    mnemonic: &str,
+    operands: &[String],
+    symbols: &BTreeMap<String, u32>,
+    pc: u32,
+) -> Result<Instr, AsmError> {
+    let c = Ctx {
+        line,
+        mnemonic,
+        operands,
+        symbols,
+        pc,
+    };
+
+    if let Some((cond, squash)) = parse_branch_mnemonic(mnemonic) {
+        c.expect(3)?;
+        return Ok(Instr::Branch {
+            cond,
+            squash,
+            rs1: c.reg(0)?,
+            rs2: c.reg(1)?,
+            disp: c.branch_target(2)?,
+        });
+    }
+
+    if let Some(op) = compute_op(mnemonic) {
+        return Ok(match op {
+            ComputeOp::Sll | ComputeOp::Srl | ComputeOp::Sra => {
+                c.expect(3)?;
+                Instr::Compute {
+                    op,
+                    rs1: c.reg(1)?,
+                    rs2: Reg::ZERO,
+                    rd: c.reg(0)?,
+                    shamt: c.imm(2, "shift amount", 6)?.clamp(0, 31) as u8,
+                }
+            }
+            ComputeOp::Shf => {
+                c.expect(4)?;
+                Instr::Compute {
+                    op,
+                    rs1: c.reg(1)?,
+                    rs2: c.reg(2)?,
+                    rd: c.reg(0)?,
+                    shamt: c.imm(3, "shift amount", 6)?.clamp(0, 31) as u8,
+                }
+            }
+            _ => {
+                c.expect(3)?;
+                Instr::Compute {
+                    op,
+                    rs1: c.reg(1)?,
+                    rs2: c.reg(2)?,
+                    rd: c.reg(0)?,
+                    shamt: 0,
+                }
+            }
+        });
+    }
+
+    match mnemonic {
+        "ld" => {
+            c.expect(2)?;
+            let (offset, rs1) = c.mem(1)?;
+            Ok(Instr::Ld {
+                rs1,
+                rd: c.reg(0)?,
+                offset,
+            })
+        }
+        "st" => {
+            c.expect(2)?;
+            let (offset, rs1) = c.mem(1)?;
+            Ok(Instr::St {
+                rs1,
+                rsrc: c.reg(0)?,
+                offset,
+            })
+        }
+        "ldf" => {
+            c.expect(2)?;
+            let (offset, rs1) = c.mem(1)?;
+            Ok(Instr::Ldf {
+                rs1,
+                fr: c.fpu_reg(0)?,
+                offset,
+            })
+        }
+        "stf" => {
+            c.expect(2)?;
+            let (offset, rs1) = c.mem(1)?;
+            Ok(Instr::Stf {
+                rs1,
+                fr: c.fpu_reg(0)?,
+                offset,
+            })
+        }
+        "addi" => {
+            c.expect(3)?;
+            Ok(Instr::Addi {
+                rs1: c.reg(1)?,
+                rd: c.reg(0)?,
+                imm: c.imm(2, "immediate", 17)?,
+            })
+        }
+        "li" => {
+            c.expect(2)?;
+            Ok(Instr::Addi {
+                rs1: Reg::ZERO,
+                rd: c.reg(0)?,
+                imm: c.imm(1, "immediate", 17)?,
+            })
+        }
+        "la" => {
+            c.expect(2)?;
+            Ok(Instr::Addi {
+                rs1: Reg::ZERO,
+                rd: c.reg(0)?,
+                imm: c.imm(1, "address", 17)?,
+            })
+        }
+        "mv" => {
+            c.expect(2)?;
+            Ok(Instr::Compute {
+                op: ComputeOp::AddU,
+                rs1: c.reg(1)?,
+                rs2: Reg::ZERO,
+                rd: c.reg(0)?,
+                shamt: 0,
+            })
+        }
+        "jspci" => {
+            c.expect(2)?;
+            let (imm, rs1) = c.mem(1)?;
+            let imm = check_range(line, "jump immediate", imm as i64, 15)?;
+            Ok(Instr::Jspci {
+                rs1,
+                rd: c.reg(0)?,
+                imm,
+            })
+        }
+        "jump" => {
+            c.expect(1)?;
+            Ok(Instr::Jspci {
+                rs1: Reg::ZERO,
+                rd: Reg::ZERO,
+                imm: c.imm(0, "jump target", 15)?,
+            })
+        }
+        "call" => {
+            c.expect(1)?;
+            Ok(Instr::Jspci {
+                rs1: Reg::ZERO,
+                rd: Reg::LINK,
+                imm: c.imm(0, "call target", 15)?,
+            })
+        }
+        "ret" => {
+            c.expect(0)?;
+            Ok(Instr::Jspci {
+                rs1: Reg::LINK,
+                rd: Reg::ZERO,
+                imm: 0,
+            })
+        }
+        "jpc" => {
+            c.expect(0)?;
+            Ok(Instr::Jpc)
+        }
+        "jpcrs" => {
+            c.expect(0)?;
+            Ok(Instr::Jpcrs)
+        }
+        "movfrs" => {
+            c.expect(2)?;
+            Ok(Instr::Movfrs {
+                rd: c.reg(0)?,
+                sreg: c.sreg(1)?,
+            })
+        }
+        "movtos" => {
+            c.expect(2)?;
+            Ok(Instr::Movtos {
+                sreg: c.sreg(0)?,
+                rs: c.reg(1)?,
+            })
+        }
+        "cpop" => {
+            c.expect(2)?;
+            let (op, rs1) = c.mem(1)?;
+            let op = check_range(line, "coprocessor op", op as i64, 15)?;
+            Ok(Instr::Cpop {
+                rs1,
+                cop: c.coproc(0)?,
+                op: (op as u16) & 0x3FFF,
+            })
+        }
+        "mvtc" => {
+            c.expect(3)?;
+            Ok(Instr::Mvtc {
+                rs: c.reg(2)?,
+                cop: c.coproc(0)?,
+                op: c.imm(1, "coprocessor op", 15)? as u16 & 0x3FFF,
+            })
+        }
+        "mvfc" => {
+            c.expect(3)?;
+            Ok(Instr::Mvfc {
+                rd: c.reg(0)?,
+                cop: c.coproc(1)?,
+                op: c.imm(2, "coprocessor op", 15)? as u16 & 0x3FFF,
+            })
+        }
+        "nop" => {
+            c.expect(0)?;
+            Ok(Instr::Nop)
+        }
+        "halt" => {
+            c.expect(0)?;
+            Ok(Instr::Halt)
+        }
+        other => Err(AsmError::UnknownMnemonic {
+            line,
+            mnemonic: other.to_owned(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_program_assembles() {
+        let p = assemble(
+            r#"
+            start:  li r1, 10
+            loop:   addi r1, r1, -1
+                    bne r1, r0, loop
+                    nop
+                    nop
+                    halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.symbol("start"), Some(0));
+        assert_eq!(p.symbol("loop"), Some(1));
+        match p.instr_at(2).unwrap() {
+            Instr::Branch { cond, disp, .. } => {
+                assert_eq!(cond, Cond::Ne);
+                assert_eq!(disp, -1);
+            }
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("ld r4, -8(r30)\nst r4, 12(r2)\nhalt").unwrap();
+        assert_eq!(
+            p.instr_at(0).unwrap(),
+            Instr::Ld {
+                rs1: Reg::new(30),
+                rd: Reg::new(4),
+                offset: -8
+            }
+        );
+        assert_eq!(
+            p.instr_at(1).unwrap(),
+            Instr::St {
+                rs1: Reg::new(2),
+                rsrc: Reg::new(4),
+                offset: 12
+            }
+        );
+    }
+
+    #[test]
+    fn squash_suffixes() {
+        let p = assemble("top: beqsq r1, r2, top\nbeqsqg r1, r2, top\nbeq r1, r2, top").unwrap();
+        let modes: Vec<SquashMode> = (0..3)
+            .map(|a| match p.instr_at(a).unwrap() {
+                Instr::Branch { squash, .. } => squash,
+                other => panic!("expected branch, got {other}"),
+            })
+            .collect();
+        assert_eq!(
+            modes,
+            vec![
+                SquashMode::SquashIfNotTaken,
+                SquashMode::SquashIfGo,
+                SquashMode::NoSquash
+            ]
+        );
+    }
+
+    #[test]
+    fn directives() {
+        let p = assemble(
+            r#"
+                    .org 4
+            main:   halt
+            data:   .word 0x1234
+                    .word main
+                    .entry main
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.entry, 4);
+        assert_eq!(p.word_at(5), Some(0x1234));
+        assert_eq!(p.word_at(6), Some(4));
+        // Padding before .org is filled with nops.
+        assert_eq!(p.instr_at(0).unwrap(), Instr::Nop);
+    }
+
+    #[test]
+    fn coprocessor_syntax() {
+        let p = assemble("cpop c5, 100(r0)\nmvtc c1, 3, r9\nmvfc r10, c7, 0\nldf f3, 8(r2)").unwrap();
+        assert_eq!(
+            p.instr_at(0).unwrap(),
+            Instr::Cpop {
+                rs1: Reg::ZERO,
+                cop: 5,
+                op: 100
+            }
+        );
+        assert_eq!(
+            p.instr_at(3).unwrap(),
+            Instr::Ldf {
+                rs1: Reg::new(2),
+                fr: 3,
+                offset: 8
+            }
+        );
+    }
+
+    #[test]
+    fn special_registers() {
+        let p = assemble("movfrs r8, pc1\nmovtos psw, r8").unwrap();
+        assert_eq!(
+            p.instr_at(0).unwrap(),
+            Instr::Movfrs {
+                rd: Reg::new(8),
+                sreg: SpecialReg::PcChain1
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        assert!(matches!(
+            assemble("frobnicate r1"),
+            Err(AsmError::UnknownMnemonic { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("\nbeq r1, r2, nowhere"),
+            Err(AsmError::UndefinedLabel { line: 2, .. })
+        ));
+        assert!(matches!(
+            assemble("add r1, r2"),
+            Err(AsmError::OperandCount { .. })
+        ));
+        assert!(matches!(
+            assemble("li r1, 1000000"),
+            Err(AsmError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            assemble("x: halt\nx: halt"),
+            Err(AsmError::DuplicateLabel { line: 2, .. })
+        ));
+        assert!(matches!(
+            assemble(".org 8\n.org 2"),
+            Err(AsmError::OrgBackwards { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("; pure comment\n\n  # another\nnop ; trailing\nhalt # trailing").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn call_ret_pseudos() {
+        let p = assemble(
+            r#"
+            main:   call fn
+                    nop
+                    nop
+                    halt
+            fn:     ret
+                    nop
+                    nop
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            p.instr_at(0).unwrap(),
+            Instr::Jspci {
+                rs1: Reg::ZERO,
+                rd: Reg::LINK,
+                imm: 4
+            }
+        );
+        assert_eq!(
+            p.instr_at(4).unwrap(),
+            Instr::Jspci {
+                rs1: Reg::LINK,
+                rd: Reg::ZERO,
+                imm: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Running one IR program through both back ends.
+
+use mipsx_core::{InterlockPolicy, Machine, MachineConfig};
+use mipsx_isa::Reg;
+use mipsx_reorg::{BranchScheme, Reorganizer};
+
+use crate::ir::IrProgram;
+use crate::{mipsx_gen, vax, Comparison, VaxCodegen};
+
+/// Execute `program` on the cycle-accurate MIPS-X (via codegen and the
+/// reorganizer) and through the VAX cost model, verifying that both produce
+/// identical virtual-register results.
+///
+/// `reorganized` selects whether the MIPS-X side is scheduled (the paper's
+/// headline comparison used straightforward, unoptimized code on both
+/// sides; the optimized variant is used by the experiment's sensitivity
+/// row).
+///
+/// # Panics
+/// Panics if the two back ends disagree on the program's results — that
+/// would make any performance comparison meaningless.
+pub fn compare(program: &IrProgram, codegen: VaxCodegen, reorganized: bool) -> Comparison {
+    // VAX side (also the semantic reference).
+    let (vax_run, reference) = vax::run(program, codegen, 10_000_000);
+
+    // MIPS-X side.
+    let raw = mipsx_gen::lower(program);
+    let reorg = Reorganizer::new(BranchScheme::mipsx());
+    let (image, _) = if reorganized {
+        reorg.reorganize(&raw).expect("reorganize")
+    } else {
+        reorg.lower_naive(&raw).expect("naive lowering")
+    };
+    let cfg = MachineConfig {
+        interlock: InterlockPolicy::Detect,
+        ..MachineConfig::default()
+    };
+    let mut machine = Machine::new(cfg);
+    machine.load_program(&image);
+    let stats = machine.run(200_000_000).expect("mipsx execution");
+
+    // Both back ends must agree on every virtual register.
+    for v in 1..=13u8 {
+        assert_eq!(
+            machine.cpu().reg(Reg::new(v)) as i32,
+            reference.regs[v as usize],
+            "backends disagree on v{v}"
+        );
+    }
+
+    Comparison {
+        mipsx_instructions: stats.instructions,
+        mipsx_cycles: stats.cycles,
+        vax_instructions: vax_run.instructions,
+        vax_cycles: vax_run.cycles,
+        mipsx_mhz: cfg.clock_mhz,
+        vax_mhz: vax::VAX_MHZ,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    #[test]
+    fn backends_agree_on_the_whole_suite() {
+        for (name, p) in programs::suite() {
+            let c = compare(&p, VaxCodegen::StanfordLike, false);
+            assert!(c.mipsx_cycles > 0 && c.vax_cycles > 0, "{name} ran nothing");
+        }
+    }
+
+    #[test]
+    fn mipsx_is_an_order_of_magnitude_faster() {
+        let (_, p) = &programs::suite()[0];
+        let c = compare(p, VaxCodegen::StanfordLike, false);
+        assert!(c.speedup() > 5.0, "speedup {}", c.speedup());
+        assert!(c.path_ratio() > 1.0, "RISC path must be longer");
+    }
+
+    #[test]
+    fn berkeley_codegen_narrows_the_gap() {
+        let (_, p) = &programs::suite()[1];
+        let stanford = compare(p, VaxCodegen::StanfordLike, false);
+        let berkeley = compare(p, VaxCodegen::BerkeleyLike, false);
+        assert!(berkeley.path_ratio() > stanford.path_ratio());
+        assert!(berkeley.speedup() < stanford.speedup());
+    }
+}

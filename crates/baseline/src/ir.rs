@@ -1,0 +1,386 @@
+//! The three-address intermediate representation and its reference
+//! interpreter.
+//!
+//! The IR stands in for the Stanford compiler's output before code
+//! generation: simple enough that both back ends are obviously faithful,
+//! rich enough to express the benchmark suite (loops, arrays, multiplies,
+//! data-dependent branches). Virtual registers `v1..v13` map one-to-one
+//! onto MIPS-X registers, so no register allocator is needed.
+
+use std::collections::HashMap;
+
+/// A virtual register, `1..=13` (`v0` is the constant zero, like `r0`).
+pub type Vreg = u8;
+
+/// One straight-line IR operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IrOp {
+    /// `dst = value`.
+    Const { dst: Vreg, value: i32 },
+    /// `dst = a + b` (wrapping).
+    Add { dst: Vreg, a: Vreg, b: Vreg },
+    /// `dst = a - b` (wrapping).
+    Sub { dst: Vreg, a: Vreg, b: Vreg },
+    /// `dst = a & b`.
+    And { dst: Vreg, a: Vreg, b: Vreg },
+    /// `dst = a | b`.
+    Or { dst: Vreg, a: Vreg, b: Vreg },
+    /// `dst = a ^ b`.
+    Xor { dst: Vreg, a: Vreg, b: Vreg },
+    /// `dst = a << sh`.
+    Shl { dst: Vreg, a: Vreg, sh: u8 },
+    /// `dst = a * b` (wrapping; a multi-instruction sequence on MIPS-X, one
+    /// instruction on the VAX).
+    Mul { dst: Vreg, a: Vreg, b: Vreg },
+    /// `dst = mem[base + off]`.
+    Load { dst: Vreg, base: Vreg, off: i32 },
+    /// `mem[base + off] = src`.
+    Store { src: Vreg, base: Vreg, off: i32 },
+}
+
+impl IrOp {
+    /// The virtual register this op defines.
+    pub fn def(&self) -> Option<Vreg> {
+        match *self {
+            IrOp::Const { dst, .. }
+            | IrOp::Add { dst, .. }
+            | IrOp::Sub { dst, .. }
+            | IrOp::And { dst, .. }
+            | IrOp::Or { dst, .. }
+            | IrOp::Xor { dst, .. }
+            | IrOp::Shl { dst, .. }
+            | IrOp::Mul { dst, .. }
+            | IrOp::Load { dst, .. } => Some(dst),
+            IrOp::Store { .. } => None,
+        }
+    }
+
+    /// The virtual registers this op reads.
+    pub fn uses(&self) -> Vec<Vreg> {
+        match *self {
+            IrOp::Const { .. } => vec![],
+            IrOp::Add { a, b, .. }
+            | IrOp::Sub { a, b, .. }
+            | IrOp::And { a, b, .. }
+            | IrOp::Or { a, b, .. }
+            | IrOp::Xor { a, b, .. }
+            | IrOp::Mul { a, b, .. } => vec![a, b],
+            IrOp::Shl { a, .. } => vec![a],
+            IrOp::Load { base, .. } => vec![base],
+            IrOp::Store { src, base, .. } => vec![src, base],
+        }
+    }
+}
+
+/// IR comparison conditions (signed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IrCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Le,
+    Gt,
+}
+
+impl IrCond {
+    /// Evaluate on signed values.
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            IrCond::Eq => a == b,
+            IrCond::Ne => a != b,
+            IrCond::Lt => a < b,
+            IrCond::Ge => a >= b,
+            IrCond::Le => a <= b,
+            IrCond::Gt => a > b,
+        }
+    }
+}
+
+/// How an IR block ends. `else_` must be the next block (layout rule shared
+/// with `RawProgram`).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum IrTerm {
+    /// Unconditional transfer.
+    Goto(usize),
+    /// Conditional branch.
+    Branch {
+        cond: IrCond,
+        a: Vreg,
+        b: Vreg,
+        then_: usize,
+        else_: usize,
+        /// Profile estimate that the branch is taken.
+        p: f64,
+    },
+    /// Program end.
+    Halt,
+}
+
+/// A whole IR program: blocks in layout order.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrProgram {
+    /// `(body, terminator)` per block.
+    pub blocks: Vec<(Vec<IrOp>, IrTerm)>,
+}
+
+impl IrProgram {
+    /// Validate layout invariants.
+    ///
+    /// # Panics
+    /// Panics if a `Branch`'s `else_` is not the next block or a target is
+    /// out of range.
+    pub fn validate(&self) {
+        for (id, (_, term)) in self.blocks.iter().enumerate() {
+            match *term {
+                IrTerm::Goto(t) => assert!(t < self.blocks.len(), "goto target out of range"),
+                IrTerm::Branch { then_, else_, .. } => {
+                    assert!(then_ < self.blocks.len(), "branch target out of range");
+                    assert_eq!(else_, id + 1, "block {id}: else must fall through");
+                }
+                IrTerm::Halt => {}
+            }
+        }
+    }
+}
+
+/// The reference interpreter — the semantic oracle both back ends are
+/// tested against, and the execution engine the VAX cost model rides on.
+#[derive(Clone, Debug, Default)]
+pub struct Interpreter {
+    /// Virtual register file (`v0` stays zero).
+    pub regs: [i32; 16],
+    /// Word-addressed memory.
+    pub memory: HashMap<u32, i32>,
+    /// Dynamic IR operations executed (terminators included).
+    pub ops_executed: u64,
+}
+
+impl Interpreter {
+    /// Fresh state.
+    pub fn new() -> Interpreter {
+        Interpreter::default()
+    }
+
+    fn reg(&self, v: Vreg) -> i32 {
+        self.regs[(v & 15) as usize]
+    }
+
+    fn set(&mut self, v: Vreg, value: i32) {
+        if v & 15 != 0 {
+            self.regs[(v & 15) as usize] = value;
+        }
+    }
+
+    /// Execute one op.
+    pub fn exec_op(&mut self, op: &IrOp) {
+        self.ops_executed += 1;
+        match *op {
+            IrOp::Const { dst, value } => self.set(dst, value),
+            IrOp::Add { dst, a, b } => self.set(dst, self.reg(a).wrapping_add(self.reg(b))),
+            IrOp::Sub { dst, a, b } => self.set(dst, self.reg(a).wrapping_sub(self.reg(b))),
+            IrOp::And { dst, a, b } => self.set(dst, self.reg(a) & self.reg(b)),
+            IrOp::Or { dst, a, b } => self.set(dst, self.reg(a) | self.reg(b)),
+            IrOp::Xor { dst, a, b } => self.set(dst, self.reg(a) ^ self.reg(b)),
+            IrOp::Shl { dst, a, sh } => self.set(dst, self.reg(a).wrapping_shl(sh as u32)),
+            IrOp::Mul { dst, a, b } => self.set(dst, self.reg(a).wrapping_mul(self.reg(b))),
+            IrOp::Load { dst, base, off } => {
+                let addr = self.reg(base).wrapping_add(off) as u32;
+                let v = self.memory.get(&addr).copied().unwrap_or(0);
+                self.set(dst, v);
+            }
+            IrOp::Store { src, base, off } => {
+                let addr = self.reg(base).wrapping_add(off) as u32;
+                self.memory.insert(addr, self.reg(src));
+            }
+        }
+    }
+
+    /// Run a program to `Halt`, visiting each executed `(block, op)` and
+    /// terminator through `observe` (the VAX cost model's hook).
+    ///
+    /// # Panics
+    /// Panics if the program runs past `max_steps` blocks (non-termination
+    /// guard).
+    pub fn run<F: FnMut(Event<'_>)>(
+        &mut self,
+        program: &IrProgram,
+        max_steps: u64,
+        mut observe: F,
+    ) {
+        program.validate();
+        let mut block = 0usize;
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            assert!(steps <= max_steps, "IR program exceeded {max_steps} blocks");
+            let (body, term) = &program.blocks[block];
+            for (i, op) in body.iter().enumerate() {
+                self.exec_op(op);
+                let next = body.get(i + 1);
+                observe(Event::Op { op, next });
+            }
+            match *term {
+                IrTerm::Halt => {
+                    observe(Event::Halt);
+                    return;
+                }
+                IrTerm::Goto(t) => {
+                    self.ops_executed += 1;
+                    observe(Event::Goto);
+                    block = t;
+                }
+                IrTerm::Branch {
+                    cond,
+                    a,
+                    b,
+                    then_,
+                    else_,
+                    ..
+                } => {
+                    self.ops_executed += 1;
+                    let taken = cond.eval(self.reg(a), self.reg(b));
+                    observe(Event::Branch {
+                        a,
+                        b_is_zero: b == 0,
+                        taken,
+                    });
+                    block = if taken { then_ } else { else_ };
+                }
+            }
+        }
+    }
+}
+
+/// Execution events for cost-model observers.
+#[derive(Debug)]
+pub enum Event<'a> {
+    /// A straight-line op, plus a peek at the following op in the block
+    /// (for operand-folding decisions).
+    Op {
+        /// The executed op.
+        op: &'a IrOp,
+        /// The next op in the same block, if any.
+        next: Option<&'a IrOp>,
+    },
+    /// A conditional branch.
+    Branch {
+        /// The comparison's first source register.
+        a: Vreg,
+        /// The comparison's second operand is the constant zero.
+        b_is_zero: bool,
+        /// Whether it took.
+        taken: bool,
+    },
+    /// An unconditional transfer.
+    Goto,
+    /// Program end.
+    Halt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_program(n: i32) -> IrProgram {
+        IrProgram {
+            blocks: vec![
+                (
+                    vec![
+                        IrOp::Const { dst: 1, value: n },
+                        IrOp::Const { dst: 2, value: 0 },
+                    ],
+                    IrTerm::Goto(1),
+                ),
+                (
+                    vec![
+                        IrOp::Add { dst: 2, a: 2, b: 1 },
+                        IrOp::Const { dst: 3, value: 1 },
+                        IrOp::Sub { dst: 1, a: 1, b: 3 },
+                    ],
+                    IrTerm::Branch {
+                        cond: IrCond::Gt,
+                        a: 1,
+                        b: 0,
+                        then_: 1,
+                        else_: 2,
+                        p: 0.9,
+                    },
+                ),
+                (vec![], IrTerm::Halt),
+            ],
+        }
+    }
+
+    #[test]
+    fn interpreter_sums() {
+        let mut interp = Interpreter::new();
+        interp.run(&sum_program(10), 10_000, |_| {});
+        assert_eq!(interp.regs[2], 55);
+        assert!(interp.ops_executed > 30);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let p = IrProgram {
+            blocks: vec![(
+                vec![
+                    IrOp::Const { dst: 1, value: 500 },
+                    IrOp::Const { dst: 2, value: -9 },
+                    IrOp::Store { src: 2, base: 1, off: 4 },
+                    IrOp::Load { dst: 3, base: 1, off: 4 },
+                ],
+                IrTerm::Halt,
+            )],
+        };
+        let mut interp = Interpreter::new();
+        interp.run(&p, 100, |_| {});
+        assert_eq!(interp.regs[3], -9);
+    }
+
+    #[test]
+    fn mul_wraps() {
+        let p = IrProgram {
+            blocks: vec![(
+                vec![
+                    IrOp::Const { dst: 1, value: 123456 },
+                    IrOp::Const { dst: 2, value: 654321 },
+                    IrOp::Mul { dst: 3, a: 1, b: 2 },
+                ],
+                IrTerm::Halt,
+            )],
+        };
+        let mut interp = Interpreter::new();
+        interp.run(&p, 100, |_| {});
+        assert_eq!(interp.regs[3], 123456i32.wrapping_mul(654321));
+    }
+
+    #[test]
+    #[should_panic(expected = "else must fall through")]
+    fn layout_rule_enforced() {
+        let p = IrProgram {
+            blocks: vec![
+                (
+                    vec![],
+                    IrTerm::Branch {
+                        cond: IrCond::Eq,
+                        a: 0,
+                        b: 0,
+                        then_: 1,
+                        else_: 0,
+                        p: 0.5,
+                    },
+                ),
+                (vec![], IrTerm::Halt),
+            ],
+        };
+        p.validate();
+    }
+
+    #[test]
+    fn v0_is_constant_zero() {
+        let mut interp = Interpreter::new();
+        interp.exec_op(&IrOp::Const { dst: 0, value: 99 });
+        assert_eq!(interp.regs[0], 0);
+    }
+}

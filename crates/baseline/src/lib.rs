@@ -1,0 +1,64 @@
+//! # mipsx-baseline — the VAX 11/780 comparison substrate
+//!
+//! The paper's concluding comparison: *"Comparison of Pascal programs with
+//! a VAX 11/780 shows that MIPS-X executes about 25% more instructions but
+//! executes the programs about 14 times faster for unoptimized code ...
+//! However, when MIPS-X code is compared to the Berkeley Pascal compiler,
+//! the path length is 80% longer and the speedup is only 10 times."* The
+//! original setup shared the Stanford compiler front end and differed only
+//! in the back ends — which is exactly what this crate rebuilds:
+//!
+//! - a tiny three-address [`IrProgram`] plays the part of the shared front
+//!   end (the "source program");
+//! - [`mipsx_gen`] lowers IR to a real [`mipsx_reorg::RawProgram`], which
+//!   the reorganizer schedules and the cycle-accurate core executes;
+//! - [`vax`] *models* a VAX 11/780 back end: the IR is interpreted while a
+//!   per-instruction-class cost table (two variants — a plain
+//!   Stanford-like code generator and a folding Berkeley-like one)
+//!   accumulates dynamic instruction counts and cycles.
+//!
+//! Absolute VAX timings are a calibrated model, not silicon; what the
+//! reproduction preserves is the *shape*: CISC path length shorter, total
+//! time an order of magnitude longer (see DESIGN.md §4).
+
+pub mod compare;
+pub mod ir;
+pub mod mipsx_gen;
+pub mod programs;
+pub mod vax;
+
+pub use compare::compare;
+pub use ir::{IrCond, IrOp, IrProgram, IrTerm, Interpreter};
+pub use vax::{VaxCodegen, VaxRun};
+
+/// Result of running one IR program through both back ends.
+#[derive(Clone, Copy, Debug)]
+pub struct Comparison {
+    /// Dynamic MIPS-X instructions (completed, including no-ops).
+    pub mipsx_instructions: u64,
+    /// MIPS-X cycles.
+    pub mipsx_cycles: u64,
+    /// Dynamic VAX instructions under the chosen code generator.
+    pub vax_instructions: u64,
+    /// Modeled VAX cycles.
+    pub vax_cycles: u64,
+    /// MIPS-X clock in MHz.
+    pub mipsx_mhz: f64,
+    /// VAX 11/780 clock in MHz (5.0).
+    pub vax_mhz: f64,
+}
+
+impl Comparison {
+    /// Path-length ratio: MIPS-X dynamic instructions over VAX dynamic
+    /// instructions (the paper's "25% more" is 1.25 here).
+    pub fn path_ratio(&self) -> f64 {
+        self.mipsx_instructions as f64 / self.vax_instructions as f64
+    }
+
+    /// Wall-clock speedup of MIPS-X over the VAX.
+    pub fn speedup(&self) -> f64 {
+        let vax_time = self.vax_cycles as f64 / self.vax_mhz;
+        let mipsx_time = self.mipsx_cycles as f64 / self.mipsx_mhz;
+        vax_time / mipsx_time
+    }
+}

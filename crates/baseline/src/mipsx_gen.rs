@@ -1,0 +1,157 @@
+//! IR → MIPS-X code generation.
+//!
+//! Each IR op lowers to one MIPS-X instruction, except `Mul`, which — like
+//! any 1986 RISC without a hardware multiplier — expands to the MD-register
+//! multiply-step sequence. IR virtual registers map directly onto `r1..r13`;
+//! `r14`/`r15` are code-generator scratch.
+
+use mipsx_isa::{ComputeOp, Cond, Instr, Reg, SpecialReg};
+use mipsx_reorg::{RawBlock, RawProgram, Terminator};
+
+use crate::{IrCond, IrOp, IrProgram, IrTerm};
+
+/// Scratch register holding the multiply accumulator.
+const SCRATCH: u8 = 14;
+
+fn r(n: u8) -> Reg {
+    Reg::new(n & 15)
+}
+
+fn lower_cond(c: IrCond) -> Cond {
+    match c {
+        IrCond::Eq => Cond::Eq,
+        IrCond::Ne => Cond::Ne,
+        IrCond::Lt => Cond::Lt,
+        IrCond::Ge => Cond::Ge,
+        IrCond::Le => Cond::Le,
+        IrCond::Gt => Cond::Gt,
+    }
+}
+
+fn alu(op: ComputeOp, dst: u8, a: u8, b: u8, shamt: u8) -> Instr {
+    Instr::Compute {
+        op,
+        rs1: r(a),
+        rs2: r(b),
+        rd: r(dst),
+        shamt,
+    }
+}
+
+/// Lower one IR op into MIPS-X instructions.
+pub fn lower_op(op: &IrOp, out: &mut Vec<Instr>) {
+    match *op {
+        IrOp::Const { dst, value } => out.push(Instr::Addi {
+            rs1: Reg::ZERO,
+            rd: r(dst),
+            imm: value,
+        }),
+        IrOp::Add { dst, a, b } => out.push(alu(ComputeOp::AddU, dst, a, b, 0)),
+        IrOp::Sub { dst, a, b } => out.push(alu(ComputeOp::SubU, dst, a, b, 0)),
+        IrOp::And { dst, a, b } => out.push(alu(ComputeOp::And, dst, a, b, 0)),
+        IrOp::Or { dst, a, b } => out.push(alu(ComputeOp::Or, dst, a, b, 0)),
+        IrOp::Xor { dst, a, b } => out.push(alu(ComputeOp::Xor, dst, a, b, 0)),
+        IrOp::Shl { dst, a, sh } => out.push(alu(ComputeOp::Sll, dst, a, 0, sh & 31)),
+        IrOp::Mul { dst, a, b } => {
+            // 32-step shift-and-add through MD: md = b; acc = 0;
+            // 32 × mstep; dst = acc.
+            out.push(Instr::Movtos {
+                sreg: SpecialReg::Md,
+                rs: r(b),
+            });
+            out.push(Instr::Addi {
+                rs1: Reg::ZERO,
+                rd: r(SCRATCH),
+                imm: 0,
+            });
+            for _ in 0..32 {
+                out.push(alu(ComputeOp::Mstep, SCRATCH, a, SCRATCH, 0));
+            }
+            out.push(alu(ComputeOp::AddU, dst, SCRATCH, 0, 0));
+        }
+        IrOp::Load { dst, base, off } => out.push(Instr::Ld {
+            rs1: r(base),
+            rd: r(dst),
+            offset: off,
+        }),
+        IrOp::Store { src, base, off } => out.push(Instr::St {
+            rs1: r(base),
+            rsrc: r(src),
+            offset: off,
+        }),
+    }
+}
+
+/// Lower a whole IR program to an unscheduled MIPS-X program (block
+/// structure preserved one-to-one, so the layout invariants carry over).
+pub fn lower(program: &IrProgram) -> RawProgram {
+    program.validate();
+    let mut blocks = Vec::with_capacity(program.blocks.len());
+    let mut terms = Vec::with_capacity(program.blocks.len());
+    for (body, term) in &program.blocks {
+        let mut instrs = Vec::new();
+        for op in body {
+            lower_op(op, &mut instrs);
+        }
+        blocks.push(RawBlock::new(instrs));
+        terms.push(match *term {
+            IrTerm::Halt => Terminator::Halt,
+            IrTerm::Goto(t) => Terminator::Jump(t),
+            IrTerm::Branch {
+                cond,
+                a,
+                b,
+                then_,
+                else_,
+                p,
+            } => Terminator::Branch {
+                cond: lower_cond(cond),
+                rs1: r(a),
+                rs2: r(b),
+                taken: then_,
+                fall: else_,
+                p_taken: p,
+            },
+        });
+    }
+    RawProgram::new(blocks, terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_op_one_instruction_except_mul() {
+        let mut out = Vec::new();
+        lower_op(&IrOp::Add { dst: 1, a: 2, b: 3 }, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        lower_op(&IrOp::Mul { dst: 1, a: 2, b: 3 }, &mut out);
+        assert_eq!(out.len(), 35); // movtos + clear + 32 msteps + move
+    }
+
+    #[test]
+    fn lower_preserves_block_structure() {
+        let p = IrProgram {
+            blocks: vec![
+                (vec![IrOp::Const { dst: 1, value: 4 }], IrTerm::Goto(1)),
+                (
+                    vec![IrOp::Sub { dst: 1, a: 1, b: 2 }],
+                    IrTerm::Branch {
+                        cond: IrCond::Gt,
+                        a: 1,
+                        b: 0,
+                        then_: 1,
+                        else_: 2,
+                        p: 0.8,
+                    },
+                ),
+                (vec![], IrTerm::Halt),
+            ],
+        };
+        let raw = lower(&p);
+        assert_eq!(raw.len(), 3);
+        raw.validate();
+    }
+}

@@ -1,0 +1,247 @@
+//! The IR benchmark suite for the VAX comparison — small Pascal-flavoured
+//! programs: counted loops, array sweeps, polynomial evaluation, nested
+//! search.
+
+use crate::ir::{IrCond, IrOp, IrProgram, IrTerm};
+
+fn c(dst: u8, value: i32) -> IrOp {
+    IrOp::Const { dst, value }
+}
+
+/// Sum 1..=n.
+pub fn sum_loop(n: i32) -> IrProgram {
+    IrProgram {
+        blocks: vec![
+            (vec![c(1, n), c(2, 0), c(3, 1)], IrTerm::Goto(1)),
+            (
+                vec![
+                    IrOp::Add { dst: 2, a: 2, b: 1 },
+                    IrOp::Sub { dst: 1, a: 1, b: 3 },
+                ],
+                IrTerm::Branch {
+                    cond: IrCond::Gt,
+                    a: 1,
+                    b: 0,
+                    then_: 1,
+                    else_: 2,
+                    p: 0.95,
+                },
+            ),
+            (vec![], IrTerm::Halt),
+        ],
+    }
+}
+
+/// Fill an array with `i*5+3` then sum it back (base 6000). The `5*i` is
+/// strength-reduced to shift-and-add, as any Pascal compiler of the era
+/// would emit for a constant multiplier.
+pub fn array_sweep(n: i32) -> IrProgram {
+    IrProgram {
+        blocks: vec![
+            // b0: init.
+            (
+                vec![c(1, n), c(2, 0), c(3, 6000), c(4, 5), c(5, 3), c(7, 1)],
+                IrTerm::Goto(1),
+            ),
+            // b1: a[i] = 5i + 3  (5i = (i << 2) + i).
+            (
+                vec![
+                    IrOp::Shl { dst: 6, a: 2, sh: 2 },
+                    IrOp::Add { dst: 6, a: 6, b: 2 },
+                    IrOp::Add { dst: 6, a: 6, b: 5 },
+                    IrOp::Add { dst: 8, a: 3, b: 2 },
+                    IrOp::Store { src: 6, base: 8, off: 0 },
+                    IrOp::Add { dst: 2, a: 2, b: 7 },
+                ],
+                IrTerm::Branch {
+                    cond: IrCond::Lt,
+                    a: 2,
+                    b: 1,
+                    then_: 1,
+                    else_: 2,
+                    p: 0.9,
+                },
+            ),
+            // b2: reset.
+            (vec![c(2, 0), c(9, 0)], IrTerm::Goto(3)),
+            // b3: sum += a[i].
+            (
+                vec![
+                    IrOp::Add { dst: 8, a: 3, b: 2 },
+                    IrOp::Load { dst: 6, base: 8, off: 0 },
+                    IrOp::Add { dst: 9, a: 9, b: 6 },
+                    IrOp::Add { dst: 2, a: 2, b: 7 },
+                ],
+                IrTerm::Branch {
+                    cond: IrCond::Lt,
+                    a: 2,
+                    b: 1,
+                    then_: 3,
+                    else_: 4,
+                    p: 0.9,
+                },
+            ),
+            (vec![], IrTerm::Halt),
+        ],
+    }
+}
+
+/// Horner evaluation of `p(x) = 3x^3 + 2x^2 + 5x + 7`, iterated `reps`
+/// times with varying x — multiply-heavy.
+pub fn polynomial(reps: i32) -> IrProgram {
+    IrProgram {
+        blocks: vec![
+            // b0: r1 = reps, r9 = acc, r10 = x.
+            (
+                vec![c(1, reps), c(9, 0), c(10, 1), c(4, 3), c(5, 2), c(6, 5), c(7, 7), c(8, 1)],
+                IrTerm::Goto(1),
+            ),
+            // b1: acc += ((3x + 2)x + 5)x + 7; x += 1.
+            (
+                vec![
+                    IrOp::Mul { dst: 2, a: 4, b: 10 },
+                    IrOp::Add { dst: 2, a: 2, b: 5 },
+                    IrOp::Mul { dst: 2, a: 2, b: 10 },
+                    IrOp::Add { dst: 2, a: 2, b: 6 },
+                    IrOp::Mul { dst: 2, a: 2, b: 10 },
+                    IrOp::Add { dst: 2, a: 2, b: 7 },
+                    IrOp::Add { dst: 9, a: 9, b: 2 },
+                    IrOp::Add { dst: 10, a: 10, b: 8 },
+                    IrOp::Sub { dst: 1, a: 1, b: 8 },
+                ],
+                IrTerm::Branch {
+                    cond: IrCond::Gt,
+                    a: 1,
+                    b: 0,
+                    then_: 1,
+                    else_: 2,
+                    p: 0.9,
+                },
+            ),
+            (vec![], IrTerm::Halt),
+        ],
+    }
+}
+
+/// Linear search with a data-dependent early exit: fill a table with a
+/// simple recurrence, then scan for the first element matching a key
+/// (base 6200).
+pub fn search(n: i32) -> IrProgram {
+    IrProgram {
+        blocks: vec![
+            // b0: init; r3 = base, r4 = recurrence state.
+            (
+                vec![c(1, n), c(2, 0), c(3, 6200), c(4, 11), c(7, 1), c(11, 13)],
+                IrTerm::Goto(1),
+            ),
+            // b1: t[i] = state; state = state ^ (state << 3) + 13.
+            (
+                vec![
+                    IrOp::Add { dst: 8, a: 3, b: 2 },
+                    IrOp::Store { src: 4, base: 8, off: 0 },
+                    IrOp::Shl { dst: 5, a: 4, sh: 3 },
+                    IrOp::Xor { dst: 4, a: 4, b: 5 },
+                    IrOp::Add { dst: 4, a: 4, b: 11 },
+                    IrOp::Add { dst: 2, a: 2, b: 7 },
+                ],
+                IrTerm::Branch {
+                    cond: IrCond::Lt,
+                    a: 2,
+                    b: 1,
+                    then_: 1,
+                    else_: 2,
+                    p: 0.9,
+                },
+            ),
+            // b2: key = t[n-2]; i = 0.
+            (
+                vec![
+                    IrOp::Add { dst: 8, a: 3, b: 1 },
+                    IrOp::Load { dst: 12, base: 8, off: -2 },
+                    c(2, 0),
+                    c(9, -1),
+                ],
+                IrTerm::Goto(3),
+            ),
+            // b3: if t[i] == key: found.
+            (
+                vec![
+                    IrOp::Add { dst: 8, a: 3, b: 2 },
+                    IrOp::Load { dst: 6, base: 8, off: 0 },
+                ],
+                IrTerm::Branch {
+                    cond: IrCond::Eq,
+                    a: 6,
+                    b: 12,
+                    then_: 6,
+                    else_: 4,
+                    p: 0.05,
+                },
+            ),
+            // b4: next.
+            (
+                vec![IrOp::Add { dst: 2, a: 2, b: 7 }],
+                IrTerm::Branch {
+                    cond: IrCond::Lt,
+                    a: 2,
+                    b: 1,
+                    then_: 3,
+                    else_: 5,
+                    p: 0.95,
+                },
+            ),
+            // b5: not found path (r9 already -1).
+            (vec![], IrTerm::Goto(6)),
+            // b6: r9 = index found (or -1).
+            (vec![IrOp::Or { dst: 9, a: 2, b: 0 }], IrTerm::Halt),
+        ],
+    }
+}
+
+/// The whole suite at standard sizes, with names.
+pub fn suite() -> Vec<(&'static str, IrProgram)> {
+    vec![
+        ("sum_loop", sum_loop(300)),
+        ("array_sweep", array_sweep(64)),
+        ("polynomial", polynomial(20)),
+        ("search", search(48)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Interpreter;
+
+    #[test]
+    fn suite_programs_validate_and_terminate() {
+        for (name, p) in suite() {
+            p.validate();
+            let mut interp = Interpreter::new();
+            interp.run(&p, 1_000_000, |_| {});
+            assert!(interp.ops_executed > 10, "{name} did no work");
+        }
+    }
+
+    #[test]
+    fn sum_loop_answer() {
+        let mut interp = Interpreter::new();
+        interp.run(&sum_loop(100), 100_000, |_| {});
+        assert_eq!(interp.regs[2], 5050);
+    }
+
+    #[test]
+    fn array_sweep_answer() {
+        let mut interp = Interpreter::new();
+        interp.run(&array_sweep(10), 100_000, |_| {});
+        // Σ (5i+3), i = 0..9 = 5*45 + 30 = 255.
+        assert_eq!(interp.regs[9], 255);
+    }
+
+    #[test]
+    fn search_finds_its_key() {
+        let mut interp = Interpreter::new();
+        interp.run(&search(48), 1_000_000, |_| {});
+        assert_eq!(interp.regs[9], 46); // key planted at n-2
+    }
+}

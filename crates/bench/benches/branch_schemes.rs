@@ -1,0 +1,53 @@
+//! Criterion bench for **E1 / Table 1**: schedules and executes the
+//! calibrated workload under each branch scheme, reporting both wall time
+//! and (via the printed summary) the measured cycles per branch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mipsx_core::{InterlockPolicy, Machine, MachineConfig};
+use mipsx_reorg::{BranchScheme, Reorganizer};
+use mipsx_workloads::synth::{generate, SynthConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_branch_schemes");
+    let synth = generate(SynthConfig::pascal_like(2026));
+    for scheme in BranchScheme::table1() {
+        let reorg = Reorganizer::new(scheme);
+        let (program, _) = reorg.reorganize(&synth.raw).expect("reorganize");
+        // Print the paper-facing number once per scheme.
+        let mut machine = Machine::new(MachineConfig {
+            branch_delay_slots: scheme.slots,
+            interlock: InterlockPolicy::Detect,
+            ..MachineConfig::ideal_memory()
+        });
+        machine.load_program(&program);
+        let stats = machine.run(100_000_000).expect("run");
+        println!(
+            "{scheme}: {:.3} cycles/branch (paper {:.1})",
+            stats.cycles_per_branch(),
+            scheme.paper_cycles_per_branch()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut machine = Machine::new(MachineConfig {
+                        branch_delay_slots: scheme.slots,
+                        interlock: InterlockPolicy::Trust,
+                        ..MachineConfig::ideal_memory()
+                    });
+                    machine.load_program(program);
+                    machine.run(100_000_000).expect("run").cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for **E8**: the floating-point workload under each
+//! coprocessor interface scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mipsx_bench::fp_workload;
+use mipsx_coproc::{Fpu, InterfaceScheme};
+use mipsx_core::{InterlockPolicy, Machine, MachineConfig};
+use mipsx_reorg::{BranchScheme, Reorganizer};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coproc_schemes");
+    let reorg = Reorganizer::new(BranchScheme::mipsx());
+    let (program, _) = reorg
+        .reorganize(&fp_workload::saxpy_ldf(256))
+        .expect("reorganize");
+    for scheme in InterfaceScheme::ALL {
+        let run = || {
+            let mut machine = Machine::new(MachineConfig {
+                coproc_scheme: scheme,
+                interlock: InterlockPolicy::Trust,
+                ..MachineConfig::mipsx()
+            });
+            machine.attach_coprocessor(fp_workload::FPU, Box::new(Fpu::new()));
+            machine.load_program(&program);
+            machine.run(100_000_000).expect("run").cycles
+        };
+        println!("{scheme}: {} cycles, +{} pins", run(), scheme.extra_pins());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme),
+            &program,
+            |b, _| b.iter(run),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

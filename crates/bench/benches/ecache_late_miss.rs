@@ -1,0 +1,42 @@
+//! Criterion bench for **E11**: the external-cache late-miss retry loop on
+//! a raw Ecache, across memory latencies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mipsx_mem::{Ecache, EcacheConfig, MainMemory};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecache_late_miss");
+    for mem_latency in [3u32, 5, 10] {
+        // A strided sweep larger than the cache: every block misses once
+        // per pass.
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mem_latency),
+            &mem_latency,
+            |b, &lat| {
+                b.iter(|| {
+                    let mut cache = Ecache::new(EcacheConfig {
+                        size_words: 4096,
+                        ..EcacheConfig::mipsx()
+                    });
+                    let mut mem = MainMemory::with_latency(lat);
+                    let mut stalls = 0u64;
+                    for pass in 0..4u32 {
+                        for addr in (0..8192u32).step_by(4) {
+                            let (_, extra) = cache.read(addr + pass % 2, &mut mem);
+                            stalls += extra as u64;
+                        }
+                    }
+                    stalls
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for **E2**: trace-driven Icache simulation, single vs
+//! double word fetch-back.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mipsx_mem::{Icache, IcacheConfig};
+use mipsx_workloads::traces::{instruction_trace, TraceConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("icache_fetch_back");
+    let trace = instruction_trace(TraceConfig::medium(11));
+    for fetch_words in [1u32, 2] {
+        let cfg = IcacheConfig {
+            fetch_words,
+            ..IcacheConfig::mipsx()
+        };
+        let mut probe = Icache::new(cfg);
+        let result = probe.simulate_trace(trace.iter().copied());
+        println!(
+            "fetch_words={fetch_words}: miss {:.1}%, {:.3} cycles/fetch",
+            result.stats.miss_ratio() * 100.0,
+            result.avg_fetch_cycles
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(fetch_words),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut cache = Icache::new(cfg);
+                    cache.simulate_trace(trace.iter().copied()).stats.misses
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for **E3**: the Icache organization sweep (block size ×
+//! miss penalty at fixed 512-word capacity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mipsx_mem::{Icache, IcacheConfig};
+use mipsx_workloads::traces::{instruction_trace, TraceConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("icache_organizations");
+    let trace = instruction_trace(TraceConfig::medium(23));
+    for block_words in [4u32, 8, 16, 32] {
+        let ways = 512 / (4 * block_words);
+        let tags = 4 * ways;
+        let cfg = IcacheConfig {
+            rows: 4,
+            ways,
+            block_words,
+            miss_penalty: if tags <= 32 { 2 } else { 3 },
+            ..IcacheConfig::mipsx()
+        };
+        let mut probe = Icache::new(cfg);
+        let r = probe.simulate_trace(trace.iter().copied());
+        println!(
+            "block={block_words:2} tags={tags:3} penalty={}: miss {:.1}%, cost {:.3}",
+            cfg.miss_penalty,
+            r.stats.miss_ratio() * 100.0,
+            r.avg_fetch_cycles
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(block_words),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut cache = Icache::new(cfg);
+                    cache.simulate_trace(trace.iter().copied()).stats.stall_cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Simulator-performance bench: raw pipeline throughput (simulated cycles
+//! per host second) on the kernel suite — not a paper figure, but the
+//! number a simulator user cares about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mipsx_core::{InterlockPolicy, Machine, MachineConfig};
+use mipsx_reorg::{BranchScheme, Reorganizer};
+use mipsx_workloads::kernels::all_kernels;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_throughput");
+    let reorg = Reorganizer::new(BranchScheme::mipsx());
+    for kernel in all_kernels() {
+        let (program, _) = reorg.reorganize(&kernel.raw).expect("reorganize");
+        // Probe once for the cycle count so throughput is in simulated
+        // cycles.
+        let mut probe = Machine::new(MachineConfig::mipsx());
+        probe.load_program(&program);
+        let cycles = probe.run(50_000_000).expect("run").cycles;
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut machine = Machine::new(MachineConfig {
+                        interlock: InterlockPolicy::Trust,
+                        ..MachineConfig::mipsx()
+                    });
+                    machine.load_program(program);
+                    machine.run(50_000_000).expect("run").cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

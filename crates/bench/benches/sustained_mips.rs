@@ -1,0 +1,49 @@
+//! Criterion bench for **E7**: full-system runs of the calibrated Pascal
+//! and Lisp workloads — the paper's CPI / sustained-MIPS bottom line.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mipsx_core::{InterlockPolicy, Machine, MachineConfig};
+use mipsx_reorg::{BranchScheme, Reorganizer};
+use mipsx_workloads::synth::{generate, SynthConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sustained_mips");
+    let reorg = Reorganizer::new(BranchScheme::mipsx());
+    for (name, cfg) in [
+        ("pascal", SynthConfig::pascal_like(31).with_code_scale(10, 4)),
+        ("lisp", SynthConfig::lisp_like(31).with_code_scale(10, 4)),
+    ] {
+        let synth = generate(cfg);
+        let (program, _) = reorg.reorganize(&synth.raw).expect("reorganize");
+        let mut machine = Machine::new(MachineConfig {
+            interlock: InterlockPolicy::Detect,
+            ..MachineConfig::mipsx()
+        });
+        machine.load_program(&program);
+        let stats = machine.run(200_000_000).expect("run");
+        println!(
+            "{name}: CPI {:.3}, no-ops {:.1}%, {:.1} sustained MIPS @ 20 MHz",
+            stats.cpi(),
+            stats.nop_fraction() * 100.0,
+            stats.sustained_mips(20.0)
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, program| {
+            b.iter(|| {
+                let mut machine = Machine::new(MachineConfig {
+                    interlock: InterlockPolicy::Trust,
+                    ..MachineConfig::mipsx()
+                });
+                machine.load_program(program);
+                machine.run(200_000_000).expect("run").cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

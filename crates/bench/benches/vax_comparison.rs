@@ -1,0 +1,27 @@
+//! Criterion bench for **E9**: the IR suite through both back ends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mipsx_baseline::{compare, programs, VaxCodegen};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vax_comparison");
+    for (name, program) in programs::suite() {
+        let result = compare(&program, VaxCodegen::StanfordLike, false);
+        println!(
+            "{name}: path ratio {:.2}, speedup {:.1}x",
+            result.path_ratio(),
+            result.speedup()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
+            b.iter(|| compare(p, VaxCodegen::StanfordLike, false).speedup())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

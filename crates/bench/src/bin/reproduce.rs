@@ -1,0 +1,66 @@
+//! Regenerate every table and figure-level claim of the MIPS-X paper.
+//!
+//! Usage: `reproduce [table1|icache|orgs|quickcmp|reorg|fsm|cpi|coproc|vax|btb|ecache|subblock|all]`
+
+use mipsx_bench::experiments as e;
+use mipsx_bench::render_table;
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty() || which.iter().any(|w| w == "all");
+    let want = |name: &str| all || which.iter().any(|w| w == name);
+
+    println!("MIPS-X reproduction — paper vs measured");
+    println!("=======================================\n");
+
+    if want("table1") {
+        let t = e::e1_branch_schemes::run();
+        println!("{}", render_table("E1 / Table 1 — average cycles per branch", &t.report_rows()));
+    }
+    if want("icache") {
+        let r = e::e2_icache_fetch::run();
+        println!("{}", render_table("E2 — Icache fetch-back (single vs double word)", &r.report_rows()));
+    }
+    if want("orgs") {
+        let r = e::e3_icache_orgs::run();
+        println!("{}", render_table("E3 — Icache organization sweep (miss service vs miss ratio)", &r.report_rows()));
+        println!("  -> best block size: {} words\n", r.best_block_words);
+    }
+    if want("quickcmp") {
+        let r = e::e4_quick_compare::run();
+        println!("{}", render_table("E4 — quick-compare coverage", &r.report_rows()));
+    }
+    if want("reorg") {
+        let r = e::e5_reorganizer::run();
+        println!("{}", render_table("E5 — reorganizer quality (cycles per branch)", &r.report_rows()));
+    }
+    if want("fsm") {
+        let r = e::e6_fsms::run();
+        println!("{}", render_table("E6 / Figures 3 & 4 — control FSM activity", &r.report_rows()));
+    }
+    if want("cpi") {
+        let r = e::e7_cpi::run();
+        println!("{}", render_table("E7 — no-ops, CPI and sustained MIPS", &r.report_rows()));
+    }
+    if want("coproc") {
+        let r = e::e8_coproc::run();
+        println!("{}", render_table("E8 — coprocessor interface schemes (slowdown vs best)", &r.report_rows()));
+    }
+    if want("vax") {
+        let r = e::e9_vax::run();
+        println!("{}", render_table("E9 — VAX 11/780 comparison", &r.report_rows()));
+    }
+    if want("btb") {
+        let r = e::e10_btb::run();
+        println!("{}", render_table("E10 — branch cache vs static prediction", &r.report_rows()));
+        println!("  -> branch working set: {} sites\n", r.working_set);
+    }
+    if want("ecache") {
+        let r = e::e11_ecache::run();
+        println!("{}", render_table("E11 — Ecache late-miss contribution", &r.report_rows()));
+    }
+    if want("subblock") {
+        let r = e::e12_subblock::run();
+        println!("{}", render_table("E12 — ablation: sub-block valid bits vs whole-block fill", &r.report_rows()));
+    }
+}

@@ -1,0 +1,178 @@
+//! **E10 — branch cache vs static prediction**: the rejected alternative.
+//!
+//! *"The branch cache was quickly discarded when we discovered that it had
+//! to be fairly large (much greater than 16 entries) to get a high hit
+//! rate. ... Besides, it never did much better than static prediction and
+//! was much more complex."*
+//!
+//! The branch event stream is sampled from the calibrated workloads'
+//! branch population (loop latches near-always taken, forward branches
+//! around the static prior) with a working set of a few hundred distinct
+//! branch sites — a realistic active set for the paper's 50–270 KB
+//! programs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mipsx_reorg::btb::{simulate_static, BranchCache, BranchEvent};
+use mipsx_reorg::{RawProgram, Terminator};
+use mipsx_workloads::synth::{generate, SynthConfig};
+
+use crate::{Row, SEEDS};
+
+/// One cache size's outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct BtbRow {
+    /// Entries in the branch cache.
+    pub entries: usize,
+    /// Fraction of branch events found in the cache.
+    pub hit_ratio: f64,
+    /// Direction-prediction accuracy.
+    pub accuracy: f64,
+}
+
+/// Full experiment result.
+#[derive(Clone, Debug)]
+pub struct BtbResult {
+    /// Accuracy of static predict-taken on the same stream.
+    pub static_accuracy: f64,
+    /// Branch-cache results by size.
+    pub rows: Vec<BtbRow>,
+    /// Distinct branch sites in the stream.
+    pub working_set: usize,
+}
+
+impl BtbResult {
+    /// Report rows.
+    pub fn report_rows(&self) -> Vec<Row> {
+        let mut rows = vec![Row {
+            label: "static prediction accuracy".into(),
+            paper: None,
+            measured: self.static_accuracy,
+        }];
+        for r in &self.rows {
+            rows.push(Row {
+                label: format!("{}-entry branch cache hit ratio", r.entries),
+                paper: None,
+                measured: r.hit_ratio,
+            });
+            rows.push(Row {
+                label: format!("{}-entry branch cache accuracy", r.entries),
+                paper: None,
+                measured: r.accuracy,
+            });
+        }
+        rows
+    }
+}
+
+/// Collect the branch population (pc, p_taken) of the workloads.
+fn branch_population() -> Vec<(u32, f64)> {
+    let mut population = Vec::new();
+    let mut pc = 0x100u32;
+    for &seed in &SEEDS {
+        let synth = generate(SynthConfig::pascal_like(seed).with_code_scale(12, 1));
+        collect(&synth.raw, &mut pc, &mut population);
+    }
+    population
+}
+
+fn collect(raw: &RawProgram, pc: &mut u32, population: &mut Vec<(u32, f64)>) {
+    for term in &raw.terms {
+        // Spread branch addresses like a real layout would.
+        *pc += 7;
+        if let Terminator::Branch { p_taken, .. } = term {
+            population.push((*pc, *p_taken));
+        }
+    }
+}
+
+/// Sample a dynamic branch stream: loop locality means nearby sites fire
+/// in bursts.
+fn event_stream(population: &[(u32, f64)], length: usize, seed: u64) -> Vec<BranchEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::with_capacity(length);
+    while events.len() < length {
+        // Pick a locality window and burst within it (loop execution).
+        let start = rng.gen_range(0..population.len());
+        let window = rng.gen_range(2..12).min(population.len() - start);
+        let burst = rng.gen_range(4..40);
+        for _ in 0..burst {
+            let (pc, p) = population[start + rng.gen_range(0..window.max(1))];
+            events.push(BranchEvent {
+                pc,
+                taken: rng.gen_bool(p.clamp(0.02, 0.98)),
+            });
+            if events.len() >= length {
+                break;
+            }
+        }
+    }
+    events
+}
+
+/// Run the experiment.
+pub fn run() -> BtbResult {
+    let population = branch_population();
+    let events = event_stream(&population, 120_000, 0xB7B);
+    let static_accuracy = simulate_static(events.iter().copied()).accuracy();
+    let rows = [8usize, 16, 64, 256, 1024]
+        .iter()
+        .map(|&entries| {
+            let stats = BranchCache::new(entries).simulate(events.iter().copied());
+            BtbRow {
+                entries,
+                hit_ratio: stats.hit_ratio(),
+                accuracy: stats.accuracy(),
+            }
+        })
+        .collect();
+    BtbResult {
+        static_accuracy,
+        rows,
+        working_set: population.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_entries_is_not_enough() {
+        let r = run();
+        assert!(r.working_set > 100, "working set {}", r.working_set);
+        let hit16 = r.rows.iter().find(|x| x.entries == 16).unwrap().hit_ratio;
+        let hit1024 = r.rows.iter().find(|x| x.entries == 1024).unwrap().hit_ratio;
+        assert!(
+            hit16 < 0.8,
+            "a 16-entry cache should thrash on this working set: {hit16:.2}"
+        );
+        assert!(hit1024 > hit16 + 0.15, "big caches must hit much more");
+    }
+
+    #[test]
+    fn never_much_better_than_static() {
+        let r = run();
+        let best = r
+            .rows
+            .iter()
+            .map(|x| x.accuracy)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best < r.static_accuracy + 0.08,
+            "branch cache {best:.3} should not beat static {:.3} by much",
+            r.static_accuracy
+        );
+    }
+
+    #[test]
+    fn static_prediction_is_strong_because_most_branches_go() {
+        let r = run();
+        assert!(
+            r.static_accuracy > 0.55,
+            "static accuracy {:.3}",
+            r.static_accuracy
+        );
+    }
+}

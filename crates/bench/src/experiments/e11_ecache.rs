@@ -1,0 +1,214 @@
+//! **E11 — the external cache and the late-miss retry loop**.
+//!
+//! *"Our benchmark programs have static code sizes in the range of 50
+//! KBytes to 270 KBytes so we cannot get exact numbers for the effects of
+//! the external cache because most of the benchmarks fit entirely."* The
+//! Ecache's residual contribution flows through the late-miss protocol:
+//! every data miss costs `1 + memory latency` frozen MEM-retry cycles.
+//! This experiment sweeps the data working set across the 64K-word cache
+//! boundary and the main-memory latency, isolating that contribution.
+
+use mipsx_core::MachineConfig;
+use mipsx_isa::{ComputeOp, Cond, Instr, Reg};
+use mipsx_mem::EcacheConfig;
+use mipsx_reorg::{BranchScheme, RawBlock, RawProgram, Terminator};
+
+use crate::Row;
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct EcachePoint {
+    /// Data working set in words.
+    pub working_set: u32,
+    /// Main-memory latency (cycles).
+    pub mem_latency: u32,
+    /// Fraction of all cycles spent in the Ecache retry loop.
+    pub stall_fraction: f64,
+    /// Overall CPI at this point.
+    pub cpi: f64,
+    /// Ecache miss ratio (data side).
+    pub miss_ratio: f64,
+}
+
+/// Full result.
+#[derive(Clone, Debug)]
+pub struct EcacheResult {
+    /// All sweep points.
+    pub points: Vec<EcachePoint>,
+}
+
+impl EcacheResult {
+    /// Report rows.
+    pub fn report_rows(&self) -> Vec<Row> {
+        self.points
+            .iter()
+            .map(|p| Row {
+                label: format!(
+                    "{:6}-word set, {}-cycle memory: stall fraction",
+                    p.working_set, p.mem_latency
+                ),
+                paper: None,
+                measured: p.stall_fraction,
+            })
+            .collect()
+    }
+}
+
+/// A data-streaming loop: two passes over `words` of data (write then
+/// read-accumulate), repeated `reps` times.
+fn streaming(words: u32, reps: u32) -> RawProgram {
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+    let li = |rd: u8, imm: i32| Instr::Addi {
+        rs1: Reg::ZERO,
+        rd: r(rd),
+        imm,
+    };
+    let addi = |rd: u8, rs1: u8, imm: i32| Instr::Addi {
+        rs1: r(rs1),
+        rd: r(rd),
+        imm,
+    };
+    RawProgram::new(
+        vec![
+            RawBlock::new(vec![li(9, reps as i32)]),
+            // b1: start one rep.
+            RawBlock::new(vec![li(10, 8192), li(1, words as i32)]),
+            // b2: streaming read-modify-write: x = a[i]; a[i] = x + 1.
+            RawBlock::new(vec![
+                Instr::Ld {
+                    rs1: r(10),
+                    rd: r(5),
+                    offset: 0,
+                },
+                addi(10, 10, 1),
+                Instr::Compute {
+                    op: ComputeOp::AddU,
+                    rs1: r(5),
+                    rs2: r(9),
+                    rd: r(6),
+                    shamt: 0,
+                },
+                Instr::St {
+                    rs1: r(10),
+                    rsrc: r(6),
+                    offset: -1,
+                },
+                addi(1, 1, -1),
+            ]),
+            // b3: next rep.
+            RawBlock::new(vec![addi(9, 9, -1)]),
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Jump(1),
+            Terminator::Jump(2),
+            Terminator::Branch {
+                cond: Cond::Gt,
+                rs1: r(1),
+                rs2: Reg::ZERO,
+                taken: 2,
+                fall: 3,
+                p_taken: 0.99,
+            },
+            Terminator::Branch {
+                cond: Cond::Gt,
+                rs1: r(9),
+                rs2: Reg::ZERO,
+                taken: 1,
+                fall: 4,
+                p_taken: 0.7,
+            },
+            Terminator::Halt,
+        ],
+    )
+}
+
+/// Run the sweep.
+pub fn run() -> EcacheResult {
+    let mut points = Vec::new();
+    // A small Ecache (4K words) keeps the sweep fast while preserving the
+    // fits/doesn't-fit boundary; the full 64K configuration behaves
+    // identically in shape, just needs proportionally larger sets.
+    let ecache_words = 4 * 1024;
+    for &working_set in &[1024u32, 2048, 8192, 16384] {
+        for &mem_latency in &[3u32, 5, 10] {
+            let raw = streaming(working_set, 4);
+            let cfg = MachineConfig {
+                ecache: EcacheConfig {
+                    size_words: ecache_words,
+                    ..EcacheConfig::mipsx()
+                },
+                mem_latency,
+                ..MachineConfig::mipsx()
+            };
+            let reorg = mipsx_reorg::Reorganizer::new(BranchScheme::mipsx());
+            let (program, _) = reorg.reorganize(&raw).expect("reorganize");
+            let mut machine = mipsx_core::Machine::new(MachineConfig {
+                interlock: mipsx_core::InterlockPolicy::Detect,
+                ..cfg
+            });
+            machine.load_program(&program);
+            let stats = machine.run(200_000_000).expect("run");
+            points.push(EcachePoint {
+                working_set,
+                mem_latency,
+                stall_fraction: stats.ecache_stall_cycles as f64 / stats.cycles as f64,
+                cpi: stats.cpi(),
+                miss_ratio: machine.ecache().stats().miss_ratio(),
+            });
+        }
+    }
+    EcacheResult { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(r: &EcacheResult, ws: u32, lat: u32) -> EcachePoint {
+        *r.points
+            .iter()
+            .find(|p| p.working_set == ws && p.mem_latency == lat)
+            .unwrap()
+    }
+
+    #[test]
+    fn fitting_working_sets_barely_stall() {
+        let r = run();
+        let fits = point(&r, 1024, 5);
+        let thrashes = point(&r, 16384, 5);
+        assert!(
+            fits.stall_fraction < 0.08,
+            "in-cache set stalls too much: {fits:?}"
+        );
+        assert!(
+            thrashes.stall_fraction > fits.stall_fraction * 3.0,
+            "beyond-cache set must stall hard: {thrashes:?} vs {fits:?}"
+        );
+    }
+
+    #[test]
+    fn memory_latency_scales_the_retry_loop() {
+        let r = run();
+        let fast = point(&r, 16384, 3);
+        let slow = point(&r, 16384, 10);
+        assert!(
+            slow.stall_fraction > fast.stall_fraction,
+            "slower memory, longer retry loop: {slow:?} vs {fast:?}"
+        );
+        assert!(slow.cpi > fast.cpi);
+    }
+
+    #[test]
+    fn miss_ratio_jumps_at_the_cache_boundary() {
+        let r = run();
+        let fits = point(&r, 2048, 5);
+        let over = point(&r, 8192, 5);
+        assert!(
+            over.miss_ratio > fits.miss_ratio,
+            "{over:?} vs {fits:?}"
+        );
+    }
+}

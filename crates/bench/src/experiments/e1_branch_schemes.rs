@@ -1,0 +1,134 @@
+//! **E1 — Table 1**: average cycles per branch for the six branch schemes.
+//!
+//! For each scheme the calibrated Pascal-like workload is reorganized under
+//! that scheme and executed on a pipeline with the matching delay-slot
+//! count; the measured cost uses the paper's charging rule (branch + slot
+//! no-ops + squashed slots). The paper's row values are carried along for
+//! the report.
+
+use mipsx_core::MachineConfig;
+use mipsx_reorg::BranchScheme;
+use mipsx_workloads::synth::{generate, SynthConfig};
+
+use crate::{Row, SEEDS};
+
+/// One Table 1 row.
+#[derive(Clone, Copy, Debug)]
+pub struct SchemeRow {
+    /// The scheme.
+    pub scheme: BranchScheme,
+    /// Measured average cycles per branch.
+    pub cycles_per_branch: f64,
+    /// The paper's Table 1 value.
+    pub paper: f64,
+    /// Fraction of branches emitted squashing under this scheme.
+    pub squashing_fraction: f64,
+    /// Dynamic taken fraction observed.
+    pub taken_fraction: f64,
+}
+
+/// Full Table 1 result.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// The six rows, in the paper's order.
+    pub rows: Vec<SchemeRow>,
+}
+
+impl Table1 {
+    /// Rows formatted for the report.
+    pub fn report_rows(&self) -> Vec<Row> {
+        self.rows
+            .iter()
+            .map(|r| Row {
+                label: r.scheme.to_string(),
+                paper: Some(r.paper),
+                measured: r.cycles_per_branch,
+            })
+            .collect()
+    }
+}
+
+/// Run the experiment.
+pub fn run() -> Table1 {
+    let mut rows = Vec::new();
+    for scheme in BranchScheme::table1() {
+        let mut branches = 0u64;
+        let mut taken = 0u64;
+        let mut cost = 0.0f64;
+        let mut squashing = 0usize;
+        let mut total_branch_sites = 0usize;
+        for &seed in &SEEDS {
+            let synth = generate(SynthConfig::pascal_like(seed));
+            let (stats, report) =
+                super::run_scheduled(&synth.raw, scheme, MachineConfig::ideal_memory());
+            branches += stats.branches;
+            taken += stats.branches_taken;
+            cost += (stats.branches + stats.branch_slot_nops + stats.branch_slot_squashed) as f64;
+            squashing += report.squashing_branches;
+            total_branch_sites += report.branches;
+        }
+        rows.push(SchemeRow {
+            scheme,
+            cycles_per_branch: cost / branches as f64,
+            paper: scheme.paper_cycles_per_branch(),
+            squashing_fraction: squashing as f64 / total_branch_sites.max(1) as f64,
+            taken_fraction: taken as f64 / branches.max(1) as f64,
+        });
+    }
+    Table1 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mipsx_reorg::SquashPolicy;
+
+    #[test]
+    fn table1_shape_holds() {
+        let t = run();
+        assert_eq!(t.rows.len(), 6);
+        let get = |slots: usize, squash: SquashPolicy| {
+            t.rows
+                .iter()
+                .find(|r| r.scheme.slots == slots && r.scheme.squash == squash)
+                .unwrap()
+                .cycles_per_branch
+        };
+        // The paper's orderings must reproduce:
+        // squashing strictly beats no-squash at a given slot count…
+        assert!(get(2, SquashPolicy::SquashOptional) < get(2, SquashPolicy::NoSquash));
+        assert!(get(1, SquashPolicy::SquashOptional) < get(1, SquashPolicy::NoSquash));
+        // …squash-optional is at least as good as always-squash…
+        assert!(get(2, SquashPolicy::SquashOptional) <= get(2, SquashPolicy::AlwaysSquash) + 1e-9);
+        assert!(get(1, SquashPolicy::SquashOptional) <= get(1, SquashPolicy::AlwaysSquash) + 1e-9);
+        // …and one slot beats two under the same policy.
+        assert!(get(1, SquashPolicy::NoSquash) < get(2, SquashPolicy::NoSquash));
+        assert!(get(1, SquashPolicy::SquashOptional) < get(2, SquashPolicy::SquashOptional));
+    }
+
+    #[test]
+    fn values_land_near_the_paper() {
+        // Generous band: the workload is a substitute, the shape is the
+        // claim — but each row should still land within ~25 % of Table 1.
+        for row in run().rows {
+            let dev = (row.cycles_per_branch - row.paper).abs() / row.paper;
+            assert!(
+                dev < 0.25,
+                "{}: measured {:.3} vs paper {:.3}",
+                row.scheme,
+                row.cycles_per_branch,
+                row.paper
+            );
+        }
+    }
+
+    #[test]
+    fn most_branches_take() {
+        let t = run();
+        let taken = t.rows[0].taken_fraction;
+        assert!(
+            taken > 0.5 && taken < 0.85,
+            "taken fraction {taken} out of calibration"
+        );
+    }
+}

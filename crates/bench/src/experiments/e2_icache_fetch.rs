@@ -1,0 +1,138 @@
+//! **E2 — the double-word fetch-back**: single-word miss service vs the
+//! shipped two-word fetch.
+//!
+//! *"Using a set of medium size programs we achieved miss rates that
+//! averaged over 20%. ... Fetching back 2 words almost halves the miss
+//! ratio, driving down the cost of an instruction fetch to that of a
+//! single-cycle miss."* Final design on large benchmarks: *"an average
+//! miss rate of 12% resulting in an average instruction executing in 1.24
+//! cycles."*
+
+use mipsx_mem::{Icache, IcacheConfig};
+use mipsx_workloads::traces::{instruction_trace, TraceConfig};
+
+use crate::{Row, SEEDS};
+
+/// Result of the fetch-back comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct FetchBack {
+    /// Miss ratio with single-word fetch on the medium workload.
+    pub single_miss_medium: f64,
+    /// Miss ratio with double-word fetch on the medium workload.
+    pub double_miss_medium: f64,
+    /// Miss ratio with double-word fetch on the large workload.
+    pub double_miss_large: f64,
+    /// Average instruction-fetch cost (cycles) of the final design on the
+    /// large workload.
+    pub fetch_cost_large: f64,
+}
+
+impl FetchBack {
+    /// Report rows.
+    pub fn report_rows(&self) -> Vec<Row> {
+        vec![
+            Row {
+                label: "single-fetch miss, medium programs".into(),
+                paper: Some(0.20),
+                measured: self.single_miss_medium,
+            },
+            Row {
+                label: "double-fetch miss, medium programs".into(),
+                paper: None,
+                measured: self.double_miss_medium,
+            },
+            Row {
+                label: "double-fetch miss, large programs".into(),
+                paper: Some(0.12),
+                measured: self.double_miss_large,
+            },
+            Row {
+                label: "fetch cost (cycles), final design".into(),
+                paper: Some(1.24),
+                measured: self.fetch_cost_large,
+            },
+        ]
+    }
+}
+
+fn miss_ratio(cfg: IcacheConfig, traces: &[Vec<u32>]) -> (f64, f64) {
+    let mut cache = Icache::new(cfg);
+    for t in traces {
+        let _ = cache.simulate_trace(t.iter().copied());
+    }
+    (
+        cache.stats().miss_ratio(),
+        cache.stats().avg_access_cycles(),
+    )
+}
+
+/// Run the experiment.
+pub fn run() -> FetchBack {
+    let medium: Vec<Vec<u32>> = SEEDS
+        .iter()
+        .map(|&s| instruction_trace(TraceConfig::medium(s)))
+        .collect();
+    let large: Vec<Vec<u32>> = SEEDS
+        .iter()
+        .map(|&s| instruction_trace(TraceConfig::large(s)))
+        .collect();
+
+    let single = IcacheConfig {
+        fetch_words: 1,
+        ..IcacheConfig::mipsx()
+    };
+    let double = IcacheConfig::mipsx();
+
+    let (single_miss_medium, _) = miss_ratio(single, &medium);
+    let (double_miss_medium, _) = miss_ratio(double, &medium);
+    let (double_miss_large, fetch_cost_large) = miss_ratio(double, &large);
+
+    FetchBack {
+        single_miss_medium,
+        double_miss_medium,
+        double_miss_large,
+        fetch_cost_large,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_fetch_nearly_halves_the_miss_ratio() {
+        let r = run();
+        let ratio = r.double_miss_medium / r.single_miss_medium;
+        assert!(
+            ratio > 0.4 && ratio < 0.75,
+            "halving shape violated: {ratio:.2} (single {:.3}, double {:.3})",
+            r.single_miss_medium,
+            r.double_miss_medium
+        );
+    }
+
+    #[test]
+    fn medium_single_fetch_lands_above_twenty_percent() {
+        let r = run();
+        assert!(
+            r.single_miss_medium > 0.17 && r.single_miss_medium < 0.35,
+            "single-fetch miss {:.3} outside the paper's regime",
+            r.single_miss_medium
+        );
+    }
+
+    #[test]
+    fn final_design_lands_near_twelve_percent() {
+        let r = run();
+        assert!(
+            (r.double_miss_large - 0.12).abs() < 0.05,
+            "final miss ratio {:.3} too far from 12%",
+            r.double_miss_large
+        );
+        assert!(
+            (r.fetch_cost_large - 1.24).abs() < 0.10,
+            "fetch cost {:.3} too far from 1.24",
+            r.fetch_cost_large
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! **E4 — quick-compare coverage**: what fraction of branches a
+//! register-file-output comparator could resolve.
+//!
+//! *"Statistics from Katevenis's thesis indicate that ... about 80% of all
+//! branches can be converted into quick compares, but this means that 20%
+//! of all branches take two cycles. Our initial statistics indicated that
+//! the number ... was between 70% and 80%."*
+
+use mipsx_reorg::quick_compare::{self, QuickCompareStats};
+use mipsx_workloads::kernels::all_kernels;
+use mipsx_workloads::synth::{generate, SynthConfig};
+
+use crate::{Row, SEEDS};
+
+/// Aggregated result.
+#[derive(Clone, Copy, Debug)]
+pub struct QuickCompare {
+    /// Static classification over the synthetic Pascal workload.
+    pub synth: QuickCompareStats,
+    /// Static classification over the kernel suite.
+    pub kernels: QuickCompareStats,
+    /// Combined fraction.
+    pub combined_fraction: f64,
+}
+
+impl QuickCompare {
+    /// Report rows.
+    pub fn report_rows(&self) -> Vec<Row> {
+        vec![
+            Row {
+                label: "quick-compare fraction (synthetic)".into(),
+                paper: Some(0.75),
+                measured: self.synth.quick_fraction(),
+            },
+            Row {
+                label: "quick-compare fraction (kernels)".into(),
+                paper: None,
+                measured: self.kernels.quick_fraction(),
+            },
+            Row {
+                label: "avg branch instructions if quick-compare".into(),
+                paper: None,
+                measured: self.synth.avg_instructions_per_branch(),
+            },
+        ]
+    }
+}
+
+/// Run the experiment.
+pub fn run() -> QuickCompare {
+    let mut synth = QuickCompareStats::default();
+    for &seed in &SEEDS {
+        let p = generate(SynthConfig::pascal_like(seed));
+        let s = quick_compare::analyze(&p.raw, None);
+        synth.total += s.total;
+        synth.quick += s.quick;
+        synth.full += s.full;
+    }
+    let mut kernels = QuickCompareStats::default();
+    for k in all_kernels() {
+        let s = quick_compare::analyze(&k.raw, None);
+        kernels.total += s.total;
+        kernels.quick += s.quick;
+        kernels.full += s.full;
+    }
+    let combined_fraction = (synth.quick + kernels.quick) as f64
+        / (synth.total + kernels.total).max(1) as f64;
+    QuickCompare {
+        synth,
+        kernels,
+        combined_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_lands_in_the_papers_band() {
+        let r = run();
+        let f = r.synth.quick_fraction();
+        assert!(
+            f > 0.65 && f < 0.88,
+            "quick-compare fraction {f:.3} outside 70–80% (±ε)"
+        );
+    }
+
+    #[test]
+    fn the_rest_cost_two_instructions() {
+        let r = run();
+        let avg = r.synth.avg_instructions_per_branch();
+        // 1×quick + 2×full: with ~75 % quick the average sits near 1.25.
+        assert!(avg > 1.1 && avg < 1.4, "avg {avg:.3}");
+    }
+}

@@ -1,0 +1,160 @@
+//! **E9 — the VAX 11/780 comparison**.
+//!
+//! *"Comparison of Pascal programs with a VAX 11/780 shows that MIPS-X
+//! executes about 25% more instructions but executes the programs about 14
+//! times faster for unoptimized code. ... However, when MIPS-X code is
+//! compared to the Berkeley Pascal compiler, the path length is 80% longer
+//! and the speedup is only 10 times faster than the VAX."*
+
+use mipsx_baseline::{compare, programs, VaxCodegen};
+use mipsx_workloads::calibration;
+
+use crate::Row;
+
+/// Aggregated ratios for one VAX code generator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BackendResult {
+    /// Geometric-mean path-length ratio (MIPS-X / VAX instructions).
+    pub path_ratio: f64,
+    /// Geometric-mean speedup (VAX time / MIPS-X time).
+    pub speedup: f64,
+}
+
+/// Full experiment result.
+#[derive(Clone, Copy, Debug)]
+pub struct VaxComparison {
+    /// Against the Stanford-like VAX back end (integer Pascal suite).
+    pub stanford: BackendResult,
+    /// Against the Berkeley-like VAX back end (integer Pascal suite).
+    pub berkeley: BackendResult,
+    /// The multiply-heavy outlier: MIPS-X has no hardware multiplier, so a
+    /// `mul` costs a 34-instruction MD-register sequence against one VAX
+    /// `mull` — integer-Pascal path ratios do not apply to such code.
+    pub mul_outlier: BackendResult,
+}
+
+impl VaxComparison {
+    /// Report rows.
+    pub fn report_rows(&self) -> Vec<Row> {
+        vec![
+            Row {
+                label: "path ratio vs Stanford backend".into(),
+                paper: Some(calibration::VAX_PATH_RATIO_STANFORD),
+                measured: self.stanford.path_ratio,
+            },
+            Row {
+                label: "speedup vs Stanford backend".into(),
+                paper: Some(calibration::VAX_SPEEDUP_STANFORD),
+                measured: self.stanford.speedup,
+            },
+            Row {
+                label: "path ratio vs Berkeley backend".into(),
+                paper: Some(calibration::VAX_PATH_RATIO_BERKELEY),
+                measured: self.berkeley.path_ratio,
+            },
+            Row {
+                label: "speedup vs Berkeley backend".into(),
+                paper: Some(calibration::VAX_SPEEDUP_BERKELEY),
+                measured: self.berkeley.speedup,
+            },
+            Row {
+                label: "path ratio, multiply-heavy outlier".into(),
+                paper: None,
+                measured: self.mul_outlier.path_ratio,
+            },
+            Row {
+                label: "speedup, multiply-heavy outlier".into(),
+                paper: None,
+                measured: self.mul_outlier.speedup,
+            },
+        ]
+    }
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+fn run_backend(codegen: VaxCodegen) -> BackendResult {
+    let mut paths = Vec::new();
+    let mut speedups = Vec::new();
+    for (name, program) in programs::suite() {
+        if name == "polynomial" {
+            continue; // the multiply outlier is reported separately
+        }
+        // Both sides get their production tool chains: the VAX its code
+        // generator, MIPS-X its (mandatory) reorganizer. "Unoptimized"
+        // in the paper refers to the shared front end's optimizer.
+        let c = compare(&program, codegen, true);
+        paths.push(c.path_ratio());
+        speedups.push(c.speedup());
+    }
+    BackendResult {
+        path_ratio: geomean(&paths),
+        speedup: geomean(&speedups),
+    }
+}
+
+/// Run the experiment.
+pub fn run() -> VaxComparison {
+    let poly = programs::polynomial(20);
+    let c = compare(&poly, VaxCodegen::StanfordLike, true);
+    VaxComparison {
+        stanford: run_backend(VaxCodegen::StanfordLike),
+        berkeley: run_backend(VaxCodegen::BerkeleyLike),
+        mul_outlier: BackendResult {
+            path_ratio: c.path_ratio(),
+            speedup: c.speedup(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn risc_executes_more_instructions_but_much_faster() {
+        let r = run();
+        assert!(r.stanford.path_ratio > 1.0, "{:?}", r);
+        assert!(r.stanford.speedup > 8.0, "{:?}", r);
+    }
+
+    #[test]
+    fn better_vax_code_narrows_the_gap() {
+        let r = run();
+        assert!(
+            r.berkeley.path_ratio > r.stanford.path_ratio,
+            "Berkeley shortens VAX paths: {r:?}"
+        );
+        assert!(
+            r.berkeley.speedup < r.stanford.speedup,
+            "Berkeley narrows the speedup: {r:?}"
+        );
+    }
+
+    #[test]
+    fn ratios_land_near_the_paper() {
+        let r = run();
+        assert!(
+            (r.stanford.path_ratio - 1.25).abs() < 0.35,
+            "stanford path ratio {:.2}",
+            r.stanford.path_ratio
+        );
+        assert!(
+            r.stanford.speedup > 9.0 && r.stanford.speedup < 20.0,
+            "stanford speedup {:.1}",
+            r.stanford.speedup
+        );
+        assert!(
+            (r.berkeley.path_ratio - 1.8).abs() < 0.5,
+            "berkeley path ratio {:.2}",
+            r.berkeley.path_ratio
+        );
+        assert!(
+            r.berkeley.speedup > 6.0 && r.berkeley.speedup < 15.0,
+            "berkeley speedup {:.1}",
+            r.berkeley.speedup
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's experiments, one module each (DESIGN.md §5).
+
+pub mod e1_branch_schemes;
+pub mod e2_icache_fetch;
+pub mod e3_icache_orgs;
+pub mod e4_quick_compare;
+pub mod e5_reorganizer;
+pub mod e6_fsms;
+pub mod e7_cpi;
+pub mod e8_coproc;
+pub mod e9_vax;
+pub mod e10_btb;
+pub mod e11_ecache;
+pub mod e12_subblock;
+
+use mipsx_core::{InterlockPolicy, Machine, MachineConfig, RunStats};
+use mipsx_reorg::{BranchScheme, RawProgram, Reorganizer, ScheduleReport};
+
+/// Reorganize `raw` under `scheme` and run it on a machine configured to
+/// match; returns run statistics and the schedule report.
+pub(crate) fn run_scheduled(
+    raw: &RawProgram,
+    scheme: BranchScheme,
+    base: MachineConfig,
+) -> (RunStats, ScheduleReport) {
+    let reorg = Reorganizer::new(scheme);
+    let (program, report) = reorg.reorganize(raw).expect("reorganize");
+    let mut machine = Machine::new(MachineConfig {
+        branch_delay_slots: scheme.slots,
+        interlock: InterlockPolicy::Detect,
+        ..base
+    });
+    machine.load_program(&program);
+    let stats = machine.run(500_000_000).expect("run to halt");
+    (stats, report)
+}
+
+/// Run the naive (all-nops) lowering for baseline comparisons.
+pub(crate) fn run_naive(
+    raw: &RawProgram,
+    scheme: BranchScheme,
+    base: MachineConfig,
+) -> (RunStats, ScheduleReport) {
+    let reorg = Reorganizer::new(scheme);
+    let (program, report) = reorg.lower_naive(raw).expect("naive lowering");
+    let mut machine = Machine::new(MachineConfig {
+        branch_delay_slots: scheme.slots,
+        interlock: InterlockPolicy::Detect,
+        ..base
+    });
+    machine.load_program(&program);
+    let stats = machine.run(500_000_000).expect("run to halt");
+    (stats, report)
+}

@@ -1,0 +1,183 @@
+//! Floating-point workloads for the coprocessor-interface experiment.
+//!
+//! The paper's turning point: *"when we generated traces from some floating
+//! point intensive code we realized a significant percentage of the
+//! instructions were floating point instructions"*, which killed the
+//! non-cached scheme. These builders produce exactly that kind of code.
+
+use mipsx_coproc::FpuOp;
+use mipsx_isa::{ComputeOp, Cond, Instr, Reg};
+use mipsx_reorg::{RawBlock, RawProgram, Terminator};
+
+/// FPU coprocessor slot number (slot 1 is the privileged coprocessor with
+/// direct memory access).
+pub const FPU: u8 = 1;
+
+fn r(n: u8) -> Reg {
+    Reg::new(n)
+}
+
+fn li(rd: u8, imm: i32) -> Instr {
+    Instr::Addi {
+        rs1: Reg::ZERO,
+        rd: r(rd),
+        imm,
+    }
+}
+
+fn addi(rd: u8, rs1: u8, imm: i32) -> Instr {
+    Instr::Addi {
+        rs1: r(rs1),
+        rd: r(rd),
+        imm,
+    }
+}
+
+fn fpu_op(op: FpuOp) -> Instr {
+    Instr::Cpop {
+        rs1: Reg::ZERO,
+        cop: FPU,
+        op: op.encode(),
+    }
+}
+
+/// A SAXPY-style loop using the privileged coprocessor's direct-memory
+/// instructions: `c[i] = a[i] * k + c[i]` over `n` elements.
+///
+/// Per iteration: 2 `ldf`, 2 FPU operations, 1 `stf`, plus loop overhead —
+/// floating-point instructions are roughly half of all instructions, the
+/// density the paper worried about.
+pub fn saxpy_ldf(n: u32) -> RawProgram {
+    let body = vec![
+        // f1 = a[i]; f2 = c[i]
+        Instr::Ldf {
+            rs1: r(10),
+            fr: 1,
+            offset: 0,
+        },
+        Instr::Ldf {
+            rs1: r(11),
+            fr: 2,
+            offset: 0,
+        },
+        // f1 *= k (f3); f2 += f1
+        fpu_op(FpuOp::Mul { rd: 1, rs: 3 }),
+        fpu_op(FpuOp::Add { rd: 2, rs: 1 }),
+        // c[i] = f2
+        Instr::Stf {
+            rs1: r(11),
+            fr: 2,
+            offset: 0,
+        },
+        addi(10, 10, 1),
+        addi(11, 11, 1),
+        addi(1, 1, -1),
+    ];
+    RawProgram::new(
+        vec![
+            RawBlock::new(vec![li(10, 5000), li(11, 5200), li(1, n as i32)]),
+            RawBlock::new(body),
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Jump(1),
+            Terminator::Branch {
+                cond: Cond::Gt,
+                rs1: r(1),
+                rs2: Reg::ZERO,
+                taken: 1,
+                fall: 2,
+                p_taken: 1.0 - 1.0 / f64::from(n.max(2)),
+            },
+            Terminator::Halt,
+        ],
+    )
+}
+
+/// The same SAXPY written the way a *non-privileged* coprocessor must do
+/// it under the address-line scheme: every memory transfer goes through a
+/// main register (`ld` + `mvtc`, `mvfc` + `st`) — one extra instruction per
+/// word moved.
+pub fn saxpy_mvtc(n: u32) -> RawProgram {
+    let body = vec![
+        // r5 = a[i]; fpu[1] = r5 (two instructions instead of one ldf)
+        Instr::Ld {
+            rs1: r(10),
+            rd: r(5),
+            offset: 0,
+        },
+        addi(10, 10, 1), // fill the load delay usefully
+        Instr::Mvtc {
+            rs: r(5),
+            cop: FPU,
+            op: 1,
+        },
+        Instr::Ld {
+            rs1: r(11),
+            rd: r(6),
+            offset: 0,
+        },
+        Instr::Compute {
+            op: ComputeOp::AddU,
+            rs1: r(1),
+            rs2: Reg::ZERO,
+            rd: r(7),
+            shamt: 0,
+        },
+        Instr::Mvtc {
+            rs: r(6),
+            cop: FPU,
+            op: 2,
+        },
+        fpu_op(FpuOp::Mul { rd: 1, rs: 3 }),
+        fpu_op(FpuOp::Add { rd: 2, rs: 1 }),
+        // r8 = fpu[2]; c[i] = r8
+        Instr::Mvfc {
+            rd: r(8),
+            cop: FPU,
+            op: 2,
+        },
+        addi(1, 1, -1),
+        Instr::St {
+            rs1: r(11),
+            rsrc: r(8),
+            offset: 0,
+        },
+        addi(11, 11, 1),
+    ];
+    RawProgram::new(
+        vec![
+            RawBlock::new(vec![li(10, 5000), li(11, 5200), li(1, n as i32)]),
+            RawBlock::new(body),
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Jump(1),
+            Terminator::Branch {
+                cond: Cond::Gt,
+                rs1: r(1),
+                rs2: Reg::ZERO,
+                taken: 1,
+                fall: 2,
+                p_taken: 1.0 - 1.0 / f64::from(n.max(2)),
+            },
+            Terminator::Halt,
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_validate() {
+        saxpy_ldf(16).validate();
+        saxpy_mvtc(16).validate();
+    }
+
+    #[test]
+    fn mvtc_variant_is_longer() {
+        assert!(saxpy_mvtc(8).body_len() > saxpy_ldf(8).body_len());
+    }
+}

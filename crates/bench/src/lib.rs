@@ -1,0 +1,102 @@
+//! # mipsx-bench — reproducing the paper's evaluation
+//!
+//! One module per experiment; each returns a typed result struct carrying
+//! both the measured values and the paper's published values, so the
+//! `reproduce` binary (and EXPERIMENTS.md) can print paper-vs-measured
+//! tables. The experiment IDs match DESIGN.md §5:
+//!
+//! | ID | paper artifact | module |
+//! |----|----------------|--------|
+//! | E1 | Table 1 — cycles/branch for six schemes | [`experiments::e1_branch_schemes`] |
+//! | E2 | Icache single vs double fetch-back | [`experiments::e2_icache_fetch`] |
+//! | E3 | Icache organization & miss-service sweep | [`experiments::e3_icache_orgs`] |
+//! | E4 | quick-compare coverage | [`experiments::e4_quick_compare`] |
+//! | E5 | reorganizer quality (1.5 → 1.27 cycles/branch) | [`experiments::e5_reorganizer`] |
+//! | E6 | Figures 3 & 4 — the two control FSMs | [`experiments::e6_fsms`] |
+//! | E7 | no-op fractions, CPI, sustained MIPS | [`experiments::e7_cpi`] |
+//! | E8 | coprocessor interface schemes | [`experiments::e8_coproc`] |
+//! | E9 | VAX 11/780 comparison | [`experiments::e9_vax`] |
+//! | E10 | branch cache vs static prediction | [`experiments::e10_btb`] |
+//! | E11 | Ecache late-miss contribution | [`experiments::e11_ecache`] |
+
+pub mod experiments;
+pub mod fp_workload;
+
+/// Standard seeds used across experiments (deterministic, arbitrary).
+pub const SEEDS: [u64; 5] = [11, 47, 101, 233, 509];
+
+/// A paper-vs-measured row for report printing.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Row label.
+    pub label: String,
+    /// Value the paper reports (None when the paper gives no number).
+    pub paper: Option<f64>,
+    /// Value this reproduction measured.
+    pub measured: f64,
+}
+
+impl Row {
+    /// Relative deviation from the paper value, if one exists.
+    pub fn deviation(&self) -> Option<f64> {
+        self.paper.map(|p| (self.measured - p) / p)
+    }
+}
+
+/// Render rows as an aligned text table.
+pub fn render_table(title: &str, rows: &[Row]) -> String {
+    let mut out = format!("{title}\n");
+    let width = rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
+    out.push_str(&format!(
+        "  {:width$}  {:>9}  {:>9}  {:>7}\n",
+        "case", "paper", "measured", "dev"
+    ));
+    for r in rows {
+        let paper = r
+            .paper
+            .map_or_else(|| "-".to_owned(), |p| format!("{p:.3}"));
+        let dev = r
+            .deviation()
+            .map_or_else(String::new, |d| format!("{:+.1}%", d * 100.0));
+        out.push_str(&format!(
+            "  {:width$}  {paper:>9}  {:>9.3}  {dev:>7}\n",
+            r.label, r.measured
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_deviation() {
+        let r = Row {
+            label: "x".into(),
+            paper: Some(2.0),
+            measured: 2.2,
+        };
+        assert!((r.deviation().unwrap() - 0.1).abs() < 1e-12);
+        let r = Row {
+            label: "y".into(),
+            paper: None,
+            measured: 1.0,
+        };
+        assert_eq!(r.deviation(), None);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = render_table(
+            "T",
+            &[Row {
+                label: "a".into(),
+                paper: Some(1.0),
+                measured: 1.1,
+            }],
+        );
+        assert!(t.contains("paper"));
+        assert!(t.contains("+10.0%"));
+    }
+}

@@ -1,0 +1,326 @@
+//! A floating-point coprocessor.
+//!
+//! The paper assumes the special coprocessor with direct memory access
+//! *"will be a floating point unit (FPU)"*. This model has 32 single-word
+//! registers holding IEEE-754 single-precision values, a small two-operand
+//! instruction set carried in the 14-bit coprocessor operation field, and
+//! configurable operation latencies so the interface experiments can weigh
+//! coprocessor stalls realistically.
+
+use crate::Coprocessor;
+
+/// Cycle counts for FPU operations (1985-era multi-cycle FPU).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FpuLatencies {
+    /// Add/subtract latency.
+    pub add: u32,
+    /// Multiply latency.
+    pub mul: u32,
+    /// Divide latency.
+    pub div: u32,
+    /// Conversions and moves.
+    pub misc: u32,
+}
+
+impl Default for FpuLatencies {
+    fn default() -> FpuLatencies {
+        FpuLatencies {
+            add: 2,
+            mul: 5,
+            div: 19,
+            misc: 1,
+        }
+    }
+}
+
+/// A decoded FPU operation.
+///
+/// The 14-bit field packs `op[13:10] rs[9:5] rd[4:0]`; operations are
+/// two-address: `rd = rd op rs`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FpuOp {
+    /// `rd += rs`
+    Add { rd: u8, rs: u8 },
+    /// `rd -= rs`
+    Sub { rd: u8, rs: u8 },
+    /// `rd *= rs`
+    Mul { rd: u8, rs: u8 },
+    /// `rd /= rs`
+    Div { rd: u8, rs: u8 },
+    /// Set the condition line to `rd < rs`.
+    CmpLt { rd: u8, rs: u8 },
+    /// `rd = float(bits-as-integer of rs)`
+    CvtIf { rd: u8, rs: u8 },
+    /// `rd = integer(rd as float of rs)` — truncating.
+    CvtFi { rd: u8, rs: u8 },
+    /// `rd = rs`
+    Mov { rd: u8, rs: u8 },
+    /// `rd = -rs`
+    Neg { rd: u8, rs: u8 },
+    /// `rd = |rs|`
+    Abs { rd: u8, rs: u8 },
+}
+
+impl FpuOp {
+    /// Pack into the 14-bit coprocessor operation field.
+    pub fn encode(self) -> u16 {
+        let (code, rd, rs) = match self {
+            FpuOp::Add { rd, rs } => (0, rd, rs),
+            FpuOp::Sub { rd, rs } => (1, rd, rs),
+            FpuOp::Mul { rd, rs } => (2, rd, rs),
+            FpuOp::Div { rd, rs } => (3, rd, rs),
+            FpuOp::CmpLt { rd, rs } => (4, rd, rs),
+            FpuOp::CvtIf { rd, rs } => (5, rd, rs),
+            FpuOp::CvtFi { rd, rs } => (6, rd, rs),
+            FpuOp::Mov { rd, rs } => (7, rd, rs),
+            FpuOp::Neg { rd, rs } => (8, rd, rs),
+            FpuOp::Abs { rd, rs } => (9, rd, rs),
+        };
+        assert!(rd < 32 && rs < 32, "FPU register out of range");
+        (code << 10) | ((rs as u16) << 5) | rd as u16
+    }
+
+    /// Decode the 14-bit coprocessor operation field. Unknown codes return
+    /// `None` (the FPU ignores them, like any bus device).
+    pub fn decode(op: u16) -> Option<FpuOp> {
+        let rd = (op & 0x1F) as u8;
+        let rs = ((op >> 5) & 0x1F) as u8;
+        Some(match op >> 10 {
+            0 => FpuOp::Add { rd, rs },
+            1 => FpuOp::Sub { rd, rs },
+            2 => FpuOp::Mul { rd, rs },
+            3 => FpuOp::Div { rd, rs },
+            4 => FpuOp::CmpLt { rd, rs },
+            5 => FpuOp::CvtIf { rd, rs },
+            6 => FpuOp::CvtFi { rd, rs },
+            7 => FpuOp::Mov { rd, rs },
+            8 => FpuOp::Neg { rd, rs },
+            9 => FpuOp::Abs { rd, rs },
+            _ => return None,
+        })
+    }
+}
+
+/// The floating-point unit.
+#[derive(Clone, Debug)]
+pub struct Fpu {
+    regs: [u32; 32],
+    latencies: FpuLatencies,
+    busy: u32,
+    condition: bool,
+    ops_executed: u64,
+}
+
+impl Fpu {
+    /// An FPU with default latencies.
+    pub fn new() -> Fpu {
+        Fpu::with_latencies(FpuLatencies::default())
+    }
+
+    /// An FPU with explicit latencies.
+    pub fn with_latencies(latencies: FpuLatencies) -> Fpu {
+        Fpu {
+            regs: [0; 32],
+            latencies,
+            busy: 0,
+            condition: false,
+            ops_executed: 0,
+        }
+    }
+
+    /// Read register `fr` as raw bits.
+    pub fn reg_bits(&self, fr: u8) -> u32 {
+        self.regs[(fr & 31) as usize]
+    }
+
+    /// Read register `fr` as an `f32`.
+    pub fn reg_f32(&self, fr: u8) -> f32 {
+        f32::from_bits(self.reg_bits(fr))
+    }
+
+    /// Set register `fr` from an `f32`.
+    pub fn set_reg_f32(&mut self, fr: u8, value: f32) {
+        self.regs[(fr & 31) as usize] = value.to_bits();
+    }
+
+    /// Number of operations executed (for the interface experiments).
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
+    }
+
+    fn f(&self, r: u8) -> f32 {
+        f32::from_bits(self.regs[(r & 31) as usize])
+    }
+
+    fn set(&mut self, r: u8, v: f32) {
+        self.regs[(r & 31) as usize] = v.to_bits();
+    }
+}
+
+impl Default for Fpu {
+    fn default() -> Fpu {
+        Fpu::new()
+    }
+}
+
+impl Coprocessor for Fpu {
+    fn execute(&mut self, op: u16) {
+        let Some(decoded) = FpuOp::decode(op) else {
+            return;
+        };
+        self.ops_executed += 1;
+        self.busy = match decoded {
+            FpuOp::Add { .. } | FpuOp::Sub { .. } | FpuOp::CmpLt { .. } => self.latencies.add,
+            FpuOp::Mul { .. } => self.latencies.mul,
+            FpuOp::Div { .. } => self.latencies.div,
+            _ => self.latencies.misc,
+        };
+        match decoded {
+            FpuOp::Add { rd, rs } => self.set(rd, self.f(rd) + self.f(rs)),
+            FpuOp::Sub { rd, rs } => self.set(rd, self.f(rd) - self.f(rs)),
+            FpuOp::Mul { rd, rs } => self.set(rd, self.f(rd) * self.f(rs)),
+            FpuOp::Div { rd, rs } => self.set(rd, self.f(rd) / self.f(rs)),
+            FpuOp::CmpLt { rd, rs } => self.condition = self.f(rd) < self.f(rs),
+            FpuOp::CvtIf { rd, rs } => {
+                let v = self.regs[(rs & 31) as usize] as i32;
+                self.set(rd, v as f32);
+            }
+            FpuOp::CvtFi { rd, rs } => {
+                self.regs[(rd & 31) as usize] = self.f(rs) as i32 as u32;
+            }
+            FpuOp::Mov { rd, rs } => self.regs[(rd & 31) as usize] = self.regs[(rs & 31) as usize],
+            FpuOp::Neg { rd, rs } => self.set(rd, -self.f(rs)),
+            FpuOp::Abs { rd, rs } => self.set(rd, self.f(rs).abs()),
+        }
+    }
+
+    fn write(&mut self, op: u16, data: u32) {
+        self.regs[(op & 31) as usize] = data;
+    }
+
+    fn read(&mut self, op: u16) -> u32 {
+        self.regs[(op & 31) as usize]
+    }
+
+    fn load_direct(&mut self, fr: u8, data: u32) {
+        self.regs[(fr & 31) as usize] = data;
+    }
+
+    fn store_direct(&mut self, fr: u8) -> u32 {
+        self.regs[(fr & 31) as usize]
+    }
+
+    fn condition(&self) -> bool {
+        self.condition
+    }
+
+    fn busy_cycles(&self) -> u32 {
+        self.busy
+    }
+
+    fn tick(&mut self) {
+        self.busy = self.busy.saturating_sub(1);
+    }
+
+    fn name(&self) -> &'static str {
+        "fpu"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_encoding_round_trip() {
+        let ops = [
+            FpuOp::Add { rd: 1, rs: 2 },
+            FpuOp::Sub { rd: 31, rs: 0 },
+            FpuOp::Mul { rd: 5, rs: 5 },
+            FpuOp::Div { rd: 7, rs: 8 },
+            FpuOp::CmpLt { rd: 3, rs: 4 },
+            FpuOp::CvtIf { rd: 9, rs: 10 },
+            FpuOp::CvtFi { rd: 11, rs: 12 },
+            FpuOp::Mov { rd: 13, rs: 14 },
+            FpuOp::Neg { rd: 15, rs: 16 },
+            FpuOp::Abs { rd: 17, rs: 18 },
+        ];
+        for op in ops {
+            assert_eq!(FpuOp::decode(op.encode()), Some(op));
+        }
+        assert_eq!(FpuOp::decode(15 << 10), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut fpu = Fpu::new();
+        fpu.set_reg_f32(1, 2.5);
+        fpu.set_reg_f32(2, 4.0);
+        fpu.execute(FpuOp::Mul { rd: 1, rs: 2 }.encode());
+        assert_eq!(fpu.reg_f32(1), 10.0);
+        fpu.execute(FpuOp::Sub { rd: 1, rs: 2 }.encode());
+        assert_eq!(fpu.reg_f32(1), 6.0);
+        fpu.execute(FpuOp::Div { rd: 1, rs: 2 }.encode());
+        assert_eq!(fpu.reg_f32(1), 1.5);
+    }
+
+    #[test]
+    fn conversions() {
+        let mut fpu = Fpu::new();
+        fpu.write(3, 42); // integer bits
+        fpu.execute(FpuOp::CvtIf { rd: 4, rs: 3 }.encode());
+        assert_eq!(fpu.reg_f32(4), 42.0);
+        fpu.set_reg_f32(5, -7.9);
+        fpu.execute(FpuOp::CvtFi { rd: 6, rs: 5 }.encode());
+        assert_eq!(fpu.reg_bits(6) as i32, -7);
+    }
+
+    #[test]
+    fn condition_line() {
+        let mut fpu = Fpu::new();
+        fpu.set_reg_f32(1, 1.0);
+        fpu.set_reg_f32(2, 2.0);
+        fpu.execute(FpuOp::CmpLt { rd: 1, rs: 2 }.encode());
+        assert!(fpu.condition());
+        fpu.execute(FpuOp::CmpLt { rd: 2, rs: 1 }.encode());
+        assert!(!fpu.condition());
+    }
+
+    #[test]
+    fn latency_and_tick() {
+        let mut fpu = Fpu::new();
+        fpu.execute(FpuOp::Div { rd: 1, rs: 2 }.encode());
+        assert_eq!(fpu.busy_cycles(), 19);
+        for _ in 0..19 {
+            fpu.tick();
+        }
+        assert_eq!(fpu.busy_cycles(), 0);
+        fpu.tick(); // saturates
+        assert_eq!(fpu.busy_cycles(), 0);
+    }
+
+    #[test]
+    fn direct_memory_path() {
+        let mut fpu = Fpu::new();
+        fpu.load_direct(9, 3.25f32.to_bits());
+        assert_eq!(fpu.reg_f32(9), 3.25);
+        assert_eq!(fpu.store_direct(9), 3.25f32.to_bits());
+    }
+
+    #[test]
+    fn unknown_op_ignored() {
+        let mut fpu = Fpu::new();
+        let before = fpu.clone().regs;
+        fpu.execute(0x3FFF);
+        assert_eq!(fpu.regs, before);
+        assert_eq!(fpu.ops_executed(), 0);
+    }
+}

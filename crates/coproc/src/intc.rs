@@ -1,0 +1,154 @@
+//! The off-chip interrupt control unit.
+//!
+//! *"Exceptions are not vectored so the exception handler must first
+//! determine the cause of the exception. ... MIPS-X relies instead on a
+//! separate off-chip interrupt control unit that contains this
+//! information."* This device sits on the coprocessor interface; the handler
+//! reads its pending-cause word with `mvfc` and acknowledges lines with
+//! `cpop`.
+
+use crate::Coprocessor;
+
+/// Coprocessor operation codes understood by the controller.
+const OP_ACK_ALL: u16 = 0;
+const OP_ACK_LOWEST: u16 = 1;
+
+/// The off-chip interrupt controller.
+///
+/// Devices raise numbered interrupt lines (0..32); the controller or-reduces
+/// them onto the processor's single maskable-interrupt pin. The handler
+/// reads the pending mask (`mvfc rd, c1, 0`) and acknowledges
+/// (`cpop c1, 0(r0)` to clear all, `cpop c1, 1(r0)` to clear the
+/// lowest-numbered pending line).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InterruptController {
+    pending: u32,
+    raised_total: u64,
+}
+
+impl InterruptController {
+    /// A controller with no pending interrupts.
+    pub fn new() -> InterruptController {
+        InterruptController::default()
+    }
+
+    /// Raise interrupt line `line` (0..32).
+    ///
+    /// # Panics
+    /// Panics if `line >= 32`.
+    pub fn raise(&mut self, line: u8) {
+        assert!(line < 32, "interrupt line out of range");
+        self.pending |= 1 << line;
+        self.raised_total += 1;
+    }
+
+    /// Whether the or-reduced interrupt pin to the processor is asserted.
+    pub fn pin_asserted(&self) -> bool {
+        self.pending != 0
+    }
+
+    /// The pending-line mask.
+    pub fn pending(&self) -> u32 {
+        self.pending
+    }
+
+    /// Total lines raised since construction.
+    pub fn raised_total(&self) -> u64 {
+        self.raised_total
+    }
+}
+
+impl Coprocessor for InterruptController {
+    fn execute(&mut self, op: u16) {
+        match op {
+            OP_ACK_ALL => self.pending = 0,
+            OP_ACK_LOWEST => {
+                if self.pending != 0 {
+                    self.pending &= self.pending - 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn write(&mut self, _op: u16, data: u32) {
+        // Writing sets the pending mask directly (test/diagnostic path).
+        self.pending = data;
+    }
+
+    fn read(&mut self, _op: u16) -> u32 {
+        self.pending
+    }
+
+    fn load_direct(&mut self, _fr: u8, _data: u32) {}
+
+    fn store_direct(&mut self, _fr: u8) -> u32 {
+        self.pending
+    }
+
+    fn condition(&self) -> bool {
+        self.pin_asserted()
+    }
+
+    fn name(&self) -> &'static str {
+        "interrupt-controller"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_asserts_pin() {
+        let mut intc = InterruptController::new();
+        assert!(!intc.pin_asserted());
+        intc.raise(3);
+        assert!(intc.pin_asserted());
+        assert_eq!(intc.pending(), 1 << 3);
+    }
+
+    #[test]
+    fn ack_all_clears() {
+        let mut intc = InterruptController::new();
+        intc.raise(0);
+        intc.raise(7);
+        intc.execute(OP_ACK_ALL);
+        assert!(!intc.pin_asserted());
+    }
+
+    #[test]
+    fn ack_lowest_clears_one() {
+        let mut intc = InterruptController::new();
+        intc.raise(2);
+        intc.raise(5);
+        intc.execute(OP_ACK_LOWEST);
+        assert_eq!(intc.pending(), 1 << 5);
+        intc.execute(OP_ACK_LOWEST);
+        assert_eq!(intc.pending(), 0);
+        // Acking with nothing pending is harmless.
+        intc.execute(OP_ACK_LOWEST);
+        assert_eq!(intc.pending(), 0);
+    }
+
+    #[test]
+    fn handler_reads_cause_word() {
+        let mut intc = InterruptController::new();
+        intc.raise(4);
+        assert_eq!(intc.read(0), 1 << 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "interrupt line out of range")]
+    fn line_bounds() {
+        InterruptController::new().raise(32);
+    }
+}

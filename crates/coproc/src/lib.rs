@@ -1,0 +1,133 @@
+//! # mipsx-coproc — the MIPS-X coprocessor interface
+//!
+//! The coprocessor interface *"led to some of the most interesting
+//! discussions within the MIPS-X design team"*. Four schemes were debated,
+//! and all four are modeled here (see [`InterfaceScheme`]) so the paper's
+//! design history can be rerun as an experiment:
+//!
+//! 1. **coprocessor bit** — one bit in every instruction plus a dedicated
+//!    instruction bus (≈20 pins, half the opcode space);
+//! 2. **coprocessor field** — a 3-bit coprocessor number, still needing the
+//!    dedicated bus;
+//! 3. **non-cached** — coprocessor instructions forced to miss in the Icache
+//!    so coprocessors can snoop them from the memory bus (no bus, but every
+//!    coprocessor operation pays the miss penalty — fatal for floating-point
+//!    intensive code);
+//! 4. **address lines** (final) — the 17-bit memory-offset field is driven
+//!    out the address pins while one extra pin tells the memory system to
+//!    ignore the cycle. Instructions are cacheable, data moves over the
+//!    normal data bus, and one privileged coprocessor (the FPU) gets direct
+//!    memory access via `ldf`/`stf`.
+//!
+//! The crate also provides the two coprocessor devices the rest of the
+//! workspace uses: [`Fpu`], a floating-point unit with configurable
+//! latencies, and [`InterruptController`], the off-chip unit that holds the
+//! exception cause information (*"MIPS-X relies instead on a separate
+//! off-chip interrupt control unit"*).
+
+mod fpu;
+mod intc;
+mod scheme;
+
+pub use fpu::{Fpu, FpuLatencies, FpuOp};
+pub use intc::InterruptController;
+pub use scheme::InterfaceScheme;
+
+/// A coprocessor attached to the MIPS-X coprocessor interface.
+///
+/// The main processor drives coprocessor instructions out its address pins
+/// (in the final scheme); a coprocessor decodes the 14-bit operation field
+/// itself — *"the processor does not need to know the format of these
+/// instructions."*
+pub trait Coprocessor: std::any::Any {
+    /// Execute a coprocessor operation (`cpop`): the 14-bit field is the
+    /// coprocessor's own instruction.
+    fn execute(&mut self, op: u16);
+
+    /// Accept a word from the main processor (`mvtc`); `op` selects the
+    /// destination in coprocessor-defined fashion.
+    fn write(&mut self, op: u16, data: u32);
+
+    /// Produce a word for the main processor (`mvfc`).
+    fn read(&mut self, op: u16) -> u32;
+
+    /// Direct-memory load (`ldf`): memory data lands straight in
+    /// coprocessor register `fr` without passing through the main register
+    /// file. Only the privileged coprocessor (the FPU) receives these.
+    fn load_direct(&mut self, fr: u8, data: u32);
+
+    /// Direct-memory store (`stf`): coprocessor register `fr` is driven on
+    /// the data bus.
+    fn store_direct(&mut self, fr: u8) -> u32;
+
+    /// The coprocessor's condition output — the wire-or'able line the
+    /// dropped *branch on coprocessor* instructions would have tested.
+    fn condition(&self) -> bool {
+        false
+    }
+
+    /// Cycles until the coprocessor can accept another operation. The main
+    /// processor stalls when issuing to a busy coprocessor.
+    fn busy_cycles(&self) -> u32 {
+        0
+    }
+
+    /// Advance one processor cycle.
+    fn tick(&mut self) {}
+
+    /// Human-readable device name.
+    fn name(&self) -> &'static str;
+
+    /// Downcast support, so tests and experiment harnesses can inspect a
+    /// concrete device behind the trait object.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A coprocessor slot with nothing attached: operations are ignored, reads
+/// return zero. Issuing to an empty slot is architecturally defined (the
+/// address cycle simply goes nowhere).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullCoprocessor;
+
+impl Coprocessor for NullCoprocessor {
+    fn execute(&mut self, _op: u16) {}
+    fn write(&mut self, _op: u16, _data: u32) {}
+    fn read(&mut self, _op: u16) -> u32 {
+        0
+    }
+    fn load_direct(&mut self, _fr: u8, _data: u32) {}
+    fn store_direct(&mut self, _fr: u8) -> u32 {
+        0
+    }
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_coprocessor_is_inert() {
+        let mut c = NullCoprocessor;
+        c.execute(1);
+        c.write(2, 3);
+        assert_eq!(c.read(0), 0);
+        assert_eq!(c.store_direct(0), 0);
+        assert!(!c.condition());
+        assert_eq!(c.busy_cycles(), 0);
+        assert_eq!(c.name(), "none");
+    }
+}

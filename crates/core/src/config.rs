@@ -1,0 +1,127 @@
+//! Machine configuration.
+
+use mipsx_coproc::InterfaceScheme;
+use mipsx_mem::{EcacheConfig, IcacheConfig};
+
+/// What the machine does about pipeline interlocks the software was supposed
+/// to schedule around.
+///
+/// MIPS-X, like MIPS, leaves interlocks to the code reorganizer: the
+/// hardware never stalls for a load-use hazard. `Trust` reproduces the
+/// silicon — the consumer reads the stale register value, deterministically.
+/// `Detect` turns a violation into [`crate::RunError::LoadUseHazard`], which
+/// is how the reorganizer's output is verified.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum InterlockPolicy {
+    /// Model the hardware: violations silently read stale values.
+    Trust,
+    /// Report scheduling violations as errors (test/verification mode).
+    #[default]
+    Detect,
+}
+
+/// Full configuration of a simulated MIPS-X.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Branch delay slots: 2 (the real pipeline, condition resolved in ALU)
+    /// or 1 (the *quick compare* design that was evaluated and dropped —
+    /// condition resolved at the end of RF).
+    pub branch_delay_slots: usize,
+    /// Interlock checking policy.
+    pub interlock: InterlockPolicy,
+    /// On-chip instruction cache organization.
+    pub icache: IcacheConfig,
+    /// External cache organization.
+    pub ecache: EcacheConfig,
+    /// Main memory latency in cycles (per late-miss retry loop).
+    pub mem_latency: u32,
+    /// Coprocessor interface scheme (the final address-line design by
+    /// default).
+    pub coproc_scheme: InterfaceScheme,
+    /// Clock frequency, used only to convert cycles to MIPS in reports.
+    /// 20 MHz design target; first silicon ran at 16.
+    pub clock_mhz: f64,
+    /// Word address of the exception vector (*"The exception routine,
+    /// located at address zero in system space"*).
+    pub exception_vector: u32,
+}
+
+impl MachineConfig {
+    /// The shipped MIPS-X: 2 delay slots, 512-word Icache with double
+    /// fetch-back, 64K-word Ecache, address-line coprocessors, 20 MHz.
+    pub fn mipsx() -> MachineConfig {
+        MachineConfig {
+            branch_delay_slots: 2,
+            interlock: InterlockPolicy::Detect,
+            icache: IcacheConfig::mipsx(),
+            ecache: EcacheConfig::mipsx(),
+            mem_latency: mipsx_mem::MainMemory::DEFAULT_LATENCY,
+            coproc_scheme: InterfaceScheme::AddressLines,
+            clock_mhz: 20.0,
+            exception_vector: 0,
+        }
+    }
+
+    /// An ideal-memory variant: caches disabled-cost (always hit) — used by
+    /// experiments that isolate pipeline behaviour from memory behaviour.
+    /// Implemented as an enormous Icache and zero-latency memory.
+    pub fn ideal_memory() -> MachineConfig {
+        MachineConfig {
+            icache: IcacheConfig {
+                rows: 1024,
+                ways: 8,
+                block_words: 16,
+                ..IcacheConfig::mipsx()
+            },
+            ecache: EcacheConfig {
+                size_words: 1 << 22,
+                ..EcacheConfig::mipsx()
+            },
+            mem_latency: 0,
+            ..MachineConfig::mipsx()
+        }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics if `branch_delay_slots` is not 1 or 2.
+    pub fn validate(&self) {
+        assert!(
+            self.branch_delay_slots == 1 || self.branch_delay_slots == 2,
+            "MIPS-X models 1 or 2 branch delay slots"
+        );
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::mipsx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_machine() {
+        let c = MachineConfig::default();
+        assert_eq!(c.branch_delay_slots, 2);
+        assert_eq!(c.icache.size_words(), 512);
+        assert_eq!(c.ecache.size_words, 64 * 1024);
+        assert_eq!(c.clock_mhz, 20.0);
+        assert_eq!(c.exception_vector, 0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "1 or 2 branch delay slots")]
+    fn bad_slot_count_panics() {
+        MachineConfig {
+            branch_delay_slots: 3,
+            ..MachineConfig::mipsx()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,70 @@
+//! Runtime errors.
+
+use std::error::Error;
+use std::fmt;
+
+use mipsx_isa::Reg;
+
+/// An error terminating a simulation run.
+///
+/// Architectural events (exceptions, interrupts) are *not* errors — the
+/// machine handles them. These are simulator-level conditions: runaway
+/// programs, scheduling violations under
+/// [`InterlockPolicy::Detect`](crate::InterlockPolicy::Detect), and
+/// ill-formed code.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// The cycle budget passed to [`Machine::run`](crate::Machine::run)
+    /// expired before `halt` reached write-back.
+    CycleLimit { limit: u64 },
+    /// An instruction consumed a register in the delay slot of the load
+    /// that produces it — the scheduling violation the reorganizer must
+    /// prevent (*"Bypassing is used to reduce the number of pipeline
+    /// interlocks"*, but a load's datum is simply not available one cycle
+    /// later).
+    LoadUseHazard { pc: u32, reg: Reg },
+    /// A word that decodes to no instruction reached execution.
+    IllegalInstruction { pc: u32, word: u32 },
+    /// A privileged instruction executed in user mode.
+    PrivilegeViolation { pc: u32 },
+    /// `run` was called on a machine that already halted.
+    AlreadyHalted,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RunError::CycleLimit { limit } => {
+                write!(f, "cycle limit of {limit} reached without halt")
+            }
+            RunError::LoadUseHazard { pc, reg } => write!(
+                f,
+                "load-use interlock violation at {pc:#x}: {reg} used in the load delay slot"
+            ),
+            RunError::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at {pc:#x}")
+            }
+            RunError::PrivilegeViolation { pc } => {
+                write!(f, "privileged instruction in user mode at {pc:#x}")
+            }
+            RunError::AlreadyHalted => f.write_str("machine already halted"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RunError::LoadUseHazard {
+            pc: 0x40,
+            reg: Reg::new(5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x40") && s.contains("r5"));
+    }
+}

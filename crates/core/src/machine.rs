@@ -1,0 +1,862 @@
+//! The pipeline simulator.
+//!
+//! ## Cycle anatomy
+//!
+//! Each call to [`Machine::step`] simulates one clock. Within a cycle the
+//! phases run in an order that reproduces the hardware's timing:
+//!
+//! 1. **ψ1 gate** — if the cache-miss FSM is stalled (Icache miss service or
+//!    Ecache late-miss retry), the qualified clock is withheld and nothing
+//!    moves (*"the control state does not shift down the pipeline control
+//!    latches"*).
+//! 2. **Interrupts** — external lines sampled at the cycle boundary; an
+//!    accepted interrupt halts the pipeline: every in-flight instruction is
+//!    killed, the PC chain freezes, PSW → PSWold, PC ← 0.
+//! 3. **ALU** — the instruction in the ALU stage resolves its operands
+//!    through the two-level bypass network and computes; `movtos` commits
+//!    here (special registers live beside the datapath, and the write is
+//!    idempotent under replay).
+//! 4. **Overflow trap** — a trapping add/subtract in ALU raises the one
+//!    on-chip exception.
+//! 5. **MEM** — loads/stores go through the external cache (the late-miss
+//!    retry loop freezes following cycles); coprocessor traffic is driven
+//!    out the address pins.
+//! 6. **Control resolution** — a branch in the resolve stage evaluates its
+//!    compare, drives the PC bus from the displacement adder, and asserts
+//!    the Squash line when its delay slots must die.
+//! 7. **WB** — delayed write-back: the *only* point where the register
+//!    file, the MD register, and (for `halt`) the run state change.
+//! 8. **Advance** — the pipeline shifts, a new word is fetched through the
+//!    instruction cache, and the PC chain shifts when enabled.
+
+use mipsx_asm::Program;
+use mipsx_coproc::Coprocessor;
+use mipsx_isa::{
+    ComputeOp, ExceptionCause, Instr, Mode, Reg, SpecialReg, SquashMode,
+};
+use mipsx_mem::{Ecache, Icache, MainMemory};
+
+use crate::{CacheMissFsm, Cpu, InterlockPolicy, MachineConfig, RunError, RunStats, SquashFsm};
+use crate::cpu::PcChainEntry;
+
+/// Pipeline stage indices.
+const IF: usize = 0;
+const RF: usize = 1;
+const ALU: usize = 2;
+const MEM: usize = 3;
+const WB: usize = 4;
+
+/// One in-flight instruction.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    pc: u32,
+    instr: Instr,
+    /// The destination-kill bit the Squash/Exception lines set.
+    kill: bool,
+    /// ALU result / effective address / link value / `movfrs` datum.
+    result: u32,
+    /// Effective memory address (loads/stores), computed in ALU.
+    addr: u32,
+    /// Datum returned by MEM (loads, `mvfc`).
+    mem_data: u32,
+    /// Pending MD-register update (msteps/dsteps), committed at WB.
+    md_out: Option<u32>,
+    /// Signed overflow detected in ALU.
+    overflow: bool,
+}
+
+impl Slot {
+    fn new(pc: u32, instr: Instr, kill: bool) -> Slot {
+        Slot {
+            pc,
+            instr,
+            kill,
+            result: 0,
+            addr: 0,
+            mem_data: 0,
+            md_out: None,
+            overflow: false,
+        }
+    }
+
+    /// The value this instruction writes to its destination register.
+    fn final_value(&self) -> u32 {
+        match self.instr {
+            Instr::Ld { .. } | Instr::Mvfc { .. } => self.mem_data,
+            _ => self.result,
+        }
+    }
+}
+
+/// Why an operand could not be resolved.
+enum Hazard {
+    /// The producer is a load (or `mvfc`) one cycle ahead — its datum is not
+    /// back yet. Under [`InterlockPolicy::Trust`] the stale register value
+    /// is used, as in the real hardware.
+    LoadUse { reg: Reg },
+}
+
+/// A complete simulated MIPS-X system: CPU, pipeline, caches, memory and up
+/// to seven coprocessors.
+pub struct Machine {
+    cfg: MachineConfig,
+    cpu: Cpu,
+    slots: [Option<Slot>; 5],
+    icache: Icache,
+    ecache: Ecache,
+    mem: MainMemory,
+    coprocs: [Option<Box<dyn Coprocessor>>; 8],
+    miss_fsm: CacheMissFsm,
+    squash_fsm: SquashFsm,
+    stats: RunStats,
+    halted: bool,
+    /// Kill the next fetched instruction (replay of a squashed PC-chain
+    /// entry).
+    pending_fetch_kill: bool,
+    /// Level-triggered maskable interrupt line.
+    interrupt_line: bool,
+    /// Edge-triggered non-maskable interrupt.
+    nmi_pending: bool,
+}
+
+impl Machine {
+    /// Build a machine from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`MachineConfig::validate`]).
+    pub fn new(cfg: MachineConfig) -> Machine {
+        cfg.validate();
+        Machine {
+            cpu: Cpu::new(),
+            slots: [None; 5],
+            icache: Icache::new(cfg.icache),
+            ecache: Ecache::new(cfg.ecache),
+            mem: MainMemory::with_latency(cfg.mem_latency),
+            coprocs: Default::default(),
+            miss_fsm: CacheMissFsm::new(),
+            squash_fsm: SquashFsm::new(),
+            stats: RunStats::default(),
+            halted: false,
+            pending_fetch_kill: false,
+            interrupt_line: false,
+            nmi_pending: false,
+            cfg,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Architectural CPU state.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable CPU state (test setup).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Instruction-cache statistics.
+    pub fn icache(&self) -> &Icache {
+        &self.icache
+    }
+
+    /// External-cache statistics.
+    pub fn ecache(&self) -> &Ecache {
+        &self.ecache
+    }
+
+    /// The squash FSM's instrumentation (Figure 3).
+    pub fn squash_fsm(&self) -> &SquashFsm {
+        &self.squash_fsm
+    }
+
+    /// The cache-miss FSM's instrumentation (Figure 4).
+    pub fn miss_fsm(&self) -> &CacheMissFsm {
+        &self.miss_fsm
+    }
+
+    /// Whether `halt` has completed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Load a program image into memory and point the PC at its entry.
+    pub fn load_program(&mut self, program: &Program) {
+        self.mem.load(program.origin, &program.words);
+        self.cpu.pc = program.entry;
+    }
+
+    /// Load raw words at an address (e.g. an exception handler at the
+    /// vector).
+    pub fn load_at(&mut self, origin: u32, words: &[u32]) {
+        self.mem.load(origin, words);
+    }
+
+    /// Read a memory word directly (verification).
+    pub fn read_word(&self, addr: u32) -> u32 {
+        self.mem.peek(addr)
+    }
+
+    /// Write a memory word directly (test setup).
+    pub fn write_word(&mut self, addr: u32, word: u32) {
+        self.mem.write(addr, word);
+    }
+
+    /// Attach a coprocessor to slot `n` (1..8; 0 is the CPU itself).
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or ≥ 8.
+    pub fn attach_coprocessor(&mut self, n: u8, coproc: Box<dyn Coprocessor>) {
+        assert!(n >= 1 && n < 8, "coprocessor slots are 1..8");
+        self.coprocs[n as usize] = Some(coproc);
+    }
+
+    /// Borrow an attached coprocessor.
+    pub fn coprocessor(&self, n: u8) -> Option<&dyn Coprocessor> {
+        self.coprocs[n as usize & 7].as_deref()
+    }
+
+    /// Borrow an attached coprocessor mutably.
+    pub fn coprocessor_mut(&mut self, n: u8) -> Option<&mut (dyn Coprocessor + 'static)> {
+        match &mut self.coprocs[n as usize & 7] {
+            Some(b) => Some(b.as_mut()),
+            None => None,
+        }
+    }
+
+    /// Drive the level-triggered maskable interrupt pin.
+    pub fn set_interrupt_line(&mut self, asserted: bool) {
+        self.interrupt_line = asserted;
+    }
+
+    /// Pulse the non-maskable interrupt pin.
+    pub fn pulse_nmi(&mut self) {
+        self.nmi_pending = true;
+    }
+
+    /// Run until `halt` completes or the cycle budget expires.
+    ///
+    /// # Errors
+    /// [`RunError::CycleLimit`] if the budget expires;
+    /// [`RunError::AlreadyHalted`] if the machine already halted; any
+    /// [`RunError`] from [`Machine::step`].
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, RunError> {
+        if self.halted {
+            return Err(RunError::AlreadyHalted);
+        }
+        let start = self.stats.cycles;
+        while !self.halted {
+            if self.stats.cycles - start >= max_cycles {
+                return Err(RunError::CycleLimit { limit: max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(self.stats)
+    }
+
+    /// Simulate one clock cycle.
+    ///
+    /// # Errors
+    /// Returns scheduling violations under [`InterlockPolicy::Detect`],
+    /// illegal instructions, and privilege violations. Architectural
+    /// exceptions (overflow trap, interrupts) are handled, not returned.
+    pub fn step(&mut self) -> Result<(), RunError> {
+        if self.halted {
+            return Err(RunError::AlreadyHalted);
+        }
+        self.stats.cycles += 1;
+        for c in self.coprocs.iter_mut().flatten() {
+            c.tick();
+        }
+
+        // Phase 1: ψ1 gate — frozen cycles advance nothing.
+        if !self.miss_fsm.tick() {
+            return Ok(());
+        }
+
+        // Phase 2: interrupt sampling.
+        self.sample_interrupts();
+
+        // Phase 3: ALU.
+        self.phase_alu()?;
+
+        // Phase 4: overflow trap.
+        if let Some(slot) = self.slots[ALU] {
+            if !slot.kill && slot.overflow && self.cpu.psw.overflow_trap_enabled() {
+                self.take_exception(ExceptionCause::Overflow);
+            }
+        }
+
+        // Phase 5: MEM.
+        self.phase_mem()?;
+
+        // Phase 6: control resolution.
+        self.phase_control()?;
+
+        // Phase 7: WB.
+        self.phase_wb();
+
+        // Phase 8: advance.
+        self.phase_advance();
+        Ok(())
+    }
+
+    /// Sample external interrupt pins; take an exception if one is
+    /// accepted. Acceptance is deferred while a special jump (`jpc`/`jpcrs`)
+    /// is in flight: the restart sequence must complete atomically, and
+    /// delaying acceptance at most three cycles is the cheap hardware fix.
+    fn sample_interrupts(&mut self) {
+        let special_jump_in_flight = self.slots[..WB].iter().any(|s| {
+            s.is_some_and(|s| !s.kill && matches!(s.instr, Instr::Jpc | Instr::Jpcrs))
+        });
+        if special_jump_in_flight {
+            return;
+        }
+        if self.nmi_pending {
+            self.nmi_pending = false;
+            self.take_exception(ExceptionCause::NonMaskableInterrupt);
+        } else if self.interrupt_line && self.cpu.psw.interrupts_enabled() {
+            self.take_exception(ExceptionCause::Interrupt);
+        }
+    }
+
+    /// Halt the pipeline: *"No instructions are completed. The PC is
+    /// immediately set to zero and the shift chain of old PC values is
+    /// frozen ... The current PSW is placed in PSWold, interrupts are turned
+    /// off and the machine is placed into system mode."*
+    fn take_exception(&mut self, cause: ExceptionCause) {
+        let _lines = self.squash_fsm.exception();
+        for slot in self.slots[..WB].iter_mut().flatten() {
+            slot.kill = true;
+        }
+        self.cpu.psw_old = self.cpu.psw;
+        self.cpu.psw.record_cause(cause);
+        self.cpu.psw.set_mode(Mode::System);
+        self.cpu.psw.set_interrupts_enabled(false);
+        self.cpu.psw.set_pc_shifting_enabled(false);
+        self.cpu.pc = self.cfg.exception_vector;
+        self.pending_fetch_kill = false;
+        self.stats.exceptions += 1;
+    }
+
+    /// Resolve a register operand for a consumer in stage `consumer`
+    /// (ALU for ordinary instructions, the control-resolve stage for
+    /// branches and jumps) through the two-level bypass network.
+    fn resolve_operand(&self, reg: Reg, consumer: usize) -> Result<u32, Hazard> {
+        if reg.is_zero() {
+            return Ok(0);
+        }
+        // Nearest producer wins; a producer one stage ahead whose datum
+        // comes from memory has not got it yet.
+        for distance in 1..=(WB - consumer) {
+            let stage = consumer + distance;
+            let Some(p) = &self.slots[stage] else {
+                continue;
+            };
+            if p.kill || p.instr.def() != Some(reg) {
+                continue;
+            }
+            let load_class = p.instr.is_load() || matches!(p.instr, Instr::Mvfc { .. });
+            if load_class {
+                // A load's datum exists from the end of its MEM cycle. A
+                // producer still before MEM has nothing; a producer *in* MEM
+                // delivers at the very end of this cycle — too late for a
+                // consumer in ALU (the load delay slot), but usable by a
+                // consumer in RF (the quick-compare timing worry, modeled
+                // as available) and by a consumer in MEM next phase.
+                if stage < MEM || (stage == MEM && consumer == ALU) {
+                    return Err(Hazard::LoadUse { reg });
+                }
+                return Ok(if stage == MEM { p.mem_data } else { p.final_value() });
+            }
+            return Ok(if stage == WB { p.final_value() } else { p.result });
+        }
+        Ok(self.cpu.reg(reg))
+    }
+
+    /// Resolve with the configured interlock policy applied.
+    fn operand(&self, reg: Reg, consumer: usize, pc: u32) -> Result<u32, RunError> {
+        match self.resolve_operand(reg, consumer) {
+            Ok(v) => Ok(v),
+            Err(Hazard::LoadUse { reg }) => match self.cfg.interlock {
+                InterlockPolicy::Trust => Ok(self.cpu.reg(reg)),
+                InterlockPolicy::Detect => Err(RunError::LoadUseHazard { pc, reg }),
+            },
+        }
+    }
+
+    /// The MD register as seen by an mstep/dstep in ALU: pending updates in
+    /// MEM and WB bypass ahead of the architectural register.
+    fn effective_md(&self) -> u32 {
+        for stage in [MEM, WB] {
+            if let Some(p) = &self.slots[stage] {
+                if !p.kill {
+                    if let Some(md) = p.md_out {
+                        return md;
+                    }
+                }
+            }
+        }
+        self.cpu.md
+    }
+
+    /// Phase 3: the ALU stage — everything except control transfer.
+    fn phase_alu(&mut self) -> Result<(), RunError> {
+        let Some(mut slot) = self.slots[ALU] else {
+            return Ok(());
+        };
+        if slot.kill {
+            return Ok(());
+        }
+        let pc = slot.pc;
+        if let Instr::Illegal(word) = slot.instr {
+            return Err(RunError::IllegalInstruction { pc, word });
+        }
+        if slot.instr.is_privileged() && self.cpu.psw.mode() == Mode::User {
+            return Err(RunError::PrivilegeViolation { pc });
+        }
+        match slot.instr {
+            Instr::Compute {
+                op,
+                rs1,
+                rs2,
+                rd: _,
+                shamt,
+            } => {
+                let a = self.operand(rs1, ALU, pc)?;
+                let b = if op.uses_rs2() {
+                    self.operand(rs2, ALU, pc)?
+                } else {
+                    0
+                };
+                let (result, overflow, md_out) = execute_compute(op, a, b, shamt, || {
+                    self.effective_md()
+                });
+                slot.result = result;
+                slot.overflow = overflow;
+                slot.md_out = md_out;
+            }
+            Instr::Addi { rs1, rd: _, imm } => {
+                let a = self.operand(rs1, ALU, pc)?;
+                let (sum, ovf) = (a as i32).overflowing_add(imm);
+                slot.result = sum as u32;
+                slot.overflow = ovf;
+            }
+            Instr::Ld { rs1, offset, .. }
+            | Instr::St { rs1, offset, .. }
+            | Instr::Ldf { rs1, offset, .. }
+            | Instr::Stf { rs1, offset, .. } => {
+                let base = self.operand(rs1, ALU, pc)?;
+                slot.addr = base.wrapping_add(offset as u32);
+            }
+            Instr::Cpop { rs1, op, .. } => {
+                // The address cycle drives base + op out the pins; the
+                // memory system ignores it.
+                let base = self.operand(rs1, ALU, pc)?;
+                slot.addr = base.wrapping_add(op as u32);
+            }
+            Instr::Mvtc { .. } | Instr::Mvfc { .. } => {}
+            Instr::Movfrs { sreg, .. } => {
+                slot.result = match sreg {
+                    SpecialReg::Md => self.effective_md(),
+                    other => self.cpu.special(other),
+                };
+            }
+            Instr::Movtos { sreg, rs } => {
+                // Early commit: special registers sit beside the datapath
+                // and the write is idempotent under post-exception replay.
+                let v = self.operand(rs, ALU, pc)?;
+                self.cpu.set_special(sreg, v);
+            }
+            // Control transfers resolve in phase_control; nops and halt do
+            // nothing here.
+            _ => {}
+        }
+        self.slots[ALU] = Some(slot);
+        Ok(())
+    }
+
+    /// Phase 5: the MEM stage — data memory and the coprocessor interface.
+    fn phase_mem(&mut self) -> Result<(), RunError> {
+        let Some(mut slot) = self.slots[MEM] else {
+            return Ok(());
+        };
+        if slot.kill {
+            return Ok(());
+        }
+        let pc = slot.pc;
+        match slot.instr {
+            Instr::Ld { .. } => {
+                let (data, extra) = self.ecache.read(slot.addr, &mut self.mem);
+                slot.mem_data = data;
+                if extra > 0 {
+                    self.miss_fsm.start(extra);
+                    self.stats.ecache_stall_cycles += extra as u64;
+                }
+            }
+            Instr::St { rsrc, .. } => {
+                let v = self.operand(rsrc, MEM, pc)?;
+                let extra = self.ecache.write(slot.addr, v, &mut self.mem);
+                if extra > 0 {
+                    self.miss_fsm.start(extra);
+                    self.stats.ecache_stall_cycles += extra as u64;
+                }
+            }
+            Instr::Ldf { fr, .. } => {
+                self.stall_if_coproc_busy(1);
+                let (data, extra) = self.ecache.read(slot.addr, &mut self.mem);
+                if extra > 0 {
+                    self.miss_fsm.start(extra);
+                    self.stats.ecache_stall_cycles += extra as u64;
+                }
+                if let Some(c) = &mut self.coprocs[1] {
+                    c.load_direct(fr, data);
+                }
+            }
+            Instr::Stf { fr, .. } => {
+                self.stall_if_coproc_busy(1);
+                let v = self
+                    .coprocs[1]
+                    .as_mut()
+                    .map_or(0, |c| c.store_direct(fr));
+                let extra = self.ecache.write(slot.addr, v, &mut self.mem);
+                if extra > 0 {
+                    self.miss_fsm.start(extra);
+                    self.stats.ecache_stall_cycles += extra as u64;
+                }
+            }
+            Instr::Cpop { cop, op, .. } => {
+                self.stall_if_coproc_busy(cop);
+                if let Some(c) = &mut self.coprocs[cop as usize] {
+                    c.execute(op);
+                }
+            }
+            Instr::Mvtc { rs, cop, op } => {
+                self.stall_if_coproc_busy(cop);
+                let v = self.operand(rs, MEM, pc)?;
+                if let Some(c) = &mut self.coprocs[cop as usize] {
+                    c.write(op, v);
+                }
+            }
+            Instr::Mvfc { cop, op, .. } => {
+                self.stall_if_coproc_busy(cop);
+                slot.mem_data = self.coprocs[cop as usize].as_mut().map_or(0, |c| c.read(op));
+            }
+            _ => {}
+        }
+        self.slots[MEM] = Some(slot);
+        Ok(())
+    }
+
+    /// Stall until coprocessor `cop` can accept an operation.
+    fn stall_if_coproc_busy(&mut self, cop: u8) {
+        if let Some(c) = &self.coprocs[cop as usize & 7] {
+            let busy = c.busy_cycles();
+            if busy > 0 {
+                self.miss_fsm.start(busy);
+                self.stats.coproc_stall_cycles += busy as u64;
+            }
+        }
+    }
+
+    /// Phase 6: control resolution at the configured stage (ALU for the
+    /// real two-slot pipeline, RF for the one-slot quick-compare variant).
+    fn phase_control(&mut self) -> Result<(), RunError> {
+        let resolve_stage = self.cfg.branch_delay_slots; // 2 -> ALU, 1 -> RF
+        let Some(mut slot) = self.slots[resolve_stage] else {
+            return Ok(());
+        };
+        if slot.kill || !slot.instr.is_control() {
+            return Ok(());
+        }
+        let pc = slot.pc;
+        match slot.instr {
+            Instr::Branch {
+                cond,
+                squash,
+                rs1,
+                rs2,
+                disp,
+            } => {
+                let a = self.operand(rs1, resolve_stage, pc)?;
+                let b = self.operand(rs2, resolve_stage, pc)?;
+                let taken = cond.eval(a, b);
+                self.stats.branches += 1;
+                if taken {
+                    self.stats.branches_taken += 1;
+                    // The displacement adder drives the PC bus.
+                    self.cpu.pc = pc.wrapping_add(disp as u32);
+                }
+                self.account_branch_slots(resolve_stage, squash, taken);
+            }
+            Instr::Jspci { rs1, rd: _, imm } => {
+                let base = self.operand(rs1, resolve_stage, pc)?;
+                slot.result = pc + 1 + self.cfg.branch_delay_slots as u32;
+                self.cpu.pc = base.wrapping_add(imm as u32);
+                self.stats.jumps += 1;
+            }
+            Instr::Jpc | Instr::Jpcrs => {
+                if self.cpu.psw.mode() == Mode::User {
+                    return Err(RunError::PrivilegeViolation { pc });
+                }
+                let entry = self.cpu.pc_chain[0];
+                self.cpu.pc_chain.rotate_left(1);
+                self.cpu.pc = entry.pc;
+                self.pending_fetch_kill = entry.squashed;
+                if matches!(slot.instr, Instr::Jpcrs) {
+                    // The last restart jump restores the interrupted PSW.
+                    self.cpu.psw = self.cpu.psw_old;
+                }
+                self.stats.jumps += 1;
+            }
+            _ => {}
+        }
+        self.slots[resolve_stage] = Some(slot);
+        Ok(())
+    }
+
+    /// Apply squashing and charge delay-slot waste to the branch, per the
+    /// Table 1 footnote.
+    fn account_branch_slots(&mut self, resolve_stage: usize, squash: SquashMode, taken: bool) {
+        let slots_execute = squash.slots_execute(taken);
+        let lines = if slots_execute {
+            None
+        } else {
+            Some(self.squash_fsm.branch_squash(self.cfg.branch_delay_slots))
+        };
+        // The delay slots sit in the stages younger than the branch.
+        for stage in (0..resolve_stage).rev() {
+            let Some(s) = &mut self.slots[stage] else {
+                continue;
+            };
+            if s.kill {
+                // Already dead (e.g. replayed squashed entry): wasted, but
+                // charged to whoever killed it.
+                continue;
+            }
+            if let Some(lines) = lines {
+                let killed = match stage {
+                    IF => lines.kill_if,
+                    RF => lines.kill_rf,
+                    _ => false,
+                };
+                if killed {
+                    s.kill = true;
+                    self.stats.branch_slot_squashed += 1;
+                    continue;
+                }
+            }
+            if s.instr.is_nop() {
+                self.stats.branch_slot_nops += 1;
+            }
+        }
+    }
+
+    /// Phase 7: write-back — the only phase that changes register state.
+    fn phase_wb(&mut self) {
+        let Some(slot) = self.slots[WB] else {
+            return;
+        };
+        if slot.kill {
+            self.stats.squashed += 1;
+            return;
+        }
+        self.stats.instructions += 1;
+        if let Some(rd) = slot.instr.def() {
+            self.cpu.set_reg(rd, slot.final_value());
+        }
+        if let Some(md) = slot.md_out {
+            self.cpu.md = md;
+        }
+        match slot.instr {
+            Instr::Nop => self.stats.nops += 1,
+            Instr::Ld { .. } | Instr::Ldf { .. } => self.stats.loads += 1,
+            Instr::St { .. } | Instr::Stf { .. } => self.stats.stores += 1,
+            Instr::Halt => self.halted = true,
+            _ => {}
+        }
+        if slot.instr.is_coproc() {
+            self.stats.coproc_ops += 1;
+        }
+    }
+
+    /// Phase 8: shift the pipeline, fetch the next instruction, shift the
+    /// PC chain.
+    fn phase_advance(&mut self) {
+        self.slots[WB] = self.slots[MEM];
+        self.slots[MEM] = self.slots[ALU];
+        self.slots[ALU] = self.slots[RF];
+        self.slots[RF] = self.slots[IF];
+
+        // Instruction fetch through the on-chip cache.
+        let pc = self.cpu.pc;
+        let (word, stall) = self.icache.fetch_through(pc, &mut self.ecache, &mut self.mem);
+        if stall > 0 {
+            self.miss_fsm.start(stall);
+            self.stats.icache_stall_cycles += stall as u64;
+        }
+        let instr = Instr::decode(word);
+        // The non-cached coprocessor scheme forces an internal miss for
+        // every coprocessor instruction so the coprocessor can see it on
+        // the memory bus.
+        if instr.is_coproc() {
+            let forced = self
+                .cfg
+                .coproc_scheme
+                .per_op_stall(self.cfg.icache.miss_penalty);
+            if forced > 0 {
+                self.miss_fsm.start(forced);
+                self.stats.coproc_forced_miss_cycles += forced as u64;
+            }
+        }
+        let kill = std::mem::take(&mut self.pending_fetch_kill);
+        self.slots[IF] = Some(Slot::new(pc, instr, kill));
+        self.cpu.pc = pc.wrapping_add(1);
+
+        // PC chain: PCs (and kill bits) of the instructions now in RF, ALU
+        // and MEM, oldest first.
+        if self.cpu.psw.pc_shifting_enabled() {
+            for (i, stage) in [MEM, ALU, RF].into_iter().enumerate() {
+                if let Some(s) = &self.slots[stage] {
+                    self.cpu.pc_chain[i] = PcChainEntry {
+                        pc: s.pc,
+                        squashed: s.kill,
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.cpu.pc)
+            .field("halted", &self.halted)
+            .field("cycles", &self.stats.cycles)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Execute a compute operation. Returns `(result, overflow, md_update)`.
+///
+/// `md` is read lazily so the (rare) mstep/dstep path alone pays for the
+/// bypass scan.
+fn execute_compute(
+    op: ComputeOp,
+    a: u32,
+    b: u32,
+    shamt: u8,
+    md: impl FnOnce() -> u32,
+) -> (u32, bool, Option<u32>) {
+    match op {
+        ComputeOp::Add => {
+            let (r, o) = (a as i32).overflowing_add(b as i32);
+            (r as u32, o, None)
+        }
+        ComputeOp::Sub => {
+            let (r, o) = (a as i32).overflowing_sub(b as i32);
+            (r as u32, o, None)
+        }
+        ComputeOp::AddU => (a.wrapping_add(b), false, None),
+        ComputeOp::SubU => (a.wrapping_sub(b), false, None),
+        ComputeOp::And => (a & b, false, None),
+        ComputeOp::Or => (a | b, false, None),
+        ComputeOp::Xor => (a ^ b, false, None),
+        ComputeOp::Nor => (!(a | b), false, None),
+        ComputeOp::Sll => (a << (shamt & 31), false, None),
+        ComputeOp::Srl => (a >> (shamt & 31), false, None),
+        ComputeOp::Sra => (((a as i32) >> (shamt & 31)) as u32, false, None),
+        ComputeOp::Shf => {
+            // Funnel shift: low 32 bits of (a ++ b) >> shamt.
+            let wide = ((a as u64) << 32) | b as u64;
+            ((wide >> (shamt & 63)) as u32, false, None)
+        }
+        ComputeOp::Mstep => {
+            // MSB-first shift-and-add multiply step.
+            let m = md();
+            let add = if m & 0x8000_0000 != 0 { a } else { 0 };
+            let r = b.wrapping_shl(1).wrapping_add(add);
+            (r, false, Some(m << 1))
+        }
+        ComputeOp::Dstep => {
+            // MSB-first restoring division step (unsigned).
+            let m = md();
+            let mut r = (b << 1) | (m >> 31);
+            let mut m2 = m << 1;
+            if r >= a && a != 0 {
+                r -= a;
+                m2 |= 1;
+            }
+            (r, false, Some(m2))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mstep_multiplies() {
+        // 32 msteps compute a*b mod 2^32 with md = b, accumulator threaded
+        // through (a constant-register model of the datapath loop).
+        let cases = [(3u32, 5u32), (0, 77), (123456, 7890), (u32::MAX, 2)];
+        for (a, b) in cases {
+            let mut md = b;
+            let mut acc = 0u32;
+            for _ in 0..32 {
+                let (r, _, m) = execute_compute(ComputeOp::Mstep, a, acc, 0, || md);
+                acc = r;
+                md = m.unwrap();
+            }
+            assert_eq!(acc, a.wrapping_mul(b), "mstep {a}*{b}");
+        }
+    }
+
+    #[test]
+    fn dstep_divides() {
+        let cases = [(100u32, 7u32), (12345, 1), (5, 9), (u32::MAX, 3)];
+        for (n, d) in cases {
+            let mut md = n; // dividend
+            let mut rem = 0u32;
+            for _ in 0..32 {
+                let (r, _, m) = execute_compute(ComputeOp::Dstep, d, rem, 0, || md);
+                rem = r;
+                md = m.unwrap();
+            }
+            assert_eq!(md, n / d, "quotient {n}/{d}");
+            assert_eq!(rem, n % d, "remainder {n}%{d}");
+        }
+    }
+
+    #[test]
+    fn funnel_shift() {
+        let (r, _, _) = execute_compute(ComputeOp::Shf, 0x1, 0x8000_0000, 32, || 0);
+        assert_eq!(r, 1); // top word shifted fully down
+        let (r, _, _) = execute_compute(ComputeOp::Shf, 0xABCD_1234, 0x5678_0000, 16, || 0);
+        assert_eq!(r, 0x1234_5678);
+        let (r, _, _) = execute_compute(ComputeOp::Shf, 0, 42, 0, || 0);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn add_overflow_flag() {
+        let (_, o, _) = execute_compute(ComputeOp::Add, i32::MAX as u32, 1, 0, || 0);
+        assert!(o);
+        let (_, o, _) = execute_compute(ComputeOp::AddU, i32::MAX as u32, 1, 0, || 0);
+        assert!(!o);
+        let (_, o, _) = execute_compute(ComputeOp::Sub, i32::MIN as u32, 1, 0, || 0);
+        assert!(o);
+    }
+}

@@ -1,0 +1,233 @@
+//! Run statistics.
+
+use std::fmt;
+
+/// Everything a simulation run measures.
+///
+/// The paper's headline numbers come straight out of this struct:
+/// [`RunStats::nop_fraction`] (15.6 % Pascal / 18.3 % Lisp),
+/// [`RunStats::cpi`] (≈1.7 with memory overhead),
+/// [`RunStats::sustained_mips`] (>11 at 20 MHz), and
+/// [`RunStats::cycles_per_branch`] (Table 1: 1.1–2.0 depending on scheme).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RunStats {
+    /// Total clock cycles, including all stall (frozen) cycles.
+    pub cycles: u64,
+    /// Instructions completed (reached WB un-killed) — explicit no-ops
+    /// included, squashed instructions excluded.
+    pub instructions: u64,
+    /// Completed explicit `nop` instructions.
+    pub nops: u64,
+    /// Instructions killed by squash or exception that drained at WB.
+    pub squashed: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches that took.
+    pub branches_taken: u64,
+    /// `nop`s observed in branch delay slots (unfillable slots).
+    pub branch_slot_nops: u64,
+    /// Branch delay-slot instructions squashed (wrong-way penalty).
+    pub branch_slot_squashed: u64,
+    /// Unconditional jumps executed (including the special jumps).
+    pub jumps: u64,
+    /// Data loads completed (including `ldf` and `mvfc`).
+    pub loads: u64,
+    /// Data stores completed (including `stf`).
+    pub stores: u64,
+    /// Coprocessor operations issued.
+    pub coproc_ops: u64,
+    /// Exceptions taken (traps and interrupts).
+    pub exceptions: u64,
+    /// Cycles frozen for instruction-cache miss service.
+    pub icache_stall_cycles: u64,
+    /// Cycles frozen in the external-cache late-miss retry loop (data side).
+    pub ecache_stall_cycles: u64,
+    /// Cycles frozen waiting on a busy coprocessor.
+    pub coproc_stall_cycles: u64,
+    /// Cycles charged by the non-cached coprocessor scheme's forced misses.
+    pub coproc_forced_miss_cycles: u64,
+}
+
+impl RunStats {
+    /// Dynamic instruction count as the paper counts it: completed
+    /// instructions plus squashed ones — *"Squashing an instruction
+    /// converts it into a no-op instruction"*, and those no-ops are part of
+    /// the executed stream.
+    pub fn dynamic_instructions(&self) -> u64 {
+        self.instructions + self.squashed
+    }
+
+    /// Cycles per dynamic instruction (the paper's "average instruction
+    /// requires about 1.7 cycles" metric). Zero when nothing completed.
+    pub fn cpi(&self) -> f64 {
+        if self.dynamic_instructions() == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.dynamic_instructions() as f64
+        }
+    }
+
+    /// Sustained MIPS at the given clock: peak rate divided by CPI.
+    pub fn sustained_mips(&self, clock_mhz: f64) -> f64 {
+        let cpi = self.cpi();
+        if cpi == 0.0 {
+            0.0
+        } else {
+            clock_mhz / cpi
+        }
+    }
+
+    /// Fraction of dynamic instructions that are no-ops — *"15.6% of all
+    /// instructions are no-ops due to unused branch delays or other
+    /// pipeline interlocks."* Both explicit `nop`s (unfillable slots, load
+    /// delays) and squashed instructions count: squashing *converts* an
+    /// instruction into a no-op.
+    pub fn nop_fraction(&self) -> f64 {
+        if self.dynamic_instructions() == 0 {
+            0.0
+        } else {
+            (self.nops + self.squashed) as f64 / self.dynamic_instructions() as f64
+        }
+    }
+
+    /// Average cycles per branch, charged as in the paper's Table 1
+    /// footnote: *"Any no-op instructions in the branch delay slots are
+    /// attributed to the cost of the branch so a branch with 2 no-ops in its
+    /// two delay slots is deemed to have a cost of 3."* Squashed slot
+    /// instructions are wasted cycles and charged identically.
+    pub fn cycles_per_branch(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            (self.branches + self.branch_slot_nops + self.branch_slot_squashed) as f64
+                / self.branches as f64
+        }
+    }
+
+    /// Fraction of branches taken.
+    pub fn taken_fraction(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branches_taken as f64 / self.branches as f64
+        }
+    }
+
+    /// Merge another run's statistics into this one (for suite-level
+    /// averages).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.nops += other.nops;
+        self.squashed += other.squashed;
+        self.branches += other.branches;
+        self.branches_taken += other.branches_taken;
+        self.branch_slot_nops += other.branch_slot_nops;
+        self.branch_slot_squashed += other.branch_slot_squashed;
+        self.jumps += other.jumps;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.coproc_ops += other.coproc_ops;
+        self.exceptions += other.exceptions;
+        self.icache_stall_cycles += other.icache_stall_cycles;
+        self.ecache_stall_cycles += other.ecache_stall_cycles;
+        self.coproc_stall_cycles += other.coproc_stall_cycles;
+        self.coproc_forced_miss_cycles += other.coproc_forced_miss_cycles;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles={} instructions={} (cpi {:.3})",
+            self.cycles,
+            self.instructions,
+            self.cpi()
+        )?;
+        writeln!(
+            f,
+            "  nops={} ({:.1}%) squashed={} exceptions={}",
+            self.nops,
+            self.nop_fraction() * 100.0,
+            self.squashed,
+            self.exceptions
+        )?;
+        writeln!(
+            f,
+            "  branches={} taken={:.1}% cycles/branch={:.2} jumps={}",
+            self.branches,
+            self.taken_fraction() * 100.0,
+            self.cycles_per_branch(),
+            self.jumps
+        )?;
+        write!(
+            f,
+            "  stalls: icache={} ecache={} coproc={} forced-miss={}",
+            self.icache_stall_cycles,
+            self.ecache_stall_cycles,
+            self.coproc_stall_cycles,
+            self.coproc_forced_miss_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = RunStats {
+            cycles: 170,
+            instructions: 100,
+            nops: 15,
+            branches: 10,
+            branches_taken: 7,
+            branch_slot_nops: 3,
+            branch_slot_squashed: 2,
+            ..RunStats::default()
+        };
+        assert!((s.cpi() - 1.7).abs() < 1e-12);
+        assert!((s.sustained_mips(20.0) - 20.0 / 1.7).abs() < 1e-9);
+        assert!((s.nop_fraction() - 0.15).abs() < 1e-12);
+        assert!((s.cycles_per_branch() - 1.5).abs() < 1e-12);
+        assert!((s.taken_fraction() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeroes() {
+        let s = RunStats::default();
+        assert_eq!(s.cpi(), 0.0);
+        assert_eq!(s.sustained_mips(20.0), 0.0);
+        assert_eq!(s.cycles_per_branch(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RunStats {
+            cycles: 10,
+            instructions: 5,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            cycles: 20,
+            instructions: 15,
+            ..RunStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 30);
+        assert_eq!(a.instructions, 20);
+        assert!((a.cpi() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_cpi() {
+        let s = RunStats {
+            cycles: 17,
+            instructions: 10,
+            ..RunStats::default()
+        };
+        assert!(s.to_string().contains("cpi 1.700"));
+    }
+}

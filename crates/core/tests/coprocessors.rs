@@ -1,0 +1,158 @@
+//! Coprocessor interface through the pipeline: busy stalls, the `mvfc`
+//! load-delay rule, forced misses under the non-cached scheme, and the
+//! interrupt controller as a bus device.
+
+use mipsx_asm::assemble;
+use mipsx_core::{InterlockPolicy, Machine, MachineConfig, RunError};
+use mipsx_coproc::{Fpu, FpuLatencies, FpuOp, InterfaceScheme, InterruptController};
+use mipsx_isa::Reg;
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig {
+        interlock: InterlockPolicy::Detect,
+        ..MachineConfig::default()
+    })
+}
+
+#[test]
+fn mvtc_mvfc_round_trip() {
+    let program = assemble("li r1, 1234\nmvtc c1, 5, r1\nmvfc r2, c1, 5\nnop\nadd r3, r2, r2\nhalt")
+        .unwrap();
+    let mut m = machine();
+    m.attach_coprocessor(1, Box::new(Fpu::new()));
+    m.load_program(&program);
+    m.run(100_000).unwrap();
+    assert_eq!(m.cpu().reg(Reg::new(2)), 1234);
+    assert_eq!(m.cpu().reg(Reg::new(3)), 2468);
+}
+
+#[test]
+fn mvfc_is_load_class_for_interlocks() {
+    // Consuming an mvfc result in the very next instruction is the same
+    // scheduling violation as a load.
+    let program = assemble("mvfc r2, c1, 0\nadd r3, r2, r2\nhalt").unwrap();
+    let mut m = machine();
+    m.attach_coprocessor(1, Box::new(Fpu::new()));
+    m.load_program(&program);
+    match m.run(100_000) {
+        Err(RunError::LoadUseHazard { reg, .. }) => assert_eq!(reg, Reg::new(2)),
+        other => panic!("expected hazard, got {other:?}"),
+    }
+}
+
+#[test]
+fn busy_coprocessor_stalls_the_pipeline() {
+    let div = FpuOp::Div { rd: 1, rs: 2 }.encode();
+    let mul = FpuOp::Mul { rd: 3, rs: 4 }.encode();
+    let src = format!("cpop c1, {div}(r0)\ncpop c1, {mul}(r0)\nhalt");
+    let program = assemble(&src).unwrap();
+
+    let run_with_latency = |div_latency: u32| {
+        let mut m = machine();
+        m.attach_coprocessor(
+            1,
+            Box::new(Fpu::with_latencies(FpuLatencies {
+                div: div_latency,
+                ..FpuLatencies::default()
+            })),
+        );
+        m.load_program(&program);
+        let stats = m.run(100_000).unwrap();
+        (stats.cycles, stats.coproc_stall_cycles)
+    };
+    let (fast_cycles, fast_stalls) = run_with_latency(1);
+    let (slow_cycles, slow_stalls) = run_with_latency(30);
+    assert!(slow_stalls > fast_stalls, "long divide must stall the issue of the next op");
+    assert!(slow_cycles > fast_cycles + 20);
+}
+
+#[test]
+fn noncached_scheme_charges_forced_misses() {
+    let mul = FpuOp::Mul { rd: 1, rs: 2 }.encode();
+    // The same coprocessor op in a loop: under AddressLines it caches; under
+    // NonCached every execution pays the internal miss.
+    let src = format!(
+        "li r1, 50\nloop: cpop c1, {mul}(r0)\naddi r1, r1, -1\nbne r1, r0, loop\nnop\nnop\nhalt"
+    );
+    let program = assemble(&src).unwrap();
+    let run_scheme = |scheme| {
+        let mut m = Machine::new(MachineConfig {
+            coproc_scheme: scheme,
+            interlock: InterlockPolicy::Detect,
+            ..MachineConfig::default()
+        });
+        m.attach_coprocessor(1, Box::new(Fpu::new()));
+        m.load_program(&program);
+        let stats = m.run(1_000_000).unwrap();
+        (stats.cycles, stats.coproc_forced_miss_cycles)
+    };
+    let (cached_cycles, cached_forced) = run_scheme(InterfaceScheme::AddressLines);
+    let (forced_cycles, forced_forced) = run_scheme(InterfaceScheme::NonCached);
+    assert_eq!(cached_forced, 0);
+    // 50 coprocessor instructions × 2-cycle forced miss.
+    assert!(forced_forced >= 100, "forced misses: {forced_forced}");
+    assert!(forced_cycles > cached_cycles + 90);
+}
+
+#[test]
+fn interrupt_controller_readable_over_the_bus() {
+    // The handler reads the pending mask with mvfc and acks with cpop —
+    // the paper's off-chip interrupt unit.
+    let program = assemble(
+        "mvfc r2, c2, 0\nnop\ncpop c2, 0(r0)\nmvfc r3, c2, 0\nnop\nhalt",
+    )
+    .unwrap();
+    let mut m = machine();
+    let mut intc = InterruptController::new();
+    intc.raise(3);
+    intc.raise(7);
+    m.attach_coprocessor(2, Box::new(intc));
+    m.load_program(&program);
+    m.run(100_000).unwrap();
+    assert_eq!(m.cpu().reg(Reg::new(2)), (1 << 3) | (1 << 7));
+    assert_eq!(m.cpu().reg(Reg::new(3)), 0, "ack-all must clear the mask");
+}
+
+#[test]
+fn unattached_coprocessor_slots_read_zero() {
+    let program = assemble("mvfc r2, c6, 3\nnop\ncpop c5, 9(r0)\nhalt").unwrap();
+    let mut m = machine();
+    m.load_program(&program);
+    m.run(100_000).unwrap();
+    assert_eq!(m.cpu().reg(Reg::new(2)), 0);
+}
+
+#[test]
+fn squashed_coprocessor_ops_never_reach_the_device() {
+    // A coprocessor op in a squashed delay slot must not execute.
+    let mul = FpuOp::Mul { rd: 1, rs: 1 }.encode();
+    let src = format!(
+        "li r1, 1\nli r2, 2\nbeqsq r1, r2, target\ncpop c1, {mul}(r0)\nnop\nli r3, 1\nhalt\n\
+         target: halt"
+    );
+    let program = assemble(&src).unwrap();
+    let mut m = machine();
+    m.attach_coprocessor(1, Box::new(Fpu::new()));
+    m.load_program(&program);
+    m.run(100_000).unwrap();
+    let fpu = m
+        .coprocessor(1)
+        .and_then(|c| c.as_any().downcast_ref::<Fpu>())
+        .unwrap();
+    assert_eq!(fpu.ops_executed(), 0, "squashed cpop must be a no-op");
+    assert_eq!(m.cpu().reg(Reg::new(3)), 1);
+}
+
+#[test]
+fn ldf_stf_move_data_without_main_registers() {
+    let program =
+        assemble("li r1, 700\nli r2, 99\nst r2, 0(r1)\nldf f4, 0(r1)\nstf f4, 1(r1)\nhalt")
+            .unwrap();
+    let mut m = machine();
+    m.attach_coprocessor(1, Box::new(Fpu::new()));
+    m.load_program(&program);
+    let stats = m.run(100_000).unwrap();
+    assert_eq!(m.read_word(701), 99);
+    // Only r1/r2 were written through the main register file.
+    assert_eq!(stats.coproc_ops, 2); // ldf + stf
+}

@@ -1,0 +1,489 @@
+//! Exception handling: overflow traps, interrupts, the PC chain, and the
+//! three-jump restart sequence.
+//!
+//! The crown jewel is the exhaustive interrupt sweep: a program is
+//! interrupted at *every possible cycle* and must always produce the same
+//! final architectural state as an uninterrupted run — the paper's whole
+//! point that *"all instructions are restartable."*
+
+use mipsx_asm::{assemble, assemble_at};
+use mipsx_core::{Machine, MachineConfig, RunError};
+use mipsx_isa::{ExceptionCause, Instr, Mode, Reg};
+
+/// A do-nothing exception handler: restart immediately via the three
+/// special jumps. Lives at the exception vector (address 0).
+const NULL_HANDLER: &str = "jpc\njpc\njpcrs";
+
+/// Handler that counts entries at memory word 500, then restarts.
+const COUNTING_HANDLER: &str = "
+    ld   r25, 0(r24)        ; r24 preloaded with 500 by test setup
+    nop
+    addi r25, r25, 1
+    st   r25, 0(r24)
+    jpc
+    jpc
+    jpcrs
+";
+
+fn machine_with_handler(user_src: &str, handler_src: &str, origin: u32) -> Machine {
+    let handler = assemble(handler_src).expect("handler assembles");
+    let user = assemble_at(user_src, origin).expect("user program assembles");
+    let mut m = Machine::new(MachineConfig::default());
+    m.load_at(0, &handler.words);
+    m.load_program(&user);
+    // Boot-time system software enables the (maskable) overflow trap.
+    m.cpu_mut().psw.set_overflow_trap_enabled(true);
+    m
+}
+
+fn reg(m: &Machine, n: u8) -> u32 {
+    m.cpu().reg(Reg::new(n))
+}
+
+#[test]
+fn overflow_trap_enters_handler_and_recovers() {
+    // The handler clears the overflow-trap enable in PSWold so the replayed
+    // add wraps instead of re-trapping.
+    let handler = "
+        li r26, 1            ; mark: handler ran
+        movfrs r27, pswold
+        li r28, -5           ; all ones except bit 2 (overflow enable)
+        and r27, r27, r28
+        movtos pswold, r27
+        jpc
+        jpc
+        jpcrs
+    ";
+    let user = "
+        li r1, 65535
+        sll r1, r1, 15       ; r1 = large positive
+        add r2, r1, r1       ; signed overflow -> trap
+        li r3, 77            ; must still execute after restart
+        halt
+    ";
+    let mut m = machine_with_handler(user, handler, 0x400);
+    let stats = m.run(100_000).expect("completes");
+    assert_eq!(stats.exceptions, 1);
+    assert_eq!(reg(&m, 26), 1, "handler must have run");
+    assert_eq!(reg(&m, 3), 77, "execution resumes past the fault");
+    // The replayed add completed with wraparound.
+    let big = 65535u32 << 15;
+    assert_eq!(reg(&m, 2), big.wrapping_add(big));
+}
+
+#[test]
+fn overflow_trap_masked_means_wraparound() {
+    let user = "
+        movfrs r9, psw
+        li r10, -5
+        and r9, r9, r10      ; clear overflow-trap enable
+        movtos psw, r9
+        li r1, 65535
+        sll r1, r1, 15
+        add r2, r1, r1       ; overflows silently now
+        halt
+    ";
+    let mut m = machine_with_handler(user, NULL_HANDLER, 0x400);
+    let stats = m.run(100_000).expect("completes");
+    assert_eq!(stats.exceptions, 0);
+    let big = 65535u32 << 15;
+    assert_eq!(reg(&m, 2), big.wrapping_add(big));
+}
+
+#[test]
+fn psw_records_cause_and_modes_switch() {
+    let handler = "
+        movfrs r20, psw      ; capture handler-time PSW
+        movfrs r21, pswold
+        jpc
+        jpc
+        jpcrs
+    ";
+    let user = "
+        li r1, 65535
+        sll r1, r1, 15
+        add r2, r1, r1
+        halt
+    ";
+    let mut m = machine_with_handler(user, handler, 0x400);
+    // Note: the replayed add traps again (trap enable still on in PSWold)…
+    // so cap the test at the FIRST entry by reading the captured PSW after
+    // a bounded number of steps.
+    for _ in 0..60 {
+        if m.step().is_err() || m.halted() {
+            break;
+        }
+        if reg(&m, 20) != 0 {
+            break;
+        }
+    }
+    let captured = mipsx_isa::Psw::from_bits(reg(&m, 20));
+    assert_eq!(captured.mode(), Mode::System);
+    assert!(!captured.interrupts_enabled());
+    assert!(!captured.pc_shifting_enabled());
+    assert_eq!(captured.cause(), Some(ExceptionCause::Overflow));
+}
+
+#[test]
+fn interrupt_enters_handler_once() {
+    let user = "
+        li r24, 500
+        movfrs r9, psw
+        li r10, 2            ; interrupt-enable bit
+        or r9, r9, r10
+        movtos psw, r9
+        li r1, 400
+        loop: addi r1, r1, -1
+        bne r1, r0, loop
+        nop
+        nop
+        halt
+    ";
+    let mut m = machine_with_handler(user, COUNTING_HANDLER, 0x400);
+    // Run a while, pulse the interrupt line for one accepted exception.
+    for _ in 0..100 {
+        m.step().unwrap();
+    }
+    m.set_interrupt_line(true);
+    let before = m.stats().exceptions;
+    while m.stats().exceptions == before {
+        m.step().unwrap();
+    }
+    m.set_interrupt_line(false);
+    let stats = m.run(1_000_000).expect("completes");
+    assert_eq!(stats.exceptions, 1);
+    assert_eq!(m.read_word(500), 1, "handler counted one entry");
+    assert_eq!(reg(&m, 1), 0, "loop still finished correctly");
+}
+
+#[test]
+fn interrupts_masked_until_enabled() {
+    let user = "
+        li r1, 50
+        loop: addi r1, r1, -1
+        bne r1, r0, loop
+        nop
+        nop
+        halt
+    ";
+    let mut m = machine_with_handler(user, NULL_HANDLER, 0x400);
+    m.set_interrupt_line(true); // asserted the whole run
+    let stats = m.run(1_000_000).expect("completes");
+    // PSW resets with interrupts disabled; the line is never sampled.
+    assert_eq!(stats.exceptions, 0);
+}
+
+#[test]
+fn nmi_ignores_the_mask() {
+    let user = "
+        li r24, 500
+        li r1, 300
+        loop: addi r1, r1, -1
+        bne r1, r0, loop
+        nop
+        nop
+        halt
+    ";
+    let mut m = machine_with_handler(user, COUNTING_HANDLER, 0x400);
+    for _ in 0..50 {
+        m.step().unwrap();
+    }
+    m.pulse_nmi();
+    let stats = m.run(1_000_000).expect("completes");
+    assert_eq!(stats.exceptions, 1);
+    assert_eq!(m.read_word(500), 1);
+    assert_eq!(reg(&m, 1), 0);
+}
+
+/// The exhaustive restartability sweep. A program with branches, squashing
+/// branches, loads, stores, msteps, and calls is interrupted at every cycle
+/// from 8 to completion; after the null handler restarts it, the final
+/// state must be identical to the uninterrupted run.
+#[test]
+fn interrupt_at_every_cycle_preserves_architectural_state() {
+    let user = "
+        li r24, 600
+        movfrs r9, psw
+        li r10, 2
+        or r9, r9, r10
+        movtos psw, r9       ; enable interrupts
+        li r1, 12
+        li r2, 0
+        li r5, 3
+        movtos md, r5
+        outer:
+          add r2, r2, r1
+          st r2, 0(r24)
+          addi r24, r24, 1
+          mstep r6, r1, r6
+          beqsq r1, r5, skip ; squashing branch, occasionally taken
+          addi r7, r7, 5
+          addi r8, r8, 7
+        skip:
+          addi r1, r1, -1
+          bne r1, r0, outer
+          nop
+          nop
+        call fn
+        nop
+        nop
+        halt
+        fn: add r11, r7, r8
+        ret
+        nop
+        nop
+    ";
+    // Reference run, no interrupt.
+    let mut reference = machine_with_handler(user, NULL_HANDLER, 0x400);
+    let ref_stats = reference.run(1_000_000).expect("reference completes");
+    let ref_regs = reference.cpu().regs_snapshot();
+    let ref_mem: Vec<u32> = (600..620).map(|a| reference.read_word(a)).collect();
+    let total_cycles = ref_stats.cycles;
+    assert!(total_cycles > 50, "program must be nontrivial");
+
+    for fire_at in 8..total_cycles {
+        let mut m = machine_with_handler(user, NULL_HANDLER, 0x400);
+        for _ in 0..fire_at {
+            if m.halted() {
+                break;
+            }
+            m.step().unwrap_or_else(|e| panic!("cycle error at {fire_at}: {e}"));
+        }
+        if m.halted() {
+            break;
+        }
+        m.set_interrupt_line(true);
+        // Keep the line up until an exception is accepted (or the program
+        // ends — interrupts may still be masked at this point).
+        let before = m.stats().exceptions;
+        for _ in 0..200 {
+            if m.halted() || m.stats().exceptions > before {
+                break;
+            }
+            m.step()
+                .unwrap_or_else(|e| panic!("interrupt error at {fire_at}: {e}"));
+        }
+        m.set_interrupt_line(false);
+        if !m.halted() {
+            m.run(1_000_000)
+                .unwrap_or_else(|e| panic!("completion error at {fire_at}: {e}"));
+        }
+        assert_eq!(
+            m.cpu().regs_snapshot(),
+            ref_regs,
+            "registers diverged when interrupting at cycle {fire_at}"
+        );
+        let mem: Vec<u32> = (600..620).map(|a| m.read_word(a)).collect();
+        assert_eq!(mem, ref_mem, "memory diverged at cycle {fire_at}");
+    }
+}
+
+#[test]
+fn pc_chain_is_readable_and_writable_in_handler() {
+    let handler = "
+        movfrs r20, pc0
+        movfrs r21, pc1
+        movfrs r22, pc2
+        jpc
+        jpc
+        jpcrs
+    ";
+    let user = "
+        li r1, 65535
+        sll r1, r1, 15
+        add r2, r1, r1      ; traps at user address 0x402
+        li r3, 1
+        halt
+    ";
+    let mut m = machine_with_handler(user, handler, 0x400);
+    // First entry captures the chain; the replay re-traps (handler never
+    // clears the enable), so stop after the chain registers are captured
+    // and one restart completed.
+    for _ in 0..200 {
+        if m.halted() {
+            break;
+        }
+        let _ = m.step();
+    }
+    // Chain = PCs of the instructions that were in MEM, ALU, RF: the sll,
+    // the add (faulter), and the li after it.
+    let pc = |r: u8| reg(&m, r) & 0x7FFF_FFFF;
+    assert_eq!(pc(20), 0x401, "oldest: the sll");
+    assert_eq!(pc(21), 0x402, "the faulting add");
+    assert_eq!(pc(22), 0x403, "youngest: the li");
+}
+
+#[test]
+fn privileged_instructions_fault_in_user_mode() {
+    // Drop to user mode, then try movtos psw.
+    let user = "
+        movfrs r9, psw
+        li r10, -2          ; clear mode bit (bit 0)
+        and r9, r9, r10
+        movtos psw, r9      ; now user mode
+        nop
+        nop
+        movtos psw, r9      ; privileged -> violation
+        halt
+    ";
+    let mut m = machine_with_handler(user, NULL_HANDLER, 0x400);
+    match m.run(100_000) {
+        Err(RunError::PrivilegeViolation { .. }) => {}
+        other => panic!("expected privilege violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn squashed_slots_replay_as_dead_after_interrupt() {
+    // Craft the nasty corner: a squashing branch falls through (slots die),
+    // and an interrupt lands while the dead slots are still in the pipe.
+    // The PC chain must carry their kill bits so the replay does not
+    // resurrect them.
+    let user = "
+        movfrs r9, psw
+        li r10, 2
+        or r9, r9, r10
+        movtos psw, r9
+        li r1, 1
+        li r2, 2
+        beqsq r1, r2, target  ; not taken -> slots squashed
+        li r4, 10             ; dead
+        li r5, 20             ; dead
+        addi r6, r6, 1
+        addi r6, r6, 1
+        addi r6, r6, 1
+        halt
+        target: li r3, 222
+        halt
+    ";
+    // Reference.
+    let mut reference = machine_with_handler(user, NULL_HANDLER, 0x400);
+    reference.run(100_000).unwrap();
+    let ref_regs = reference.cpu().regs_snapshot();
+    assert_eq!(reference.cpu().reg(Reg::new(4)), 0);
+
+    // Interrupt at each of the cycles around the squash.
+    for fire_at in 10..40 {
+        let mut m = machine_with_handler(user, NULL_HANDLER, 0x400);
+        for _ in 0..fire_at {
+            if m.halted() {
+                break;
+            }
+            m.step().unwrap();
+        }
+        if m.halted() {
+            continue;
+        }
+        m.set_interrupt_line(true);
+        for _ in 0..100 {
+            if m.halted() || m.stats().exceptions > 0 {
+                break;
+            }
+            m.step().unwrap();
+        }
+        m.set_interrupt_line(false);
+        if !m.halted() {
+            m.run(100_000).unwrap();
+        }
+        assert_eq!(
+            m.cpu().regs_snapshot(),
+            ref_regs,
+            "dead slot resurrected when interrupting at cycle {fire_at}"
+        );
+    }
+}
+
+#[test]
+fn squash_fsm_instrumentation_matches_events() {
+    let user = "
+        li r1, 1
+        li r2, 2
+        beqsq r1, r2, t1     ; squashes (not taken)
+        nop
+        nop
+        beqsq r1, r1, t2     ; taken -> no squash
+        nop
+        nop
+        t2: halt
+        t1: halt
+    ";
+    let mut m = machine_with_handler(user, NULL_HANDLER, 0x400);
+    m.run(100_000).unwrap();
+    assert_eq!(m.squash_fsm().branch_squashes, 1);
+    assert_eq!(m.squash_fsm().exceptions, 0);
+    assert_eq!(m.squash_fsm().instructions_killed, 2);
+}
+
+#[test]
+fn miss_fsm_freezes_pipeline_on_cold_start() {
+    let user = "li r1, 1\nhalt";
+    let mut m = machine_with_handler(user, NULL_HANDLER, 0x400);
+    m.run(100_000).unwrap();
+    // Cold Icache + cold Ecache: the very first fetch must have frozen ψ1.
+    assert!(m.miss_fsm().frozen_cycles > 0);
+    assert!(m.miss_fsm().misses_serviced > 0);
+}
+
+#[test]
+fn halt_in_user_program_after_nested_exceptions() {
+    // Two exceptions back to back: overflow inside an interrupt-heavy loop.
+    let handler = "
+        movfrs r27, pswold
+        li r28, -5
+        and r27, r27, r28
+        movtos pswold, r27   ; drop overflow enable so replay completes
+        jpc
+        jpc
+        jpcrs
+    ";
+    let user = "
+        li r1, 65535
+        sll r1, r1, 15
+        add r2, r1, r1       ; trap 1
+        movfrs r9, psw
+        li r10, 4
+        or r9, r9, r10
+        movtos psw, r9       ; re-enable overflow trapping
+        nop                  ; keep the movtos out of the trap's replay
+        nop                  ; window, or the restart loops forever
+        nop                  ; (exactly as it would on the silicon)
+        add r3, r1, r1       ; trap 2
+        li r4, 9
+        halt
+    ";
+    let mut m = machine_with_handler(user, handler, 0x400);
+    let stats = m.run(200_000).expect("completes");
+    assert_eq!(stats.exceptions, 2);
+    assert_eq!(reg(&m, 4), 9);
+}
+
+#[test]
+fn exception_counts_in_stats() {
+    let user = "
+        li r24, 500
+        li r1, 65535
+        sll r1, r1, 15
+        add r2, r1, r1
+        halt
+    ";
+    let handler = "
+        movfrs r27, pswold
+        li r28, -5
+        and r27, r27, r28
+        movtos pswold, r27
+        jpc
+        jpc
+        jpcrs
+    ";
+    let mut m = machine_with_handler(user, handler, 0x400);
+    let stats = m.run(100_000).unwrap();
+    assert_eq!(stats.exceptions, 1);
+    assert_eq!(m.squash_fsm().exceptions, 1);
+    // An exception kills the four in-flight instructions.
+    assert!(stats.squashed >= 4);
+}
+
+#[test]
+fn instr_encoding_of_halt_is_not_privileged() {
+    assert!(!Instr::Halt.is_privileged());
+}

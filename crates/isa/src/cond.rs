@@ -1,0 +1,192 @@
+//! Branch conditions.
+//!
+//! MIPS-X has **no condition codes**: *"instruction trace statistics indicated
+//! that a prior compute operation infrequently generated the condition code
+//! needed for a branch"* and condition codes *"generate state that needs to be
+//! saved and restored during exceptions."* Every branch therefore contains an
+//! explicit compare of two register sources, evaluated in the ALU pipestage.
+
+use std::fmt;
+
+/// The comparison a branch performs between its two register sources.
+///
+/// Eight conditions fit the 3-bit condition field. Signed and unsigned
+/// orderings are both provided; equality tests ignore signedness.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Branch if `rs1 == rs2`.
+    Eq,
+    /// Branch if `rs1 != rs2`.
+    Ne,
+    /// Branch if `rs1 < rs2` (signed).
+    Lt,
+    /// Branch if `rs1 >= rs2` (signed).
+    Ge,
+    /// Branch if `rs1 <= rs2` (signed).
+    Le,
+    /// Branch if `rs1 > rs2` (signed).
+    Gt,
+    /// Branch if `rs1 >= rs2` (unsigned, "higher or same").
+    Hs,
+    /// Branch if `rs1 < rs2` (unsigned, "lower").
+    Lo,
+}
+
+impl Cond {
+    /// All eight conditions in field order.
+    pub const ALL: [Cond; 8] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Ge,
+        Cond::Le,
+        Cond::Gt,
+        Cond::Hs,
+        Cond::Lo,
+    ];
+
+    /// Evaluate the condition on two register values.
+    #[inline]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i32) < (b as i32),
+            Cond::Ge => (a as i32) >= (b as i32),
+            Cond::Le => (a as i32) <= (b as i32),
+            Cond::Gt => (a as i32) > (b as i32),
+            Cond::Hs => a >= b,
+            Cond::Lo => a < b,
+        }
+    }
+
+    /// The condition with taken/not-taken swapped: `c.negate().eval(a, b) ==
+    /// !c.eval(a, b)` for all inputs.
+    #[inline]
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Hs => Cond::Lo,
+            Cond::Lo => Cond::Hs,
+        }
+    }
+
+    /// Whether a *quick compare* circuit (a comparator on the register-file
+    /// outputs, no ALU pass) could evaluate this condition.
+    ///
+    /// *"Only equality and sign comparisons can be obtained using this method
+    /// since there is not enough time for an arithmetic operation."* Equality
+    /// (and inequality) need only a wide XNOR; a sign test against zero needs
+    /// only the top bit. Magnitude comparisons need a subtraction, which the
+    /// quick-compare window cannot fit.
+    ///
+    /// `rs2_is_zero` reports whether the second operand is the hardwired zero
+    /// register, which turns signed orderings into sign tests.
+    #[inline]
+    pub fn quick_compare_able(self, rs2_is_zero: bool) -> bool {
+        match self {
+            Cond::Eq | Cond::Ne => true,
+            Cond::Lt | Cond::Ge => rs2_is_zero,
+            // `a <= 0` / `a > 0` need sign AND zero, still comparator-only.
+            Cond::Le | Cond::Gt => rs2_is_zero,
+            // Unsigned magnitude needs a subtract.
+            Cond::Hs | Cond::Lo => false,
+        }
+    }
+
+    /// 3-bit encoding field for this condition.
+    #[inline]
+    pub fn field(self) -> u32 {
+        Cond::ALL.iter().position(|&c| c == self).unwrap() as u32
+    }
+
+    /// Decode a 3-bit condition field.
+    ///
+    /// # Panics
+    /// Panics if `field >= 8` (an encoding invariant, not reachable from
+    /// `Instr::decode`, which masks the field).
+    #[inline]
+    pub fn from_field(field: u32) -> Cond {
+        Cond::ALL[field as usize]
+    }
+
+    /// Assembler mnemonic suffix (`beq`, `bne`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Hs => "hs",
+            Cond::Lo => "lo",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_signed_vs_unsigned() {
+        let neg1 = u32::MAX; // -1 as i32
+        assert!(Cond::Lt.eval(neg1, 0)); // signed: -1 < 0
+        assert!(!Cond::Lo.eval(neg1, 0)); // unsigned: MAX >= 0
+        assert!(Cond::Hs.eval(neg1, 0));
+        assert!(Cond::Ge.eval(0, neg1));
+    }
+
+    #[test]
+    fn eval_equality() {
+        assert!(Cond::Eq.eval(7, 7));
+        assert!(!Cond::Eq.eval(7, 8));
+        assert!(Cond::Ne.eval(7, 8));
+    }
+
+    #[test]
+    fn negate_is_logical_not() {
+        let samples = [(0u32, 0u32), (1, 2), (u32::MAX, 0), (5, 5), (0x8000_0000, 1)];
+        for c in Cond::ALL {
+            for &(a, b) in &samples {
+                assert_eq!(c.negate().eval(a, b), !c.eval(a, b), "{c:?} on ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn negate_is_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn field_round_trip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_field(c.field()), c);
+        }
+    }
+
+    #[test]
+    fn quick_compare_classification() {
+        assert!(Cond::Eq.quick_compare_able(false));
+        assert!(Cond::Ne.quick_compare_able(true));
+        assert!(Cond::Lt.quick_compare_able(true)); // sign test vs r0
+        assert!(!Cond::Lt.quick_compare_able(false)); // full magnitude compare
+        assert!(!Cond::Hs.quick_compare_able(true)); // unsigned always needs ALU
+        assert!(!Cond::Lo.quick_compare_able(false));
+    }
+}

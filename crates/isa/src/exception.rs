@@ -1,0 +1,59 @@
+//! Exception causes.
+
+use std::fmt;
+
+/// Why the machine took an exception.
+///
+/// *"There is only one exception generated on chip and it is a trap on
+/// overflow in the ALU or the multiplication/division hardware."* Interrupts
+/// (maskable and non-maskable) arrive on external pins; *"MIPS-X relies ...
+/// on a separate off-chip interrupt control unit"* for finer-grained cause
+/// information, which the simulator models as a device readable over the
+/// coprocessor interface.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ExceptionCause {
+    /// External maskable interrupt line asserted while interrupts enabled.
+    Interrupt,
+    /// Signed arithmetic overflow in the ALU or multiply/divide hardware,
+    /// with the overflow trap enabled in the PSW.
+    Overflow,
+    /// External non-maskable interrupt line.
+    NonMaskableInterrupt,
+}
+
+impl ExceptionCause {
+    /// All causes, in increasing priority order.
+    pub const ALL: [ExceptionCause; 3] = [
+        ExceptionCause::Interrupt,
+        ExceptionCause::Overflow,
+        ExceptionCause::NonMaskableInterrupt,
+    ];
+
+    /// Whether this cause can be masked off in the PSW.
+    #[inline]
+    pub fn maskable(self) -> bool {
+        !matches!(self, ExceptionCause::NonMaskableInterrupt)
+    }
+}
+
+impl fmt::Display for ExceptionCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExceptionCause::Interrupt => f.write_str("interrupt"),
+            ExceptionCause::Overflow => f.write_str("overflow"),
+            ExceptionCause::NonMaskableInterrupt => f.write_str("nmi"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmi_is_not_maskable() {
+        assert!(ExceptionCause::Interrupt.maskable());
+        assert!(ExceptionCause::Overflow.maskable());
+        assert!(!ExceptionCause::NonMaskableInterrupt.maskable());
+    }
+}

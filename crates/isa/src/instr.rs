@@ -1,0 +1,924 @@
+//! Instruction definitions, encoding and decoding.
+//!
+//! All MIPS-X instructions are fixed-format 32-bit words. The top four bits
+//! select the major format; every field below them is at a fixed position.
+//! This keeps decode to a mask-and-match — the paper's first design rule.
+//!
+//! ## Encoding map (major opcode in bits `[31:28]`)
+//!
+//! | major | format | fields |
+//! |-------|--------|--------|
+//! | `0x0` | `ld`    | `rs1[27:23] rd[22:18] off17[16:0]` |
+//! | `0x1` | `st`    | `rs1[27:23] rsrc[22:18] off17[16:0]` |
+//! | `0x2` | `cpop`  | `rs1[27:23] cop[16:14] op14[13:0]` |
+//! | `0x3` | `mvtc`  | `rs[27:23] cop[16:14] op14[13:0]` |
+//! | `0x4` | `mvfc`  | `rd[27:23] cop[16:14] op14[13:0]` |
+//! | `0x5` | `ldf`   | `rs1[27:23] fr[22:18] off17[16:0]` |
+//! | `0x6` | `stf`   | `rs1[27:23] fr[22:18] off17[16:0]` |
+//! | `0x7` | branch  | `cond[27:25] sq[24:23] rs1[22:18] rs2[17:13] disp13[12:0]` |
+//! | `0x8` | compute | `rs1[27:23] rs2[22:18] rd[17:13] shamt[12:8] funct[7:0]` |
+//! | `0x9` | `addi`  | `rs1[27:23] rd[22:18] imm17[16:0]` |
+//! | `0xA` | jump    | `sub[27:25]`: 0 `jspci rs1[24:20] rd[19:15] imm15[14:0]`, 1 `jpc`, 2 `jpcrs` |
+//! | `0xB` | special | `sub[27:25]`: 0 `movfrs rd[24:20] sreg[2:0]`, 1 `movtos rs[24:20] sreg[2:0]` |
+//! | `0xF` | misc    | `sub[27:25]`: 0 `nop`, 1 `halt` |
+//!
+//! The memory format's 17-bit signed offset doubles as the coprocessor
+//! instruction in the final interface the paper settled on: *"If the memory
+//! system ignores the cycle, it is possible to pass the 17-bit offset constant
+//! to a coprocessor as an instruction. The instruction would include a 3-bit
+//! field to specify the coprocessor being addressed."*
+
+use std::fmt;
+
+use crate::{
+    mask, sign_extend, to_signed_field, Cond, Reg, SpecialReg, BRANCH_DISP_BITS, OFFSET_BITS,
+};
+
+/// Width of the branch displacement after the squash mode took one bit
+/// beyond the paper's single squash bit (we model all three squash actions;
+/// see [`SquashMode`]).
+const DISP13: u32 = BRANCH_DISP_BITS - 1;
+
+/// Width of the `jspci` immediate field.
+const JSPCI_IMM_BITS: u32 = 15;
+
+/// What happens to the instructions in a branch's delay slots.
+///
+/// *"With squashing there are three options for dealing with the instructions
+/// in the delay slots giving three possible branch types: **no squash** where
+/// the slot instructions are always executed, **squash if don't go** where the
+/// slot instructions are executed if the branch takes and **squash if go**
+/// where the slot instructions are executed if the branch does not take."*
+///
+/// Real MIPS-X implements only the first two (static prediction is
+/// predict-taken, so `SquashIfGo` buys nothing), spending a single opcode
+/// bit. The simulator carries all three so the full Table 1 scheme space can
+/// be rerun; encodings use two bits with the fourth value unused.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SquashMode {
+    /// Slot instructions always execute (the original MIPS behaviour).
+    #[default]
+    NoSquash,
+    /// Slot instructions execute only if the branch is taken
+    /// ("squash if don't go") — used with instructions hoisted from the
+    /// branch *target* under predict-taken.
+    SquashIfNotTaken,
+    /// Slot instructions execute only if the branch is *not* taken
+    /// ("squash if go") — used with instructions from the fall-through path
+    /// under predict-not-taken. Not in the real MIPS-X instruction set.
+    SquashIfGo,
+}
+
+impl SquashMode {
+    /// All squash modes in field order.
+    pub const ALL: [SquashMode; 3] = [
+        SquashMode::NoSquash,
+        SquashMode::SquashIfNotTaken,
+        SquashMode::SquashIfGo,
+    ];
+
+    /// Whether the delay-slot instructions survive given the branch outcome.
+    #[inline]
+    pub fn slots_execute(self, taken: bool) -> bool {
+        match self {
+            SquashMode::NoSquash => true,
+            SquashMode::SquashIfNotTaken => taken,
+            SquashMode::SquashIfGo => !taken,
+        }
+    }
+
+    /// 2-bit encoding field.
+    #[inline]
+    pub fn field(self) -> u32 {
+        SquashMode::ALL.iter().position(|&m| m == self).unwrap() as u32
+    }
+
+    /// Decode a 2-bit field; value 3 is an illegal encoding.
+    #[inline]
+    pub fn from_field(field: u32) -> Option<SquashMode> {
+        SquashMode::ALL.get(field as usize).copied()
+    }
+
+    /// Whether the real 1987 silicon supports this mode.
+    #[inline]
+    pub fn in_real_isa(self) -> bool {
+        !matches!(self, SquashMode::SquashIfGo)
+    }
+}
+
+/// Compute-instruction operations (the `funct` field of the register
+/// compute format).
+///
+/// The execute unit has *"a 64-bit to 32-bit funnel shifter and a 32-bit
+/// ALU"* plus *"a special register, called the MD register, that is used
+/// during multiplication and division instructions"* — there is no full
+/// multiplier; software iterates [`ComputeOp::Mstep`]/[`ComputeOp::Dstep`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ComputeOp {
+    /// `rd = rs1 + rs2`, trapping on signed overflow when enabled.
+    Add,
+    /// `rd = rs1 - rs2`, trapping on signed overflow when enabled.
+    Sub,
+    /// `rd = rs1 + rs2`, never trapping (address arithmetic).
+    AddU,
+    /// `rd = rs1 - rs2`, never trapping.
+    SubU,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Bitwise nor (gives `not` with `r0`).
+    Nor,
+    /// Logical left shift of `rs1` by `shamt`.
+    Sll,
+    /// Logical right shift of `rs1` by `shamt`.
+    Srl,
+    /// Arithmetic right shift of `rs1` by `shamt`.
+    Sra,
+    /// Funnel shift: `rd = ((rs1 ++ rs2) >> shamt)[31:0]` — the low 32 bits
+    /// of the 64-bit concatenation shifted right by `shamt`.
+    Shf,
+    /// One multiply step (MSB-first shift-and-add):
+    /// `rd = (rs2 << 1) + (md[31] ? rs1 : 0); md <<= 1`.
+    /// Executing 32 msteps with `md` = multiplier, `rs1` = multiplicand and
+    /// an accumulator threaded through `rs2`/`rd` yields the low 32 bits of
+    /// the product.
+    Mstep,
+    /// One restoring-division step (unsigned, MSB-first):
+    /// `r = (rs2 << 1) | md[31]; md <<= 1; if r >= rs1 { r -= rs1; md |= 1 };
+    /// rd = r`. After 32 steps `md` holds the quotient and `rd` the
+    /// remainder.
+    Dstep,
+}
+
+impl ComputeOp {
+    /// All compute operations in `funct`-field order.
+    pub const ALL: [ComputeOp; 14] = [
+        ComputeOp::Add,
+        ComputeOp::Sub,
+        ComputeOp::AddU,
+        ComputeOp::SubU,
+        ComputeOp::And,
+        ComputeOp::Or,
+        ComputeOp::Xor,
+        ComputeOp::Nor,
+        ComputeOp::Sll,
+        ComputeOp::Srl,
+        ComputeOp::Sra,
+        ComputeOp::Shf,
+        ComputeOp::Mstep,
+        ComputeOp::Dstep,
+    ];
+
+    /// The 8-bit `funct` encoding.
+    #[inline]
+    pub fn funct(self) -> u32 {
+        ComputeOp::ALL.iter().position(|&o| o == self).unwrap() as u32
+    }
+
+    /// Decode a `funct` field.
+    #[inline]
+    pub fn from_funct(funct: u32) -> Option<ComputeOp> {
+        ComputeOp::ALL.get(funct as usize).copied()
+    }
+
+    /// Whether this operation reads or writes the MD register.
+    #[inline]
+    pub fn touches_md(self) -> bool {
+        matches!(self, ComputeOp::Mstep | ComputeOp::Dstep)
+    }
+
+    /// Whether this operation can raise the overflow trap.
+    #[inline]
+    pub fn can_overflow(self) -> bool {
+        matches!(self, ComputeOp::Add | ComputeOp::Sub)
+    }
+
+    /// Whether the `shamt` field is meaningful for this operation.
+    #[inline]
+    pub fn uses_shamt(self) -> bool {
+        matches!(
+            self,
+            ComputeOp::Sll | ComputeOp::Srl | ComputeOp::Sra | ComputeOp::Shf
+        )
+    }
+
+    /// Whether the second register source is meaningful.
+    #[inline]
+    pub fn uses_rs2(self) -> bool {
+        !matches!(self, ComputeOp::Sll | ComputeOp::Srl | ComputeOp::Sra)
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ComputeOp::Add => "add",
+            ComputeOp::Sub => "sub",
+            ComputeOp::AddU => "addu",
+            ComputeOp::SubU => "subu",
+            ComputeOp::And => "and",
+            ComputeOp::Or => "or",
+            ComputeOp::Xor => "xor",
+            ComputeOp::Nor => "nor",
+            ComputeOp::Sll => "sll",
+            ComputeOp::Srl => "srl",
+            ComputeOp::Sra => "sra",
+            ComputeOp::Shf => "shf",
+            ComputeOp::Mstep => "mstep",
+            ComputeOp::Dstep => "dstep",
+        }
+    }
+}
+
+/// Kinds of jump instruction (the `0xA` major format).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum JumpKind {
+    /// `jspci`: jump to `rs1 + imm`, saving the return address in `rd`.
+    Jspci,
+    /// `jpc`: special jump to the head of the PC chain (exception restart).
+    Jpc,
+    /// `jpcrs`: like `jpc`, additionally restoring `PSW` from `PSWold` —
+    /// the last jump of the three-jump restart sequence.
+    Jpcrs,
+}
+
+/// A fully decoded MIPS-X instruction.
+///
+/// `Instr` is the exchange currency of the whole workspace: the assembler
+/// produces it, [`Instr::encode`] packs it into the 32-bit word stored in
+/// memory, the pipeline's RF stage gets it back from [`Instr::decode`], and
+/// the reorganizer queries it for dataflow ([`Instr::def`], [`Instr::uses`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// Load word: `rd = mem[rs1 + offset]`. One delay slot: the next
+    /// instruction must not use `rd`.
+    Ld { rs1: Reg, rd: Reg, offset: i32 },
+    /// Store word: `mem[rs1 + offset] = rsrc`.
+    St { rs1: Reg, rsrc: Reg, offset: i32 },
+    /// Coprocessor operation: drives the 17-bit field out the address pins
+    /// (memory ignores the cycle); coprocessor `cop` executes `op`.
+    Cpop { rs1: Reg, cop: u8, op: u16 },
+    /// Move to coprocessor: main register `rs` is driven on the data bus for
+    /// coprocessor `cop`, which interprets `op` (e.g. "write FPU reg 3").
+    Mvtc { rs: Reg, cop: u8, op: u16 },
+    /// Move from coprocessor: coprocessor `cop` drives the data bus, the
+    /// value lands in main register `rd`.
+    Mvfc { rd: Reg, cop: u8, op: u16 },
+    /// Load floating: `fpu[fr] = mem[rs1 + offset]` — the one coprocessor
+    /// with direct memory access, *"without passing through the main
+    /// processor, in a single instruction"*.
+    Ldf { rs1: Reg, fr: u8, offset: i32 },
+    /// Store floating: `mem[rs1 + offset] = fpu[fr]`.
+    Stf { rs1: Reg, fr: u8, offset: i32 },
+    /// Compare-and-branch with `disp` words of PC-relative displacement and
+    /// two architectural delay slots.
+    Branch {
+        cond: Cond,
+        squash: SquashMode,
+        rs1: Reg,
+        rs2: Reg,
+        disp: i32,
+    },
+    /// Register-register compute operation.
+    Compute {
+        op: ComputeOp,
+        rs1: Reg,
+        rs2: Reg,
+        rd: Reg,
+        shamt: u8,
+    },
+    /// Add immediate: `rd = rs1 + imm` (signed 17-bit), trapping on
+    /// overflow when enabled. `addi r0, rd, k` is the canonical
+    /// load-immediate.
+    Addi { rs1: Reg, rd: Reg, imm: i32 },
+    /// Jump indexed, save PC: jump to `rs1 + imm`; `rd` receives the address
+    /// of the instruction after the jump's delay slots.
+    Jspci { rs1: Reg, rd: Reg, imm: i32 },
+    /// Special jump through the PC chain (exception restart).
+    Jpc,
+    /// Special jump through the PC chain, restoring PSW from PSWold.
+    Jpcrs,
+    /// Read a special register into `rd`.
+    Movfrs { rd: Reg, sreg: SpecialReg },
+    /// Write a special register from `rs` (privileged except MD).
+    Movtos { sreg: SpecialReg, rs: Reg },
+    /// Explicit no-op. The reorganizer emits these into unfillable delay
+    /// slots; the paper's 15.6 % / 18.3 % no-op statistics count them.
+    Nop,
+    /// Stop the simulator (not a real MIPS-X instruction; the hardware would
+    /// idle in a branch-to-self).
+    Halt,
+    /// Any word that does not decode. Executing one traps (modeled as
+    /// overflow-class exception by the core).
+    Illegal(u32),
+}
+
+/// Field extraction helpers.
+#[inline]
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & mask(hi - lo + 1)
+}
+
+#[inline]
+fn reg_at(word: u32, hi: u32, lo: u32) -> Reg {
+    Reg::new(bits(word, hi, lo) as u8)
+}
+
+impl Instr {
+    /// Encode the instruction into its 32-bit memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an immediate field is out of range for its width (the
+    /// assembler checks ranges with [`to_signed_field`] before building
+    /// `Instr` values from user input; programmatic construction is expected
+    /// to respect the documented widths: offsets 17 bits, branch
+    /// displacements 13 bits, `jspci` immediates 15 bits).
+    pub fn encode(self) -> u32 {
+        fn off17(v: i32) -> u32 {
+            to_signed_field(v, OFFSET_BITS).expect("17-bit offset out of range")
+        }
+        match self {
+            Instr::Ld { rs1, rd, offset } => {
+                (0x0 << 28) | (rs1.field() << 23) | (rd.field() << 18) | off17(offset)
+            }
+            Instr::St { rs1, rsrc, offset } => {
+                (0x1 << 28) | (rs1.field() << 23) | (rsrc.field() << 18) | off17(offset)
+            }
+            Instr::Cpop { rs1, cop, op } => {
+                assert!(cop < 8, "coprocessor number out of range");
+                assert!((op as u32) <= mask(14), "coprocessor op out of range");
+                (0x2 << 28) | (rs1.field() << 23) | ((cop as u32) << 14) | op as u32
+            }
+            Instr::Mvtc { rs, cop, op } => {
+                assert!(cop < 8, "coprocessor number out of range");
+                assert!((op as u32) <= mask(14), "coprocessor op out of range");
+                (0x3 << 28) | (rs.field() << 23) | ((cop as u32) << 14) | op as u32
+            }
+            Instr::Mvfc { rd, cop, op } => {
+                assert!(cop < 8, "coprocessor number out of range");
+                assert!((op as u32) <= mask(14), "coprocessor op out of range");
+                (0x4 << 28) | (rd.field() << 23) | ((cop as u32) << 14) | op as u32
+            }
+            Instr::Ldf { rs1, fr, offset } => {
+                assert!(fr < 32, "FPU register out of range");
+                (0x5 << 28) | (rs1.field() << 23) | ((fr as u32) << 18) | off17(offset)
+            }
+            Instr::Stf { rs1, fr, offset } => {
+                assert!(fr < 32, "FPU register out of range");
+                (0x6 << 28) | (rs1.field() << 23) | ((fr as u32) << 18) | off17(offset)
+            }
+            Instr::Branch {
+                cond,
+                squash,
+                rs1,
+                rs2,
+                disp,
+            } => {
+                let d = to_signed_field(disp, DISP13).expect("13-bit displacement out of range");
+                (0x7 << 28)
+                    | (cond.field() << 25)
+                    | (squash.field() << 23)
+                    | (rs1.field() << 18)
+                    | (rs2.field() << 13)
+                    | d
+            }
+            Instr::Compute {
+                op,
+                rs1,
+                rs2,
+                rd,
+                shamt,
+            } => {
+                assert!(shamt < 64, "shift amount out of range");
+                (0x8 << 28)
+                    | (rs1.field() << 23)
+                    | (rs2.field() << 18)
+                    | (rd.field() << 13)
+                    | ((shamt as u32) << 8)
+                    | op.funct()
+            }
+            Instr::Addi { rs1, rd, imm } => {
+                (0x9 << 28) | (rs1.field() << 23) | (rd.field() << 18) | off17(imm)
+            }
+            Instr::Jspci { rs1, rd, imm } => {
+                let i = to_signed_field(imm, JSPCI_IMM_BITS).expect("15-bit immediate out of range");
+                (0xA << 28) | (0 << 25) | (rs1.field() << 20) | (rd.field() << 15) | i
+            }
+            Instr::Jpc => (0xA << 28) | (1 << 25),
+            Instr::Jpcrs => (0xA << 28) | (2 << 25),
+            Instr::Movfrs { rd, sreg } => (0xB << 28) | (0 << 25) | (rd.field() << 20) | sreg.field(),
+            Instr::Movtos { sreg, rs } => (0xB << 28) | (1 << 25) | (rs.field() << 20) | sreg.field(),
+            Instr::Nop => 0xF << 28,
+            Instr::Halt => (0xF << 28) | (1 << 25),
+            Instr::Illegal(raw) => raw,
+        }
+    }
+
+    /// Decode a 32-bit memory word.
+    ///
+    /// Words that match no format decode to [`Instr::Illegal`]; spare bits in
+    /// defined formats are ignored (hardware does not latch them), so
+    /// `decode` is total and `decode(encode(i)) == i` for every constructible
+    /// instruction.
+    pub fn decode(word: u32) -> Instr {
+        let major = word >> 28;
+        match major {
+            0x0 => Instr::Ld {
+                rs1: reg_at(word, 27, 23),
+                rd: reg_at(word, 22, 18),
+                offset: sign_extend(bits(word, 16, 0), OFFSET_BITS),
+            },
+            0x1 => Instr::St {
+                rs1: reg_at(word, 27, 23),
+                rsrc: reg_at(word, 22, 18),
+                offset: sign_extend(bits(word, 16, 0), OFFSET_BITS),
+            },
+            0x2 => Instr::Cpop {
+                rs1: reg_at(word, 27, 23),
+                cop: bits(word, 16, 14) as u8,
+                op: bits(word, 13, 0) as u16,
+            },
+            0x3 => Instr::Mvtc {
+                rs: reg_at(word, 27, 23),
+                cop: bits(word, 16, 14) as u8,
+                op: bits(word, 13, 0) as u16,
+            },
+            0x4 => Instr::Mvfc {
+                rd: reg_at(word, 27, 23),
+                cop: bits(word, 16, 14) as u8,
+                op: bits(word, 13, 0) as u16,
+            },
+            0x5 => Instr::Ldf {
+                rs1: reg_at(word, 27, 23),
+                fr: bits(word, 22, 18) as u8,
+                offset: sign_extend(bits(word, 16, 0), OFFSET_BITS),
+            },
+            0x6 => Instr::Stf {
+                rs1: reg_at(word, 27, 23),
+                fr: bits(word, 22, 18) as u8,
+                offset: sign_extend(bits(word, 16, 0), OFFSET_BITS),
+            },
+            0x7 => match SquashMode::from_field(bits(word, 24, 23)) {
+                Some(squash) => Instr::Branch {
+                    cond: Cond::from_field(bits(word, 27, 25)),
+                    squash,
+                    rs1: reg_at(word, 22, 18),
+                    rs2: reg_at(word, 17, 13),
+                    disp: sign_extend(bits(word, 12, 0), DISP13),
+                },
+                None => Instr::Illegal(word),
+            },
+            0x8 => match ComputeOp::from_funct(bits(word, 7, 0)) {
+                Some(op) => Instr::Compute {
+                    op,
+                    rs1: reg_at(word, 27, 23),
+                    rs2: reg_at(word, 22, 18),
+                    rd: reg_at(word, 17, 13),
+                    shamt: bits(word, 12, 8) as u8,
+                },
+                None => Instr::Illegal(word),
+            },
+            0x9 => Instr::Addi {
+                rs1: reg_at(word, 27, 23),
+                rd: reg_at(word, 22, 18),
+                imm: sign_extend(bits(word, 16, 0), OFFSET_BITS),
+            },
+            0xA => match bits(word, 27, 25) {
+                0 => Instr::Jspci {
+                    rs1: reg_at(word, 24, 20),
+                    rd: reg_at(word, 19, 15),
+                    imm: sign_extend(bits(word, 14, 0), JSPCI_IMM_BITS),
+                },
+                1 => Instr::Jpc,
+                2 => Instr::Jpcrs,
+                _ => Instr::Illegal(word),
+            },
+            0xB => {
+                let sreg = match SpecialReg::from_field(bits(word, 2, 0)) {
+                    Some(s) => s,
+                    None => return Instr::Illegal(word),
+                };
+                match bits(word, 27, 25) {
+                    0 => Instr::Movfrs {
+                        rd: reg_at(word, 24, 20),
+                        sreg,
+                    },
+                    1 => Instr::Movtos {
+                        sreg,
+                        rs: reg_at(word, 24, 20),
+                    },
+                    _ => Instr::Illegal(word),
+                }
+            }
+            0xF => match bits(word, 27, 25) {
+                0 => Instr::Nop,
+                1 => Instr::Halt,
+                _ => Instr::Illegal(word),
+            },
+            _ => Instr::Illegal(word),
+        }
+    }
+
+    /// The general-purpose register this instruction writes, if any.
+    ///
+    /// Writes to `r0` are architecturally discarded but still reported here,
+    /// since the bypass network and the reorganizer reason about the
+    /// destination *specifier* (the squash mechanism works by setting a kill
+    /// bit in exactly this field).
+    pub fn def(self) -> Option<Reg> {
+        match self {
+            Instr::Ld { rd, .. }
+            | Instr::Mvfc { rd, .. }
+            | Instr::Compute { rd, .. }
+            | Instr::Addi { rd, .. }
+            | Instr::Jspci { rd, .. }
+            | Instr::Movfrs { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// The general-purpose registers this instruction reads (up to two).
+    pub fn uses(self) -> impl Iterator<Item = Reg> {
+        let (a, b): (Option<Reg>, Option<Reg>) = match self {
+            Instr::Ld { rs1, .. }
+            | Instr::Ldf { rs1, .. }
+            | Instr::Cpop { rs1, .. }
+            | Instr::Addi { rs1, .. } => (Some(rs1), None),
+            Instr::St { rs1, rsrc, .. } => (Some(rs1), Some(rsrc)),
+            Instr::Stf { rs1, .. } => (Some(rs1), None),
+            Instr::Mvtc { rs, .. } => (Some(rs), None),
+            Instr::Branch { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            Instr::Compute { op, rs1, rs2, .. } => {
+                if op.uses_rs2() {
+                    (Some(rs1), Some(rs2))
+                } else {
+                    (Some(rs1), None)
+                }
+            }
+            Instr::Jspci { rs1, .. } => (Some(rs1), None),
+            Instr::Movtos { rs, .. } => (Some(rs), None),
+            Instr::Mvfc { .. }
+            | Instr::Movfrs { .. }
+            | Instr::Jpc
+            | Instr::Jpcrs
+            | Instr::Nop
+            | Instr::Halt
+            | Instr::Illegal(_) => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// Whether this is a conditional branch.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// Whether this is an unconditional jump (including the special jumps).
+    #[inline]
+    pub fn is_jump(self) -> bool {
+        matches!(self, Instr::Jspci { .. } | Instr::Jpc | Instr::Jpcrs)
+    }
+
+    /// Whether this instruction can redirect the PC (branch or jump).
+    #[inline]
+    pub fn is_control(self) -> bool {
+        self.is_branch() || self.is_jump()
+    }
+
+    /// Whether this instruction reads memory.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, Instr::Ld { .. } | Instr::Ldf { .. })
+    }
+
+    /// Whether this instruction writes memory.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, Instr::St { .. } | Instr::Stf { .. })
+    }
+
+    /// Whether this instruction talks to a coprocessor (any scheme).
+    #[inline]
+    pub fn is_coproc(self) -> bool {
+        matches!(
+            self,
+            Instr::Cpop { .. }
+                | Instr::Mvtc { .. }
+                | Instr::Mvfc { .. }
+                | Instr::Ldf { .. }
+                | Instr::Stf { .. }
+        )
+    }
+
+    /// Whether this is the explicit no-op.
+    #[inline]
+    pub fn is_nop(self) -> bool {
+        matches!(self, Instr::Nop)
+    }
+
+    /// Whether this instruction has effects beyond writing [`Instr::def`]:
+    /// memory writes, coprocessor traffic, special-register writes, control
+    /// transfer, MD updates, or halting. Such instructions can never be
+    /// hoisted speculatively into a `NoSquash` delay slot from the wrong
+    /// path.
+    pub fn has_side_effects(self) -> bool {
+        match self {
+            Instr::St { .. }
+            | Instr::Stf { .. }
+            | Instr::Ldf { .. }
+            | Instr::Cpop { .. }
+            | Instr::Mvtc { .. }
+            | Instr::Mvfc { .. }
+            | Instr::Movtos { .. }
+            | Instr::Halt
+            | Instr::Illegal(_) => true,
+            Instr::Compute { op, .. } => op.touches_md() || op.can_overflow(),
+            Instr::Addi { .. } => true, // may trap on overflow
+            i => i.is_control(),
+        }
+    }
+
+    /// Whether executing this instruction requires system mode.
+    pub fn is_privileged(self) -> bool {
+        match self {
+            Instr::Movtos { sreg, .. } => sreg.write_privileged(),
+            Instr::Jpc | Instr::Jpcrs => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Ld { rs1, rd, offset } => write!(f, "ld {rd}, {offset}({rs1})"),
+            Instr::St { rs1, rsrc, offset } => write!(f, "st {rsrc}, {offset}({rs1})"),
+            Instr::Cpop { rs1, cop, op } => write!(f, "cpop c{cop}, {op}({rs1})"),
+            Instr::Mvtc { rs, cop, op } => write!(f, "mvtc c{cop}, {op}, {rs}"),
+            Instr::Mvfc { rd, cop, op } => write!(f, "mvfc {rd}, c{cop}, {op}"),
+            Instr::Ldf { rs1, fr, offset } => write!(f, "ldf f{fr}, {offset}({rs1})"),
+            Instr::Stf { rs1, fr, offset } => write!(f, "stf f{fr}, {offset}({rs1})"),
+            Instr::Branch {
+                cond,
+                squash,
+                rs1,
+                rs2,
+                disp,
+            } => {
+                let sq = match squash {
+                    SquashMode::NoSquash => "",
+                    SquashMode::SquashIfNotTaken => "sq",
+                    SquashMode::SquashIfGo => "sqg",
+                };
+                write!(f, "b{cond}{sq} {rs1}, {rs2}, {disp}")
+            }
+            Instr::Compute {
+                op,
+                rs1,
+                rs2,
+                rd,
+                shamt,
+            } => {
+                if op.uses_shamt() {
+                    if op.uses_rs2() {
+                        write!(f, "{} {rd}, {rs1}, {rs2}, {shamt}", op.mnemonic())
+                    } else {
+                        write!(f, "{} {rd}, {rs1}, {shamt}", op.mnemonic())
+                    }
+                } else {
+                    write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+                }
+            }
+            Instr::Addi { rs1, rd, imm } => write!(f, "addi {rd}, {rs1}, {imm}"),
+            Instr::Jspci { rs1, rd, imm } => write!(f, "jspci {rd}, {imm}({rs1})"),
+            Instr::Jpc => f.write_str("jpc"),
+            Instr::Jpcrs => f.write_str("jpcrs"),
+            Instr::Movfrs { rd, sreg } => write!(f, "movfrs {rd}, {sreg}"),
+            Instr::Movtos { sreg, rs } => write!(f, "movtos {sreg}, {rs}"),
+            Instr::Nop => f.write_str("nop"),
+            Instr::Halt => f.write_str("halt"),
+            Instr::Illegal(raw) => write!(f, ".word {raw:#010x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instrs() -> Vec<Instr> {
+        vec![
+            Instr::Ld {
+                rs1: Reg::new(3),
+                rd: Reg::new(4),
+                offset: -17,
+            },
+            Instr::St {
+                rs1: Reg::new(30),
+                rsrc: Reg::new(7),
+                offset: 65535,
+            },
+            Instr::Cpop {
+                rs1: Reg::ZERO,
+                cop: 5,
+                op: 0x3FFF,
+            },
+            Instr::Mvtc {
+                rs: Reg::new(9),
+                cop: 1,
+                op: 3,
+            },
+            Instr::Mvfc {
+                rd: Reg::new(10),
+                cop: 7,
+                op: 0,
+            },
+            Instr::Ldf {
+                rs1: Reg::new(2),
+                fr: 31,
+                offset: -65536,
+            },
+            Instr::Stf {
+                rs1: Reg::new(2),
+                fr: 0,
+                offset: 12,
+            },
+            Instr::Branch {
+                cond: Cond::Lt,
+                squash: SquashMode::SquashIfNotTaken,
+                rs1: Reg::new(5),
+                rs2: Reg::new(6),
+                disp: -4096,
+            },
+            Instr::Compute {
+                op: ComputeOp::Shf,
+                rs1: Reg::new(1),
+                rs2: Reg::new(2),
+                rd: Reg::new(3),
+                shamt: 31,
+            },
+            Instr::Addi {
+                rs1: Reg::ZERO,
+                rd: Reg::new(1),
+                imm: 42,
+            },
+            Instr::Jspci {
+                rs1: Reg::new(31),
+                rd: Reg::ZERO,
+                imm: 0,
+            },
+            Instr::Jpc,
+            Instr::Jpcrs,
+            Instr::Movfrs {
+                rd: Reg::new(8),
+                sreg: SpecialReg::PcChain1,
+            },
+            Instr::Movtos {
+                sreg: SpecialReg::Psw,
+                rs: Reg::new(8),
+            },
+            Instr::Nop,
+            Instr::Halt,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for i in sample_instrs() {
+            assert_eq!(Instr::decode(i.encode()), i, "round trip failed for {i}");
+        }
+    }
+
+    #[test]
+    fn decode_is_total() {
+        // A selection of junk words must decode (possibly to Illegal) without
+        // panicking, and re-encode back to something decode-stable.
+        for w in [
+            0u32,
+            u32::MAX,
+            0xC000_0000,
+            0xD123_4567,
+            0xE000_0001,
+            0xF800_0000, // misc sub=4 -> illegal
+            0xA600_0000, // jump sub=3 -> illegal
+            0xB000_0007, // special sreg=7 -> illegal
+            0x8000_00FF, // compute funct=255 -> illegal
+            0x7F80_0000, // branch squash=3 -> illegal
+        ] {
+            let i = Instr::decode(w);
+            let i2 = Instr::decode(i.encode());
+            assert_eq!(i, i2, "decode not stable for {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn word_zero_is_load_to_r0() {
+        // All-zero memory decodes to `ld r0, 0(r0)` — harmless if executed.
+        assert_eq!(
+            Instr::decode(0),
+            Instr::Ld {
+                rs1: Reg::ZERO,
+                rd: Reg::ZERO,
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn def_and_uses() {
+        let i = Instr::St {
+            rs1: Reg::new(1),
+            rsrc: Reg::new(2),
+            offset: 0,
+        };
+        assert_eq!(i.def(), None);
+        let uses: Vec<Reg> = i.uses().collect();
+        assert_eq!(uses, vec![Reg::new(1), Reg::new(2)]);
+
+        let i = Instr::Compute {
+            op: ComputeOp::Sll,
+            rs1: Reg::new(4),
+            rs2: Reg::new(5),
+            rd: Reg::new(6),
+            shamt: 3,
+        };
+        // Plain shifts ignore rs2.
+        assert_eq!(i.uses().collect::<Vec<_>>(), vec![Reg::new(4)]);
+        assert_eq!(i.def(), Some(Reg::new(6)));
+    }
+
+    #[test]
+    fn classification_predicates() {
+        let b = Instr::Branch {
+            cond: Cond::Eq,
+            squash: SquashMode::NoSquash,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            disp: 2,
+        };
+        assert!(b.is_branch() && b.is_control() && !b.is_jump());
+        assert!(Instr::Jpc.is_jump() && Instr::Jpc.is_privileged());
+        assert!(Instr::Nop.is_nop());
+        let ld = Instr::Ld {
+            rs1: Reg::ZERO,
+            rd: Reg::new(1),
+            offset: 0,
+        };
+        assert!(ld.is_load() && !ld.is_store() && !ld.has_side_effects());
+        let ldf = Instr::Ldf {
+            rs1: Reg::ZERO,
+            fr: 1,
+            offset: 0,
+        };
+        assert!(ldf.is_load() && ldf.is_coproc());
+    }
+
+    #[test]
+    fn squash_mode_semantics() {
+        assert!(SquashMode::NoSquash.slots_execute(true));
+        assert!(SquashMode::NoSquash.slots_execute(false));
+        assert!(SquashMode::SquashIfNotTaken.slots_execute(true));
+        assert!(!SquashMode::SquashIfNotTaken.slots_execute(false));
+        assert!(!SquashMode::SquashIfGo.slots_execute(true));
+        assert!(SquashMode::SquashIfGo.slots_execute(false));
+    }
+
+    #[test]
+    fn real_isa_has_one_squash_bit() {
+        assert!(SquashMode::NoSquash.in_real_isa());
+        assert!(SquashMode::SquashIfNotTaken.in_real_isa());
+        assert!(!SquashMode::SquashIfGo.in_real_isa());
+    }
+
+    #[test]
+    fn display_smoke() {
+        for i in sample_instrs() {
+            assert!(!i.to_string().is_empty());
+        }
+        assert_eq!(Instr::Nop.to_string(), "nop");
+        assert_eq!(
+            Instr::Addi {
+                rs1: Reg::ZERO,
+                rd: Reg::new(1),
+                imm: -3
+            }
+            .to_string(),
+            "addi r1, r0, -3"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "17-bit offset out of range")]
+    fn encode_rejects_oversized_offset() {
+        let _ = Instr::Ld {
+            rs1: Reg::ZERO,
+            rd: Reg::ZERO,
+            offset: 1 << 20,
+        }
+        .encode();
+    }
+}

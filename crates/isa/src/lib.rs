@@ -1,0 +1,167 @@
+//! # mipsx-isa — the MIPS-X instruction set architecture
+//!
+//! This crate defines the instruction set of the MIPS-X processor as described
+//! in *Architectural Tradeoffs in the Design of MIPS-X* (Chow & Horowitz,
+//! ISCA 1987): fixed-format 32-bit instructions, 32 general-purpose registers
+//! with a hardwired-zero `r0`, explicit compare-and-branch instructions (no
+//! condition codes), a 17-bit signed offset for all memory addressing, the
+//! coprocessor interface multiplexed onto the memory-instruction format, and
+//! the processor status word (PSW) with the exception machinery of the paper.
+//!
+//! The design maxim from the first MIPS-X working document governs the
+//! encoding: *"The goal of any instruction format should be: 1. Simple decode,
+//! 2. simple decode, and 3. simple decode."* Decoding an instruction here is a
+//! single match on the top four bits followed by fixed field extraction —
+//! there are no variable-length fields and no cross-field dependencies.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mipsx_isa::{Instr, Reg, ComputeOp};
+//!
+//! let add = Instr::Compute {
+//!     op: ComputeOp::Add,
+//!     rs1: Reg::new(1),
+//!     rs2: Reg::new(2),
+//!     rd: Reg::new(3),
+//!     shamt: 0,
+//! };
+//! let word = add.encode();
+//! assert_eq!(Instr::decode(word), add);
+//! ```
+//!
+//! The sub-modules are:
+//! - [`reg`]: the [`Reg`] register newtype,
+//! - [`cond`]: branch conditions ([`Cond`]) and their evaluation,
+//! - [`psw`]: the processor status word ([`Psw`]) and [`Mode`],
+//! - [`instr`]: the [`Instr`] enum with `encode`/`decode` and the dataflow
+//!   queries ([`Instr::def`], [`Instr::uses`]) the code reorganizer needs,
+//! - [`sreg`]: special registers reachable by `movfrs`/`movtos`,
+//! - [`exception`]: exception causes.
+
+pub mod cond;
+pub mod exception;
+pub mod instr;
+pub mod psw;
+pub mod reg;
+pub mod sreg;
+
+pub use cond::Cond;
+pub use exception::ExceptionCause;
+pub use instr::{ComputeOp, Instr, JumpKind, SquashMode};
+pub use psw::{Mode, Psw};
+pub use reg::Reg;
+pub use sreg::SpecialReg;
+
+/// Machine word size in bits. MIPS-X is a 32-bit word-addressed machine.
+pub const WORD_BITS: u32 = 32;
+
+/// Number of general purpose registers (r0 is hardwired zero).
+pub const NUM_REGS: usize = 32;
+
+/// Width of the memory-instruction offset field in bits (sign-extended).
+///
+/// *"A memory instruction takes a 17-bit offset constant and adds it to the
+/// contents of a register to compute the memory address."*
+pub const OFFSET_BITS: u32 = 17;
+
+/// Width of the branch displacement field in bits (sign-extended, in words,
+/// relative to the branch's own address).
+pub const BRANCH_DISP_BITS: u32 = 14;
+
+/// Number of branch delay slots in the real MIPS-X pipeline.
+///
+/// *"In the MIPS-X pipeline, it is most straightforward to implement a branch
+/// with a delay of two."* The simulator can also be configured for one slot to
+/// rerun the Table 1 scheme comparison.
+pub const BRANCH_DELAY_SLOTS: usize = 2;
+
+/// Number of load delay slots: the instruction immediately after a load must
+/// not use the loaded value (data returns at the very end of the MEM cycle).
+pub const LOAD_DELAY_SLOTS: usize = 1;
+
+/// Depth of the PC shift chain used to restart the machine after an
+/// exception (the three addresses of the instructions still in the pipe).
+pub const PC_CHAIN_DEPTH: usize = 3;
+
+/// Sign-extend the low `bits` bits of `value` to a full `i32`.
+///
+/// # Panics
+/// Panics if `bits` is zero or greater than 32.
+#[inline]
+pub fn sign_extend(value: u32, bits: u32) -> i32 {
+    assert!(bits >= 1 && bits <= 32, "bit width out of range: {bits}");
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Truncate a signed value to `bits` bits, returning the raw field.
+///
+/// Returns `None` if `value` does not fit in a signed field of that width,
+/// which the assembler reports as a range error.
+#[inline]
+pub fn to_signed_field(value: i32, bits: u32) -> Option<u32> {
+    assert!(bits >= 1 && bits <= 32, "bit width out of range: {bits}");
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    let v = value as i64;
+    if v < min || v > max {
+        None
+    } else {
+        Some((value as u32) & mask(bits))
+    }
+}
+
+/// A bit mask with the low `bits` bits set.
+#[inline]
+pub fn mask(bits: u32) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_extend_positive() {
+        assert_eq!(sign_extend(0x0FFFF, 17), 0xFFFF);
+        assert_eq!(sign_extend(5, 14), 5);
+        assert_eq!(sign_extend(0, 1), 0);
+    }
+
+    #[test]
+    fn sign_extend_negative() {
+        assert_eq!(sign_extend(0x1FFFF, 17), -1);
+        assert_eq!(sign_extend(0x10000, 17), -65536);
+        assert_eq!(sign_extend(0x3FFF, 14), -1);
+        assert_eq!(sign_extend(1, 1), -1);
+    }
+
+    #[test]
+    fn signed_field_round_trip() {
+        for v in [-65536, -1, 0, 1, 65535] {
+            let f = to_signed_field(v, 17).expect("fits");
+            assert_eq!(sign_extend(f, 17), v);
+        }
+    }
+
+    #[test]
+    fn signed_field_rejects_out_of_range() {
+        assert!(to_signed_field(65536, 17).is_none());
+        assert!(to_signed_field(-65537, 17).is_none());
+        assert!(to_signed_field(8192, 14).is_none());
+        assert!(to_signed_field(-8193, 14).is_none());
+    }
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(17), 0x1FFFF);
+        assert_eq!(mask(32), u32::MAX);
+    }
+}

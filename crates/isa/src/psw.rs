@@ -1,0 +1,289 @@
+//! The processor status word.
+//!
+//! The PSW is (together with the MD register) *"the only visible state outside
+//! of the register file"*, so writes to it are gated by the same `Exception`
+//! and `Squash` kill lines as register writes. It holds the operating mode,
+//! the interrupt masks, and the bits that *"determine whether the exception
+//! was caused by an interrupt, arithmetic overflow or a non-maskable
+//! interrupt"*.
+
+use std::fmt;
+
+use crate::exception::ExceptionCause;
+
+/// Processor operating mode.
+///
+/// *"MIPS-X also provides two operating modes, system and user, that execute
+/// in separate address spaces to provide the protection needed to implement an
+/// operating system."*
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Mode {
+    /// Privileged mode; exceptions vector here. Address space id 1.
+    #[default]
+    System,
+    /// Unprivileged mode. Address space id 0.
+    User,
+}
+
+impl Mode {
+    /// The address-space identifier for this mode. The two modes *"execute in
+    /// separate address spaces"*; the simulator keeps them apart by tagging
+    /// physical addresses with this bit.
+    #[inline]
+    pub fn address_space(self) -> u32 {
+        match self {
+            Mode::System => 1,
+            Mode::User => 0,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::System => f.write_str("system"),
+            Mode::User => f.write_str("user"),
+        }
+    }
+}
+
+/// The processor status word.
+///
+/// Bit layout (chosen for the simulator; the paper does not publish one):
+///
+/// | bit | meaning                                |
+/// |-----|----------------------------------------|
+/// | 0   | mode (1 = system)                      |
+/// | 1   | interrupt enable                       |
+/// | 2   | overflow trap enable (maskable)        |
+/// | 3   | PC-chain shifting enabled              |
+/// | 8   | cause: maskable interrupt              |
+/// | 9   | cause: arithmetic overflow             |
+/// | 10  | cause: non-maskable interrupt          |
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Psw {
+    bits: u32,
+}
+
+impl Psw {
+    const MODE: u32 = 1 << 0;
+    const INT_ENABLE: u32 = 1 << 1;
+    const OVF_ENABLE: u32 = 1 << 2;
+    const PC_SHIFT: u32 = 1 << 3;
+    const CAUSE_INT: u32 = 1 << 8;
+    const CAUSE_OVF: u32 = 1 << 9;
+    const CAUSE_NMI: u32 = 1 << 10;
+    const WRITABLE: u32 = Self::MODE
+        | Self::INT_ENABLE
+        | Self::OVF_ENABLE
+        | Self::PC_SHIFT
+        | Self::CAUSE_INT
+        | Self::CAUSE_OVF
+        | Self::CAUSE_NMI;
+
+    /// The reset PSW: system mode, interrupts disabled, overflow trap
+    /// disabled (system software enables it, like any maskable feature),
+    /// PC-chain shifting enabled, no recorded cause.
+    pub fn reset() -> Psw {
+        Psw {
+            bits: Self::MODE | Self::PC_SHIFT,
+        }
+    }
+
+    /// Reconstruct a PSW from its raw bits (e.g. after `movtos psw`).
+    /// Unknown bits are ignored, mirroring hardware that simply does not
+    /// latch undefined positions.
+    #[inline]
+    pub fn from_bits(bits: u32) -> Psw {
+        Psw {
+            bits: bits & Self::WRITABLE,
+        }
+    }
+
+    /// The raw bits, as read by `movfrs psw`.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Current operating mode.
+    #[inline]
+    pub fn mode(self) -> Mode {
+        if self.bits & Self::MODE != 0 {
+            Mode::System
+        } else {
+            Mode::User
+        }
+    }
+
+    /// Set the operating mode. Only reachable from system mode in the real
+    /// machine; the core enforces that — the PSW itself is a passive latch.
+    #[inline]
+    pub fn set_mode(&mut self, mode: Mode) {
+        match mode {
+            Mode::System => self.bits |= Self::MODE,
+            Mode::User => self.bits &= !Self::MODE,
+        }
+    }
+
+    /// Whether maskable interrupts are enabled.
+    #[inline]
+    pub fn interrupts_enabled(self) -> bool {
+        self.bits & Self::INT_ENABLE != 0
+    }
+
+    /// Enable or disable maskable interrupts.
+    #[inline]
+    pub fn set_interrupts_enabled(&mut self, on: bool) {
+        if on {
+            self.bits |= Self::INT_ENABLE;
+        } else {
+            self.bits &= !Self::INT_ENABLE;
+        }
+    }
+
+    /// Whether the (maskable) trap on arithmetic overflow is enabled.
+    ///
+    /// The paper's design history: a *sticky overflow* bit was planned, found
+    /// to interact badly with bypassing, and replaced by *"a maskable trap on
+    /// overflow"* once the exception hardware turned out to make it simple.
+    #[inline]
+    pub fn overflow_trap_enabled(self) -> bool {
+        self.bits & Self::OVF_ENABLE != 0
+    }
+
+    /// Enable or disable the overflow trap.
+    #[inline]
+    pub fn set_overflow_trap_enabled(&mut self, on: bool) {
+        if on {
+            self.bits |= Self::OVF_ENABLE;
+        } else {
+            self.bits &= !Self::OVF_ENABLE;
+        }
+    }
+
+    /// Whether the PC shift chain advances each cycle. Frozen on exception
+    /// entry so the handler can read the three restart PCs; re-enabled by the
+    /// handler once they are saved.
+    #[inline]
+    pub fn pc_shifting_enabled(self) -> bool {
+        self.bits & Self::PC_SHIFT != 0
+    }
+
+    /// Enable or disable PC-chain shifting.
+    #[inline]
+    pub fn set_pc_shifting_enabled(&mut self, on: bool) {
+        if on {
+            self.bits |= Self::PC_SHIFT;
+        } else {
+            self.bits &= !Self::PC_SHIFT;
+        }
+    }
+
+    /// Record the cause of an exception in the PSW cause bits.
+    #[inline]
+    pub fn record_cause(&mut self, cause: ExceptionCause) {
+        self.bits |= match cause {
+            ExceptionCause::Interrupt => Self::CAUSE_INT,
+            ExceptionCause::Overflow => Self::CAUSE_OVF,
+            ExceptionCause::NonMaskableInterrupt => Self::CAUSE_NMI,
+        };
+    }
+
+    /// Clear all recorded cause bits (done by handlers before returning).
+    #[inline]
+    pub fn clear_causes(&mut self) {
+        self.bits &= !(Self::CAUSE_INT | Self::CAUSE_OVF | Self::CAUSE_NMI);
+    }
+
+    /// Read back the recorded cause, if any. If multiple bits are set the
+    /// highest-priority one (NMI > overflow > interrupt) is reported.
+    pub fn cause(self) -> Option<ExceptionCause> {
+        if self.bits & Self::CAUSE_NMI != 0 {
+            Some(ExceptionCause::NonMaskableInterrupt)
+        } else if self.bits & Self::CAUSE_OVF != 0 {
+            Some(ExceptionCause::Overflow)
+        } else if self.bits & Self::CAUSE_INT != 0 {
+            Some(ExceptionCause::Interrupt)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for Psw {
+    fn default() -> Psw {
+        Psw::reset()
+    }
+}
+
+impl fmt::Display for Psw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "psw[{} int={} ovf={} shift={}{}]",
+            self.mode(),
+            self.interrupts_enabled() as u8,
+            self.overflow_trap_enabled() as u8,
+            self.pc_shifting_enabled() as u8,
+            match self.cause() {
+                Some(c) => format!(" cause={c}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state() {
+        let psw = Psw::reset();
+        assert_eq!(psw.mode(), Mode::System);
+        assert!(!psw.interrupts_enabled());
+        assert!(!psw.overflow_trap_enabled());
+        assert!(psw.pc_shifting_enabled());
+        assert_eq!(psw.cause(), None);
+    }
+
+    #[test]
+    fn mode_round_trip() {
+        let mut psw = Psw::reset();
+        psw.set_mode(Mode::User);
+        assert_eq!(psw.mode(), Mode::User);
+        psw.set_mode(Mode::System);
+        assert_eq!(psw.mode(), Mode::System);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let mut psw = Psw::reset();
+        psw.set_interrupts_enabled(true);
+        psw.record_cause(ExceptionCause::Overflow);
+        let restored = Psw::from_bits(psw.bits());
+        assert_eq!(restored, psw);
+    }
+
+    #[test]
+    fn from_bits_masks_unknown() {
+        let psw = Psw::from_bits(u32::MAX);
+        assert_eq!(psw.bits() & !(0b111 << 8 | 0b1111), 0);
+    }
+
+    #[test]
+    fn cause_priority() {
+        let mut psw = Psw::reset();
+        psw.record_cause(ExceptionCause::Interrupt);
+        psw.record_cause(ExceptionCause::NonMaskableInterrupt);
+        assert_eq!(psw.cause(), Some(ExceptionCause::NonMaskableInterrupt));
+        psw.clear_causes();
+        assert_eq!(psw.cause(), None);
+    }
+
+    #[test]
+    fn address_spaces_differ() {
+        assert_ne!(Mode::System.address_space(), Mode::User.address_space());
+    }
+}

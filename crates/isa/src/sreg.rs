@@ -1,0 +1,115 @@
+//! Special registers reachable by `movfrs`/`movtos`.
+
+use std::fmt;
+
+/// A special (non-general-purpose) register.
+///
+/// These hold exactly the machine state outside the register file that the
+/// paper enumerates: the PSW, the saved PSWold, the multiply/divide MD
+/// register, and the three entries of the PC shift chain (*"a chain of shift
+/// registers to save the PC values of the instructions currently in
+/// execution"*). The exception handler reads the chain to save the restart
+/// PCs and writes it back before the three special jumps of the return
+/// sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpecialReg {
+    /// The processor status word.
+    Psw,
+    /// The PSW copy latched on exception entry.
+    PswOld,
+    /// The multiply/divide step register.
+    Md,
+    /// PC chain entry 0: the oldest saved PC (restart point).
+    PcChain0,
+    /// PC chain entry 1.
+    PcChain1,
+    /// PC chain entry 2: the youngest saved PC.
+    PcChain2,
+}
+
+impl SpecialReg {
+    /// All special registers in field order.
+    pub const ALL: [SpecialReg; 6] = [
+        SpecialReg::Psw,
+        SpecialReg::PswOld,
+        SpecialReg::Md,
+        SpecialReg::PcChain0,
+        SpecialReg::PcChain1,
+        SpecialReg::PcChain2,
+    ];
+
+    /// The 3-bit field encoding this register.
+    #[inline]
+    pub fn field(self) -> u32 {
+        SpecialReg::ALL.iter().position(|&s| s == self).unwrap() as u32
+    }
+
+    /// Decode a 3-bit field. Returns `None` for the two unused encodings.
+    #[inline]
+    pub fn from_field(field: u32) -> Option<SpecialReg> {
+        SpecialReg::ALL.get(field as usize).copied()
+    }
+
+    /// Whether writing this register requires system mode.
+    ///
+    /// *"The current mode is stored in the PSW and it can only be changed
+    /// while executing in system mode."* All special-register writes are
+    /// privileged; MD alone is user-writable because multiply/divide
+    /// sequences run in user code.
+    #[inline]
+    pub fn write_privileged(self) -> bool {
+        !matches!(self, SpecialReg::Md)
+    }
+
+    /// Assembler name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecialReg::Psw => "psw",
+            SpecialReg::PswOld => "pswold",
+            SpecialReg::Md => "md",
+            SpecialReg::PcChain0 => "pc0",
+            SpecialReg::PcChain1 => "pc1",
+            SpecialReg::PcChain2 => "pc2",
+        }
+    }
+
+    /// Parse an assembler name.
+    pub fn parse(name: &str) -> Option<SpecialReg> {
+        SpecialReg::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_round_trip() {
+        for s in SpecialReg::ALL {
+            assert_eq!(SpecialReg::from_field(s.field()), Some(s));
+        }
+        assert_eq!(SpecialReg::from_field(6), None);
+        assert_eq!(SpecialReg::from_field(7), None);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for s in SpecialReg::ALL {
+            assert_eq!(SpecialReg::parse(s.name()), Some(s));
+        }
+        assert_eq!(SpecialReg::parse("nope"), None);
+    }
+
+    #[test]
+    fn only_md_is_user_writable() {
+        for s in SpecialReg::ALL {
+            assert_eq!(s.write_privileged(), s != SpecialReg::Md);
+        }
+    }
+}

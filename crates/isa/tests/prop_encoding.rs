@@ -1,0 +1,114 @@
+//! Property tests for the instruction encoding.
+//!
+//! Invariants:
+//! 1. `decode(encode(i)) == i` for every constructible instruction.
+//! 2. `decode` is total and stable: `decode(encode(decode(w))) == decode(w)`
+//!    for arbitrary 32-bit words.
+//! 3. Condition negation is a logical not over arbitrary operand values.
+
+use mipsx_isa::{Cond, ComputeOp, Instr, Reg, SpecialReg, SquashMode};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn arb_squash() -> impl Strategy<Value = SquashMode> {
+    prop::sample::select(SquashMode::ALL.to_vec())
+}
+
+fn arb_compute_op() -> impl Strategy<Value = ComputeOp> {
+    prop::sample::select(ComputeOp::ALL.to_vec())
+}
+
+fn arb_sreg() -> impl Strategy<Value = SpecialReg> {
+    prop::sample::select(SpecialReg::ALL.to_vec())
+}
+
+prop_compose! {
+    fn arb_offset17()(v in -65536i32..=65535) -> i32 { v }
+}
+
+prop_compose! {
+    fn arb_disp13()(v in -4096i32..=4095) -> i32 { v }
+}
+
+prop_compose! {
+    fn arb_imm15()(v in -16384i32..=16383) -> i32 { v }
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), arb_reg(), arb_offset17())
+            .prop_map(|(rs1, rd, offset)| Instr::Ld { rs1, rd, offset }),
+        (arb_reg(), arb_reg(), arb_offset17())
+            .prop_map(|(rs1, rsrc, offset)| Instr::St { rs1, rsrc, offset }),
+        (arb_reg(), 0u8..8, 0u16..16384).prop_map(|(rs1, cop, op)| Instr::Cpop { rs1, cop, op }),
+        (arb_reg(), 0u8..8, 0u16..16384).prop_map(|(rs, cop, op)| Instr::Mvtc { rs, cop, op }),
+        (arb_reg(), 0u8..8, 0u16..16384).prop_map(|(rd, cop, op)| Instr::Mvfc { rd, cop, op }),
+        (arb_reg(), 0u8..32, arb_offset17())
+            .prop_map(|(rs1, fr, offset)| Instr::Ldf { rs1, fr, offset }),
+        (arb_reg(), 0u8..32, arb_offset17())
+            .prop_map(|(rs1, fr, offset)| Instr::Stf { rs1, fr, offset }),
+        (arb_cond(), arb_squash(), arb_reg(), arb_reg(), arb_disp13()).prop_map(
+            |(cond, squash, rs1, rs2, disp)| Instr::Branch {
+                cond,
+                squash,
+                rs1,
+                rs2,
+                disp
+            }
+        ),
+        (arb_compute_op(), arb_reg(), arb_reg(), arb_reg(), 0u8..32).prop_map(
+            |(op, rs1, rs2, rd, shamt)| Instr::Compute {
+                op,
+                rs1,
+                rs2,
+                rd,
+                shamt
+            }
+        ),
+        (arb_reg(), arb_reg(), arb_offset17())
+            .prop_map(|(rs1, rd, imm)| Instr::Addi { rs1, rd, imm }),
+        (arb_reg(), arb_reg(), arb_imm15())
+            .prop_map(|(rs1, rd, imm)| Instr::Jspci { rs1, rd, imm }),
+        Just(Instr::Jpc),
+        Just(Instr::Jpcrs),
+        (arb_reg(), arb_sreg()).prop_map(|(rd, sreg)| Instr::Movfrs { rd, sreg }),
+        (arb_reg(), arb_sreg()).prop_map(|(rs, sreg)| Instr::Movtos { sreg, rs }),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn round_trip(instr in arb_instr()) {
+        prop_assert_eq!(Instr::decode(instr.encode()), instr);
+    }
+
+    #[test]
+    fn decode_total_and_stable(word in any::<u32>()) {
+        let i = Instr::decode(word);
+        prop_assert_eq!(Instr::decode(i.encode()), i);
+    }
+
+    #[test]
+    fn negate_is_not(cond in arb_cond(), a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(cond.negate().eval(a, b), !cond.eval(a, b));
+    }
+
+    #[test]
+    fn display_never_empty(instr in arb_instr()) {
+        prop_assert!(!instr.to_string().is_empty());
+    }
+
+    #[test]
+    fn uses_at_most_two(instr in arb_instr()) {
+        prop_assert!(instr.uses().count() <= 2);
+    }
+}

@@ -1,0 +1,282 @@
+//! The external cache with the late-miss protocol.
+
+use crate::{CacheStats, MainMemory};
+
+/// Organization of the external cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EcacheConfig {
+    /// Total capacity in words. The paper's board uses *"a large 64K word
+    /// external cache."*
+    pub size_words: u32,
+    /// Words per block (line).
+    pub block_words: u32,
+    /// Extra cycles lost to the **late miss**: the cache *"would inform the
+    /// processor at the beginning of the WB cycle whether the cache access
+    /// during MEM was successful"*, so one MEM cycle is always wasted before
+    /// the retry loop starts.
+    pub late_miss_overhead: u32,
+    /// When false, every access goes straight to main memory (the test
+    /// feature the instruction-register latch provides on the real chip).
+    pub enabled: bool,
+}
+
+impl EcacheConfig {
+    /// The configuration of the MIPS-X board: 64K words, 4-word blocks,
+    /// 1-cycle late-miss overhead.
+    pub fn mipsx() -> EcacheConfig {
+        EcacheConfig {
+            size_words: 64 * 1024,
+            block_words: 4,
+            late_miss_overhead: 1,
+            enabled: true,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.block_words.is_power_of_two(), "block size power of two");
+        assert!(self.size_words.is_power_of_two(), "cache size power of two");
+        assert!(
+            self.size_words >= self.block_words,
+            "cache smaller than one block"
+        );
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.size_words / self.block_words
+    }
+}
+
+impl Default for EcacheConfig {
+    fn default() -> EcacheConfig {
+        EcacheConfig::mipsx()
+    }
+}
+
+/// The 64K-word external cache.
+///
+/// Direct-mapped, write-through with buffered (non-stalling) writes, and the
+/// late-miss retry loop on read misses: the processor re-executes φ2 of its
+/// MEM stage each cycle until main memory returns the block, costing
+/// `late_miss_overhead + memory latency` stall cycles.
+///
+/// Data is not duplicated here — the cache tracks only tags and validity and
+/// reads through to [`MainMemory`], which is exact for a write-through
+/// hierarchy (the cache can never hold a value that differs from memory).
+#[derive(Clone, Debug)]
+pub struct Ecache {
+    cfg: EcacheConfig,
+    /// `tags[index]` = tag of the block cached in that frame.
+    tags: Vec<Option<u32>>,
+    stats: CacheStats,
+}
+
+impl Ecache {
+    /// Build an external cache with the given organization.
+    ///
+    /// # Panics
+    /// Panics if sizes are not powers of two or the cache is smaller than a
+    /// block.
+    pub fn new(cfg: EcacheConfig) -> Ecache {
+        cfg.validate();
+        Ecache {
+            tags: vec![None; cfg.num_blocks() as usize],
+            cfg,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The MIPS-X board configuration.
+    pub fn mipsx() -> Ecache {
+        Ecache::new(EcacheConfig::mipsx())
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> EcacheConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset statistics (the contents stay warm).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Invalidate all blocks (cold start).
+    pub fn invalidate_all(&mut self) {
+        self.tags.fill(None);
+    }
+
+    #[inline]
+    fn index_and_tag(&self, addr: u32) -> (usize, u32) {
+        let block = addr / self.cfg.block_words;
+        (
+            (block % self.cfg.num_blocks()) as usize,
+            block / self.cfg.num_blocks(),
+        )
+    }
+
+    /// Whether `addr` currently hits.
+    pub fn probe(&self, addr: u32) -> bool {
+        if !self.cfg.enabled {
+            return false;
+        }
+        let (index, tag) = self.index_and_tag(addr);
+        self.tags[index] == Some(tag)
+    }
+
+    /// Read a word through the cache.
+    ///
+    /// Returns `(data, extra_cycles)` where `extra_cycles` is the stall the
+    /// processor pays beyond the base MEM cycle — zero on a hit, the
+    /// late-miss retry loop on a miss.
+    pub fn read(&mut self, addr: u32, mem: &mut MainMemory) -> (u32, u32) {
+        if !self.cfg.enabled {
+            let extra = self.cfg.late_miss_overhead + mem.latency_cycles;
+            self.stats.record_miss(extra as u64, 1);
+            return (mem.read(addr), extra);
+        }
+        let (index, tag) = self.index_and_tag(addr);
+        if self.tags[index] == Some(tag) {
+            self.stats.record_hit();
+            (mem.read(addr), 0)
+        } else {
+            let extra = self.cfg.late_miss_overhead + mem.latency_cycles;
+            self.tags[index] = Some(tag);
+            self.stats
+                .record_miss(extra as u64, self.cfg.block_words as u64);
+            (mem.read(addr), extra)
+        }
+    }
+
+    /// Write a word through the cache (write-through, no write-allocate,
+    /// buffered — no processor stall).
+    ///
+    /// Returns the extra stall cycles, always zero in this model: the write
+    /// buffer absorbs the main-memory access, as in the write-through
+    /// machines surveyed by Smith (the paper's reference [15]).
+    pub fn write(&mut self, addr: u32, word: u32, mem: &mut MainMemory) -> u32 {
+        // Write-through updates memory; if the block is resident it stays
+        // valid (memory and cache agree because reads pass through).
+        mem.write(addr, word);
+        0
+    }
+}
+
+impl Default for Ecache {
+    fn default() -> Ecache {
+        Ecache::mipsx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Ecache, MainMemory) {
+        let cache = Ecache::new(EcacheConfig {
+            size_words: 64,
+            block_words: 4,
+            late_miss_overhead: 1,
+            enabled: true,
+        });
+        (cache, MainMemory::with_latency(5))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let (mut c, mut m) = small();
+        m.write(10, 99);
+        let (v, extra) = c.read(10, &mut m);
+        assert_eq!(v, 99);
+        assert_eq!(extra, 6); // 1 late-miss + 5 memory
+        let (v, extra) = c.read(10, &mut m);
+        assert_eq!(v, 99);
+        assert_eq!(extra, 0);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn block_granularity() {
+        let (mut c, mut m) = small();
+        let (_, miss) = c.read(8, &mut m);
+        assert!(miss > 0);
+        // Same 4-word block: 8..12 all hit now.
+        for a in 9..12 {
+            let (_, extra) = c.read(a, &mut m);
+            assert_eq!(extra, 0, "address {a} should hit");
+        }
+        // Next block misses.
+        let (_, extra) = c.read(12, &mut m);
+        assert!(extra > 0);
+    }
+
+    #[test]
+    fn conflicting_blocks_evict() {
+        let (mut c, mut m) = small();
+        // 64-word cache, 4-word blocks -> 16 frames; addresses 0 and 64
+        // share frame 0.
+        let (_, m1) = c.read(0, &mut m);
+        let (_, m2) = c.read(64, &mut m);
+        let (_, m3) = c.read(0, &mut m);
+        assert!(m1 > 0 && m2 > 0 && m3 > 0, "conflict misses expected");
+    }
+
+    #[test]
+    fn write_through_keeps_consistency() {
+        let (mut c, mut m) = small();
+        let _ = c.read(20, &mut m); // allocate block
+        let stall = c.write(20, 1234, &mut m);
+        assert_eq!(stall, 0);
+        let (v, extra) = c.read(20, &mut m);
+        assert_eq!(v, 1234);
+        assert_eq!(extra, 0); // still resident
+        assert_eq!(m.peek(20), 1234); // memory updated immediately
+    }
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let mut c = Ecache::new(EcacheConfig {
+            enabled: false,
+            ..EcacheConfig::mipsx()
+        });
+        let mut m = MainMemory::with_latency(3);
+        let (_, e1) = c.read(5, &mut m);
+        let (_, e2) = c.read(5, &mut m);
+        assert_eq!(e1, 4);
+        assert_eq!(e2, 4);
+        assert!(!c.probe(5));
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats() {
+        let (mut c, mut m) = small();
+        let _ = c.read(0, &mut m);
+        let before = *c.stats();
+        assert!(c.probe(0));
+        assert!(!c.probe(1000));
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn invalidate_all_forces_cold() {
+        let (mut c, mut m) = small();
+        let _ = c.read(0, &mut m);
+        c.invalidate_all();
+        let (_, extra) = c.read(0, &mut m);
+        assert!(extra > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_config_panics() {
+        let _ = Ecache::new(EcacheConfig {
+            size_words: 60,
+            ..EcacheConfig::mipsx()
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! # mipsx-mem — the MIPS-X memory hierarchy
+//!
+//! MIPS-X is memory-bandwidth limited by its package pins: *"At the projected
+//! clock frequency of 20 MHz it is very difficult to satisfy instruction and
+//! data fetch requirements across the available package pins."* The paper's
+//! answer is a two-level hierarchy, fully modeled here:
+//!
+//! - [`Icache`]: the on-chip 512-word instruction cache — 8-way
+//!   set-associative, 4 sets (rows), 16-word blocks, **sub-block placement**
+//!   with one valid bit per word (512 valid bits, 32 tags), a 2-cycle miss
+//!   service and a **double-word fetch-back** that almost halves the miss
+//!   ratio. Every organization parameter is configurable so the paper's
+//!   design sweep (block size, penalty, single vs double fetch) can be rerun.
+//! - [`Ecache`]: the 64K-word external cache with the **late-miss protocol**:
+//!   the hit/miss answer arrives a cycle after the access, and on a miss the
+//!   processor *"would effectively go back and re-execute φ2 of MEM to try
+//!   the access again"* until the data returns.
+//! - [`MainMemory`]: a sparse word-addressed store behind the Ecache.
+//!
+//! The caches are usable in two modes: plugged into the cycle-accurate core
+//! (`mipsx-core`), or driven directly by an address trace for the cache
+//! organization experiments (see [`Icache::simulate_trace`]).
+
+mod ecache;
+mod icache;
+mod main_memory;
+mod stats;
+
+pub use ecache::{Ecache, EcacheConfig};
+pub use icache::{FetchOutcome, Icache, IcacheConfig, Replacement, TraceResult};
+pub use main_memory::MainMemory;
+pub use stats::CacheStats;

@@ -1,0 +1,136 @@
+//! Property tests: the instruction cache against a brute-force reference
+//! model, plus structural invariants.
+
+use mipsx_mem::{FetchOutcome, Icache, IcacheConfig, Replacement};
+use proptest::prelude::*;
+use std::collections::{HashMap, VecDeque};
+
+/// Brute-force reference: per row, a FIFO of (tag, valid-words) blocks with
+/// the same capacity. Mirrors the cache's documented behaviour
+/// word-for-word, with none of its packing tricks.
+struct RefCache {
+    cfg: IcacheConfig,
+    rows: Vec<VecDeque<(u32, HashMap<u32, bool>)>>,
+}
+
+impl RefCache {
+    fn new(cfg: IcacheConfig) -> RefCache {
+        RefCache {
+            cfg,
+            rows: (0..cfg.rows).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    fn locate(&self, addr: u32) -> (usize, u32, u32) {
+        let block = addr / self.cfg.block_words;
+        (
+            (block % self.cfg.rows) as usize,
+            block / self.cfg.rows,
+            addr % self.cfg.block_words,
+        )
+    }
+
+    fn probe(&self, addr: u32) -> bool {
+        let (row, tag, word) = self.locate(addr);
+        self.rows[row]
+            .iter()
+            .any(|(t, valid)| *t == tag && valid.get(&word).copied().unwrap_or(false))
+    }
+
+    fn fill(&mut self, addr: u32) {
+        let (row, tag, word) = self.locate(addr);
+        if let Some((_, valid)) = self.rows[row].iter_mut().find(|(t, _)| *t == tag) {
+            valid.insert(word, true);
+            return;
+        }
+        if self.rows[row].len() as u32 >= self.cfg.ways {
+            self.rows[row].pop_front(); // FIFO victim
+        }
+        let mut valid = HashMap::new();
+        valid.insert(word, true);
+        self.rows[row].push_back((tag, valid));
+    }
+}
+
+fn small_cfg() -> IcacheConfig {
+    IcacheConfig {
+        rows: 2,
+        ways: 2,
+        block_words: 4,
+        fetch_words: 1,
+        miss_penalty: 2,
+        replacement: Replacement::Fifo,
+        enabled: true,
+        whole_block_fill: false,
+    }
+}
+
+proptest! {
+    /// Hit/miss decisions must match the reference model exactly over any
+    /// access sequence (single-word fetch, FIFO replacement).
+    #[test]
+    fn matches_reference_model(addrs in prop::collection::vec(0u32..64, 1..400)) {
+        let cfg = small_cfg();
+        let mut cache = Icache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for &a in &addrs {
+            let expected = reference.probe(a);
+            let got = cache.fetch(a) == FetchOutcome::Hit;
+            prop_assert_eq!(got, expected, "divergence at address {}", a);
+            if !expected {
+                reference.fill(a);
+                cache.fill(a);
+            }
+        }
+    }
+
+    /// A fetch immediately after a fill of the same address always hits,
+    /// under every replacement policy and fetch width.
+    #[test]
+    fn fill_then_fetch_hits(
+        addrs in prop::collection::vec(any::<u32>(), 1..100),
+        policy in prop::sample::select(vec![Replacement::Fifo, Replacement::Lru, Replacement::Random]),
+        fetch_words in 1u32..=2,
+    ) {
+        let mut cache = Icache::new(IcacheConfig {
+            replacement: policy,
+            fetch_words,
+            ..IcacheConfig::mipsx()
+        });
+        for &a in &addrs {
+            cache.fill(a);
+            prop_assert_eq!(cache.fetch(a), FetchOutcome::Hit);
+        }
+    }
+
+    /// Statistics identity: hits + misses == accesses, and the miss ratio
+    /// stays within [0, 1].
+    #[test]
+    fn stats_are_consistent(addrs in prop::collection::vec(0u32..2048, 0..500)) {
+        let mut cache = Icache::mipsx();
+        let result = cache.simulate_trace(addrs.iter().copied());
+        let s = result.stats;
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!((0.0..=1.0).contains(&s.miss_ratio()));
+        prop_assert!(result.avg_fetch_cycles >= 1.0 || s.accesses == 0);
+    }
+
+    /// Double fetch-back never hurts: over any trace, misses with
+    /// `fetch_words = 2` are at most those with `fetch_words = 1`.
+    #[test]
+    fn double_fetch_never_worse(addrs in prop::collection::vec(0u32..4096, 1..600)) {
+        // Sequentially biased trace: mix raw addresses with short runs.
+        let mut trace = Vec::new();
+        for &a in &addrs {
+            for k in 0..(a % 4) {
+                trace.push(a.wrapping_add(k) % 4096);
+            }
+            trace.push(a);
+        }
+        let run = |fetch_words| {
+            let mut c = Icache::new(IcacheConfig { fetch_words, ..IcacheConfig::mipsx() });
+            c.simulate_trace(trace.iter().copied()).stats.misses
+        };
+        prop_assert!(run(2) <= run(1));
+    }
+}

@@ -1,0 +1,213 @@
+//! The branch cache (branch target buffer) that MIPS-X rejected.
+//!
+//! *"There were two prediction algorithms tried: branch cache, and static
+//! prediction. The branch cache was quickly discarded when we discovered
+//! that it had to be fairly large (much greater than 16 entries) to get a
+//! high hit rate. It would also affect the size of our instruction cache.
+//! Besides, it never did much better than static prediction and was much
+//! more complex."*
+//!
+//! This module reruns that evaluation: a direct-mapped branch cache of
+//! configurable size with 2-bit counters, driven by a branch event trace,
+//! compared against static predict-taken.
+
+/// One dynamic branch event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BranchEvent {
+    /// Address of the branch instruction.
+    pub pc: u32,
+    /// Whether it took.
+    pub taken: bool,
+}
+
+/// Outcome of one prediction-policy run over a trace.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct PredictionStats {
+    /// Branch events processed.
+    pub branches: u64,
+    /// Correct direction predictions.
+    pub correct: u64,
+    /// Events whose branch was resident in the cache (1.0 for static
+    /// prediction, which needs no storage).
+    pub hits: u64,
+}
+
+impl PredictionStats {
+    /// Fraction of branches predicted correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.branches as f64
+        }
+    }
+
+    /// Fraction of branches found in the cache.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.branches as f64
+        }
+    }
+}
+
+/// A direct-mapped branch cache with 2-bit saturating direction counters.
+///
+/// A miss predicts the static default (taken) and allocates the entry.
+#[derive(Clone, Debug)]
+pub struct BranchCache {
+    /// `(tag, counter)` per entry; counter ≥ 2 predicts taken.
+    entries: Vec<Option<(u32, u8)>>,
+}
+
+impl BranchCache {
+    /// A branch cache with `entries` slots.
+    ///
+    /// # Panics
+    /// Panics if `entries` is zero or not a power of two.
+    pub fn new(entries: usize) -> BranchCache {
+        assert!(entries.is_power_of_two(), "entry count must be a power of two");
+        BranchCache {
+            entries: vec![None; entries],
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache has no entries (never true — construction demands
+    /// a power of two).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Predict and then train on one event. Returns `(hit, predicted)`.
+    pub fn access(&mut self, event: BranchEvent) -> (bool, bool) {
+        let index = (event.pc as usize) & (self.entries.len() - 1);
+        let tag = event.pc;
+        let (hit, predicted) = match self.entries[index] {
+            Some((t, counter)) if t == tag => (true, counter >= 2),
+            _ => (false, true), // static default: predict taken
+        };
+        // Train.
+        let counter = match self.entries[index] {
+            Some((t, c)) if t == tag => c,
+            _ => 2, // weakly taken on allocate
+        };
+        let trained = if event.taken {
+            (counter + 1).min(3)
+        } else {
+            counter.saturating_sub(1)
+        };
+        self.entries[index] = Some((tag, trained));
+        (hit, predicted)
+    }
+
+    /// Run a whole trace.
+    pub fn simulate<I: IntoIterator<Item = BranchEvent>>(&mut self, trace: I) -> PredictionStats {
+        let mut stats = PredictionStats::default();
+        for event in trace {
+            let (hit, predicted) = self.access(event);
+            stats.branches += 1;
+            stats.hits += hit as u64;
+            stats.correct += (predicted == event.taken) as u64;
+        }
+        stats
+    }
+}
+
+/// Static prediction: always predict taken (*"in the static case most
+/// branches go"*).
+pub fn simulate_static<I: IntoIterator<Item = BranchEvent>>(trace: I) -> PredictionStats {
+    let mut stats = PredictionStats::default();
+    for event in trace {
+        stats.branches += 1;
+        stats.hits += 1;
+        stats.correct += event.taken as u64;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loopy_trace(branches: u32, iters: u32) -> Vec<BranchEvent> {
+        // `branches` distinct backward branches, each taking (iters-1)
+        // times then falling through once.
+        let mut t = Vec::new();
+        for _ in 0..iters {
+            for b in 0..branches {
+                t.push(BranchEvent {
+                    pc: b * 97 + 5,
+                    taken: true,
+                });
+            }
+        }
+        for b in 0..branches {
+            t.push(BranchEvent {
+                pc: b * 97 + 5,
+                taken: false,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn static_accuracy_equals_taken_fraction() {
+        let trace = loopy_trace(4, 9);
+        let s = simulate_static(trace.iter().copied());
+        assert_eq!(s.branches, 40);
+        assert!((s.accuracy() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn big_cache_hits_small_cache_misses() {
+        // 64 distinct branches: a 16-entry cache thrashes, a 256-entry one
+        // holds them all after the first pass.
+        let trace = loopy_trace(64, 10);
+        let small = BranchCache::new(16).simulate(trace.iter().copied());
+        let big = BranchCache::new(256).simulate(trace.iter().copied());
+        assert!(
+            big.hit_ratio() > small.hit_ratio() + 0.2,
+            "big {} vs small {}",
+            big.hit_ratio(),
+            small.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn branch_cache_never_much_better_than_static_on_loopy_code() {
+        // The paper's observation: on mostly-taken branch streams the
+        // branch cache cannot beat predict-taken by much.
+        let trace = loopy_trace(32, 19); // 95% taken
+        let static_acc = simulate_static(trace.iter().copied()).accuracy();
+        let btb_acc = BranchCache::new(1024).simulate(trace.iter().copied()).accuracy();
+        assert!(btb_acc <= static_acc + 0.02, "btb {btb_acc} vs static {static_acc}");
+    }
+
+    #[test]
+    fn counters_learn_a_not_taken_branch() {
+        let mut cache = BranchCache::new(16);
+        let e = BranchEvent { pc: 4, taken: false };
+        // First access allocates (predicts taken, wrong), then learns.
+        let (_, p1) = cache.access(e);
+        let (_, p2) = cache.access(e);
+        let (_, p3) = cache.access(e);
+        assert!(p1, "cold prediction is the static default");
+        // After two not-taken outcomes the counter reaches 0 -> predict
+        // not-taken.
+        assert!(!p2 || !p3);
+        let s = cache.simulate(std::iter::repeat_n(e, 100));
+        assert!(s.accuracy() > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn entries_must_be_power_of_two() {
+        let _ = BranchCache::new(12);
+    }
+}

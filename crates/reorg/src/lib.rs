@@ -1,0 +1,39 @@
+//! # mipsx-reorg — the MIPS-X code reorganizer
+//!
+//! MIPS-X, like MIPS before it, moves pipeline interlocks into software:
+//! *"the resulting pipeline interlocks are handled by the supporting
+//! software system."* This crate is that software system — the post-pass
+//! reorganizer that takes naive straight-line code (a [`RawProgram`] of
+//! basic blocks) and produces a scheduled [`mipsx_asm::Program`] in which
+//!
+//! - every **load delay slot** is filled with an independent instruction or
+//!   an explicit `nop` (the no-ops the paper counts: 15.6 % for Pascal,
+//!   18.3 % for Lisp with its load-load car/cdr chains);
+//! - every **branch delay slot** is filled according to a
+//!   [`BranchScheme`] — the six schemes of the paper's **Table 1**
+//!   (1 or 2 slots × no-squash / always-squash / squash-optional), using
+//!   the paper's priority order: *"first try to move an instruction from
+//!   before the branch into the slot ... the next choice is to find
+//!   instructions from the destination or the sequential path that have no
+//!   effect if the branch goes the wrong way"*, and with squashing, *"any
+//!   instruction from the branch destination"*;
+//! - **static branch prediction** picks the squash sense (*"in the static
+//!   case most branches go"* — predict-taken unless a profile says
+//!   otherwise).
+//!
+//! Two of the alternatives the team evaluated and rejected are also here so
+//! the paper's negative results can be reproduced: the **quick compare**
+//! classifier ([`quick_compare`]) and the **branch target cache**
+//! ([`btb`]) that *"never did much better than static prediction and was
+//! much more complex."*
+
+pub mod btb;
+pub mod liveness;
+pub mod quick_compare;
+mod raw;
+mod schedule;
+mod scheme;
+
+pub use raw::{BlockId, RawBlock, RawProgram, Terminator};
+pub use schedule::{ReorgError, Reorganizer, ScheduleReport};
+pub use scheme::{BranchScheme, SquashPolicy};

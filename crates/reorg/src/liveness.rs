@@ -1,0 +1,187 @@
+//! Register liveness over the basic-block graph.
+//!
+//! The no-squash slot filler needs to know whether an instruction hoisted
+//! from one arm of a branch is harmless on the other arm — i.e. whether its
+//! destination register is **dead** there. With 32 registers a live set is
+//! a single `u32` mask, and the classic backward fixed point converges in a
+//! few sweeps.
+
+use mipsx_isa::{Instr, Reg};
+
+use crate::{RawProgram, Terminator};
+
+/// Bitmask of live registers (`bit i` ⇔ `r<i>` live). `r0` is never
+/// considered live — it is constant.
+pub type RegSet = u32;
+
+/// Set membership test.
+#[inline]
+pub fn contains(set: RegSet, reg: Reg) -> bool {
+    !reg.is_zero() && set & (1 << reg.index()) != 0
+}
+
+fn insert(set: &mut RegSet, reg: Reg) {
+    if !reg.is_zero() {
+        *set |= 1 << reg.index();
+    }
+}
+
+fn remove(set: &mut RegSet, reg: Reg) {
+    *set &= !(1 << reg.index());
+}
+
+/// Per-block liveness solution.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<RegSet>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<RegSet>,
+}
+
+/// Transfer one instruction backward through a live set.
+pub fn step_backward(live: &mut RegSet, instr: &Instr) {
+    if let Some(d) = instr.def() {
+        remove(live, d);
+    }
+    for u in instr.uses() {
+        insert(live, u);
+    }
+}
+
+/// Compute liveness for a whole program.
+///
+/// Calls are treated conservatively: a `Call` makes **all** registers live
+/// (the callee may read anything), and `Return`/`Halt` leave all registers
+/// live at exit (the caller's continuation is not tracked
+/// interprocedurally). This errs toward filling fewer cross-path slots,
+/// never toward breaking a program.
+pub fn analyze(program: &RawProgram) -> Liveness {
+    let n = program.len();
+    let mut live_in = vec![0u32; n];
+    let mut live_out = vec![0u32; n];
+    // All-live at the boundary terminators (conservative).
+    const ALL: RegSet = !1; // every register except r0
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in (0..n).rev() {
+            let term = &program.terms[id];
+            let mut out = match term {
+                Terminator::Halt | Terminator::Return { .. } => ALL,
+                Terminator::Call { .. } => ALL,
+                _ => term
+                    .successors()
+                    .iter()
+                    .fold(0, |acc, &s| acc | live_in[s]),
+            };
+            if out != live_out[id] {
+                live_out[id] = out;
+                changed = true;
+            }
+            // Terminator's own dataflow.
+            if let Some(d) = term.def() {
+                remove(&mut out, d);
+            }
+            for u in term.uses() {
+                insert(&mut out, u);
+            }
+            // Body, backward.
+            for instr in program.blocks[id].instrs.iter().rev() {
+                step_backward(&mut out, instr);
+            }
+            if out != live_in[id] {
+                live_in[id] = out;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RawBlock;
+    use mipsx_isa::{ComputeOp, Cond};
+
+    fn add(rd: u8, rs1: u8, rs2: u8) -> Instr {
+        Instr::Compute {
+            op: ComputeOp::Add,
+            rs1: Reg::new(rs1),
+            rs2: Reg::new(rs2),
+            rd: Reg::new(rd),
+            shamt: 0,
+        }
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        // Block 0: r3 = r1 + r2, branch on r3; block 1 halts.
+        let p = RawProgram::new(
+            vec![RawBlock::new(vec![add(3, 1, 2)]), RawBlock::default()],
+            vec![
+                Terminator::Branch {
+                    cond: Cond::Ne,
+                    rs1: Reg::new(3),
+                    rs2: Reg::ZERO,
+                    taken: 1,
+                    fall: 1,
+                    p_taken: 0.5,
+                },
+                Terminator::Halt,
+            ],
+        );
+        let l = analyze(&p);
+        assert!(contains(l.live_in[0], Reg::new(1)));
+        assert!(contains(l.live_in[0], Reg::new(2)));
+        // r3 is defined before use — not live-in.
+        assert!(!contains(l.live_in[0], Reg::new(3)));
+    }
+
+    #[test]
+    fn r0_is_never_live() {
+        let mut set = 0;
+        insert(&mut set, Reg::ZERO);
+        assert_eq!(set, 0);
+        assert!(!contains(u32::MAX, Reg::ZERO));
+    }
+
+    #[test]
+    fn loop_reaches_fixed_point() {
+        // Block 0 -> branch back to 0 or fall to 1; r5 used in the loop
+        // body, defined nowhere: live-in everywhere.
+        let p = RawProgram::new(
+            vec![RawBlock::new(vec![add(6, 5, 6)]), RawBlock::default()],
+            vec![
+                Terminator::Branch {
+                    cond: Cond::Ne,
+                    rs1: Reg::new(6),
+                    rs2: Reg::ZERO,
+                    taken: 0,
+                    fall: 1,
+                    p_taken: 0.9,
+                },
+                Terminator::Halt,
+            ],
+        );
+        let l = analyze(&p);
+        assert!(contains(l.live_in[0], Reg::new(5)));
+        assert!(contains(l.live_in[0], Reg::new(6)));
+    }
+
+    #[test]
+    fn step_backward_kill_then_gen() {
+        // r1 = r1 + r2: def and use of r1 — still live (used before def).
+        let mut live: RegSet = 0;
+        step_backward(&mut live, &add(1, 1, 2));
+        assert!(contains(live, Reg::new(1)));
+        assert!(contains(live, Reg::new(2)));
+        // r3 = r4 + r4, backward through {r3}: r3 dies, r4 born.
+        let mut live: RegSet = 1 << 3;
+        step_backward(&mut live, &add(3, 4, 4));
+        assert!(!contains(live, Reg::new(3)));
+        assert!(contains(live, Reg::new(4)));
+    }
+}

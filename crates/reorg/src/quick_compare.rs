@@ -1,0 +1,128 @@
+//! The *quick compare* classifier.
+//!
+//! The quick compare was a proposed comparator on the register-file outputs
+//! that would have resolved branches at the end of RF, cutting the branch
+//! delay to one slot: *"Only equality and sign comparisons can be obtained
+//! using this method since there is not enough time for an arithmetic
+//! operation."* It was dropped because the comparator sat after the bypass
+//! muxes and *"could potentially lengthen the processor cycle time."*
+//!
+//! The go/no-go number the team needed first was *"what percentage of
+//! branches could be handled by a quick compare"* — Katevenis reported
+//! ≈80 % with compiler help; the MIPS-X team measured 70–80 %. This module
+//! reproduces that classification over a [`RawProgram`], optionally
+//! weighted by block execution counts for the dynamic figure.
+
+use crate::{RawProgram, Terminator};
+
+/// Classification result.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct QuickCompareStats {
+    /// Branches examined (dynamic count when weighted).
+    pub total: u64,
+    /// Branches a quick compare could resolve in RF.
+    pub quick: u64,
+    /// Branches needing the full ALU (two-instruction sequences under the
+    /// quick-compare design: an ALU op, then a quick sign compare).
+    pub full: u64,
+}
+
+impl QuickCompareStats {
+    /// Fraction of branches that are quick-compare-able.
+    pub fn quick_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.quick as f64 / self.total as f64
+        }
+    }
+
+    /// Average branch instructions per source-level branch under the
+    /// quick-compare design: 1 for quick ones, 2 for the rest (*"Other
+    /// conditions such as greater than would require two steps."*)
+    pub fn avg_instructions_per_branch(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.quick + 2 * self.full) as f64 / self.total as f64
+        }
+    }
+}
+
+/// Classify every branch in a program. `weights[b]` is the execution count
+/// of block `b` (pass `None` for the static count).
+pub fn analyze(program: &RawProgram, weights: Option<&[u64]>) -> QuickCompareStats {
+    let mut stats = QuickCompareStats::default();
+    for (id, term) in program.terms.iter().enumerate() {
+        let Terminator::Branch { cond, rs2, .. } = term else {
+            continue;
+        };
+        let weight = weights.map_or(1, |w| w.get(id).copied().unwrap_or(0));
+        stats.total += weight;
+        if cond.quick_compare_able(rs2.is_zero()) {
+            stats.quick += weight;
+        } else {
+            stats.full += weight;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RawBlock;
+    use mipsx_isa::{Cond, Reg};
+
+    fn branch_block(cond: Cond, rs2: u8, taken: usize, fall: usize) -> Terminator {
+        Terminator::Branch {
+            cond,
+            rs1: Reg::new(1),
+            rs2: Reg::new(rs2),
+            taken,
+            fall,
+            p_taken: 0.5,
+        }
+    }
+
+    fn program() -> RawProgram {
+        RawProgram::new(
+            vec![RawBlock::default(); 5],
+            vec![
+                branch_block(Cond::Eq, 2, 4, 1),  // quick: equality
+                branch_block(Cond::Lt, 0, 4, 2),  // quick: sign test vs r0
+                branch_block(Cond::Lt, 3, 4, 3),  // full: magnitude compare
+                branch_block(Cond::Lo, 0, 4, 4),  // full: unsigned
+                Terminator::Halt,
+            ],
+        )
+    }
+
+    #[test]
+    fn static_classification() {
+        let s = analyze(&program(), None);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.quick, 2);
+        assert_eq!(s.full, 2);
+        assert!((s.quick_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.avg_instructions_per_branch() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_weighting() {
+        // The two quick branches execute far more often.
+        let weights = [70, 10, 15, 5, 0];
+        let s = analyze(&program(), Some(&weights));
+        assert_eq!(s.total, 100);
+        assert_eq!(s.quick, 80);
+        assert!((s.quick_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = RawProgram::new(vec![RawBlock::default()], vec![Terminator::Halt]);
+        let s = analyze(&p, None);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.quick_fraction(), 0.0);
+    }
+}

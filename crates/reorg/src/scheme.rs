@@ -1,0 +1,126 @@
+//! The branch-scheme space of Table 1.
+
+use std::fmt;
+
+/// What the scheduler may do with branch delay slots.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SquashPolicy {
+    /// Slots always execute (original MIPS): fill from before the branch,
+    /// or with instructions provably harmless on both paths, else `nop`.
+    NoSquash,
+    /// Every branch squashes: slots are filled from the predicted path and
+    /// die when the prediction is wrong. (*"The always squash scheme only
+    /// uses the squash if go and squash if don't go actions."*)
+    AlwaysSquash,
+    /// Per-branch choice of whichever is cheaper — the scheme MIPS-X
+    /// shipped. (*"The squash optional scheme includes the use of branches
+    /// with no squash instructions in the slots as well as having branches
+    /// with squashing."*)
+    SquashOptional,
+}
+
+impl fmt::Display for SquashPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SquashPolicy::NoSquash => f.write_str("no squash"),
+            SquashPolicy::AlwaysSquash => f.write_str("always squash"),
+            SquashPolicy::SquashOptional => f.write_str("squash optional"),
+        }
+    }
+}
+
+/// One row of Table 1: a delay-slot count and a squash policy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BranchScheme {
+    /// Branch delay slots (1 or 2).
+    pub slots: usize,
+    /// Slot-filling policy.
+    pub squash: SquashPolicy,
+}
+
+impl BranchScheme {
+    /// The scheme MIPS-X shipped: two slots, squash optional, with the
+    /// full compare (*"The scheme we finally chose uses the full compare
+    /// and squash optional with two slots."*)
+    pub fn mipsx() -> BranchScheme {
+        BranchScheme {
+            slots: 2,
+            squash: SquashPolicy::SquashOptional,
+        }
+    }
+
+    /// All six rows of Table 1, in the paper's order.
+    pub fn table1() -> [BranchScheme; 6] {
+        [
+            BranchScheme { slots: 2, squash: SquashPolicy::NoSquash },
+            BranchScheme { slots: 2, squash: SquashPolicy::AlwaysSquash },
+            BranchScheme { slots: 2, squash: SquashPolicy::SquashOptional },
+            BranchScheme { slots: 1, squash: SquashPolicy::NoSquash },
+            BranchScheme { slots: 1, squash: SquashPolicy::AlwaysSquash },
+            BranchScheme { slots: 1, squash: SquashPolicy::SquashOptional },
+        ]
+    }
+
+    /// The paper's measured average cycles per branch for this scheme
+    /// (Table 1) — the reference values the reproduction is compared
+    /// against.
+    pub fn paper_cycles_per_branch(&self) -> f64 {
+        match (self.slots, self.squash) {
+            (2, SquashPolicy::NoSquash) => 2.0,
+            (2, SquashPolicy::AlwaysSquash) => 1.5,
+            (2, SquashPolicy::SquashOptional) => 1.3,
+            (1, SquashPolicy::NoSquash) => 1.4,
+            (1, SquashPolicy::AlwaysSquash) => 1.3,
+            (1, SquashPolicy::SquashOptional) => 1.1,
+            _ => f64::NAN,
+        }
+    }
+
+    /// Validate the slot count.
+    ///
+    /// # Panics
+    /// Panics unless `slots` is 1 or 2.
+    pub fn validate(&self) {
+        assert!(self.slots == 1 || self.slots == 2, "1 or 2 delay slots");
+    }
+}
+
+impl fmt::Display for BranchScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-slot {}", self.slots, self.squash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_six_rows() {
+        let rows = BranchScheme::table1();
+        assert_eq!(rows.len(), 6);
+        for r in rows {
+            r.validate();
+            assert!(r.paper_cycles_per_branch() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn paper_values_match_table() {
+        assert_eq!(BranchScheme::mipsx().paper_cycles_per_branch(), 1.3);
+        assert_eq!(
+            BranchScheme { slots: 2, squash: SquashPolicy::NoSquash }.paper_cycles_per_branch(),
+            2.0
+        );
+        assert_eq!(
+            BranchScheme { slots: 1, squash: SquashPolicy::SquashOptional }
+                .paper_cycles_per_branch(),
+            1.1
+        );
+    }
+
+    #[test]
+    fn display_reads_like_the_table() {
+        assert_eq!(BranchScheme::mipsx().to_string(), "2-slot squash optional");
+    }
+}

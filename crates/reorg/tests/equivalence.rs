@@ -1,0 +1,303 @@
+//! Scheduling soundness: for every branch scheme of Table 1, the
+//! reorganized program must produce exactly the architectural state of the
+//! naively lowered (all-nops) program when executed on the cycle-accurate
+//! pipeline — with interlock checking on, so any missed load-delay or
+//! squash bug fails loudly.
+
+use mipsx_core::{InterlockPolicy, Machine, MachineConfig};
+use mipsx_isa::{ComputeOp, Cond, Instr, Reg};
+use mipsx_reorg::{BranchScheme, RawBlock, RawProgram, Reorganizer, Terminator};
+use proptest::prelude::*;
+
+const DATA_BASE: i32 = 4000;
+const DATA_WORDS: u32 = 64;
+
+fn run(program: &mipsx_asm::Program, slots: usize) -> (Vec<u32>, Vec<u32>, u64) {
+    let mut m = Machine::new(MachineConfig {
+        branch_delay_slots: slots,
+        interlock: InterlockPolicy::Detect,
+        ..MachineConfig::default()
+    });
+    m.load_program(program);
+    let stats = m
+        .run(2_000_000)
+        .unwrap_or_else(|e| panic!("execution failed: {e}\n{program}"));
+    let mut regs = m.cpu().regs_snapshot().to_vec();
+    // The link register holds a code address, which legitimately differs
+    // between layouts; exclude it from architectural comparison.
+    regs[Reg::LINK.index()] = 0;
+    let mem: Vec<u32> = (DATA_BASE as u32..DATA_BASE as u32 + DATA_WORDS)
+        .map(|a| m.read_word(a))
+        .collect();
+    (regs, mem, stats.cycles)
+}
+
+/// Check naive vs reorganized equivalence for every Table 1 scheme; returns
+/// the cycle counts (naive, reorganized) for the MIPS-X scheme.
+fn assert_equivalent(raw: &RawProgram) -> (u64, u64) {
+    let mut mipsx_cycles = (0, 0);
+    for scheme in BranchScheme::table1() {
+        let r = Reorganizer::new(scheme);
+        let (naive, _) = r.lower_naive(raw).expect("naive lowering");
+        let (opt, report) = r.reorganize(raw).expect("reorganization");
+        let (regs_a, mem_a, cycles_a) = run(&naive, scheme.slots);
+        let (regs_b, mem_b, cycles_b) = run(&opt, scheme.slots);
+        assert_eq!(regs_a, regs_b, "register divergence under {scheme} ({report:?})\n{opt}");
+        assert_eq!(mem_a, mem_b, "memory divergence under {scheme}");
+        if scheme == BranchScheme::mipsx() {
+            mipsx_cycles = (cycles_a, cycles_b);
+        }
+    }
+    mipsx_cycles
+}
+
+fn addi(rd: u8, rs1: u8, imm: i32) -> Instr {
+    Instr::Addi {
+        rs1: Reg::new(rs1),
+        rd: Reg::new(rd),
+        imm,
+    }
+}
+
+fn compute(op: ComputeOp, rd: u8, rs1: u8, rs2: u8) -> Instr {
+    Instr::Compute {
+        op,
+        rs1: Reg::new(rs1),
+        rs2: Reg::new(rs2),
+        rd: Reg::new(rd),
+        shamt: 3,
+    }
+}
+
+#[test]
+fn countdown_loop_is_equivalent_and_faster() {
+    // b0: r1 = 8; r2 = 0; jump b1
+    // b1: r2 += r1; r3 = r2 ^ r1; r1 -= 1; if r1 != 0 goto b1
+    // b2: halt
+    let raw = RawProgram::new(
+        vec![
+            RawBlock::new(vec![addi(1, 0, 8), addi(2, 0, 0)]),
+            RawBlock::new(vec![
+                compute(ComputeOp::AddU, 2, 2, 1),
+                compute(ComputeOp::Xor, 3, 2, 1),
+                addi(1, 1, -1),
+            ]),
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Jump(1),
+            Terminator::Branch {
+                cond: Cond::Ne,
+                rs1: Reg::new(1),
+                rs2: Reg::ZERO,
+                taken: 1,
+                fall: 2,
+                p_taken: 0.875,
+            },
+            Terminator::Halt,
+        ],
+    );
+    let (naive, optimized) = assert_equivalent(&raw);
+    assert!(
+        optimized < naive,
+        "reorganized loop should be faster: {optimized} vs {naive}"
+    );
+}
+
+#[test]
+fn memory_traffic_is_equivalent() {
+    // Store then reload through a loop with a load-use pattern the
+    // load-delay pass must fix.
+    let raw = RawProgram::new(
+        vec![
+            RawBlock::new(vec![addi(20, 0, DATA_BASE), addi(1, 0, 6)]),
+            RawBlock::new(vec![
+                Instr::St {
+                    rs1: Reg::new(20),
+                    rsrc: Reg::new(1),
+                    offset: 0,
+                },
+                Instr::Ld {
+                    rs1: Reg::new(20),
+                    rd: Reg::new(5),
+                    offset: 0,
+                },
+                compute(ComputeOp::AddU, 6, 5, 5), // load-use at distance 1!
+                Instr::St {
+                    rs1: Reg::new(20),
+                    rsrc: Reg::new(6),
+                    offset: 1,
+                },
+                addi(20, 20, 2),
+                addi(1, 1, -1),
+            ]),
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Jump(1),
+            Terminator::Branch {
+                cond: Cond::Gt,
+                rs1: Reg::new(1),
+                rs2: Reg::ZERO,
+                taken: 1,
+                fall: 2,
+                p_taken: 0.83,
+            },
+            Terminator::Halt,
+        ],
+    );
+    assert_equivalent(&raw);
+}
+
+#[test]
+fn call_and_return_equivalence() {
+    // b0: set up args, call b2 (ret to b1)
+    // b1: consume result, halt path
+    // b2: callee computes, returns
+    let raw = RawProgram::new(
+        vec![
+            RawBlock::new(vec![addi(1, 0, 21), addi(9, 0, 3)]),
+            RawBlock::new(vec![compute(ComputeOp::AddU, 4, 3, 3)]),
+            RawBlock::new(vec![compute(ComputeOp::AddU, 3, 1, 1), addi(9, 9, 40)]),
+        ],
+        vec![
+            Terminator::Call {
+                target: 2,
+                link: Reg::LINK,
+                ret_to: 1,
+            },
+            Terminator::Halt,
+            Terminator::Return { link: Reg::LINK },
+        ],
+    );
+    assert_equivalent(&raw);
+}
+
+#[test]
+fn diamond_with_biased_branch() {
+    // if r1 < r2 { r5 = r1 & r2 } else { r5 = r1 | r2 }; join.
+    let raw = RawProgram::new(
+        vec![
+            RawBlock::new(vec![addi(1, 0, 100), addi(2, 0, 37)]),
+            RawBlock::new(vec![compute(ComputeOp::Or, 5, 1, 2), addi(6, 5, 1)]),
+            RawBlock::default(),
+            RawBlock::new(vec![compute(ComputeOp::And, 5, 1, 2), addi(7, 5, 2)]),
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Branch {
+                cond: Cond::Lt,
+                rs1: Reg::new(1),
+                rs2: Reg::new(2),
+                taken: 3,
+                fall: 1,
+                p_taken: 0.3,
+            },
+            Terminator::Jump(4),
+            Terminator::Jump(4),
+            Terminator::Jump(4),
+            Terminator::Halt,
+        ],
+    );
+    assert_equivalent(&raw);
+}
+
+// ---------------------------------------------------------------------
+// Property test: random forward-branching programs.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum GenInstr {
+    Addi { rd: u8, rs1: u8, imm: i32 },
+    Alu { op: u8, rd: u8, rs1: u8, rs2: u8 },
+    Ld { rd: u8, off: u8 },
+    St { rsrc: u8, off: u8 },
+}
+
+fn lower_gen(i: &GenInstr) -> Instr {
+    const OPS: [ComputeOp; 6] = [
+        ComputeOp::AddU,
+        ComputeOp::SubU,
+        ComputeOp::And,
+        ComputeOp::Or,
+        ComputeOp::Xor,
+        ComputeOp::Sll,
+    ];
+    match *i {
+        GenInstr::Addi { rd, rs1, imm } => addi(rd, rs1, imm),
+        GenInstr::Alu { op, rd, rs1, rs2 } => compute(OPS[op as usize % 6], rd, rs1, rs2),
+        GenInstr::Ld { rd, off } => Instr::Ld {
+            rs1: Reg::new(20),
+            rd: Reg::new(rd),
+            offset: (off % DATA_WORDS as u8) as i32,
+        },
+        GenInstr::St { rsrc, off } => Instr::St {
+            rs1: Reg::new(20),
+            rsrc: Reg::new(rsrc),
+            offset: (off % DATA_WORDS as u8) as i32,
+        },
+    }
+}
+
+fn arb_gen_instr() -> impl Strategy<Value = GenInstr> {
+    prop_oneof![
+        (1u8..16, 0u8..16, -50i32..50).prop_map(|(rd, rs1, imm)| GenInstr::Addi { rd, rs1, imm }),
+        (0u8..6, 1u8..16, 0u8..16, 0u8..16)
+            .prop_map(|(op, rd, rs1, rs2)| GenInstr::Alu { op, rd, rs1, rs2 }),
+        (1u8..16, any::<u8>()).prop_map(|(rd, off)| GenInstr::Ld { rd, off }),
+        (0u8..16, any::<u8>()).prop_map(|(rsrc, off)| GenInstr::St { rsrc, off }),
+    ]
+}
+
+prop_compose! {
+    fn arb_block()(instrs in prop::collection::vec(arb_gen_instr(), 0..8)) -> Vec<GenInstr> {
+        instrs
+    }
+}
+
+fn build_raw(blocks: Vec<Vec<GenInstr>>, choices: Vec<(u8, u8, u8, bool)>) -> RawProgram {
+    let n = blocks.len();
+    let mut raw_blocks: Vec<RawBlock> = Vec::new();
+    let mut terms: Vec<Terminator> = Vec::new();
+    for (id, body) in blocks.iter().enumerate() {
+        let mut instrs: Vec<Instr> = body.iter().map(lower_gen).collect();
+        if id == 0 {
+            // Prologue: the data base register.
+            instrs.insert(0, addi(20, 0, DATA_BASE));
+        }
+        raw_blocks.push(RawBlock::new(instrs));
+        let (c, r1, r2, far) = choices[id];
+        if id + 1 >= n {
+            terms.push(Terminator::Halt);
+        } else {
+            // Forward-only control: branch taken-target strictly ahead.
+            let taken = if far {
+                ((id + 2).min(n - 1)).max(id + 1)
+            } else {
+                id + 1
+            };
+            terms.push(Terminator::Branch {
+                cond: Cond::ALL[(c % 8) as usize],
+                rs1: Reg::new(r1 % 16),
+                rs2: Reg::new(r2 % 16),
+                taken,
+                fall: id + 1,
+                p_taken: if far { 0.7 } else { 0.4 },
+            });
+        }
+    }
+    RawProgram::new(raw_blocks, terms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn random_programs_schedule_soundly(
+        blocks in prop::collection::vec(arb_block(), 2..8),
+        choices in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<bool>()), 8),
+    ) {
+        prop_assume!(choices.len() >= blocks.len());
+        let raw = build_raw(blocks, choices);
+        assert_equivalent(&raw);
+    }
+}

@@ -1,0 +1,638 @@
+//! Hand-written benchmark kernels.
+//!
+//! Each kernel is a complete [`RawProgram`] with a known answer, exercising
+//! a distinct mix of behaviours: tight loops, deep recursion with a manual
+//! stack, nested loops with stores (sieve), memory streaming (memcpy),
+//! pointer chasing with load-load chains (the Lisp car/cdr pattern),
+//! data-dependent branching (bubble sort), and multiply-step sequences
+//! through the MD register (dot product).
+
+use mipsx_isa::{ComputeOp, Cond, Instr, Reg};
+use mipsx_reorg::{RawBlock, RawProgram, Terminator};
+
+/// A post-run correctness condition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Check {
+    /// Register `reg` must hold `value`.
+    Reg { reg: u8, value: u32 },
+    /// Memory word `addr` must hold `value`.
+    MemWord { addr: u32, value: u32 },
+    /// `len` words from `base` must be ascending.
+    MemSortedAscending { base: u32, len: u32 },
+}
+
+/// A named kernel with its expected results.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    /// Kernel name (stable, used in reports).
+    pub name: &'static str,
+    /// The unscheduled program.
+    pub raw: RawProgram,
+    /// Conditions a correct run must satisfy.
+    pub checks: Vec<Check>,
+    /// Rough workload class for the experiment harness.
+    pub lisp_like: bool,
+}
+
+// --- tiny instruction helpers -------------------------------------------
+
+fn r(n: u8) -> Reg {
+    Reg::new(n)
+}
+
+fn li(rd: u8, imm: i32) -> Instr {
+    Instr::Addi {
+        rs1: Reg::ZERO,
+        rd: r(rd),
+        imm,
+    }
+}
+
+fn addi(rd: u8, rs1: u8, imm: i32) -> Instr {
+    Instr::Addi {
+        rs1: r(rs1),
+        rd: r(rd),
+        imm,
+    }
+}
+
+fn addu(rd: u8, rs1: u8, rs2: u8) -> Instr {
+    Instr::Compute {
+        op: ComputeOp::AddU,
+        rs1: r(rs1),
+        rs2: r(rs2),
+        rd: r(rd),
+        shamt: 0,
+    }
+}
+
+fn mv(rd: u8, rs: u8) -> Instr {
+    addu(rd, rs, 0)
+}
+
+fn ld(rd: u8, base: u8, off: i32) -> Instr {
+    Instr::Ld {
+        rs1: r(base),
+        rd: r(rd),
+        offset: off,
+    }
+}
+
+fn st(rsrc: u8, base: u8, off: i32) -> Instr {
+    Instr::St {
+        rs1: r(base),
+        rsrc: r(rsrc),
+        offset: off,
+    }
+}
+
+fn mstep(rd: u8, rs1: u8, rs2: u8) -> Instr {
+    Instr::Compute {
+        op: ComputeOp::Mstep,
+        rs1: r(rs1),
+        rs2: r(rs2),
+        rd: r(rd),
+        shamt: 0,
+    }
+}
+
+fn movtos_md(rs: u8) -> Instr {
+    Instr::Movtos {
+        sreg: mipsx_isa::SpecialReg::Md,
+        rs: r(rs),
+    }
+}
+
+fn branch(cond: Cond, rs1: u8, rs2: u8, taken: usize, fall: usize, p: f64) -> Terminator {
+    Terminator::Branch {
+        cond,
+        rs1: r(rs1),
+        rs2: r(rs2),
+        taken,
+        fall,
+        p_taken: p,
+    }
+}
+
+// --- the kernels ---------------------------------------------------------
+
+/// Sum the integers `n..=1` in a tight loop. `r2 == n(n+1)/2`.
+pub fn sum_to_n(n: u32) -> Kernel {
+    let raw = RawProgram::new(
+        vec![
+            RawBlock::new(vec![li(1, n as i32), li(2, 0)]),
+            RawBlock::new(vec![addu(2, 2, 1), addi(1, 1, -1)]),
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Jump(1),
+            branch(Cond::Gt, 1, 0, 1, 2, 0.9),
+            Terminator::Halt,
+        ],
+    );
+    Kernel {
+        name: "sum_to_n",
+        raw,
+        checks: vec![Check::Reg {
+            reg: 2,
+            value: n * (n + 1) / 2,
+        }],
+        lisp_like: false,
+    }
+}
+
+/// Doubly recursive Fibonacci with a manual stack frame (link and argument
+/// spilled to memory). `r2 == fib(n)`.
+pub fn fib_recursive(n: u32) -> Kernel {
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+    let raw = RawProgram::new(
+        vec![
+            // b0: main — stack at 3000, call fib(n).
+            RawBlock::new(vec![li(30, 3000), li(1, n as i32)]),
+            // b1: done.
+            RawBlock::default(),
+            // b2: fib entry — if n >= 2 recurse.
+            RawBlock::new(vec![li(3, 2)]),
+            // b3: base case — return n.
+            RawBlock::new(vec![mv(2, 1)]),
+            // b4: recursive case — push link and n, call fib(n-1).
+            RawBlock::new(vec![
+                st(31, 30, 0),
+                st(1, 30, 1),
+                addi(30, 30, 3),
+                addi(1, 1, -1),
+            ]),
+            // b5: save fib(n-1), call fib(n-2).
+            RawBlock::new(vec![st(2, 30, -1), ld(1, 30, -2), addi(1, 1, -2)]),
+            // b6: combine, pop frame, return.
+            RawBlock::new(vec![
+                ld(4, 30, -1),
+                addu(2, 2, 4),
+                ld(31, 30, -3),
+                addi(30, 30, -3),
+            ]),
+        ],
+        vec![
+            Terminator::Call {
+                target: 2,
+                link: Reg::LINK,
+                ret_to: 1,
+            },
+            Terminator::Halt,
+            branch(Cond::Ge, 1, 3, 4, 3, 0.7),
+            Terminator::Return { link: Reg::LINK },
+            Terminator::Call {
+                target: 2,
+                link: Reg::LINK,
+                ret_to: 5,
+            },
+            Terminator::Call {
+                target: 2,
+                link: Reg::LINK,
+                ret_to: 6,
+            },
+            Terminator::Return { link: Reg::LINK },
+        ],
+    );
+    Kernel {
+        name: "fib_recursive",
+        raw,
+        checks: vec![Check::Reg {
+            reg: 2,
+            value: fib(n as u64) as u32,
+        }],
+        lisp_like: false,
+    }
+}
+
+/// Sieve of Eratosthenes up to `limit` (flags at 2000). `r2` counts primes.
+pub fn sieve(limit: u32) -> Kernel {
+    let expected = {
+        let mut flags = vec![false; limit as usize];
+        let mut count = 0u32;
+        for i in 2..limit as usize {
+            if !flags[i] {
+                count += 1;
+                let mut j = i + i;
+                while j < limit as usize {
+                    flags[j] = true;
+                    j += i;
+                }
+            }
+        }
+        count
+    };
+    let raw = RawProgram::new(
+        vec![
+            // b0: init.
+            RawBlock::new(vec![li(10, 2000), li(4, limit as i32), li(2, 0), li(1, 2)]),
+            // b1: outer head — composite?
+            RawBlock::new(vec![addu(5, 1, 10), ld(6, 5, 0)]),
+            // b2: i is prime — count it, j = 2i.
+            RawBlock::new(vec![addi(2, 2, 1), addu(3, 1, 1)]),
+            // b3: inner head — j < limit?
+            RawBlock::default(),
+            // b4: mark flags[j], j += i.
+            RawBlock::new(vec![addu(5, 3, 10), li(7, 1), st(7, 5, 0), addu(3, 3, 1)]),
+            // b5: outer increment.
+            RawBlock::new(vec![addi(1, 1, 1)]),
+            // b6: done.
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Jump(1),
+            branch(Cond::Ne, 6, 0, 5, 2, 0.4),
+            Terminator::Jump(3),
+            branch(Cond::Ge, 3, 4, 5, 4, 0.2),
+            Terminator::Jump(3),
+            branch(Cond::Lt, 1, 4, 1, 6, 0.95),
+            Terminator::Halt,
+        ],
+    );
+    Kernel {
+        name: "sieve",
+        raw,
+        checks: vec![Check::Reg {
+            reg: 2,
+            value: expected,
+        }],
+        lisp_like: false,
+    }
+}
+
+/// Fill a source array (base 2100) and copy it (base 2200).
+pub fn memcpy(n: u32) -> Kernel {
+    let raw = RawProgram::new(
+        vec![
+            RawBlock::new(vec![
+                li(10, 2100),
+                li(11, 2200),
+                li(1, n as i32),
+                li(2, 0),
+                li(5, 7),
+                li(13, 13),
+            ]),
+            // b1: fill src with 7, 20, 33, ...
+            RawBlock::new(vec![
+                addu(6, 10, 2),
+                st(5, 6, 0),
+                addu(5, 5, 13),
+                addi(2, 2, 1),
+            ]),
+            // b2: reset index.
+            RawBlock::new(vec![li(2, 0)]),
+            // b3: copy loop.
+            RawBlock::new(vec![
+                addu(6, 10, 2),
+                ld(7, 6, 0),
+                addu(8, 11, 2),
+                st(7, 8, 0),
+                addi(2, 2, 1),
+            ]),
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Jump(1),
+            branch(Cond::Lt, 2, 1, 1, 2, 0.9),
+            Terminator::Jump(3),
+            branch(Cond::Lt, 2, 1, 3, 4, 0.9),
+            Terminator::Halt,
+        ],
+    );
+    let checks = (0..n)
+        .step_by((n as usize / 4).max(1))
+        .map(|i| Check::MemWord {
+            addr: 2200 + i,
+            value: 7u32.wrapping_add(13 * i),
+        })
+        .collect();
+    Kernel {
+        name: "memcpy",
+        raw,
+        checks,
+        lisp_like: false,
+    }
+}
+
+/// Build a linked list of `k` cons cells at 2400 ([value, next] pairs) and
+/// chase it, summing the values — the Lisp car/cdr pattern, full of
+/// load-load interlocks. `r2 == Σ (3i + 1)`.
+pub fn list_chase(k: u32) -> Kernel {
+    let expected: u32 = (0..k).map(|i| 3 * i + 1).sum();
+    let raw = RawProgram::new(
+        vec![
+            // b0: builder init.
+            RawBlock::new(vec![li(10, 2400), li(1, k as i32), li(2, 0), li(3, 1), li(12, 3)]),
+            // b1: build loop — node i at 2400 + 2i.
+            RawBlock::new(vec![
+                addu(6, 2, 2),
+                addu(6, 6, 10),
+                st(3, 6, 0),
+                addi(7, 6, 2),
+                st(7, 6, 1),
+                addu(3, 3, 12),
+                addi(2, 2, 1),
+            ]),
+            // b2: terminate last node, start the chase.
+            RawBlock::new(vec![
+                addi(6, 10, 2 * (k as i32 - 1)),
+                st(0, 6, 1),
+                mv(4, 10),
+                li(2, 0),
+            ]),
+            // b3: chase — the car/cdr chain.
+            RawBlock::new(vec![ld(5, 4, 0), addu(2, 2, 5), ld(4, 4, 1)]),
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Jump(1),
+            branch(Cond::Lt, 2, 1, 1, 2, 0.95),
+            Terminator::Jump(3),
+            branch(Cond::Ne, 4, 0, 3, 4, 0.95),
+            Terminator::Halt,
+        ],
+    );
+    Kernel {
+        name: "list_chase",
+        raw,
+        checks: vec![Check::Reg {
+            reg: 2,
+            value: expected,
+        }],
+        lisp_like: true,
+    }
+}
+
+/// Fill an array with descending values and bubble-sort it ascending
+/// (base 2600).
+pub fn bubble_sort(n: u32) -> Kernel {
+    let raw = RawProgram::new(
+        vec![
+            // b0: init.
+            RawBlock::new(vec![li(10, 2600), li(1, n as i32), li(2, 0), li(5, 100)]),
+            // b1: fill with 100, 93, 86, ...
+            RawBlock::new(vec![addu(6, 10, 2), st(5, 6, 0), addi(5, 5, -7), addi(2, 2, 1)]),
+            // b2: pass counter.
+            RawBlock::new(vec![li(2, 0)]),
+            // b3: outer loop — reset j.
+            RawBlock::new(vec![li(3, 0)]),
+            // b4: compare neighbours.
+            RawBlock::new(vec![addu(6, 10, 3), ld(7, 6, 0), ld(8, 6, 1)]),
+            // b5: swap.
+            RawBlock::new(vec![st(8, 6, 0), st(7, 6, 1)]),
+            // b6: inner increment.
+            RawBlock::new(vec![addi(3, 3, 1), addi(9, 1, -1)]),
+            // b7: outer increment.
+            RawBlock::new(vec![addi(2, 2, 1)]),
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Jump(1),
+            branch(Cond::Lt, 2, 1, 1, 2, 0.9),
+            Terminator::Jump(3),
+            Terminator::Jump(4),
+            branch(Cond::Le, 7, 8, 6, 5, 0.5),
+            Terminator::Jump(6),
+            branch(Cond::Lt, 3, 9, 4, 7, 0.85),
+            branch(Cond::Lt, 2, 1, 3, 8, 0.9),
+            Terminator::Halt,
+        ],
+    );
+    Kernel {
+        name: "bubble_sort",
+        raw,
+        checks: vec![Check::MemSortedAscending { base: 2600, len: n }],
+        lisp_like: false,
+    }
+}
+
+/// Dot product of two small vectors using 32-step software multiply
+/// through the MD register. `r5` holds the result.
+pub fn dot_product(n: u32) -> Kernel {
+    let expected: u32 = (0..n).map(|i| (i + 1) * (2 * i + 1)).sum();
+    let mut inner = vec![
+        addu(6, 10, 2),
+        ld(7, 6, 0),
+        addu(6, 11, 2),
+        ld(8, 6, 0),
+        movtos_md(8),
+        li(9, 0),
+    ];
+    for _ in 0..32 {
+        inner.push(mstep(9, 7, 9));
+    }
+    inner.push(addu(5, 5, 9));
+    inner.push(addi(2, 2, 1));
+    let raw = RawProgram::new(
+        vec![
+            RawBlock::new(vec![
+                li(10, 2800),
+                li(11, 2900),
+                li(1, n as i32),
+                li(2, 0),
+                li(3, 1),
+                li(4, 1),
+            ]),
+            // b1: fill a[i] = i+1, b[i] = 2i+1.
+            RawBlock::new(vec![
+                addu(6, 10, 2),
+                st(3, 6, 0),
+                addu(6, 11, 2),
+                st(4, 6, 0),
+                addi(3, 3, 1),
+                addi(4, 4, 2),
+                addi(2, 2, 1),
+            ]),
+            // b2: reset for the dot loop.
+            RawBlock::new(vec![li(2, 0), li(5, 0)]),
+            // b3: multiply-accumulate one element.
+            RawBlock::new(inner),
+            RawBlock::default(),
+        ],
+        vec![
+            Terminator::Jump(1),
+            branch(Cond::Lt, 2, 1, 1, 2, 0.85),
+            Terminator::Jump(3),
+            branch(Cond::Lt, 2, 1, 3, 4, 0.85),
+            Terminator::Halt,
+        ],
+    );
+    Kernel {
+        name: "dot_product",
+        raw,
+        checks: vec![Check::Reg {
+            reg: 5,
+            value: expected,
+        }],
+        lisp_like: false,
+    }
+}
+
+/// Towers of Hanoi: count the moves for `n` discs with a doubly recursive
+/// routine (manual stack frames, like `fib_recursive` but with two saved
+/// arguments). `r2 == 2^n - 1`.
+pub fn hanoi(n: u32) -> Kernel {
+    let raw = RawProgram::new(
+        vec![
+            // b0: main — stack at 3200, r1 = n, r2 = move counter.
+            RawBlock::new(vec![li(30, 3200), li(1, n as i32), li(2, 0)]),
+            // b1: done.
+            RawBlock::default(),
+            // b2: hanoi(n) entry — base case n <= 1?
+            RawBlock::new(vec![li(3, 1)]),
+            // b3: base case — one move.
+            RawBlock::new(vec![addi(2, 2, 1)]),
+            // b4: recursive: push link and n; hanoi(n-1).
+            RawBlock::new(vec![
+                st(31, 30, 0),
+                st(1, 30, 1),
+                addi(30, 30, 2),
+                addi(1, 1, -1),
+            ]),
+            // b5: the middle move, then hanoi(n-1) again.
+            RawBlock::new(vec![addi(2, 2, 1), ld(1, 30, -1), addi(1, 1, -1)]),
+            // b6: pop frame, return.
+            RawBlock::new(vec![ld(31, 30, -2), addi(30, 30, -2)]),
+        ],
+        vec![
+            Terminator::Call {
+                target: 2,
+                link: Reg::LINK,
+                ret_to: 1,
+            },
+            Terminator::Halt,
+            branch(Cond::Gt, 1, 3, 4, 3, 0.7),
+            Terminator::Return { link: Reg::LINK },
+            Terminator::Call {
+                target: 2,
+                link: Reg::LINK,
+                ret_to: 5,
+            },
+            Terminator::Call {
+                target: 2,
+                link: Reg::LINK,
+                ret_to: 6,
+            },
+            Terminator::Return { link: Reg::LINK },
+        ],
+    );
+    Kernel {
+        name: "hanoi",
+        raw,
+        checks: vec![Check::Reg {
+            reg: 2,
+            value: (1u32 << n) - 1,
+        }],
+        lisp_like: false,
+    }
+}
+
+/// Lexicographic compare of two word-strings (bases 3400/3500): build two
+/// sequences differing at position `diff`, scan for the first mismatch.
+/// `r5` = index of first difference.
+pub fn strcmp(len: u32, diff: u32) -> Kernel {
+    assert!(diff < len, "difference must be inside the strings");
+    let raw = RawProgram::new(
+        vec![
+            // b0: init.
+            RawBlock::new(vec![
+                li(10, 3400),
+                li(11, 3500),
+                li(1, len as i32),
+                li(2, 0),
+                li(3, 65), // 'A'-ish payload
+            ]),
+            // b1: fill both strings identically…
+            RawBlock::new(vec![
+                addu(6, 10, 2),
+                st(3, 6, 0),
+                addu(6, 11, 2),
+                st(3, 6, 0),
+                addi(3, 3, 1),
+                addi(2, 2, 1),
+            ]),
+            // b2: …then poke the difference, start the scan.
+            RawBlock::new(vec![
+                addi(6, 11, diff as i32),
+                li(7, 999),
+                st(7, 6, 0),
+                li(2, 0),
+            ]),
+            // b3: compare word by word.
+            RawBlock::new(vec![
+                addu(6, 10, 2),
+                ld(7, 6, 0),
+                addu(6, 11, 2),
+                ld(8, 6, 0),
+            ]),
+            // b4: equal so far — advance.
+            RawBlock::new(vec![addi(2, 2, 1)]),
+            // b5: found (or exhausted): record index.
+            RawBlock::new(vec![mv(5, 2)]),
+        ],
+        vec![
+            Terminator::Jump(1),
+            branch(Cond::Lt, 2, 1, 1, 2, 0.9),
+            Terminator::Jump(3),
+            branch(Cond::Ne, 7, 8, 5, 4, 0.1),
+            branch(Cond::Lt, 2, 1, 3, 5, 0.95),
+            Terminator::Halt,
+        ],
+    );
+    Kernel {
+        name: "strcmp",
+        raw,
+        checks: vec![Check::Reg { reg: 5, value: diff }],
+        lisp_like: false,
+    }
+}
+
+/// The full kernel suite at standard sizes.
+pub fn all_kernels() -> Vec<Kernel> {
+    vec![
+        sum_to_n(100),
+        fib_recursive(10),
+        sieve(60),
+        memcpy(48),
+        list_chase(32),
+        bubble_sort(12),
+        dot_product(8),
+        hanoi(7),
+        strcmp(40, 23),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_validate() {
+        for k in all_kernels() {
+            k.raw.validate();
+            assert!(!k.checks.is_empty(), "{} has no checks", k.name);
+            assert!(k.raw.body_len() > 0, "{} is empty", k.name);
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let mut names: Vec<&str> = all_kernels().iter().map(|k| k.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn lisp_marker_set_for_list_chase() {
+        assert!(list_chase(8).lisp_like);
+        assert!(!sieve(30).lisp_like);
+    }
+}

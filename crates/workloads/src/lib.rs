@@ -1,0 +1,27 @@
+//! # mipsx-workloads — benchmarks for the MIPS-X reproduction
+//!
+//! The paper's evaluation ran *"large Pascal and Lisp benchmarks"* through
+//! the Stanford compiler system. That compiler stack cannot be rebuilt, so
+//! this crate substitutes two things (documented in DESIGN.md §4):
+//!
+//! - **hand-written kernels** ([`kernels`]) — recursion, loops, pointer
+//!   chasing, sorting: real programs with checkable answers that exercise
+//!   every subsystem (calls, stacks, load interlocks, branches both ways);
+//! - **calibrated synthetic generators** ([`synth`]) — parameterized
+//!   basic-block program generators whose statistics (branch frequency,
+//!   taken fraction, slot-fill probabilities, load-load chain density, code
+//!   working set) are set to the values the paper and its companion
+//!   sources report, collected in [`calibration`]. The experiments then
+//!   *derive* the paper's numbers from simulation rather than hard-coding
+//!   them.
+//!
+//! Instruction-address [`traces`] for the pure trace-driven cache studies
+//! round out the crate.
+
+pub mod calibration;
+pub mod kernels;
+pub mod synth;
+pub mod traces;
+
+pub use kernels::{all_kernels, Kernel};
+pub use synth::{SynthConfig, SynthProgram};

@@ -1,0 +1,144 @@
+//! Every kernel must produce its known answer on the cycle-accurate core —
+//! both naively lowered and fully reorganized, under every Table 1 scheme.
+
+use mipsx_core::{InterlockPolicy, Machine, MachineConfig};
+use mipsx_isa::Reg;
+use mipsx_workloads::kernels::{all_kernels, Check};
+use mipsx_workloads::synth::{generate, SynthConfig};
+use mipsx_reorg::{BranchScheme, Reorganizer};
+
+fn run_checked(program: &mipsx_asm::Program, slots: usize, checks: &[Check], label: &str) -> u64 {
+    let mut m = Machine::new(MachineConfig {
+        branch_delay_slots: slots,
+        interlock: InterlockPolicy::Detect,
+        ..MachineConfig::default()
+    });
+    m.load_program(program);
+    let stats = m
+        .run(5_000_000)
+        .unwrap_or_else(|e| panic!("{label}: execution failed: {e}"));
+    for check in checks {
+        match *check {
+            Check::Reg { reg, value } => {
+                assert_eq!(
+                    m.cpu().reg(Reg::new(reg)),
+                    value,
+                    "{label}: r{reg} mismatch"
+                );
+            }
+            Check::MemWord { addr, value } => {
+                assert_eq!(m.read_word(addr), value, "{label}: mem[{addr:#x}] mismatch");
+            }
+            Check::MemSortedAscending { base, len } => {
+                let words: Vec<u32> = (base..base + len).map(|a| m.read_word(a)).collect();
+                let mut sorted = words.clone();
+                sorted.sort_unstable();
+                assert_eq!(words, sorted, "{label}: region not sorted");
+            }
+        }
+    }
+    stats.cycles
+}
+
+#[test]
+fn kernels_correct_under_all_schemes() {
+    for kernel in all_kernels() {
+        for scheme in BranchScheme::table1() {
+            let r = Reorganizer::new(scheme);
+            let (naive, _) = r.lower_naive(&kernel.raw).expect("naive lowering");
+            let (opt, _) = r.reorganize(&kernel.raw).expect("reorganization");
+            run_checked(
+                &naive,
+                scheme.slots,
+                &kernel.checks,
+                &format!("{} naive {scheme}", kernel.name),
+            );
+            run_checked(
+                &opt,
+                scheme.slots,
+                &kernel.checks,
+                &format!("{} reorg {scheme}", kernel.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn reorganizer_speeds_up_kernels_on_average() {
+    let scheme = BranchScheme::mipsx();
+    let r = Reorganizer::new(scheme);
+    let mut naive_total = 0u64;
+    let mut opt_total = 0u64;
+    for kernel in all_kernels() {
+        let (naive, _) = r.lower_naive(&kernel.raw).unwrap();
+        let (opt, _) = r.reorganize(&kernel.raw).unwrap();
+        naive_total += run_checked(&naive, 2, &kernel.checks, kernel.name);
+        opt_total += run_checked(&opt, 2, &kernel.checks, kernel.name);
+    }
+    assert!(
+        opt_total < naive_total,
+        "reorganized suite must be faster: {opt_total} vs {naive_total}"
+    );
+}
+
+#[test]
+fn synthetic_programs_run_to_completion_under_all_schemes() {
+    for seed in [1u64, 9, 23] {
+        for cfg in [SynthConfig::tiny(seed), SynthConfig::pascal_like(seed)] {
+            let synth = generate(cfg);
+            for scheme in BranchScheme::table1() {
+                let r = Reorganizer::new(scheme);
+                let (naive, _) = r.lower_naive(&synth.raw).expect("naive");
+                let (opt, _) = r.reorganize(&synth.raw).expect("reorg");
+                let mut a = Machine::new(MachineConfig {
+                    branch_delay_slots: scheme.slots,
+                    interlock: InterlockPolicy::Detect,
+                    ..MachineConfig::default()
+                });
+                a.load_program(&naive);
+                let sa = a.run(20_000_000).expect("naive runs");
+                let mut b = Machine::new(MachineConfig {
+                    branch_delay_slots: scheme.slots,
+                    interlock: InterlockPolicy::Detect,
+                    ..MachineConfig::default()
+                });
+                b.load_program(&opt);
+                let sb = b.run(20_000_000).expect("reorg runs");
+                // Architectural equivalence of the synthetic program's state.
+                let mut ra = a.cpu().regs_snapshot();
+                let mut rb = b.cpu().regs_snapshot();
+                ra[Reg::LINK.index()] = 0;
+                rb[Reg::LINK.index()] = 0;
+                assert_eq!(ra, rb, "seed {seed} diverged under {scheme}");
+                assert!(sb.cycles <= sa.cycles, "reorg slower for seed {seed} {scheme}");
+            }
+        }
+    }
+}
+
+#[test]
+fn lisp_like_has_higher_nop_fraction_than_pascal_like() {
+    let scheme = BranchScheme::mipsx();
+    let r = Reorganizer::new(scheme);
+    let run_nop_fraction = |cfg: SynthConfig| {
+        let synth = generate(cfg);
+        let (opt, _) = r.reorganize(&synth.raw).unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_program(&opt);
+        let stats = m.run(50_000_000).expect("runs");
+        stats.nop_fraction()
+    };
+    let mut pascal_avg = 0.0;
+    let mut lisp_avg = 0.0;
+    let seeds = [3u64, 17, 41];
+    for &s in &seeds {
+        pascal_avg += run_nop_fraction(SynthConfig::pascal_like(s));
+        lisp_avg += run_nop_fraction(SynthConfig::lisp_like(s));
+    }
+    pascal_avg /= seeds.len() as f64;
+    lisp_avg /= seeds.len() as f64;
+    assert!(
+        lisp_avg > pascal_avg,
+        "lisp {lisp_avg:.3} should out-nop pascal {pascal_avg:.3}"
+    );
+}

@@ -1,0 +1,69 @@
+//! Exception handling, step by step: an overflow trap enters the handler
+//! at address zero, the handler reads the frozen PC chain, patches PSWold,
+//! and restarts the pipeline with the three special jumps.
+//!
+//! ```sh
+//! cargo run --example exception_handling
+//! ```
+
+use mipsx::asm::{assemble, assemble_at};
+use mipsx::core::{Machine, MachineConfig};
+use mipsx::isa::Reg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The exception routine, "located at address zero in system space".
+    // It records the three PC-chain entries, disables the overflow trap in
+    // the saved PSW so the faulting add completes on replay, and returns
+    // via jpc; jpc; jpcrs — the jumps interleave with the replayed
+    // instructions exactly as the pipeline timing dictates.
+    let handler = assemble(
+        r#"
+        vector: movfrs r20, pc0      ; oldest in-flight instruction
+                movfrs r21, pc1      ; the faulting instruction
+                movfrs r22, pc2      ; youngest in-flight instruction
+                movfrs r23, pswold   ; the interrupted PSW
+                li     r24, -5       ; all ones except the overflow-enable bit
+                and    r23, r23, r24
+                movtos pswold, r23   ; replayed add will wrap silently
+                jpc                  ; restart jump 1
+                jpc                  ; restart jump 2
+                jpcrs                ; restart jump 3 + PSW restore
+        "#,
+    )?;
+
+    // User program at 0x400: a staged overflow.
+    let user = assemble_at(
+        r#"
+        start:  li   r1, 65535
+                sll  r1, r1, 15      ; large positive value
+                add  r2, r1, r1      ; signed overflow -> trap!
+                li   r3, 1234        ; execution resumes here after replay
+                halt
+        "#,
+        0x400,
+    )?;
+
+    let mut machine = Machine::new(MachineConfig::mipsx());
+    machine.load_at(0, &handler.words);
+    machine.load_program(&user);
+    machine.cpu_mut().psw.set_overflow_trap_enabled(true);
+    let stats = machine.run(100_000)?;
+
+    let pc = |r: u8| machine.cpu().reg(Reg::new(r)) & 0x7FFF_FFFF;
+    println!("exceptions taken      : {}", stats.exceptions);
+    println!("PC chain at the trap  : {:#x} {:#x} {:#x}", pc(20), pc(21), pc(22));
+    println!("   (sll, faulting add, following li — MEM, ALU, RF stages)");
+    println!(
+        "squash FSM: {} exception events, {} instructions killed",
+        machine.squash_fsm().exceptions,
+        machine.squash_fsm().instructions_killed
+    );
+    let wrapped = machine.cpu().reg(Reg::new(2));
+    println!("replayed add produced : {wrapped:#x} (wrapped, trap masked)");
+    println!("post-trap execution   : r3 = {}", machine.cpu().reg(Reg::new(3)));
+
+    assert_eq!(stats.exceptions, 1);
+    assert_eq!(machine.cpu().reg(Reg::new(3)), 1234);
+    assert_eq!(pc(21), 0x402);
+    Ok(())
+}

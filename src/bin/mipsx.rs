@@ -1,0 +1,143 @@
+//! `mipsx` — command-line front end for the MIPS-X reproduction.
+//!
+//! ```text
+//! mipsx asm  <file.s>              assemble, print words as hex
+//! mipsx dis  <file.s>              assemble then disassemble (round trip)
+//! mipsx run  <file.s> [options]    execute on the cycle-accurate machine
+//! mipsx info                       print the modeled machine's parameters
+//!
+//! run options:
+//!   --cycles <n>        cycle budget (default 10,000,000)
+//!   --slots <1|2>       branch delay slots (default 2)
+//!   --trust             disable interlock checking (model the silicon)
+//!   --regs              dump the register file after the run
+//! ```
+
+use std::process::ExitCode;
+
+use mipsx::asm::{assemble, disassemble};
+use mipsx::core::{InterlockPolicy, Machine, MachineConfig};
+use mipsx::isa::Reg;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mipsx <asm|dis|run|info> [file.s] [--cycles N] [--slots 1|2] [--trust] [--regs]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "info" => {
+            let cfg = MachineConfig::mipsx();
+            println!("MIPS-X (Chow & Horowitz, ISCA 1987)");
+            println!("  clock              : {} MHz (16 MHz first silicon)", cfg.clock_mhz);
+            println!("  pipeline           : IF RF ALU MEM WB, {} branch delay slots", cfg.branch_delay_slots);
+            println!(
+                "  icache             : {} words ({} rows x {} ways x {}-word blocks), {}-cycle miss, {}-word fetch-back",
+                cfg.icache.size_words(),
+                cfg.icache.rows,
+                cfg.icache.ways,
+                cfg.icache.block_words,
+                cfg.icache.miss_penalty,
+                cfg.icache.fetch_words
+            );
+            println!(
+                "  ecache             : {} words, {}-word blocks, late-miss retry (+{} cycle)",
+                cfg.ecache.size_words, cfg.ecache.block_words, cfg.ecache.late_miss_overhead
+            );
+            println!("  memory latency     : {} cycles per retry loop", cfg.mem_latency);
+            println!("  coprocessor scheme : {}", cfg.coproc_scheme);
+            println!("  exception vector   : {:#x}", cfg.exception_vector);
+            ExitCode::SUCCESS
+        }
+        "asm" | "dis" | "run" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("mipsx: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match assemble(&source) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("mipsx: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd.as_str() {
+                "asm" => {
+                    for (i, w) in program.words.iter().enumerate() {
+                        println!("{:#07x}: {w:08x}", program.origin + i as u32);
+                    }
+                    ExitCode::SUCCESS
+                }
+                "dis" => {
+                    for line in disassemble(program.origin, &program.words) {
+                        println!("{line}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                _ => {
+                    let mut cycles = 10_000_000u64;
+                    let mut cfg = MachineConfig::mipsx();
+                    let mut dump_regs = false;
+                    let mut it = args.iter().skip(2);
+                    while let Some(opt) = it.next() {
+                        match opt.as_str() {
+                            "--cycles" => {
+                                cycles = it
+                                    .next()
+                                    .and_then(|v| v.parse().ok())
+                                    .unwrap_or(cycles)
+                            }
+                            "--slots" => {
+                                cfg.branch_delay_slots = it
+                                    .next()
+                                    .and_then(|v| v.parse().ok())
+                                    .unwrap_or(cfg.branch_delay_slots)
+                            }
+                            "--trust" => cfg.interlock = InterlockPolicy::Trust,
+                            "--regs" => dump_regs = true,
+                            other => {
+                                eprintln!("mipsx: unknown option {other}");
+                                return usage();
+                            }
+                        }
+                    }
+                    let mut machine = Machine::new(cfg);
+                    machine.load_program(&program);
+                    match machine.run(cycles) {
+                        Ok(stats) => {
+                            println!("{stats}");
+                            println!("icache: {}", machine.icache().stats());
+                            println!("ecache: {}", machine.ecache().stats());
+                            if dump_regs {
+                                for r in Reg::all() {
+                                    let v = machine.cpu().reg(r);
+                                    if v != 0 {
+                                        println!("  {r:>4} = {v:#010x} ({})", v as i32);
+                                    }
+                                }
+                            }
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("mipsx: execution failed: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

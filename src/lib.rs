@@ -1,0 +1,53 @@
+//! # mipsx — a full reproduction of the MIPS-X processor
+//!
+//! This facade crate re-exports the whole workspace reproducing
+//! *Architectural Tradeoffs in the Design of MIPS-X* (Paul Chow and Mark
+//! Horowitz, ISCA 1987): the instruction set, an assembler, a cycle-accurate
+//! five-stage pipeline with the paper's squash and cache-miss finite state
+//! machines, the on-chip instruction cache and external cache with the
+//! late-miss protocol, the coprocessor interface, the code reorganizer that
+//! fills branch and load delay slots, calibrated workloads, a VAX-like
+//! baseline, and the experiment harness that regenerates every table and
+//! figure of the paper's evaluation.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`isa`] | `mipsx-isa` | instruction formats, encode/decode, PSW, registers |
+//! | [`asm`] | `mipsx-asm` | two-pass assembler, builder API, disassembler |
+//! | [`mem`] | `mipsx-mem` | Icache, Ecache (late miss), main memory |
+//! | [`core`] | `mipsx-core` | the pipeline, exceptions, FSMs, PC unit |
+//! | [`coproc`] | `mipsx-coproc` | coprocessor interface schemes, FPU |
+//! | [`reorg`] | `mipsx-reorg` | delay-slot filling, branch schemes, quick compare |
+//! | [`workloads`] | `mipsx-workloads` | kernels + synthetic Pascal/Lisp generators |
+//! | [`baseline`] | `mipsx-baseline` | IR with MIPS-X and VAX-like backends |
+//! | [`bench`] | `mipsx-bench` | the paper's experiments (E1..E11) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mipsx::asm::assemble;
+//! use mipsx::core::{Machine, MachineConfig};
+//!
+//! let program = assemble(
+//!     "li r1, 6\nli r2, 0\nloop: add r2, r2, r1\naddi r1, r1, -1\n\
+//!      bne r1, r0, loop\nnop\nnop\nhalt",
+//! )?;
+//! let mut machine = Machine::new(MachineConfig::default());
+//! machine.load_program(&program);
+//! let stats = machine.run(100_000)?;
+//! assert_eq!(machine.cpu().reg(mipsx::isa::Reg::new(2)), 21); // 6+5+..+1
+//! assert!(stats.cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use mipsx_asm as asm;
+pub use mipsx_baseline as baseline;
+pub use mipsx_bench as bench;
+pub use mipsx_coproc as coproc;
+pub use mipsx_core as core;
+pub use mipsx_isa as isa;
+pub use mipsx_mem as mem;
+pub use mipsx_reorg as reorg;
+pub use mipsx_workloads as workloads;
