@@ -322,10 +322,7 @@ mod tests {
         let mut a = Asm::new(0);
         let l = a.new_label();
         a.jump(l);
-        assert!(matches!(
-            a.finish(),
-            Err(AsmError::UndefinedLabel { .. })
-        ));
+        assert!(matches!(a.finish(), Err(AsmError::UndefinedLabel { .. })));
     }
 
     #[test]

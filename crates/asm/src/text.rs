@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use mipsx_isa::{Cond, ComputeOp, Instr, Reg, SpecialReg, SquashMode};
+use mipsx_isa::{ComputeOp, Cond, Instr, Reg, SpecialReg, SquashMode};
 
 use crate::{AsmError, Program};
 
@@ -63,7 +63,7 @@ fn parse_lines(source: &str) -> Result<Vec<Statement>, AsmError> {
     let mut out = Vec::new();
     for (idx, raw) in source.lines().enumerate() {
         let line = idx + 1;
-        let text = raw.split(|c| c == ';' || c == '#').next().unwrap_or("").trim();
+        let text = raw.split([';', '#']).next().unwrap_or("").trim();
         if text.is_empty() {
             continue;
         }
@@ -113,7 +113,9 @@ fn parse_lines(source: &str) -> Result<Vec<Statement>, AsmError> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_alphanumeric() || c == '_')
 }
 
@@ -187,12 +189,12 @@ fn encode(
             None => {}
             Some(Body::Org(addr)) => pc = *addr,
             Some(Body::Entry(label)) => {
-                entry = *symbols.get(label.as_str()).ok_or_else(|| {
-                    AsmError::UndefinedLabel {
+                entry = *symbols
+                    .get(label.as_str())
+                    .ok_or_else(|| AsmError::UndefinedLabel {
                         line: st.line,
                         label: label.clone(),
-                    }
-                })?;
+                    })?;
             }
             Some(Body::Word(arg)) => {
                 let value = match parse_int(arg) {
@@ -277,22 +279,23 @@ impl Ctx<'_> {
             detail: format!("missing `)` in `{text}`"),
         })?;
         let off_text = text[..open].trim();
-        let off = if off_text.is_empty() {
-            0
-        } else {
-            match parse_int(off_text) {
-                Some(v) => check_range(self.line, "memory offset", v, 17)?,
-                None => {
-                    let addr = *self.symbols.get(off_text).ok_or_else(|| {
-                        AsmError::UndefinedLabel {
-                            line: self.line,
-                            label: off_text.to_owned(),
-                        }
-                    })?;
-                    check_range(self.line, "memory offset", addr as i64, 17)?
+        let off =
+            if off_text.is_empty() {
+                0
+            } else {
+                match parse_int(off_text) {
+                    Some(v) => check_range(self.line, "memory offset", v, 17)?,
+                    None => {
+                        let addr = *self.symbols.get(off_text).ok_or_else(|| {
+                            AsmError::UndefinedLabel {
+                                line: self.line,
+                                label: off_text.to_owned(),
+                            }
+                        })?;
+                        check_range(self.line, "memory offset", addr as i64, 17)?
+                    }
                 }
-            }
-        };
+            };
         let base = parse_reg(text[open + 1..close].trim()).ok_or_else(|| AsmError::BadOperand {
             line: self.line,
             detail: format!("bad base register in `{text}`"),
@@ -705,7 +708,8 @@ mod tests {
 
     #[test]
     fn coprocessor_syntax() {
-        let p = assemble("cpop c5, 100(r0)\nmvtc c1, 3, r9\nmvfc r10, c7, 0\nldf f3, 8(r2)").unwrap();
+        let p =
+            assemble("cpop c5, 100(r0)\nmvtc c1, 3, r9\nmvfc r10, c7, 0\nldf f3, 8(r2)").unwrap();
         assert_eq!(
             p.instr_at(0).unwrap(),
             Instr::Cpop {

@@ -13,10 +13,16 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 /// absolute targets, so they are exercised separately below).
 fn arb_textable() -> impl Strategy<Value = Instr> {
     prop_oneof![
-        (arb_reg(), arb_reg(), -65536i32..=65535)
-            .prop_map(|(rs1, rd, offset)| Instr::Ld { rs1, rd, offset }),
-        (arb_reg(), arb_reg(), -65536i32..=65535)
-            .prop_map(|(rs1, rsrc, offset)| Instr::St { rs1, rsrc, offset }),
+        (arb_reg(), arb_reg(), -65536i32..=65535).prop_map(|(rs1, rd, offset)| Instr::Ld {
+            rs1,
+            rd,
+            offset
+        }),
+        (arb_reg(), arb_reg(), -65536i32..=65535).prop_map(|(rs1, rsrc, offset)| Instr::St {
+            rs1,
+            rsrc,
+            offset
+        }),
         (
             prop::sample::select(
                 ComputeOp::ALL
@@ -36,8 +42,11 @@ fn arb_textable() -> impl Strategy<Value = Instr> {
                 rd,
                 shamt: 0
             }),
-        (arb_reg(), arb_reg(), -65536i32..=65535)
-            .prop_map(|(rs1, rd, imm)| Instr::Addi { rs1, rd, imm }),
+        (arb_reg(), arb_reg(), -65536i32..=65535).prop_map(|(rs1, rd, imm)| Instr::Addi {
+            rs1,
+            rd,
+            imm
+        }),
         Just(Instr::Nop),
         Just(Instr::Halt),
         Just(Instr::Jpc),

@@ -327,8 +327,16 @@ mod tests {
                 vec![
                     IrOp::Const { dst: 1, value: 500 },
                     IrOp::Const { dst: 2, value: -9 },
-                    IrOp::Store { src: 2, base: 1, off: 4 },
-                    IrOp::Load { dst: 3, base: 1, off: 4 },
+                    IrOp::Store {
+                        src: 2,
+                        base: 1,
+                        off: 4,
+                    },
+                    IrOp::Load {
+                        dst: 3,
+                        base: 1,
+                        off: 4,
+                    },
                 ],
                 IrTerm::Halt,
             )],
@@ -343,8 +351,14 @@ mod tests {
         let p = IrProgram {
             blocks: vec![(
                 vec![
-                    IrOp::Const { dst: 1, value: 123456 },
-                    IrOp::Const { dst: 2, value: 654321 },
+                    IrOp::Const {
+                        dst: 1,
+                        value: 123456,
+                    },
+                    IrOp::Const {
+                        dst: 2,
+                        value: 654321,
+                    },
                     IrOp::Mul { dst: 3, a: 1, b: 2 },
                 ],
                 IrTerm::Halt,

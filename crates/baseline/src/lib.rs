@@ -28,7 +28,7 @@ pub mod programs;
 pub mod vax;
 
 pub use compare::compare;
-pub use ir::{IrCond, IrOp, IrProgram, IrTerm, Interpreter};
+pub use ir::{Interpreter, IrCond, IrOp, IrProgram, IrTerm};
 pub use vax::{VaxCodegen, VaxRun};
 
 /// Result of running one IR program through both back ends.

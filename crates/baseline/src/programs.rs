@@ -46,11 +46,19 @@ pub fn array_sweep(n: i32) -> IrProgram {
             // b1: a[i] = 5i + 3  (5i = (i << 2) + i).
             (
                 vec![
-                    IrOp::Shl { dst: 6, a: 2, sh: 2 },
+                    IrOp::Shl {
+                        dst: 6,
+                        a: 2,
+                        sh: 2,
+                    },
                     IrOp::Add { dst: 6, a: 6, b: 2 },
                     IrOp::Add { dst: 6, a: 6, b: 5 },
                     IrOp::Add { dst: 8, a: 3, b: 2 },
-                    IrOp::Store { src: 6, base: 8, off: 0 },
+                    IrOp::Store {
+                        src: 6,
+                        base: 8,
+                        off: 0,
+                    },
                     IrOp::Add { dst: 2, a: 2, b: 7 },
                 ],
                 IrTerm::Branch {
@@ -68,7 +76,11 @@ pub fn array_sweep(n: i32) -> IrProgram {
             (
                 vec![
                     IrOp::Add { dst: 8, a: 3, b: 2 },
-                    IrOp::Load { dst: 6, base: 8, off: 0 },
+                    IrOp::Load {
+                        dst: 6,
+                        base: 8,
+                        off: 0,
+                    },
                     IrOp::Add { dst: 9, a: 9, b: 6 },
                     IrOp::Add { dst: 2, a: 2, b: 7 },
                 ],
@@ -93,20 +105,45 @@ pub fn polynomial(reps: i32) -> IrProgram {
         blocks: vec![
             // b0: r1 = reps, r9 = acc, r10 = x.
             (
-                vec![c(1, reps), c(9, 0), c(10, 1), c(4, 3), c(5, 2), c(6, 5), c(7, 7), c(8, 1)],
+                vec![
+                    c(1, reps),
+                    c(9, 0),
+                    c(10, 1),
+                    c(4, 3),
+                    c(5, 2),
+                    c(6, 5),
+                    c(7, 7),
+                    c(8, 1),
+                ],
                 IrTerm::Goto(1),
             ),
             // b1: acc += ((3x + 2)x + 5)x + 7; x += 1.
             (
                 vec![
-                    IrOp::Mul { dst: 2, a: 4, b: 10 },
+                    IrOp::Mul {
+                        dst: 2,
+                        a: 4,
+                        b: 10,
+                    },
                     IrOp::Add { dst: 2, a: 2, b: 5 },
-                    IrOp::Mul { dst: 2, a: 2, b: 10 },
+                    IrOp::Mul {
+                        dst: 2,
+                        a: 2,
+                        b: 10,
+                    },
                     IrOp::Add { dst: 2, a: 2, b: 6 },
-                    IrOp::Mul { dst: 2, a: 2, b: 10 },
+                    IrOp::Mul {
+                        dst: 2,
+                        a: 2,
+                        b: 10,
+                    },
                     IrOp::Add { dst: 2, a: 2, b: 7 },
                     IrOp::Add { dst: 9, a: 9, b: 2 },
-                    IrOp::Add { dst: 10, a: 10, b: 8 },
+                    IrOp::Add {
+                        dst: 10,
+                        a: 10,
+                        b: 8,
+                    },
                     IrOp::Sub { dst: 1, a: 1, b: 8 },
                 ],
                 IrTerm::Branch {
@@ -138,10 +175,22 @@ pub fn search(n: i32) -> IrProgram {
             (
                 vec![
                     IrOp::Add { dst: 8, a: 3, b: 2 },
-                    IrOp::Store { src: 4, base: 8, off: 0 },
-                    IrOp::Shl { dst: 5, a: 4, sh: 3 },
+                    IrOp::Store {
+                        src: 4,
+                        base: 8,
+                        off: 0,
+                    },
+                    IrOp::Shl {
+                        dst: 5,
+                        a: 4,
+                        sh: 3,
+                    },
                     IrOp::Xor { dst: 4, a: 4, b: 5 },
-                    IrOp::Add { dst: 4, a: 4, b: 11 },
+                    IrOp::Add {
+                        dst: 4,
+                        a: 4,
+                        b: 11,
+                    },
                     IrOp::Add { dst: 2, a: 2, b: 7 },
                 ],
                 IrTerm::Branch {
@@ -157,7 +206,11 @@ pub fn search(n: i32) -> IrProgram {
             (
                 vec![
                     IrOp::Add { dst: 8, a: 3, b: 1 },
-                    IrOp::Load { dst: 12, base: 8, off: -2 },
+                    IrOp::Load {
+                        dst: 12,
+                        base: 8,
+                        off: -2,
+                    },
                     c(2, 0),
                     c(9, -1),
                 ],
@@ -167,7 +220,11 @@ pub fn search(n: i32) -> IrProgram {
             (
                 vec![
                     IrOp::Add { dst: 8, a: 3, b: 2 },
-                    IrOp::Load { dst: 6, base: 8, off: 0 },
+                    IrOp::Load {
+                        dst: 6,
+                        base: 8,
+                        off: 0,
+                    },
                 ],
                 IrTerm::Branch {
                     cond: IrCond::Eq,

@@ -109,9 +109,7 @@ impl CostModel {
                         || matches!(next,
                         Some(IrOp::Store { base, .. }) if *base == dst)
                 };
-                let feeds_next = |dst: Vreg| {
-                    next.is_some_and(|n| n.uses().contains(&dst))
-                };
+                let feeds_next = |dst: Vreg| next.is_some_and(|n| n.uses().contains(&dst));
                 match op {
                     IrOp::Add { dst, .. } | IrOp::Sub { dst, .. } if feeds_base(*dst) => {
                         // Folded into the memory operand: no instruction,
@@ -119,7 +117,6 @@ impl CostModel {
                         self.charge(0, 2);
                         self.cc_reg = None; // consumed inside the operand
                         self.prev_was_addsub = false;
-                        return;
                     }
                     IrOp::Const { dst, .. } => {
                         if self.codegen == BerkeleyLike && feeds_next(*dst) {
@@ -129,7 +126,6 @@ impl CostModel {
                         }
                         self.cc_reg = Some(*dst);
                         self.prev_was_addsub = false;
-                        return;
                     }
                     IrOp::Load { dst, .. } => {
                         if self.codegen == BerkeleyLike && feeds_next(*dst) {
@@ -139,25 +135,21 @@ impl CostModel {
                         }
                         self.cc_reg = Some(*dst);
                         self.prev_was_addsub = false;
-                        return;
                     }
                     IrOp::Store { .. } => {
                         self.charge(1, 7);
                         self.cc_reg = None;
                         self.prev_was_addsub = false;
-                        return;
                     }
                     IrOp::Mul { dst, .. } => {
                         self.charge(1, 16); // mull: long microcode
                         self.cc_reg = Some(*dst);
                         self.prev_was_addsub = false;
-                        return;
                     }
                     IrOp::Add { dst, .. } | IrOp::Sub { dst, .. } => {
                         self.charge(1, 3);
                         self.cc_reg = Some(*dst);
                         self.prev_was_addsub = true;
-                        return;
                     }
                     IrOp::And { dst, .. }
                     | IrOp::Or { dst, .. }
@@ -166,11 +158,14 @@ impl CostModel {
                         self.charge(1, 3);
                         self.cc_reg = Some(*dst);
                         self.prev_was_addsub = false;
-                        return;
                     }
                 }
             }
-            Event::Branch { a, b_is_zero, taken } => {
+            Event::Branch {
+                a,
+                b_is_zero,
+                taken,
+            } => {
                 let branch_cycles: u64 = if *taken { 6 } else { 4 };
                 let cc_fresh = self.cc_reg == Some(*a);
                 if self.codegen == BerkeleyLike && cc_fresh && self.prev_was_addsub {

@@ -25,11 +25,9 @@ fn bench(c: &mut Criterion) {
             machine.run(100_000_000).expect("run").cycles
         };
         println!("{scheme}: {} cycles, +{} pins", run(), scheme.extra_pins());
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme),
-            &program,
-            |b, _| b.iter(run),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(scheme), &program, |b, _| {
+            b.iter(run)
+        });
     }
     group.finish();
 }

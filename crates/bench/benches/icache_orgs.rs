@@ -32,7 +32,10 @@ fn bench(c: &mut Criterion) {
             |b, trace| {
                 b.iter(|| {
                     let mut cache = Icache::new(cfg);
-                    cache.simulate_trace(trace.iter().copied()).stats.stall_cycles
+                    cache
+                        .simulate_trace(trace.iter().copied())
+                        .stats
+                        .stall_cycles
                 })
             },
         );

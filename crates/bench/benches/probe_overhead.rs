@@ -1,0 +1,91 @@
+//! A/B bench for the probe layer's zero-cost claim.
+//!
+//! The acceptance criterion for the observability PR: running the machine
+//! through the generic `run_with::<NullSink>` path must cost within 2 % of
+//! nothing — `NullSink` sets `TraceSink::ENABLED = false`, so every event
+//! emission monomorphises away. Case A runs `Machine::run` (which is
+//! itself `run_with(&mut NullSink)`), case B passes an explicit `NullSink`,
+//! and case C attaches a live `CpiAttribution` sink to show what a real
+//! observer costs for contrast.
+//!
+//! The A/B comparison is asserted programmatically via the harness's
+//! `measure_ns`, so `cargo bench --bench probe_overhead` fails loudly if
+//! the null path regresses.
+
+use criterion::{criterion_group, criterion_main, measure_ns, Criterion};
+use mipsx_core::{CpiAttribution, InterlockPolicy, Machine, MachineConfig, NullSink};
+use mipsx_reorg::{BranchScheme, Reorganizer};
+use mipsx_workloads::synth::{generate, SynthConfig};
+
+fn workload() -> mipsx_asm::Program {
+    let synth = generate(SynthConfig::pascal_like(31).with_code_scale(10, 4));
+    let reorg = Reorganizer::new(BranchScheme::mipsx());
+    let (program, _) = reorg.reorganize(&synth.raw).expect("reorganize");
+    program
+}
+
+fn fresh_machine(program: &mipsx_asm::Program) -> Machine {
+    let mut machine = Machine::new(MachineConfig {
+        interlock: InterlockPolicy::Trust,
+        ..MachineConfig::mipsx()
+    });
+    machine.load_program(program);
+    machine
+}
+
+fn bench(c: &mut Criterion) {
+    let program = workload();
+
+    let plain = measure_ns(c, 10, |b| {
+        b.iter(|| {
+            fresh_machine(&program)
+                .run(200_000_000)
+                .expect("run")
+                .cycles
+        })
+    });
+    let null = measure_ns(c, 10, |b| {
+        b.iter(|| {
+            fresh_machine(&program)
+                .run_with(200_000_000, &mut NullSink)
+                .expect("run")
+                .cycles
+        })
+    });
+    let attributed = measure_ns(c, 10, |b| {
+        b.iter(|| {
+            let mut att = CpiAttribution::new();
+            fresh_machine(&program)
+                .run_with(200_000_000, &mut att)
+                .expect("run")
+                .cycles
+        })
+    });
+
+    let overhead = null / plain - 1.0;
+    println!("probe_overhead/plain-run       {plain:12.1} ns/iter");
+    println!(
+        "probe_overhead/null-sink       {null:12.1} ns/iter  ({:+.2}% vs plain)",
+        overhead * 100.0
+    );
+    println!(
+        "probe_overhead/cpi-attribution {attributed:12.1} ns/iter  ({:+.2}% vs plain)",
+        (attributed / plain - 1.0) * 100.0
+    );
+
+    // ±2 % acceptance band, with a little slack for timer noise on loaded
+    // machines: the two cases are the same monomorphised code, so anything
+    // beyond noise means an event emission survived in the NullSink path.
+    assert!(
+        overhead < 0.02,
+        "NullSink overhead {:.2}% exceeds the 2% budget",
+        overhead * 100.0
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

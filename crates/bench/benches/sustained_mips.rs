@@ -10,7 +10,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("sustained_mips");
     let reorg = Reorganizer::new(BranchScheme::mipsx());
     for (name, cfg) in [
-        ("pascal", SynthConfig::pascal_like(31).with_code_scale(10, 4)),
+        (
+            "pascal",
+            SynthConfig::pascal_like(31).with_code_scale(10, 4),
+        ),
         ("lisp", SynthConfig::lisp_like(31).with_code_scale(10, 4)),
     ] {
         let synth = generate(cfg);

@@ -1,66 +1,149 @@
 //! Regenerate every table and figure-level claim of the MIPS-X paper.
 //!
-//! Usage: `reproduce [table1|icache|orgs|quickcmp|reorg|fsm|cpi|coproc|vax|btb|ecache|subblock|all]`
+//! Usage: `reproduce [--json] [table1|icache|orgs|quickcmp|reorg|fsm|cpi|coproc|vax|btb|ecache|subblock|all]`
+//!
+//! With `--json`, the selected experiments are emitted as one JSON document
+//! on stdout instead of text tables:
+//!
+//! ```json
+//! {"experiments":[{"name":"table1","title":"...","rows":[{"label":"...","paper":1.5,"measured":1.47}]}]}
+//! ```
 
 use mipsx_bench::experiments as e;
-use mipsx_bench::render_table;
+use mipsx_bench::{json_document, render_table, rows_to_json, Row};
 
 fn main() {
-    let which: Vec<String> = std::env::args().skip(1).collect();
-    let all = which.is_empty() || which.iter().any(|w| w == "all");
-    let want = |name: &str| all || which.iter().any(|w| w == name);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let which: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let all = which.is_empty() || which.iter().any(|w| *w == "all");
+    let want = |name: &str| all || which.iter().any(|w| *w == name);
 
-    println!("MIPS-X reproduction — paper vs measured");
-    println!("=======================================\n");
+    if !json {
+        println!("MIPS-X reproduction — paper vs measured");
+        println!("=======================================\n");
+    }
+
+    let mut emitted: Vec<String> = Vec::new();
+    let mut report = |name: &str, title: &str, rows: Vec<Row>, extra: Option<String>| {
+        if json {
+            emitted.push(rows_to_json(name, title, &rows));
+        } else {
+            println!("{}", render_table(title, &rows));
+            if let Some(note) = extra {
+                println!("{note}\n");
+            }
+        }
+    };
 
     if want("table1") {
         let t = e::e1_branch_schemes::run();
-        println!("{}", render_table("E1 / Table 1 — average cycles per branch", &t.report_rows()));
+        report(
+            "table1",
+            "E1 / Table 1 — average cycles per branch",
+            t.report_rows(),
+            None,
+        );
     }
     if want("icache") {
         let r = e::e2_icache_fetch::run();
-        println!("{}", render_table("E2 — Icache fetch-back (single vs double word)", &r.report_rows()));
+        report(
+            "icache",
+            "E2 — Icache fetch-back (single vs double word)",
+            r.report_rows(),
+            None,
+        );
     }
     if want("orgs") {
         let r = e::e3_icache_orgs::run();
-        println!("{}", render_table("E3 — Icache organization sweep (miss service vs miss ratio)", &r.report_rows()));
-        println!("  -> best block size: {} words\n", r.best_block_words);
+        report(
+            "orgs",
+            "E3 — Icache organization sweep (miss service vs miss ratio)",
+            r.report_rows(),
+            Some(format!(
+                "  -> best block size: {} words",
+                r.best_block_words
+            )),
+        );
     }
     if want("quickcmp") {
         let r = e::e4_quick_compare::run();
-        println!("{}", render_table("E4 — quick-compare coverage", &r.report_rows()));
+        report(
+            "quickcmp",
+            "E4 — quick-compare coverage",
+            r.report_rows(),
+            None,
+        );
     }
     if want("reorg") {
         let r = e::e5_reorganizer::run();
-        println!("{}", render_table("E5 — reorganizer quality (cycles per branch)", &r.report_rows()));
+        report(
+            "reorg",
+            "E5 — reorganizer quality (cycles per branch)",
+            r.report_rows(),
+            None,
+        );
     }
     if want("fsm") {
         let r = e::e6_fsms::run();
-        println!("{}", render_table("E6 / Figures 3 & 4 — control FSM activity", &r.report_rows()));
+        report(
+            "fsm",
+            "E6 / Figures 3 & 4 — control FSM activity",
+            r.report_rows(),
+            None,
+        );
     }
     if want("cpi") {
         let r = e::e7_cpi::run();
-        println!("{}", render_table("E7 — no-ops, CPI and sustained MIPS", &r.report_rows()));
+        report(
+            "cpi",
+            "E7 — no-ops, CPI and sustained MIPS",
+            r.report_rows(),
+            None,
+        );
     }
     if want("coproc") {
         let r = e::e8_coproc::run();
-        println!("{}", render_table("E8 — coprocessor interface schemes (slowdown vs best)", &r.report_rows()));
+        report(
+            "coproc",
+            "E8 — coprocessor interface schemes (slowdown vs best)",
+            r.report_rows(),
+            None,
+        );
     }
     if want("vax") {
         let r = e::e9_vax::run();
-        println!("{}", render_table("E9 — VAX 11/780 comparison", &r.report_rows()));
+        report("vax", "E9 — VAX 11/780 comparison", r.report_rows(), None);
     }
     if want("btb") {
         let r = e::e10_btb::run();
-        println!("{}", render_table("E10 — branch cache vs static prediction", &r.report_rows()));
-        println!("  -> branch working set: {} sites\n", r.working_set);
+        report(
+            "btb",
+            "E10 — branch cache vs static prediction",
+            r.report_rows(),
+            Some(format!("  -> branch working set: {} sites", r.working_set)),
+        );
     }
     if want("ecache") {
         let r = e::e11_ecache::run();
-        println!("{}", render_table("E11 — Ecache late-miss contribution", &r.report_rows()));
+        report(
+            "ecache",
+            "E11 — Ecache late-miss contribution",
+            r.report_rows(),
+            None,
+        );
     }
     if want("subblock") {
         let r = e::e12_subblock::run();
-        println!("{}", render_table("E12 — ablation: sub-block valid bits vs whole-block fill", &r.report_rows()));
+        report(
+            "subblock",
+            "E12 — ablation: sub-block valid bits vs whole-block fill",
+            r.report_rows(),
+            None,
+        );
+    }
+
+    if json {
+        println!("{}", json_document(&emitted));
     }
 }

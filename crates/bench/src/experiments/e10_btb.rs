@@ -154,11 +154,7 @@ mod tests {
     #[test]
     fn never_much_better_than_static() {
         let r = run();
-        let best = r
-            .rows
-            .iter()
-            .map(|x| x.accuracy)
-            .fold(0.0f64, f64::max);
+        let best = r.rows.iter().map(|x| x.accuracy).fold(0.0f64, f64::max);
         assert!(
             best < r.static_accuracy + 0.08,
             "branch cache {best:.3} should not beat static {:.3} by much",

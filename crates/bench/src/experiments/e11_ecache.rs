@@ -206,9 +206,6 @@ mod tests {
         let r = run();
         let fits = point(&r, 2048, 5);
         let over = point(&r, 8192, 5);
-        assert!(
-            over.miss_ratio > fits.miss_ratio,
-            "{over:?} vs {fits:?}"
-        );
+        assert!(over.miss_ratio > fits.miss_ratio, "{over:?} vs {fits:?}");
     }
 }

@@ -63,8 +63,8 @@ pub fn run() -> QuickCompare {
         kernels.quick += s.quick;
         kernels.full += s.full;
     }
-    let combined_fraction = (synth.quick + kernels.quick) as f64
-        / (synth.total + kernels.total).max(1) as f64;
+    let combined_fraction =
+        (synth.quick + kernels.quick) as f64 / (synth.total + kernels.total).max(1) as f64;
     QuickCompare {
         synth,
         kernels,

@@ -1,5 +1,8 @@
 //! The paper's experiments, one module each (DESIGN.md §5).
 
+pub mod e10_btb;
+pub mod e11_ecache;
+pub mod e12_subblock;
 pub mod e1_branch_schemes;
 pub mod e2_icache_fetch;
 pub mod e3_icache_orgs;
@@ -9,9 +12,6 @@ pub mod e6_fsms;
 pub mod e7_cpi;
 pub mod e8_coproc;
 pub mod e9_vax;
-pub mod e10_btb;
-pub mod e11_ecache;
-pub mod e12_subblock;
 
 use mipsx_core::{InterlockPolicy, Machine, MachineConfig, RunStats};
 use mipsx_reorg::{BranchScheme, RawProgram, Reorganizer, ScheduleReport};

@@ -46,7 +46,12 @@ impl Row {
 /// Render rows as an aligned text table.
 pub fn render_table(title: &str, rows: &[Row]) -> String {
     let mut out = format!("{title}\n");
-    let width = rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
+    let width = rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
     out.push_str(&format!(
         "  {:width$}  {:>9}  {:>9}  {:>7}\n",
         "case", "paper", "measured", "dev"
@@ -64,6 +69,202 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
         ));
     }
     out
+}
+
+/// A JSON number literal for `v` (`null` for non-finite values, which JSON
+/// cannot represent).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Serialize one experiment's rows as a JSON object (hand-rolled — the
+/// workspace carries no serialization dependency).
+pub fn rows_to_json(name: &str, title: &str, rows: &[Row]) -> String {
+    use mipsx_core::probe::json_escape;
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"label\":\"{}\",\"paper\":{},\"measured\":{}}}",
+                json_escape(&r.label),
+                r.paper.map_or_else(|| "null".to_owned(), json_number),
+                json_number(r.measured)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"name\":\"{}\",\"title\":\"{}\",\"rows\":[{}]}}",
+        json_escape(name),
+        json_escape(title),
+        rows.join(",")
+    )
+}
+
+/// Assemble the full `reproduce --json` document from per-experiment
+/// objects produced by [`rows_to_json`].
+pub fn json_document(experiments: &[String]) -> String {
+    format!("{{\"experiments\":[{}]}}", experiments.join(","))
+}
+
+/// Minimal RFC 8259 validity checker (no DOM, no numbers parsed to f64 —
+/// just "is this well-formed JSON"), used by tests consuming the
+/// `reproduce --json` output.
+pub fn json_is_valid(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    fn skip_ws(b: &[u8], p: &mut usize) {
+        while *p < b.len() && matches!(b[*p], b' ' | b'\t' | b'\n' | b'\r') {
+            *p += 1;
+        }
+    }
+    fn value(b: &[u8], p: &mut usize) -> bool {
+        skip_ws(b, p);
+        match b.get(*p) {
+            Some(b'{') => {
+                *p += 1;
+                skip_ws(b, p);
+                if b.get(*p) == Some(&b'}') {
+                    *p += 1;
+                    return true;
+                }
+                loop {
+                    skip_ws(b, p);
+                    if !string(b, p) {
+                        return false;
+                    }
+                    skip_ws(b, p);
+                    if b.get(*p) != Some(&b':') {
+                        return false;
+                    }
+                    *p += 1;
+                    if !value(b, p) {
+                        return false;
+                    }
+                    skip_ws(b, p);
+                    match b.get(*p) {
+                        Some(b',') => *p += 1,
+                        Some(b'}') => {
+                            *p += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            Some(b'[') => {
+                *p += 1;
+                skip_ws(b, p);
+                if b.get(*p) == Some(&b']') {
+                    *p += 1;
+                    return true;
+                }
+                loop {
+                    if !value(b, p) {
+                        return false;
+                    }
+                    skip_ws(b, p);
+                    match b.get(*p) {
+                        Some(b',') => *p += 1,
+                        Some(b']') => {
+                            *p += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            Some(b'"') => string(b, p),
+            Some(b't') => literal(b, p, b"true"),
+            Some(b'f') => literal(b, p, b"false"),
+            Some(b'n') => literal(b, p, b"null"),
+            Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, p),
+            _ => false,
+        }
+    }
+    fn literal(b: &[u8], p: &mut usize, lit: &[u8]) -> bool {
+        if b[*p..].starts_with(lit) {
+            *p += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+    fn string(b: &[u8], p: &mut usize) -> bool {
+        if b.get(*p) != Some(&b'"') {
+            return false;
+        }
+        *p += 1;
+        while let Some(&c) = b.get(*p) {
+            match c {
+                b'"' => {
+                    *p += 1;
+                    return true;
+                }
+                b'\\' => {
+                    *p += 1;
+                    match b.get(*p) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *p += 1,
+                        Some(b'u') => {
+                            *p += 1;
+                            for _ in 0..4 {
+                                if !b.get(*p).is_some_and(u8::is_ascii_hexdigit) {
+                                    return false;
+                                }
+                                *p += 1;
+                            }
+                        }
+                        _ => return false,
+                    }
+                }
+                0x00..=0x1F => return false,
+                _ => *p += 1,
+            }
+        }
+        false
+    }
+    fn number(b: &[u8], p: &mut usize) -> bool {
+        if b.get(*p) == Some(&b'-') {
+            *p += 1;
+        }
+        let digits = |b: &[u8], p: &mut usize| {
+            let start = *p;
+            while b.get(*p).is_some_and(u8::is_ascii_digit) {
+                *p += 1;
+            }
+            *p > start
+        };
+        // Integer part: "0" or a nonzero-leading digit run (no leading zeros).
+        match b.get(*p) {
+            Some(b'0') => *p += 1,
+            Some(c) if c.is_ascii_digit() => {
+                digits(b, p);
+            }
+            _ => return false,
+        }
+        if b.get(*p) == Some(&b'.') {
+            *p += 1;
+            if !digits(b, p) {
+                return false;
+            }
+        }
+        if matches!(b.get(*p), Some(b'e' | b'E')) {
+            *p += 1;
+            if matches!(b.get(*p), Some(b'+' | b'-')) {
+                *p += 1;
+            }
+            if !digits(b, p) {
+                return false;
+            }
+        }
+        true
+    }
+    let ok = value(bytes, &mut pos);
+    skip_ws(bytes, &mut pos);
+    ok && pos == bytes.len()
 }
 
 #[cfg(test)]
@@ -98,5 +299,60 @@ mod tests {
         );
         assert!(t.contains("paper"));
         assert!(t.contains("+10.0%"));
+    }
+
+    #[test]
+    fn rows_serialize_to_valid_json() {
+        let rows = [
+            Row {
+                label: "taken \"fast\"".into(),
+                paper: Some(1.5),
+                measured: 1.47,
+            },
+            Row {
+                label: "no paper value".into(),
+                paper: None,
+                measured: f64::NAN,
+            },
+        ];
+        let obj = rows_to_json("table1", "E1 — branches", &rows);
+        assert!(json_is_valid(&obj), "invalid: {obj}");
+        assert!(obj.contains("\"paper\":1.5"));
+        assert!(obj.contains("\"paper\":null"));
+        assert!(obj.contains("\"measured\":null")); // NaN degrades to null
+        assert!(obj.contains(r#"taken \"fast\""#));
+        let doc = json_document(&[obj.clone(), obj]);
+        assert!(json_is_valid(&doc));
+        assert!(json_is_valid(&json_document(&[])));
+    }
+
+    #[test]
+    fn json_checker_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e+10",
+            r#"{"a":[1,2,{"b":"é\n"}],"c":false}"#,
+            "  [ 1 , 2 ]  ",
+        ] {
+            assert!(json_is_valid(good), "should accept: {good}");
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{'a':1}",
+            "01",
+            "1.",
+            "nul",
+            "\"unterminated",
+            "\"bad\\x\"",
+            "[1] trailing",
+            "{\"a\":1,}",
+        ] {
+            assert!(!json_is_valid(bad), "should reject: {bad}");
+        }
     }
 }

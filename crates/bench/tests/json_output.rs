@@ -1,0 +1,29 @@
+//! End-to-end check of `reproduce --json`: run the actual binary on a fast
+//! experiment and make sure the emitted document is well-formed JSON with
+//! the expected shape.
+
+use std::process::Command;
+
+use mipsx_bench::json_is_valid;
+
+#[test]
+fn reproduce_json_emits_valid_json() {
+    let output = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(["quickcmp", "--json"])
+        .output()
+        .expect("run reproduce");
+    assert!(output.status.success(), "reproduce failed: {output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+    let doc = stdout.trim();
+    assert!(json_is_valid(doc), "not valid JSON: {doc}");
+    assert!(
+        doc.starts_with("{\"experiments\":["),
+        "unexpected shape: {doc}"
+    );
+    assert!(doc.contains("\"name\":\"quickcmp\""));
+    assert!(doc.contains("\"rows\":["));
+    assert!(doc.contains("\"label\":"));
+    assert!(doc.contains("\"measured\":"));
+    // Text-mode banner must not leak into the JSON stream.
+    assert!(!doc.contains("paper vs measured"));
+}

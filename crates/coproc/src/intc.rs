@@ -62,11 +62,7 @@ impl Coprocessor for InterruptController {
     fn execute(&mut self, op: u16) {
         match op {
             OP_ACK_ALL => self.pending = 0,
-            OP_ACK_LOWEST => {
-                if self.pending != 0 {
-                    self.pending &= self.pending - 1;
-                }
-            }
+            OP_ACK_LOWEST if self.pending != 0 => self.pending &= self.pending - 1,
             _ => {}
         }
     }

@@ -46,6 +46,7 @@ mod cpu;
 mod error;
 mod fsm;
 mod machine;
+pub mod probe;
 mod stats;
 
 pub use config::{InterlockPolicy, MachineConfig};
@@ -53,4 +54,7 @@ pub use cpu::Cpu;
 pub use error::RunError;
 pub use fsm::{CacheMissFsm, CacheMissState, SquashFsm, SquashLines};
 pub use machine::Machine;
+pub use probe::{
+    CpiAttribution, JsonlSink, NullSink, PipeDiagram, SquashReason, Stage, StallCause, TraceSink,
+};
 pub use stats::RunStats;

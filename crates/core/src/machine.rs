@@ -28,16 +28,24 @@
 //!    file, the MD register, and (for `halt`) the run state change.
 //! 8. **Advance** — the pipeline shifts, a new word is fetched through the
 //!    instruction cache, and the PC chain shifts when enabled.
+//!
+//! ## Observability
+//!
+//! [`Machine::step_with`] and [`Machine::run_with`] take a
+//! [`TraceSink`](crate::probe::TraceSink) and report every cycle's stage
+//! occupancy, bypass activations, squashes, freezes and tagged stalls.
+//! [`Machine::step`]/[`Machine::run`] are the same code monomorphised over
+//! the no-op [`NullSink`](crate::probe::NullSink), so the untraced path
+//! pays nothing.
 
 use mipsx_asm::Program;
 use mipsx_coproc::Coprocessor;
-use mipsx_isa::{
-    ComputeOp, ExceptionCause, Instr, Mode, Reg, SpecialReg, SquashMode,
-};
+use mipsx_isa::{ComputeOp, ExceptionCause, Instr, Mode, Reg, SpecialReg, SquashMode};
 use mipsx_mem::{Ecache, Icache, MainMemory};
 
-use crate::{CacheMissFsm, Cpu, InterlockPolicy, MachineConfig, RunError, RunStats, SquashFsm};
 use crate::cpu::PcChainEntry;
+use crate::probe::{NullSink, SquashReason, Stage, StallCause, TraceSink};
+use crate::{CacheMissFsm, Cpu, InterlockPolicy, MachineConfig, RunError, RunStats, SquashFsm};
 
 /// Pipeline stage indices.
 const IF: usize = 0;
@@ -217,7 +225,7 @@ impl Machine {
     /// # Panics
     /// Panics if `n` is 0 or ≥ 8.
     pub fn attach_coprocessor(&mut self, n: u8, coproc: Box<dyn Coprocessor>) {
-        assert!(n >= 1 && n < 8, "coprocessor slots are 1..8");
+        assert!((1..8).contains(&n), "coprocessor slots are 1..8");
         self.coprocs[n as usize] = Some(coproc);
     }
 
@@ -251,6 +259,18 @@ impl Machine {
     /// [`RunError::AlreadyHalted`] if the machine already halted; any
     /// [`RunError`] from [`Machine::step`].
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, RunError> {
+        self.run_with(max_cycles, &mut NullSink)
+    }
+
+    /// [`Machine::run`], reporting every cycle to `sink`.
+    ///
+    /// # Errors
+    /// As [`Machine::run`].
+    pub fn run_with<S: TraceSink>(
+        &mut self,
+        max_cycles: u64,
+        sink: &mut S,
+    ) -> Result<RunStats, RunError> {
         if self.halted {
             return Err(RunError::AlreadyHalted);
         }
@@ -259,7 +279,7 @@ impl Machine {
             if self.stats.cycles - start >= max_cycles {
                 return Err(RunError::CycleLimit { limit: max_cycles });
             }
-            self.step()?;
+            self.step_with(sink)?;
         }
         Ok(self.stats)
     }
@@ -271,43 +291,69 @@ impl Machine {
     /// illegal instructions, and privilege violations. Architectural
     /// exceptions (overflow trap, interrupts) are handled, not returned.
     pub fn step(&mut self) -> Result<(), RunError> {
+        self.step_with(&mut NullSink)
+    }
+
+    /// [`Machine::step`], reporting the cycle's events to `sink`.
+    ///
+    /// # Errors
+    /// As [`Machine::step`].
+    pub fn step_with<S: TraceSink>(&mut self, sink: &mut S) -> Result<(), RunError> {
         if self.halted {
             return Err(RunError::AlreadyHalted);
         }
         self.stats.cycles += 1;
+        let cycle = self.stats.cycles;
+        if S::ENABLED {
+            sink.cycle(cycle);
+        }
         for c in self.coprocs.iter_mut().flatten() {
             c.tick();
         }
 
         // Phase 1: ψ1 gate — frozen cycles advance nothing.
         if !self.miss_fsm.tick() {
+            self.stats.frozen_cycles += 1;
+            if S::ENABLED {
+                sink.frozen(cycle);
+            }
             return Ok(());
         }
 
         // Phase 2: interrupt sampling.
-        self.sample_interrupts();
+        self.sample_interrupts(sink);
 
         // Phase 3: ALU.
-        self.phase_alu()?;
+        self.phase_alu(sink)?;
 
         // Phase 4: overflow trap.
         if let Some(slot) = self.slots[ALU] {
             if !slot.kill && slot.overflow && self.cpu.psw.overflow_trap_enabled() {
-                self.take_exception(ExceptionCause::Overflow);
+                self.take_exception(ExceptionCause::Overflow, sink);
             }
         }
 
         // Phase 5: MEM.
-        self.phase_mem()?;
+        self.phase_mem(sink)?;
 
         // Phase 6: control resolution.
-        self.phase_control()?;
+        self.phase_control(sink)?;
+
+        // Stage occupancy snapshot: after control resolution (this cycle's
+        // squash kills are visible), before the WB drain.
+        if S::ENABLED {
+            for (i, slot) in self.slots.iter().enumerate() {
+                if let Some(s) = slot {
+                    sink.stage(cycle, Stage::from_index(i), s.pc, s.instr, s.kill);
+                }
+            }
+        }
 
         // Phase 7: WB.
-        self.phase_wb();
+        self.phase_wb(sink);
 
         // Phase 8: advance.
-        self.phase_advance();
+        self.phase_advance(sink);
         Ok(())
     }
 
@@ -315,18 +361,18 @@ impl Machine {
     /// accepted. Acceptance is deferred while a special jump (`jpc`/`jpcrs`)
     /// is in flight: the restart sequence must complete atomically, and
     /// delaying acceptance at most three cycles is the cheap hardware fix.
-    fn sample_interrupts(&mut self) {
-        let special_jump_in_flight = self.slots[..WB].iter().any(|s| {
-            s.is_some_and(|s| !s.kill && matches!(s.instr, Instr::Jpc | Instr::Jpcrs))
-        });
+    fn sample_interrupts<S: TraceSink>(&mut self, sink: &mut S) {
+        let special_jump_in_flight = self.slots[..WB]
+            .iter()
+            .any(|s| s.is_some_and(|s| !s.kill && matches!(s.instr, Instr::Jpc | Instr::Jpcrs)));
         if special_jump_in_flight {
             return;
         }
         if self.nmi_pending {
             self.nmi_pending = false;
-            self.take_exception(ExceptionCause::NonMaskableInterrupt);
+            self.take_exception(ExceptionCause::NonMaskableInterrupt, sink);
         } else if self.interrupt_line && self.cpu.psw.interrupts_enabled() {
-            self.take_exception(ExceptionCause::Interrupt);
+            self.take_exception(ExceptionCause::Interrupt, sink);
         }
     }
 
@@ -334,8 +380,17 @@ impl Machine {
     /// immediately set to zero and the shift chain of old PC values is
     /// frozen ... The current PSW is placed in PSWold, interrupts are turned
     /// off and the machine is placed into system mode."*
-    fn take_exception(&mut self, cause: ExceptionCause) {
-        let _lines = self.squash_fsm.exception();
+    fn take_exception<S: TraceSink>(&mut self, cause: ExceptionCause, sink: &mut S) {
+        let lines = self.squash_fsm.exception();
+        if S::ENABLED {
+            sink.squash(
+                self.stats.cycles,
+                SquashReason::Exception,
+                lines,
+                self.cpu.pc,
+            );
+            sink.exception(self.stats.cycles, cause);
+        }
         for slot in self.slots[..WB].iter_mut().flatten() {
             slot.kill = true;
         }
@@ -352,9 +407,12 @@ impl Machine {
     /// Resolve a register operand for a consumer in stage `consumer`
     /// (ALU for ordinary instructions, the control-resolve stage for
     /// branches and jumps) through the two-level bypass network.
-    fn resolve_operand(&self, reg: Reg, consumer: usize) -> Result<u32, Hazard> {
+    /// On success also reports where the value came from: `Some(stage)` for
+    /// a bypass from the producer in that stage, `None` for a register-file
+    /// read.
+    fn resolve_operand(&self, reg: Reg, consumer: usize) -> Result<(u32, Option<usize>), Hazard> {
         if reg.is_zero() {
-            return Ok(0);
+            return Ok((0, None));
         }
         // Nearest producer wins; a producer one stage ahead whose datum
         // comes from memory has not got it yet.
@@ -377,17 +435,46 @@ impl Machine {
                 if stage < MEM || (stage == MEM && consumer == ALU) {
                     return Err(Hazard::LoadUse { reg });
                 }
-                return Ok(if stage == MEM { p.mem_data } else { p.final_value() });
+                let v = if stage == MEM {
+                    p.mem_data
+                } else {
+                    p.final_value()
+                };
+                return Ok((v, Some(stage)));
             }
-            return Ok(if stage == WB { p.final_value() } else { p.result });
+            let v = if stage == WB {
+                p.final_value()
+            } else {
+                p.result
+            };
+            return Ok((v, Some(stage)));
         }
-        Ok(self.cpu.reg(reg))
+        Ok((self.cpu.reg(reg), None))
     }
 
-    /// Resolve with the configured interlock policy applied.
-    fn operand(&self, reg: Reg, consumer: usize, pc: u32) -> Result<u32, RunError> {
+    /// Resolve with the configured interlock policy applied, reporting any
+    /// bypass activation to `sink`.
+    fn operand<S: TraceSink>(
+        &self,
+        reg: Reg,
+        consumer: usize,
+        pc: u32,
+        sink: &mut S,
+    ) -> Result<u32, RunError> {
         match self.resolve_operand(reg, consumer) {
-            Ok(v) => Ok(v),
+            Ok((v, from)) => {
+                if S::ENABLED {
+                    if let Some(stage) = from {
+                        sink.bypass(
+                            self.stats.cycles,
+                            reg,
+                            Stage::from_index(stage),
+                            Stage::from_index(consumer),
+                        );
+                    }
+                }
+                Ok(v)
+            }
             Err(Hazard::LoadUse { reg }) => match self.cfg.interlock {
                 InterlockPolicy::Trust => Ok(self.cpu.reg(reg)),
                 InterlockPolicy::Detect => Err(RunError::LoadUseHazard { pc, reg }),
@@ -411,7 +498,7 @@ impl Machine {
     }
 
     /// Phase 3: the ALU stage — everything except control transfer.
-    fn phase_alu(&mut self) -> Result<(), RunError> {
+    fn phase_alu<S: TraceSink>(&mut self, sink: &mut S) -> Result<(), RunError> {
         let Some(mut slot) = self.slots[ALU] else {
             return Ok(());
         };
@@ -433,21 +520,20 @@ impl Machine {
                 rd: _,
                 shamt,
             } => {
-                let a = self.operand(rs1, ALU, pc)?;
+                let a = self.operand(rs1, ALU, pc, sink)?;
                 let b = if op.uses_rs2() {
-                    self.operand(rs2, ALU, pc)?
+                    self.operand(rs2, ALU, pc, sink)?
                 } else {
                     0
                 };
-                let (result, overflow, md_out) = execute_compute(op, a, b, shamt, || {
-                    self.effective_md()
-                });
+                let (result, overflow, md_out) =
+                    execute_compute(op, a, b, shamt, || self.effective_md());
                 slot.result = result;
                 slot.overflow = overflow;
                 slot.md_out = md_out;
             }
             Instr::Addi { rs1, rd: _, imm } => {
-                let a = self.operand(rs1, ALU, pc)?;
+                let a = self.operand(rs1, ALU, pc, sink)?;
                 let (sum, ovf) = (a as i32).overflowing_add(imm);
                 slot.result = sum as u32;
                 slot.overflow = ovf;
@@ -456,13 +542,13 @@ impl Machine {
             | Instr::St { rs1, offset, .. }
             | Instr::Ldf { rs1, offset, .. }
             | Instr::Stf { rs1, offset, .. } => {
-                let base = self.operand(rs1, ALU, pc)?;
+                let base = self.operand(rs1, ALU, pc, sink)?;
                 slot.addr = base.wrapping_add(offset as u32);
             }
             Instr::Cpop { rs1, op, .. } => {
                 // The address cycle drives base + op out the pins; the
                 // memory system ignores it.
-                let base = self.operand(rs1, ALU, pc)?;
+                let base = self.operand(rs1, ALU, pc, sink)?;
                 slot.addr = base.wrapping_add(op as u32);
             }
             Instr::Mvtc { .. } | Instr::Mvfc { .. } => {}
@@ -475,7 +561,7 @@ impl Machine {
             Instr::Movtos { sreg, rs } => {
                 // Early commit: special registers sit beside the datapath
                 // and the write is idempotent under post-exception replay.
-                let v = self.operand(rs, ALU, pc)?;
+                let v = self.operand(rs, ALU, pc, sink)?;
                 self.cpu.set_special(sreg, v);
             }
             // Control transfers resolve in phase_control; nops and halt do
@@ -487,7 +573,7 @@ impl Machine {
     }
 
     /// Phase 5: the MEM stage — data memory and the coprocessor interface.
-    fn phase_mem(&mut self) -> Result<(), RunError> {
+    fn phase_mem<S: TraceSink>(&mut self, sink: &mut S) -> Result<(), RunError> {
         let Some(mut slot) = self.slots[MEM] else {
             return Ok(());
         };
@@ -502,55 +588,66 @@ impl Machine {
                 if extra > 0 {
                     self.miss_fsm.start(extra);
                     self.stats.ecache_stall_cycles += extra as u64;
+                    if S::ENABLED {
+                        sink.stall(self.stats.cycles, StallCause::EcacheRetry, extra, pc);
+                    }
                 }
             }
             Instr::St { rsrc, .. } => {
-                let v = self.operand(rsrc, MEM, pc)?;
+                let v = self.operand(rsrc, MEM, pc, sink)?;
                 let extra = self.ecache.write(slot.addr, v, &mut self.mem);
                 if extra > 0 {
                     self.miss_fsm.start(extra);
                     self.stats.ecache_stall_cycles += extra as u64;
+                    if S::ENABLED {
+                        sink.stall(self.stats.cycles, StallCause::EcacheRetry, extra, pc);
+                    }
                 }
             }
             Instr::Ldf { fr, .. } => {
-                self.stall_if_coproc_busy(1);
+                self.stall_if_coproc_busy(1, pc, sink);
                 let (data, extra) = self.ecache.read(slot.addr, &mut self.mem);
                 if extra > 0 {
                     self.miss_fsm.start(extra);
                     self.stats.ecache_stall_cycles += extra as u64;
+                    if S::ENABLED {
+                        sink.stall(self.stats.cycles, StallCause::EcacheRetry, extra, pc);
+                    }
                 }
                 if let Some(c) = &mut self.coprocs[1] {
                     c.load_direct(fr, data);
                 }
             }
             Instr::Stf { fr, .. } => {
-                self.stall_if_coproc_busy(1);
-                let v = self
-                    .coprocs[1]
-                    .as_mut()
-                    .map_or(0, |c| c.store_direct(fr));
+                self.stall_if_coproc_busy(1, pc, sink);
+                let v = self.coprocs[1].as_mut().map_or(0, |c| c.store_direct(fr));
                 let extra = self.ecache.write(slot.addr, v, &mut self.mem);
                 if extra > 0 {
                     self.miss_fsm.start(extra);
                     self.stats.ecache_stall_cycles += extra as u64;
+                    if S::ENABLED {
+                        sink.stall(self.stats.cycles, StallCause::EcacheRetry, extra, pc);
+                    }
                 }
             }
             Instr::Cpop { cop, op, .. } => {
-                self.stall_if_coproc_busy(cop);
+                self.stall_if_coproc_busy(cop, pc, sink);
                 if let Some(c) = &mut self.coprocs[cop as usize] {
                     c.execute(op);
                 }
             }
             Instr::Mvtc { rs, cop, op } => {
-                self.stall_if_coproc_busy(cop);
-                let v = self.operand(rs, MEM, pc)?;
+                self.stall_if_coproc_busy(cop, pc, sink);
+                let v = self.operand(rs, MEM, pc, sink)?;
                 if let Some(c) = &mut self.coprocs[cop as usize] {
                     c.write(op, v);
                 }
             }
             Instr::Mvfc { cop, op, .. } => {
-                self.stall_if_coproc_busy(cop);
-                slot.mem_data = self.coprocs[cop as usize].as_mut().map_or(0, |c| c.read(op));
+                self.stall_if_coproc_busy(cop, pc, sink);
+                slot.mem_data = self.coprocs[cop as usize]
+                    .as_mut()
+                    .map_or(0, |c| c.read(op));
             }
             _ => {}
         }
@@ -559,19 +656,22 @@ impl Machine {
     }
 
     /// Stall until coprocessor `cop` can accept an operation.
-    fn stall_if_coproc_busy(&mut self, cop: u8) {
+    fn stall_if_coproc_busy<S: TraceSink>(&mut self, cop: u8, pc: u32, sink: &mut S) {
         if let Some(c) = &self.coprocs[cop as usize & 7] {
             let busy = c.busy_cycles();
             if busy > 0 {
                 self.miss_fsm.start(busy);
                 self.stats.coproc_stall_cycles += busy as u64;
+                if S::ENABLED {
+                    sink.stall(self.stats.cycles, StallCause::CoprocBusy, busy, pc);
+                }
             }
         }
     }
 
     /// Phase 6: control resolution at the configured stage (ALU for the
     /// real two-slot pipeline, RF for the one-slot quick-compare variant).
-    fn phase_control(&mut self) -> Result<(), RunError> {
+    fn phase_control<S: TraceSink>(&mut self, sink: &mut S) -> Result<(), RunError> {
         let resolve_stage = self.cfg.branch_delay_slots; // 2 -> ALU, 1 -> RF
         let Some(mut slot) = self.slots[resolve_stage] else {
             return Ok(());
@@ -588,8 +688,8 @@ impl Machine {
                 rs2,
                 disp,
             } => {
-                let a = self.operand(rs1, resolve_stage, pc)?;
-                let b = self.operand(rs2, resolve_stage, pc)?;
+                let a = self.operand(rs1, resolve_stage, pc, sink)?;
+                let b = self.operand(rs2, resolve_stage, pc, sink)?;
                 let taken = cond.eval(a, b);
                 self.stats.branches += 1;
                 if taken {
@@ -597,10 +697,10 @@ impl Machine {
                     // The displacement adder drives the PC bus.
                     self.cpu.pc = pc.wrapping_add(disp as u32);
                 }
-                self.account_branch_slots(resolve_stage, squash, taken);
+                self.account_branch_slots(resolve_stage, squash, taken, pc, sink);
             }
             Instr::Jspci { rs1, rd: _, imm } => {
-                let base = self.operand(rs1, resolve_stage, pc)?;
+                let base = self.operand(rs1, resolve_stage, pc, sink)?;
                 slot.result = pc + 1 + self.cfg.branch_delay_slots as u32;
                 self.cpu.pc = base.wrapping_add(imm as u32);
                 self.stats.jumps += 1;
@@ -627,13 +727,25 @@ impl Machine {
 
     /// Apply squashing and charge delay-slot waste to the branch, per the
     /// Table 1 footnote.
-    fn account_branch_slots(&mut self, resolve_stage: usize, squash: SquashMode, taken: bool) {
+    fn account_branch_slots<S: TraceSink>(
+        &mut self,
+        resolve_stage: usize,
+        squash: SquashMode,
+        taken: bool,
+        pc: u32,
+        sink: &mut S,
+    ) {
         let slots_execute = squash.slots_execute(taken);
         let lines = if slots_execute {
             None
         } else {
             Some(self.squash_fsm.branch_squash(self.cfg.branch_delay_slots))
         };
+        if S::ENABLED {
+            if let Some(lines) = lines {
+                sink.squash(self.stats.cycles, SquashReason::BranchWrongWay, lines, pc);
+            }
+        }
         // The delay slots sit in the stages younger than the branch.
         for stage in (0..resolve_stage).rev() {
             let Some(s) = &mut self.slots[stage] else {
@@ -663,10 +775,13 @@ impl Machine {
     }
 
     /// Phase 7: write-back — the only phase that changes register state.
-    fn phase_wb(&mut self) {
+    fn phase_wb<S: TraceSink>(&mut self, sink: &mut S) {
         let Some(slot) = self.slots[WB] else {
             return;
         };
+        if S::ENABLED {
+            sink.retire(self.stats.cycles, slot.pc, slot.instr, slot.kill);
+        }
         if slot.kill {
             self.stats.squashed += 1;
             return;
@@ -692,7 +807,7 @@ impl Machine {
 
     /// Phase 8: shift the pipeline, fetch the next instruction, shift the
     /// PC chain.
-    fn phase_advance(&mut self) {
+    fn phase_advance<S: TraceSink>(&mut self, sink: &mut S) {
         self.slots[WB] = self.slots[MEM];
         self.slots[MEM] = self.slots[ALU];
         self.slots[ALU] = self.slots[RF];
@@ -700,10 +815,15 @@ impl Machine {
 
         // Instruction fetch through the on-chip cache.
         let pc = self.cpu.pc;
-        let (word, stall) = self.icache.fetch_through(pc, &mut self.ecache, &mut self.mem);
+        let (word, stall) = self
+            .icache
+            .fetch_through(pc, &mut self.ecache, &mut self.mem);
         if stall > 0 {
             self.miss_fsm.start(stall);
             self.stats.icache_stall_cycles += stall as u64;
+            if S::ENABLED {
+                sink.stall(self.stats.cycles, StallCause::IcacheMiss, stall, pc);
+            }
         }
         let instr = Instr::decode(word);
         // The non-cached coprocessor scheme forces an internal miss for
@@ -717,6 +837,9 @@ impl Machine {
             if forced > 0 {
                 self.miss_fsm.start(forced);
                 self.stats.coproc_forced_miss_cycles += forced as u64;
+                if S::ENABLED {
+                    sink.stall(self.stats.cycles, StallCause::CoprocForcedMiss, forced, pc);
+                }
             }
         }
         let kill = std::mem::take(&mut self.pending_fetch_kill);

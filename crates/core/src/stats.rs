@@ -46,6 +46,14 @@ pub struct RunStats {
     pub coproc_stall_cycles: u64,
     /// Cycles charged by the non-cached coprocessor scheme's forced misses.
     pub coproc_forced_miss_cycles: u64,
+    /// Total cycles the qualified clock ψ1 was withheld (the sum of the
+    /// per-cause stall counters, measured independently at the gate).
+    pub frozen_cycles: u64,
+    /// Cycles a hardware load-use interlock would freeze. MIPS-X has no
+    /// such interlock — the reorganizer schedules around the hazard — so
+    /// this stays zero on the shipped pipeline; interlocking variants fill
+    /// it so CPI decomposes uniformly.
+    pub interlock_stall_cycles: u64,
 }
 
 impl RunStats {
@@ -133,6 +141,13 @@ impl RunStats {
         self.ecache_stall_cycles += other.ecache_stall_cycles;
         self.coproc_stall_cycles += other.coproc_stall_cycles;
         self.coproc_forced_miss_cycles += other.coproc_forced_miss_cycles;
+        self.frozen_cycles += other.frozen_cycles;
+        self.interlock_stall_cycles += other.interlock_stall_cycles;
+    }
+
+    /// Cycles the pipeline actually advanced (total minus frozen).
+    pub fn advancing_cycles(&self) -> u64 {
+        self.cycles - self.frozen_cycles
     }
 }
 
@@ -163,11 +178,14 @@ impl fmt::Display for RunStats {
         )?;
         write!(
             f,
-            "  stalls: icache={} ecache={} coproc={} forced-miss={}",
+            "  stalls: icache={} ecache={} coproc={} forced-miss={} interlock={} (frozen {} of {} cycles)",
             self.icache_stall_cycles,
             self.ecache_stall_cycles,
             self.coproc_stall_cycles,
-            self.coproc_forced_miss_cycles
+            self.coproc_forced_miss_cycles,
+            self.interlock_stall_cycles,
+            self.frozen_cycles,
+            self.cycles
         )
     }
 }
@@ -219,6 +237,63 @@ mod tests {
         assert_eq!(a.cycles, 30);
         assert_eq!(a.instructions, 20);
         assert!((a.cpi() - 1.5).abs() < 1e-12);
+    }
+
+    /// Every field set to a distinct multiple of `k`, so `merge` acting
+    /// field-wise as `+` makes the whole struct linear in `k` — any dropped,
+    /// duplicated or cross-wired counter breaks the linearity check below.
+    fn filled(k: u64) -> RunStats {
+        RunStats {
+            cycles: k,
+            instructions: 2 * k,
+            nops: 3 * k,
+            squashed: 4 * k,
+            branches: 5 * k,
+            branches_taken: 6 * k,
+            branch_slot_nops: 7 * k,
+            branch_slot_squashed: 8 * k,
+            jumps: 9 * k,
+            loads: 10 * k,
+            stores: 11 * k,
+            coproc_ops: 12 * k,
+            exceptions: 13 * k,
+            icache_stall_cycles: 14 * k,
+            ecache_stall_cycles: 15 * k,
+            coproc_stall_cycles: 16 * k,
+            coproc_forced_miss_cycles: 17 * k,
+            frozen_cycles: 18 * k,
+            interlock_stall_cycles: 19 * k,
+        }
+    }
+
+    fn merged(a: &RunStats, b: &RunStats) -> RunStats {
+        let mut m = *a;
+        m.merge(b);
+        m
+    }
+
+    #[test]
+    fn merge_is_associative_and_lossless() {
+        let (a, b, c) = (filled(1), filled(100), filled(10_000));
+        // Associativity.
+        assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+        // Zero is the identity (no counter invents anything).
+        assert_eq!(merged(&a, &RunStats::default()), a);
+        assert_eq!(merged(&RunStats::default(), &a), a);
+        // Linearity: filled(1) + filled(100) must be exactly filled(101) —
+        // fails if merge drops, double-counts or cross-wires any field.
+        assert_eq!(merged(&a, &b), filled(101));
+        assert_eq!(merged(&merged(&a, &b), &c), filled(10_101));
+    }
+
+    #[test]
+    fn advancing_plus_frozen_is_total() {
+        let s = RunStats {
+            cycles: 170,
+            frozen_cycles: 30,
+            ..RunStats::default()
+        };
+        assert_eq!(s.advancing_cycles() + s.frozen_cycles, s.cycles);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! interrupt controller as a bus device.
 
 use mipsx_asm::assemble;
-use mipsx_core::{InterlockPolicy, Machine, MachineConfig, RunError};
 use mipsx_coproc::{Fpu, FpuLatencies, FpuOp, InterfaceScheme, InterruptController};
+use mipsx_core::{InterlockPolicy, Machine, MachineConfig, RunError};
 use mipsx_isa::Reg;
 
 fn machine() -> Machine {
@@ -16,8 +16,8 @@ fn machine() -> Machine {
 
 #[test]
 fn mvtc_mvfc_round_trip() {
-    let program = assemble("li r1, 1234\nmvtc c1, 5, r1\nmvfc r2, c1, 5\nnop\nadd r3, r2, r2\nhalt")
-        .unwrap();
+    let program =
+        assemble("li r1, 1234\nmvtc c1, 5, r1\nmvfc r2, c1, 5\nnop\nadd r3, r2, r2\nhalt").unwrap();
     let mut m = machine();
     m.attach_coprocessor(1, Box::new(Fpu::new()));
     m.load_program(&program);
@@ -62,7 +62,10 @@ fn busy_coprocessor_stalls_the_pipeline() {
     };
     let (fast_cycles, fast_stalls) = run_with_latency(1);
     let (slow_cycles, slow_stalls) = run_with_latency(30);
-    assert!(slow_stalls > fast_stalls, "long divide must stall the issue of the next op");
+    assert!(
+        slow_stalls > fast_stalls,
+        "long divide must stall the issue of the next op"
+    );
     assert!(slow_cycles > fast_cycles + 20);
 }
 
@@ -98,10 +101,8 @@ fn noncached_scheme_charges_forced_misses() {
 fn interrupt_controller_readable_over_the_bus() {
     // The handler reads the pending mask with mvfc and acks with cpop —
     // the paper's off-chip interrupt unit.
-    let program = assemble(
-        "mvfc r2, c2, 0\nnop\ncpop c2, 0(r0)\nmvfc r3, c2, 0\nnop\nhalt",
-    )
-    .unwrap();
+    let program =
+        assemble("mvfc r2, c2, 0\nnop\ncpop c2, 0(r0)\nmvfc r3, c2, 0\nnop\nhalt").unwrap();
     let mut m = machine();
     let mut intc = InterruptController::new();
     intc.raise(3);

@@ -247,7 +247,8 @@ fn interrupt_at_every_cycle_preserves_architectural_state() {
             if m.halted() {
                 break;
             }
-            m.step().unwrap_or_else(|e| panic!("cycle error at {fire_at}: {e}"));
+            m.step()
+                .unwrap_or_else(|e| panic!("cycle error at {fire_at}: {e}"));
         }
         if m.halted() {
             break;

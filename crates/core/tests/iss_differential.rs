@@ -162,7 +162,10 @@ impl Iss {
 
 // --- random correctly-scheduled program generation ------------------------
 
-fn build_program(body_chunks: Vec<Vec<Instr>>, branch_bits: Vec<(u8, u8, u8, bool)>) -> mipsx_asm::Program {
+fn build_program(
+    body_chunks: Vec<Vec<Instr>>,
+    branch_bits: Vec<(u8, u8, u8, bool)>,
+) -> mipsx_asm::Program {
     use mipsx_asm::Asm;
     let mut asm = Asm::new(0);
     // Prologue: seed registers with distinct values, set data base r20.

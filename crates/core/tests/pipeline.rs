@@ -105,9 +105,8 @@ fn load_use_trust_reads_stale_value() {
 fn store_can_consume_load_result_immediately() {
     // ld then st of the same register one apart is legal: the store needs
     // its datum a cycle later than an ALU consumer would.
-    let (m, _) = run_program(
-        "li r1, 1000\nli r2, 31\nst r2, 0(r1)\nld r3, 0(r1)\nst r3, 1(r1)\nhalt",
-    );
+    let (m, _) =
+        run_program("li r1, 1000\nli r2, 31\nst r2, 0(r1)\nld r3, 0(r1)\nst r3, 1(r1)\nhalt");
     assert_eq!(m.read_word(1001), 31);
 }
 
@@ -207,9 +206,7 @@ fn call_and_return() {
 
 #[test]
 fn jspci_link_register_points_after_slots() {
-    let (m, _) = run_program(
-        "main: call fn\nnop\nnop\nhalt\nfn: mv r4, r31\nret\nnop\nnop",
-    );
+    let (m, _) = run_program("main: call fn\nnop\nnop\nhalt\nfn: mv r4, r31\nret\nnop\nnop");
     // call at 0, slots at 1-2, return point = 3.
     assert_eq!(reg(&m, 4), 3);
 }
@@ -353,9 +350,8 @@ fn nop_statistics_counted() {
 #[test]
 fn deterministic_across_runs() {
     let run = || {
-        let (_, s) = run_program(
-            "li r1, 50\nloop: addi r1, r1, -1\nbne r1, r0, loop\nnop\nnop\nhalt",
-        );
+        let (_, s) =
+            run_program("li r1, 50\nloop: addi r1, r1, -1\nbne r1, r0, loop\nnop\nnop\nhalt");
         s
     };
     assert_eq!(run(), run());

@@ -1,0 +1,122 @@
+//! Integration tests for the cycle-level probe layer.
+//!
+//! Two guarantees matter here:
+//!
+//! 1. **Determinism** — the [`PipeDiagram`] rendering of a directed
+//!    squash-FSM program is byte-for-byte stable (golden file), so docs
+//!    and bug reports can quote diagrams verbatim.
+//! 2. **Observer transparency** — attaching any sink must not perturb the
+//!    machine: a run observed by [`CpiAttribution`] produces *identical*
+//!    [`RunStats`] to the same run under [`NullSink`], and the
+//!    attribution's own counters must agree with the machine's.
+
+use mipsx_asm::assemble;
+use mipsx_core::{CpiAttribution, Machine, MachineConfig, PipeDiagram, RunStats};
+
+fn machine_for(src: &str) -> Machine {
+    let program = assemble(src).expect("assembles");
+    let mut m = Machine::new(MachineConfig::default());
+    m.load_program(&program);
+    m
+}
+
+/// Directed program: a squashing branch that falls through (both delay
+/// slots die in the squash FSM), bracketed by enough straight-line code to
+/// show the cold-start Icache freeze and a clean drain.
+const SQUASH_PROGRAM: &str = "li r1, 1\nli r2, 2\nbeqsq r1, r2, target\n\
+                              li r4, 10\nli r5, 20\nli r3, 111\nhalt\n\
+                              target: li r3, 222\nhalt";
+
+#[test]
+fn pipe_diagram_of_squash_fsm_is_byte_stable() {
+    let render = || {
+        let mut m = machine_for(SQUASH_PROGRAM);
+        let mut diagram = PipeDiagram::with_limit(40);
+        m.run_with(1_000_000, &mut diagram).expect("runs to halt");
+        diagram.render()
+    };
+    let got = render();
+    // Deterministic across independent machines in-process...
+    assert_eq!(got, render());
+    // ...and across time, against the checked-in golden file.
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/squash_pipe.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &got).expect("write golden");
+    }
+    let want = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to regenerate");
+    assert_eq!(
+        got, want,
+        "pipe diagram drifted from golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+    // The diagram must actually show the squash: lowercase marks.
+    assert!(
+        got.contains('w'),
+        "squashed slots should drain killed: {got}"
+    );
+}
+
+/// Run `src` twice — unobserved, then under [`CpiAttribution`] — and check
+/// the observer changed nothing and accounted for everything.
+fn assert_observer_transparent(src: &str) -> (RunStats, CpiAttribution) {
+    let baseline = machine_for(src).run(1_000_000).expect("baseline runs");
+
+    let mut m = machine_for(src);
+    let mut att = CpiAttribution::new();
+    let observed = m.run_with(1_000_000, &mut att).expect("observed runs");
+
+    assert_eq!(baseline, observed, "sink perturbed the machine");
+    assert!(att.identity_holds(), "attribution must sum to total cycles");
+    assert_eq!(att.total_cycles, observed.cycles);
+    assert_eq!(att.frozen_cycles(), observed.frozen_cycles);
+    assert_eq!(att.retired, observed.instructions);
+    assert_eq!(att.squashed, observed.squashed);
+    (observed, att)
+}
+
+#[test]
+fn attribution_matches_machine_on_directed_program() {
+    let (stats, att) = assert_observer_transparent(SQUASH_PROGRAM);
+    assert_eq!(stats.squashed, 2, "beqsq fall-through kills both slots");
+    assert_eq!(att.branch_squashes, 1);
+    // Cold-start Icache misses must appear in the attribution, not vanish.
+    assert!(att.stall_cycles.iter().sum::<u64>() > 0);
+}
+
+mod prop {
+    use super::assert_observer_transparent;
+    use proptest::prelude::*;
+
+    /// One source line of a terminating random program. Loads are followed
+    /// by two no-ops so no load-use hazard can abort the run; every branch
+    /// targets the final `halt`, so control only moves forward.
+    fn arb_line() -> impl Strategy<Value = String> {
+        let reg = || 1u8..16;
+        prop_oneof![
+            (reg(), -100i32..100).prop_map(|(d, v)| format!("li r{d}, {v}")),
+            (reg(), reg(), reg()).prop_map(|(d, a, b)| format!("add r{d}, r{a}, r{b}")),
+            (reg(), reg(), reg()).prop_map(|(d, a, b)| format!("xor r{d}, r{a}, r{b}")),
+            Just("nop".to_owned()),
+            (reg(), 0i32..64).prop_map(|(s, off)| format!("st r{s}, {off}(r0)")),
+            (reg(), 0i32..64).prop_map(|(d, off)| format!("ld r{d}, {off}(r0)\nnop\nnop")),
+            (reg(), reg()).prop_map(|(a, b)| format!("beq r{a}, r{b}, end\nnop\nnop")),
+            (reg(), reg()).prop_map(|(a, b)| format!("bne r{a}, r{b}, end\nnop\nnop")),
+            (reg(), reg())
+                .prop_map(|(a, b)| format!("beqsq r{a}, r{b}, end\nli r20, 1\nli r21, 2")),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// NullSink and CpiAttribution observe identical RunStats on
+        /// arbitrary terminating programs, and attribution stays exact.
+        #[test]
+        fn null_and_attribution_sinks_agree(lines in proptest::collection::vec(arb_line(), 1..40)) {
+            let mut src = lines.join("\n");
+            src.push_str("\nend: halt");
+            assert_observer_transparent(&src);
+        }
+    }
+}

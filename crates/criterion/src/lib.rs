@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate shadows `criterion 0.5` with the subset of the API the workspace's
+//! benches use: [`Criterion::benchmark_group`], `bench_with_input` /
+//! `bench_function`, [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock harness: a warm-up pass estimates the
+//! per-iteration time, then `sample_size` samples are taken and the mean,
+//! minimum and maximum per-iteration times are reported. There are no
+//! statistical refinements and no HTML reports — the numbers print to
+//! stdout, which is what the A/B comparisons in `crates/bench` need.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work performed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark harness.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            sample_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_benchmark(self, self.sample_size, &mut f);
+        print_report(&id.id, &report, None);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declare per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure over one input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_benchmark(self.criterion, samples, &mut |b: &mut Bencher| f(b, input));
+        print_report(
+            &format!("{}/{}", self.name, id.id),
+            &report,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_benchmark(self.criterion, samples, &mut f);
+        print_report(
+            &format!("{}/{}", self.name, id.id),
+            &report,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    /// Iterations to run this call.
+    iterations: u64,
+    /// Measured elapsed time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iterations` calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Aggregated measurement for one benchmark.
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// Mean per-iteration nanoseconds over the measured samples. Exposed so a
+/// bench binary can compare two cases programmatically (A/B overhead
+/// checks).
+pub fn measure_ns<F: FnMut(&mut Bencher)>(c: &Criterion, samples: usize, mut f: F) -> f64 {
+    run_benchmark(c, samples, &mut f).mean_ns
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(c: &Criterion, samples: usize, f: &mut F) -> Report {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // estimating the per-iteration cost as we go.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_up_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed > Duration::ZERO {
+            per_iter = bencher.elapsed;
+        }
+        if warm_up_start.elapsed() >= c.warm_up {
+            break;
+        }
+    }
+
+    // Choose an iteration count so each sample runs ~sample_time.
+    let iters = (c.sample_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+    let mut mean_sum = 0.0;
+    let mut min_ns = f64::INFINITY;
+    let mut max_ns = 0.0f64;
+    for _ in 0..samples {
+        bencher.iterations = iters;
+        f(&mut bencher);
+        let ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+        mean_sum += ns;
+        min_ns = min_ns.min(ns);
+        max_ns = max_ns.max(ns);
+    }
+    Report {
+        mean_ns: mean_sum / samples as f64,
+        min_ns,
+        max_ns,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn print_report(id: &str, report: &Report, throughput: Option<Throughput>) {
+    println!(
+        "{id:40} time: [{} {} {}]",
+        format_ns(report.min_ns),
+        format_ns(report.mean_ns),
+        format_ns(report.max_ns)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (report.mean_ns / 1e9);
+            println!("{:40} thrpt: {:.3} Melem/s", "", rate / 1e6);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (report.mean_ns / 1e9);
+            println!("{:40} thrpt: {:.3} MiB/s", "", rate / (1024.0 * 1024.0));
+        }
+        None => {}
+    }
+}
+
+/// Declare a group of benchmark functions, optionally with a configuration
+/// expression (the `criterion 0.5` `name/config/targets` form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            sample_size: 3,
+            warm_up: Duration::from_millis(5),
+            sample_time: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("a", "b").id, "a/b");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn measures_something_positive() {
+        let c = fast_criterion();
+        let ns = measure_ns(&c, 3, |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert!(ns > 0.0 && ns.is_finite());
+    }
+
+    #[test]
+    fn group_api_runs() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &41u32, |b, &n| {
+            b.iter(|| n + 1)
+        });
+        group.bench_function("y", |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(2e9).contains(" s"));
+    }
+}

@@ -158,7 +158,13 @@ mod tests {
 
     #[test]
     fn negate_is_logical_not() {
-        let samples = [(0u32, 0u32), (1, 2), (u32::MAX, 0), (5, 5), (0x8000_0000, 1)];
+        let samples = [
+            (0u32, 0u32),
+            (1, 2),
+            (u32::MAX, 0),
+            (5, 5),
+            (0x8000_0000, 1),
+        ];
         for c in Cond::ALL {
             for &(a, b) in &samples {
                 assert_eq!(c.negate().eval(a, b), !c.eval(a, b), "{c:?} on ({a},{b})");

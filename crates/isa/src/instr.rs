@@ -336,6 +336,9 @@ impl Instr {
     /// `Instr` values from user input; programmatic construction is expected
     /// to respect the documented widths: offsets 17 bits, branch
     /// displacements 13 bits, `jspci` immediates 15 bits).
+    // Zero fields are written out (`0x0 << 28`, `0 << 25`) so each arm
+    // spells the full encoding layout.
+    #[allow(clippy::identity_op)]
     pub fn encode(self) -> u32 {
         fn off17(v: i32) -> u32 {
             to_signed_field(v, OFFSET_BITS).expect("17-bit offset out of range")
@@ -404,13 +407,18 @@ impl Instr {
                 (0x9 << 28) | (rs1.field() << 23) | (rd.field() << 18) | off17(imm)
             }
             Instr::Jspci { rs1, rd, imm } => {
-                let i = to_signed_field(imm, JSPCI_IMM_BITS).expect("15-bit immediate out of range");
+                let i =
+                    to_signed_field(imm, JSPCI_IMM_BITS).expect("15-bit immediate out of range");
                 (0xA << 28) | (0 << 25) | (rs1.field() << 20) | (rd.field() << 15) | i
             }
             Instr::Jpc => (0xA << 28) | (1 << 25),
             Instr::Jpcrs => (0xA << 28) | (2 << 25),
-            Instr::Movfrs { rd, sreg } => (0xB << 28) | (0 << 25) | (rd.field() << 20) | sreg.field(),
-            Instr::Movtos { sreg, rs } => (0xB << 28) | (1 << 25) | (rs.field() << 20) | sreg.field(),
+            Instr::Movfrs { rd, sreg } => {
+                (0xB << 28) | (0 << 25) | (rd.field() << 20) | sreg.field()
+            }
+            Instr::Movtos { sreg, rs } => {
+                (0xB << 28) | (1 << 25) | (rs.field() << 20) | sreg.field()
+            }
             Instr::Nop => 0xF << 28,
             Instr::Halt => (0xF << 28) | (1 << 25),
             Instr::Illegal(raw) => raw,

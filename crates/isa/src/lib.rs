@@ -90,7 +90,7 @@ pub const PC_CHAIN_DEPTH: usize = 3;
 /// Panics if `bits` is zero or greater than 32.
 #[inline]
 pub fn sign_extend(value: u32, bits: u32) -> i32 {
-    assert!(bits >= 1 && bits <= 32, "bit width out of range: {bits}");
+    assert!((1..=32).contains(&bits), "bit width out of range: {bits}");
     let shift = 32 - bits;
     ((value << shift) as i32) >> shift
 }
@@ -101,7 +101,7 @@ pub fn sign_extend(value: u32, bits: u32) -> i32 {
 /// which the assembler reports as a range error.
 #[inline]
 pub fn to_signed_field(value: i32, bits: u32) -> Option<u32> {
-    assert!(bits >= 1 && bits <= 32, "bit width out of range: {bits}");
+    assert!((1..=32).contains(&bits), "bit width out of range: {bits}");
     let min = -(1i64 << (bits - 1));
     let max = (1i64 << (bits - 1)) - 1;
     let v = value as i64;

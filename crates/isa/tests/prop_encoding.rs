@@ -6,7 +6,7 @@
 //!    for arbitrary 32-bit words.
 //! 3. Condition negation is a logical not over arbitrary operand values.
 
-use mipsx_isa::{Cond, ComputeOp, Instr, Reg, SpecialReg, SquashMode};
+use mipsx_isa::{ComputeOp, Cond, Instr, Reg, SpecialReg, SquashMode};
 use proptest::prelude::*;
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -43,17 +43,29 @@ prop_compose! {
 
 fn arb_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
-        (arb_reg(), arb_reg(), arb_offset17())
-            .prop_map(|(rs1, rd, offset)| Instr::Ld { rs1, rd, offset }),
-        (arb_reg(), arb_reg(), arb_offset17())
-            .prop_map(|(rs1, rsrc, offset)| Instr::St { rs1, rsrc, offset }),
+        (arb_reg(), arb_reg(), arb_offset17()).prop_map(|(rs1, rd, offset)| Instr::Ld {
+            rs1,
+            rd,
+            offset
+        }),
+        (arb_reg(), arb_reg(), arb_offset17()).prop_map(|(rs1, rsrc, offset)| Instr::St {
+            rs1,
+            rsrc,
+            offset
+        }),
         (arb_reg(), 0u8..8, 0u16..16384).prop_map(|(rs1, cop, op)| Instr::Cpop { rs1, cop, op }),
         (arb_reg(), 0u8..8, 0u16..16384).prop_map(|(rs, cop, op)| Instr::Mvtc { rs, cop, op }),
         (arb_reg(), 0u8..8, 0u16..16384).prop_map(|(rd, cop, op)| Instr::Mvfc { rd, cop, op }),
-        (arb_reg(), 0u8..32, arb_offset17())
-            .prop_map(|(rs1, fr, offset)| Instr::Ldf { rs1, fr, offset }),
-        (arb_reg(), 0u8..32, arb_offset17())
-            .prop_map(|(rs1, fr, offset)| Instr::Stf { rs1, fr, offset }),
+        (arb_reg(), 0u8..32, arb_offset17()).prop_map(|(rs1, fr, offset)| Instr::Ldf {
+            rs1,
+            fr,
+            offset
+        }),
+        (arb_reg(), 0u8..32, arb_offset17()).prop_map(|(rs1, fr, offset)| Instr::Stf {
+            rs1,
+            fr,
+            offset
+        }),
         (arb_cond(), arb_squash(), arb_reg(), arb_reg(), arb_disp13()).prop_map(
             |(cond, squash, rs1, rs2, disp)| Instr::Branch {
                 cond,
@@ -72,10 +84,16 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
                 shamt
             }
         ),
-        (arb_reg(), arb_reg(), arb_offset17())
-            .prop_map(|(rs1, rd, imm)| Instr::Addi { rs1, rd, imm }),
-        (arb_reg(), arb_reg(), arb_imm15())
-            .prop_map(|(rs1, rd, imm)| Instr::Jspci { rs1, rd, imm }),
+        (arb_reg(), arb_reg(), arb_offset17()).prop_map(|(rs1, rd, imm)| Instr::Addi {
+            rs1,
+            rd,
+            imm
+        }),
+        (arb_reg(), arb_reg(), arb_imm15()).prop_map(|(rs1, rd, imm)| Instr::Jspci {
+            rs1,
+            rd,
+            imm
+        }),
         Just(Instr::Jpc),
         Just(Instr::Jpcrs),
         (arb_reg(), arb_sreg()).prop_map(|(rd, sreg)| Instr::Movfrs { rd, sreg }),

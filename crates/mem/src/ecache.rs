@@ -1,5 +1,8 @@
 //! The external cache with the late-miss protocol.
 
+use std::collections::HashSet;
+
+use crate::stats::MissCause;
 use crate::{CacheStats, MainMemory};
 
 /// Organization of the external cache.
@@ -33,7 +36,10 @@ impl EcacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.block_words.is_power_of_two(), "block size power of two");
+        assert!(
+            self.block_words.is_power_of_two(),
+            "block size power of two"
+        );
         assert!(self.size_words.is_power_of_two(), "cache size power of two");
         assert!(
             self.size_words >= self.block_words,
@@ -67,6 +73,8 @@ pub struct Ecache {
     cfg: EcacheConfig,
     /// `tags[index]` = tag of the block cached in that frame.
     tags: Vec<Option<u32>>,
+    /// Block addresses ever read, for cold/conflict classification.
+    seen_blocks: HashSet<u32>,
     stats: CacheStats,
 }
 
@@ -80,6 +88,7 @@ impl Ecache {
         cfg.validate();
         Ecache {
             tags: vec![None; cfg.num_blocks() as usize],
+            seen_blocks: HashSet::new(),
             cfg,
             stats: CacheStats::new(),
         }
@@ -105,9 +114,11 @@ impl Ecache {
         self.stats.reset();
     }
 
-    /// Invalidate all blocks (cold start).
+    /// Invalidate all blocks (cold start — miss classification restarts
+    /// too).
     pub fn invalidate_all(&mut self) {
         self.tags.fill(None);
+        self.seen_blocks.clear();
     }
 
     #[inline]
@@ -135,8 +146,10 @@ impl Ecache {
     /// late-miss retry loop on a miss.
     pub fn read(&mut self, addr: u32, mem: &mut MainMemory) -> (u32, u32) {
         if !self.cfg.enabled {
+            // A disabled cache retains nothing: every read is compulsory.
             let extra = self.cfg.late_miss_overhead + mem.latency_cycles;
             self.stats.record_miss(extra as u64, 1);
+            self.stats.record_miss_cause(MissCause::Cold);
             return (mem.read(addr), extra);
         }
         let (index, tag) = self.index_and_tag(addr);
@@ -148,6 +161,12 @@ impl Ecache {
             self.tags[index] = Some(tag);
             self.stats
                 .record_miss(extra as u64, self.cfg.block_words as u64);
+            let cause = if self.seen_blocks.insert(addr / self.cfg.block_words) {
+                MissCause::Cold
+            } else {
+                MissCause::Conflict
+            };
+            self.stats.record_miss_cause(cause);
             (mem.read(addr), extra)
         }
     }
@@ -163,6 +182,22 @@ impl Ecache {
         // valid (memory and cache agree because reads pass through).
         mem.write(addr, word);
         0
+    }
+
+    /// `(allocated frames, total frames)` — the direct-mapped cache's
+    /// occupancy.
+    pub fn occupancy(&self) -> (u32, u32) {
+        let allocated = self.tags.iter().filter(|t| t.is_some()).count() as u32;
+        (allocated, self.cfg.num_blocks())
+    }
+
+    /// One-line occupancy summary.
+    pub fn occupancy_report(&self) -> String {
+        let (allocated, total) = self.occupancy();
+        format!(
+            "ecache occupancy: {allocated}/{total} frames allocated ({:.1}%)",
+            allocated as f64 * 100.0 / total as f64
+        )
     }
 }
 

@@ -14,6 +14,9 @@
 //!   fetch back 2 instructions, the one that missed and the next one to be
 //!   executed ... Fetching back 2 words almost halves the miss ratio."*
 
+use std::collections::HashSet;
+
+use crate::stats::MissCause;
 use crate::{CacheStats, Ecache, MainMemory};
 
 /// Replacement policy within a row.
@@ -141,6 +144,8 @@ pub struct Icache {
     clock: u64,
     /// xorshift state for random replacement.
     rng: u64,
+    /// Block addresses ever referenced, for cold/conflict classification.
+    seen_blocks: HashSet<u32>,
     stats: CacheStats,
 }
 
@@ -157,6 +162,7 @@ impl Icache {
             fifo: vec![0; cfg.rows as usize],
             clock: 0,
             rng: 0x9E37_79B9_7F4A_7C15,
+            seen_blocks: HashSet::new(),
             cfg,
             stats: CacheStats::new(),
         }
@@ -182,12 +188,14 @@ impl Icache {
         self.stats.reset();
     }
 
-    /// Invalidate everything (cold start).
+    /// Invalidate everything (cold start — miss classification restarts
+    /// too, so the first re-reference of each block counts as cold again).
     pub fn invalidate_all(&mut self) {
         for b in &mut self.blocks {
             *b = Block::default();
         }
         self.fifo.fill(0);
+        self.seen_blocks.clear();
     }
 
     #[inline]
@@ -221,7 +229,10 @@ impl Icache {
     /// services it ([`Icache::fetch_through`] or [`Icache::simulate_trace`]).
     pub fn fetch(&mut self, addr: u32) -> FetchOutcome {
         if !self.cfg.enabled {
+            // A disabled cache never retains anything: every fetch is a
+            // compulsory trip off-chip.
             self.stats.record_miss_pending();
+            self.stats.record_miss_cause(MissCause::Cold);
             return FetchOutcome::Miss;
         }
         let (row, tag, word) = self.locate(addr);
@@ -235,6 +246,18 @@ impl Icache {
             }
         }
         self.stats.record_miss_pending();
+        let tag_present =
+            (0..self.cfg.ways).any(|way| self.blocks[self.block_index(row, way)].tag == Some(tag));
+        let block_addr = addr / self.cfg.block_words;
+        let first_reference = self.seen_blocks.insert(block_addr);
+        let cause = if tag_present {
+            MissCause::SubBlockInvalid
+        } else if first_reference {
+            MissCause::Cold
+        } else {
+            MissCause::Conflict
+        };
+        self.stats.record_miss_cause(cause);
         FetchOutcome::Miss
     }
 
@@ -363,7 +386,8 @@ impl Icache {
                         self.fill(addr + 1);
                         filled += 1;
                     }
-                    self.stats.add_miss_cost(self.cfg.miss_penalty as u64, filled);
+                    self.stats
+                        .add_miss_cost(self.cfg.miss_penalty as u64, filled);
                 }
             }
         }
@@ -371,6 +395,54 @@ impl Icache {
             stats: self.stats,
             avg_fetch_cycles: self.stats.avg_access_cycles(),
         }
+    }
+
+    /// Per-set/way occupancy: `occupancy()[row][way]` is the number of
+    /// valid words in that block (0..=block_words; 0 with no tag means the
+    /// way is unallocated).
+    pub fn occupancy(&self) -> Vec<Vec<u32>> {
+        let mask = if self.cfg.block_words == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cfg.block_words) - 1
+        };
+        (0..self.cfg.rows)
+            .map(|row| {
+                (0..self.cfg.ways)
+                    .map(|way| {
+                        let b = &self.blocks[self.block_index(row, way)];
+                        if b.tag.is_some() {
+                            (b.valid & mask).count_ones()
+                        } else {
+                            0
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Render the occupancy grid: one line per row (set), one cell per way
+    /// with the valid-word count, `.` marking unallocated ways.
+    pub fn occupancy_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "icache occupancy ({} rows x {} ways, {} words/block):\n",
+            self.cfg.rows, self.cfg.ways, self.cfg.block_words
+        ));
+        for (row, ways) in self.occupancy().into_iter().enumerate() {
+            out.push_str(&format!("  row {row}:"));
+            for (way, count) in ways.into_iter().enumerate() {
+                let b = &self.blocks[self.block_index(row as u32, way as u32)];
+                if b.tag.is_some() {
+                    out.push_str(&format!(" {count:>2}"));
+                } else {
+                    out.push_str("  .");
+                }
+            }
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -476,7 +548,7 @@ mod tests {
             enabled: false,
             ..IcacheConfig::mipsx()
         });
-        let r = c.simulate_trace([0, 0, 0].into_iter());
+        let r = c.simulate_trace([0, 0, 0]);
         assert_eq!(r.stats.misses, 3);
     }
 
@@ -516,16 +588,13 @@ mod tests {
         let mut trace = Vec::new();
         for round in 0..64u32 {
             trace.push(0); // hot block
-            // Three distinct cold blocks per round.
+                           // Three distinct cold blocks per round.
             for k in 0..3 {
                 trace.push((1 + round * 3 + k) * 4);
             }
         }
         let run = |replacement| {
-            let mut c = Icache::new(IcacheConfig {
-                replacement,
-                ..cfg
-            });
+            let mut c = Icache::new(IcacheConfig { replacement, ..cfg });
             c.simulate_trace(trace.iter().copied()).stats.misses
         };
         assert!(run(Replacement::Lru) < run(Replacement::Fifo));
@@ -538,6 +607,41 @@ mod tests {
         // Sequential + repeat: some hits, some misses; cost = 1 + 2*missratio.
         let expected = 1.0 + 2.0 * r.stats.miss_ratio();
         assert!((r.avg_fetch_cycles - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_causes_classified() {
+        // 1 row x 2 ways x 4-word blocks: easy to force every miss kind.
+        let mut c = Icache::new(IcacheConfig {
+            rows: 1,
+            ways: 2,
+            block_words: 4,
+            fetch_words: 1,
+            ..IcacheConfig::mipsx()
+        });
+        assert_eq!(c.fetch(0), FetchOutcome::Miss); // cold (block 0)
+        c.fill(0);
+        assert_eq!(c.fetch(1), FetchOutcome::Miss); // sub-block (word 1 invalid)
+        c.fill(1);
+        assert_eq!(c.fetch(4), FetchOutcome::Miss); // cold (block 1)
+        c.fill(4);
+        assert_eq!(c.fetch(8), FetchOutcome::Miss); // cold (block 2, evicts block 0)
+        c.fill(8);
+        assert_eq!(c.fetch(0), FetchOutcome::Miss); // conflict (block 0 again)
+        c.fill(0);
+        let s = c.stats();
+        assert_eq!(s.cold_misses, 3);
+        assert_eq!(s.sub_block_misses, 1);
+        assert_eq!(s.conflict_misses, 1);
+        assert_eq!(s.classified_misses(), s.misses);
+        // Occupancy reflects the valid words per way.
+        let occ = c.occupancy();
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].len(), 2);
+        // Final contents: block 2 (word 8) in way 0, refilled block 0
+        // (word 0) in way 1 — one valid word each.
+        assert_eq!(occ[0].iter().sum::<u32>(), 2);
+        assert!(c.occupancy_report().contains("icache occupancy"));
     }
 
     #[test]

@@ -29,4 +29,4 @@ mod stats;
 pub use ecache::{Ecache, EcacheConfig};
 pub use icache::{FetchOutcome, Icache, IcacheConfig, Replacement, TraceResult};
 pub use main_memory::MainMemory;
-pub use stats::CacheStats;
+pub use stats::{CacheStats, MissCause};

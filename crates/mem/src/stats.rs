@@ -2,6 +2,32 @@
 
 use std::fmt;
 
+/// Why an access missed (the classic 3-C taxonomy, adapted: the sub-block
+/// placement scheme adds its own category).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MissCause {
+    /// First-ever reference to the block.
+    Cold,
+    /// The block was resident earlier and has been displaced (capacity and
+    /// conflict misses are not distinguished — with 4 rows of 8 ways they
+    /// are the same phenomenon at this scale).
+    Conflict,
+    /// The tag is resident but the word's sub-block valid bit is clear —
+    /// the miss the 512 per-word valid bits trade against whole-block
+    /// fills.
+    SubBlockInvalid,
+}
+
+impl fmt::Display for MissCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MissCause::Cold => "cold",
+            MissCause::Conflict => "conflict",
+            MissCause::SubBlockInvalid => "sub-block-invalid",
+        })
+    }
+}
+
 /// Hit/miss/stall accounting shared by the instruction and external caches.
 ///
 /// The paper's figure of merit is the *average cost of an instruction fetch*,
@@ -21,6 +47,13 @@ pub struct CacheStats {
     pub stall_cycles: u64,
     /// Words transferred in from the next level (fetch-back traffic).
     pub words_filled: u64,
+    /// Misses to never-before-seen blocks.
+    pub cold_misses: u64,
+    /// Misses to blocks that were resident once and got displaced.
+    pub conflict_misses: u64,
+    /// Misses where the tag hit but the word's sub-block valid bit was
+    /// clear.
+    pub sub_block_misses: u64,
 }
 
 impl CacheStats {
@@ -90,6 +123,22 @@ impl CacheStats {
         self.words_filled += words;
     }
 
+    /// Classify the most recently recorded miss.
+    #[inline]
+    pub fn record_miss_cause(&mut self, cause: MissCause) {
+        match cause {
+            MissCause::Cold => self.cold_misses += 1,
+            MissCause::Conflict => self.conflict_misses += 1,
+            MissCause::SubBlockInvalid => self.sub_block_misses += 1,
+        }
+    }
+
+    /// Misses that have been classified (equals [`CacheStats::misses`] when
+    /// the owning cache classifies every miss).
+    pub fn classified_misses(&self) -> u64 {
+        self.cold_misses + self.conflict_misses + self.sub_block_misses
+    }
+
     /// Merge another set of statistics into this one.
     pub fn merge(&mut self, other: &CacheStats) {
         self.accesses += other.accesses;
@@ -97,6 +146,9 @@ impl CacheStats {
         self.misses += other.misses;
         self.stall_cycles += other.stall_cycles;
         self.words_filled += other.words_filled;
+        self.cold_misses += other.cold_misses;
+        self.conflict_misses += other.conflict_misses;
+        self.sub_block_misses += other.sub_block_misses;
     }
 
     /// Reset to zero.
@@ -115,7 +167,15 @@ impl fmt::Display for CacheStats {
             self.miss_ratio() * 100.0,
             self.stall_cycles,
             self.avg_access_cycles()
-        )
+        )?;
+        if self.classified_misses() > 0 {
+            write!(
+                f,
+                " [cold={} conflict={} sub-block={}]",
+                self.cold_misses, self.conflict_misses, self.sub_block_misses
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -163,5 +223,25 @@ mod tests {
         let mut s = CacheStats::new();
         s.record_miss(2, 1);
         assert!(s.to_string().contains("100.00%"));
+    }
+
+    #[test]
+    fn miss_causes_accumulate_and_merge() {
+        let mut a = CacheStats::new();
+        a.record_miss(2, 1);
+        a.record_miss_cause(MissCause::Cold);
+        a.record_miss(2, 1);
+        a.record_miss_cause(MissCause::SubBlockInvalid);
+        let mut b = CacheStats::new();
+        b.record_miss(2, 1);
+        b.record_miss_cause(MissCause::Conflict);
+        a.merge(&b);
+        assert_eq!(a.cold_misses, 1);
+        assert_eq!(a.conflict_misses, 1);
+        assert_eq!(a.sub_block_misses, 1);
+        assert_eq!(a.classified_misses(), a.misses);
+        let text = a.to_string();
+        assert!(text.contains("cold=1"), "{text}");
+        assert!(text.contains("sub-block=1"), "{text}");
     }
 }

@@ -67,7 +67,10 @@ impl BranchCache {
     /// # Panics
     /// Panics if `entries` is zero or not a power of two.
     pub fn new(entries: usize) -> BranchCache {
-        assert!(entries.is_power_of_two(), "entry count must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "entry count must be a power of two"
+        );
         BranchCache {
             entries: vec![None; entries],
         }
@@ -185,14 +188,22 @@ mod tests {
         // branch cache cannot beat predict-taken by much.
         let trace = loopy_trace(32, 19); // 95% taken
         let static_acc = simulate_static(trace.iter().copied()).accuracy();
-        let btb_acc = BranchCache::new(1024).simulate(trace.iter().copied()).accuracy();
-        assert!(btb_acc <= static_acc + 0.02, "btb {btb_acc} vs static {static_acc}");
+        let btb_acc = BranchCache::new(1024)
+            .simulate(trace.iter().copied())
+            .accuracy();
+        assert!(
+            btb_acc <= static_acc + 0.02,
+            "btb {btb_acc} vs static {static_acc}"
+        );
     }
 
     #[test]
     fn counters_learn_a_not_taken_branch() {
         let mut cache = BranchCache::new(16);
-        let e = BranchEvent { pc: 4, taken: false };
+        let e = BranchEvent {
+            pc: 4,
+            taken: false,
+        };
         // First access allocates (predicts taken, wrong), then learns.
         let (_, p1) = cache.access(e);
         let (_, p2) = cache.access(e);

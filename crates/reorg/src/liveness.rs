@@ -71,10 +71,7 @@ pub fn analyze(program: &RawProgram) -> Liveness {
             let mut out = match term {
                 Terminator::Halt | Terminator::Return { .. } => ALL,
                 Terminator::Call { .. } => ALL,
-                _ => term
-                    .successors()
-                    .iter()
-                    .fold(0, |acc, &s| acc | live_in[s]),
+                _ => term.successors().iter().fold(0, |acc, &s| acc | live_in[s]),
             };
             if out != live_out[id] {
                 live_out[id] = out;

@@ -89,10 +89,10 @@ mod tests {
         RawProgram::new(
             vec![RawBlock::default(); 5],
             vec![
-                branch_block(Cond::Eq, 2, 4, 1),  // quick: equality
-                branch_block(Cond::Lt, 0, 4, 2),  // quick: sign test vs r0
-                branch_block(Cond::Lt, 3, 4, 3),  // full: magnitude compare
-                branch_block(Cond::Lo, 0, 4, 4),  // full: unsigned
+                branch_block(Cond::Eq, 2, 4, 1), // quick: equality
+                branch_block(Cond::Lt, 0, 4, 2), // quick: sign test vs r0
+                branch_block(Cond::Lt, 3, 4, 3), // full: magnitude compare
+                branch_block(Cond::Lo, 0, 4, 4), // full: unsigned
                 Terminator::Halt,
             ],
         )

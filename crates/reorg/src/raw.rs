@@ -144,14 +144,21 @@ impl RawProgram {
         assert_eq!(self.blocks.len(), self.terms.len(), "blocks/terms length");
         for (id, term) in self.terms.iter().enumerate() {
             for s in term.successors() {
-                assert!(s < self.blocks.len(), "block {id}: successor {s} out of range");
+                assert!(
+                    s < self.blocks.len(),
+                    "block {id}: successor {s} out of range"
+                );
             }
             match *term {
                 Terminator::Branch { fall, .. } => {
                     assert_eq!(fall, id + 1, "block {id}: fall-through must be next block");
                 }
                 Terminator::Call { ret_to, .. } => {
-                    assert_eq!(ret_to, id + 1, "block {id}: call continuation must be next block");
+                    assert_eq!(
+                        ret_to,
+                        id + 1,
+                        "block {id}: call continuation must be next block"
+                    );
                 }
                 _ => {}
             }
@@ -205,7 +212,11 @@ mod tests {
     #[should_panic(expected = "fall-through must be next block")]
     fn branch_fall_must_be_adjacent() {
         let _ = RawProgram::new(
-            vec![RawBlock::default(), RawBlock::default(), RawBlock::default()],
+            vec![
+                RawBlock::default(),
+                RawBlock::default(),
+                RawBlock::default(),
+            ],
             vec![
                 Terminator::Branch {
                     cond: Cond::Eq,

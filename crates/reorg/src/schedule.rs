@@ -320,8 +320,8 @@ impl Reorganizer {
         let mut asm = Asm::new(0);
         // Labels: one per (block, instruction offset) that is ever targeted.
         let mut needed: Vec<(BlockId, usize)> = Vec::new();
-        for id in 0..raw.len() {
-            match raw.terms[id] {
+        for (id, term) in raw.terms.iter().enumerate() {
+            match *term {
                 Terminator::Jump(t) | Terminator::Call { target: t, .. } => {
                     needed.push((t, retarget[id]))
                 }
@@ -331,10 +331,8 @@ impl Reorganizer {
         }
         needed.sort_unstable();
         needed.dedup();
-        let labels: std::collections::HashMap<(BlockId, usize), mipsx_asm::Label> = needed
-            .iter()
-            .map(|&key| (key, asm.new_label()))
-            .collect();
+        let labels: std::collections::HashMap<(BlockId, usize), mipsx_asm::Label> =
+            needed.iter().map(|&key| (key, asm.new_label())).collect();
 
         for id in 0..raw.len() {
             for (offset, instr) in bodies[id].iter().enumerate() {
@@ -362,7 +360,11 @@ impl Reorganizer {
                 }
                 Terminator::Return { link } => asm.ret(link),
                 Terminator::Branch {
-                    cond, rs1, rs2, taken, ..
+                    cond,
+                    rs1,
+                    rs2,
+                    taken,
+                    ..
                 } => {
                     let key = (taken, retarget[id].min(bodies[taken].len()));
                     asm.branch(cond, squash_mode[id], rs1, rs2, labels[&key]);
@@ -394,14 +396,23 @@ impl Reorganizer {
     ) -> (Vec<Instr>, SquashMode, usize) {
         let slots = self.scheme.slots;
         let predict_taken = p_taken >= 0.5;
-        let p_correct = if predict_taken { p_taken } else { 1.0 - p_taken };
+        let p_correct = if predict_taken {
+            p_taken
+        } else {
+            1.0 - p_taken
+        };
 
         // Option A: no-squash fill.
         // 1. Hoist from before (simulated on a scratch copy so option B can
         //    still choose differently).
         let mut scratch = bodies[id].clone();
-        let mut a_fill =
-            hoist_from_before(&mut scratch, slots, &branch_sources, &branch_sources, pinned[id]);
+        let mut a_fill = hoist_from_before(
+            &mut scratch,
+            slots,
+            &branch_sources,
+            &branch_sources,
+            pinned[id],
+        );
         let a_before = a_fill.len();
         // 2. Copies from the taken-path head that are provably harmless on
         //    the fall path (dead destination, no side effects).
@@ -416,8 +427,8 @@ impl Reorganizer {
                 && candidate
                     .def()
                     .is_none_or(|d| d.is_zero() || !contains(live.live_in[fall], d))
-                && !(load_class(&candidate) && a_fill.len() == slots - 1)
-                && !a_fill.last().is_some_and(|p| feeds_hazard(p, &candidate));
+                && (!load_class(&candidate) || a_fill.len() != slots - 1)
+                && a_fill.last().is_none_or(|p| !feeds_hazard(p, &candidate));
             if !safe {
                 break;
             }
@@ -453,9 +464,7 @@ impl Reorganizer {
             let mut skip = 0;
             while fill.len() < slots && skip < bodies[taken].len() {
                 let candidate = bodies[taken][skip];
-                if candidate.is_nop()
-                    || fill.last().is_some_and(|p| feeds_hazard(p, &candidate))
-                {
+                if candidate.is_nop() || fill.last().is_some_and(|p| feeds_hazard(p, &candidate)) {
                     break;
                 }
                 fill.push(candidate);
@@ -518,19 +527,19 @@ impl Reorganizer {
             (fill, b_mode, skip)
         } else {
             // Commit option A: redo the hoist on the real body.
-            let mut fill =
-                hoist_from_before(&mut bodies[id], slots, &branch_sources, &branch_sources, pinned[id]);
+            let mut fill = hoist_from_before(
+                &mut bodies[id],
+                slots,
+                &branch_sources,
+                &branch_sources,
+                pinned[id],
+            );
             debug_assert_eq!(fill.len(), a_before);
             report.filled_from_before += a_before;
-            for k in 0..a_safe {
-                fill.push(bodies[taken][k]);
-            }
+            fill.extend_from_slice(&bodies[taken][..a_safe]);
             report.filled_safe += a_safe;
             if a_fall_moved > 0 {
-                for k in 0..a_fall_moved {
-                    fill.push(bodies[fall][k]);
-                }
-                bodies[fall].drain(..a_fall_moved);
+                fill.extend(bodies[fall].drain(..a_fall_moved));
                 report.filled_safe += a_fall_moved;
             }
             while fill.len() < slots {
@@ -598,9 +607,9 @@ fn schedule_load_delays(body: &mut Vec<Instr>, term_uses: &[Reg]) -> usize {
         for j in i + 2..body.len() {
             let candidate = body[j];
             // The candidate must commute with everything it jumps over.
-            let independent = (i + 1..j).all(|k| {
-                !conflicts(&body[k], &candidate) && !conflicts(&candidate, &body[k])
-            }) && !conflicts(&instr, &candidate)
+            let independent = (i + 1..j)
+                .all(|k| !conflicts(&body[k], &candidate) && !conflicts(&candidate, &body[k]))
+                && !conflicts(&instr, &candidate)
                 && !alu_uses(&candidate).contains(&def);
             // Pulling a load forward may create a fresh hazard with its own
             // next instruction; keep it simple and skip loads.
@@ -807,7 +816,10 @@ mod tests {
     fn reorganized_program_fills_slots() {
         let r = Reorganizer::new(BranchScheme::mipsx());
         let (_, report) = r.reorganize(&simple_loop()).unwrap();
-        assert!(report.fill_ratio() > 0.0, "some slots must fill: {report:?}");
+        assert!(
+            report.fill_ratio() > 0.0,
+            "some slots must fill: {report:?}"
+        );
         assert_eq!(report.branches, 1);
     }
 

@@ -52,12 +52,30 @@ impl BranchScheme {
     /// All six rows of Table 1, in the paper's order.
     pub fn table1() -> [BranchScheme; 6] {
         [
-            BranchScheme { slots: 2, squash: SquashPolicy::NoSquash },
-            BranchScheme { slots: 2, squash: SquashPolicy::AlwaysSquash },
-            BranchScheme { slots: 2, squash: SquashPolicy::SquashOptional },
-            BranchScheme { slots: 1, squash: SquashPolicy::NoSquash },
-            BranchScheme { slots: 1, squash: SquashPolicy::AlwaysSquash },
-            BranchScheme { slots: 1, squash: SquashPolicy::SquashOptional },
+            BranchScheme {
+                slots: 2,
+                squash: SquashPolicy::NoSquash,
+            },
+            BranchScheme {
+                slots: 2,
+                squash: SquashPolicy::AlwaysSquash,
+            },
+            BranchScheme {
+                slots: 2,
+                squash: SquashPolicy::SquashOptional,
+            },
+            BranchScheme {
+                slots: 1,
+                squash: SquashPolicy::NoSquash,
+            },
+            BranchScheme {
+                slots: 1,
+                squash: SquashPolicy::AlwaysSquash,
+            },
+            BranchScheme {
+                slots: 1,
+                squash: SquashPolicy::SquashOptional,
+            },
         ]
     }
 
@@ -109,12 +127,19 @@ mod tests {
     fn paper_values_match_table() {
         assert_eq!(BranchScheme::mipsx().paper_cycles_per_branch(), 1.3);
         assert_eq!(
-            BranchScheme { slots: 2, squash: SquashPolicy::NoSquash }.paper_cycles_per_branch(),
+            BranchScheme {
+                slots: 2,
+                squash: SquashPolicy::NoSquash
+            }
+            .paper_cycles_per_branch(),
             2.0
         );
         assert_eq!(
-            BranchScheme { slots: 1, squash: SquashPolicy::SquashOptional }
-                .paper_cycles_per_branch(),
+            BranchScheme {
+                slots: 1,
+                squash: SquashPolicy::SquashOptional
+            }
+            .paper_cycles_per_branch(),
             1.1
         );
     }

@@ -42,7 +42,10 @@ fn assert_equivalent(raw: &RawProgram) -> (u64, u64) {
         let (opt, report) = r.reorganize(raw).expect("reorganization");
         let (regs_a, mem_a, cycles_a) = run(&naive, scheme.slots);
         let (regs_b, mem_b, cycles_b) = run(&opt, scheme.slots);
-        assert_eq!(regs_a, regs_b, "register divergence under {scheme} ({report:?})\n{opt}");
+        assert_eq!(
+            regs_a, regs_b,
+            "register divergence under {scheme} ({report:?})\n{opt}"
+        );
         assert_eq!(mem_a, mem_b, "memory divergence under {scheme}");
         if scheme == BranchScheme::mipsx() {
             mipsx_cycles = (cycles_a, cycles_b);
@@ -242,8 +245,12 @@ fn lower_gen(i: &GenInstr) -> Instr {
 fn arb_gen_instr() -> impl Strategy<Value = GenInstr> {
     prop_oneof![
         (1u8..16, 0u8..16, -50i32..50).prop_map(|(rd, rs1, imm)| GenInstr::Addi { rd, rs1, imm }),
-        (0u8..6, 1u8..16, 0u8..16, 0u8..16)
-            .prop_map(|(op, rd, rs1, rs2)| GenInstr::Alu { op, rd, rs1, rs2 }),
+        (0u8..6, 1u8..16, 0u8..16, 0u8..16).prop_map(|(op, rd, rs1, rs2)| GenInstr::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (1u8..16, any::<u8>()).prop_map(|(rd, off)| GenInstr::Ld { rd, off }),
         (0u8..16, any::<u8>()).prop_map(|(rsrc, off)| GenInstr::St { rsrc, off }),
     ]

@@ -328,7 +328,13 @@ pub fn list_chase(k: u32) -> Kernel {
     let raw = RawProgram::new(
         vec![
             // b0: builder init.
-            RawBlock::new(vec![li(10, 2400), li(1, k as i32), li(2, 0), li(3, 1), li(12, 3)]),
+            RawBlock::new(vec![
+                li(10, 2400),
+                li(1, k as i32),
+                li(2, 0),
+                li(3, 1),
+                li(12, 3),
+            ]),
             // b1: build loop — node i at 2400 + 2i.
             RawBlock::new(vec![
                 addu(6, 2, 2),
@@ -377,7 +383,12 @@ pub fn bubble_sort(n: u32) -> Kernel {
             // b0: init.
             RawBlock::new(vec![li(10, 2600), li(1, n as i32), li(2, 0), li(5, 100)]),
             // b1: fill with 100, 93, 86, ...
-            RawBlock::new(vec![addu(6, 10, 2), st(5, 6, 0), addi(5, 5, -7), addi(2, 2, 1)]),
+            RawBlock::new(vec![
+                addu(6, 10, 2),
+                st(5, 6, 0),
+                addi(5, 5, -7),
+                addi(2, 2, 1),
+            ]),
             // b2: pass counter.
             RawBlock::new(vec![li(2, 0)]),
             // b3: outer loop — reset j.
@@ -588,7 +599,10 @@ pub fn strcmp(len: u32, diff: u32) -> Kernel {
     Kernel {
         name: "strcmp",
         raw,
-        checks: vec![Check::Reg { reg: 5, value: diff }],
+        checks: vec![Check::Reg {
+            reg: 5,
+            value: diff,
+        }],
         lisp_like: false,
     }
 }

@@ -231,7 +231,7 @@ fn rng_test(rng: &mut StdRng) -> (Vec<Instr>, f64) {
         // aperiodic at a quarter the instruction cost of full xorshift.
         alu(ComputeOp::Sll, 20, 16, 0, shift),
         alu(ComputeOp::Xor, 16, 16, 20, 0),
-        addi(16, 16, (rng.gen_range(0..64) * 2 + 1) as i32),
+        addi(16, 16, rng.gen_range(0..64) * 2 + 1),
         alu(ComputeOp::And, 21, 16, mask_reg, 0),
     ];
     let p_zero = 1.0 / f64::from(1 << mask_bits);
@@ -253,9 +253,9 @@ pub fn generate(config: SynthConfig) -> SynthProgram {
         li(17, DATA_BASE),
         li(16, (config.seed as i32 & 0x3FFF) | 1),
         li(26, config.outer_trips as i32),
-        li(22, 1),  // quick-test mask
-        li(24, 3),  // wider mask
-        li(23, 1),  // full-compare constant
+        li(22, 1), // quick-test mask
+        li(24, 3), // wider mask
+        li(23, 1), // full-compare constant
         li(1, 3),
         li(2, 5),
         li(3, 7),

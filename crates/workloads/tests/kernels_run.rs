@@ -3,9 +3,9 @@
 
 use mipsx_core::{InterlockPolicy, Machine, MachineConfig};
 use mipsx_isa::Reg;
+use mipsx_reorg::{BranchScheme, Reorganizer};
 use mipsx_workloads::kernels::{all_kernels, Check};
 use mipsx_workloads::synth::{generate, SynthConfig};
-use mipsx_reorg::{BranchScheme, Reorganizer};
 
 fn run_checked(program: &mipsx_asm::Program, slots: usize, checks: &[Check], label: &str) -> u64 {
     let mut m = Machine::new(MachineConfig {
@@ -110,7 +110,10 @@ fn synthetic_programs_run_to_completion_under_all_schemes() {
                 ra[Reg::LINK.index()] = 0;
                 rb[Reg::LINK.index()] = 0;
                 assert_eq!(ra, rb, "seed {seed} diverged under {scheme}");
-                assert!(sb.cycles <= sa.cycles, "reorg slower for seed {seed} {scheme}");
+                assert!(
+                    sb.cycles <= sa.cycles,
+                    "reorg slower for seed {seed} {scheme}"
+                );
             }
         }
     }

@@ -51,7 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let pc = |r: u8| machine.cpu().reg(Reg::new(r)) & 0x7FFF_FFFF;
     println!("exceptions taken      : {}", stats.exceptions);
-    println!("PC chain at the trap  : {:#x} {:#x} {:#x}", pc(20), pc(21), pc(22));
+    println!(
+        "PC chain at the trap  : {:#x} {:#x} {:#x}",
+        pc(20),
+        pc(21),
+        pc(22)
+    );
     println!("   (sll, faulting add, following li — MEM, ALU, RF stages)");
     println!(
         "squash FSM: {} exception events, {} instructions killed",
@@ -60,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let wrapped = machine.cpu().reg(Reg::new(2));
     println!("replayed add produced : {wrapped:#x} (wrapped, trap masked)");
-    println!("post-trap execution   : r3 = {}", machine.cpu().reg(Reg::new(3)));
+    println!(
+        "post-trap execution   : r3 = {}",
+        machine.cpu().reg(Reg::new(3))
+    );
 
     assert_eq!(stats.exceptions, 1);
     assert_eq!(machine.cpu().reg(Reg::new(3)), 1234);

@@ -15,7 +15,9 @@ use mipsx::reorg::{BranchScheme, Reorganizer};
 use mipsx::workloads::kernels;
 use mipsx::workloads::synth::{generate, SynthConfig};
 
-fn run(raw: &mipsx::reorg::RawProgram) -> Result<(Machine, mipsx::core::RunStats), Box<dyn std::error::Error>> {
+fn run(
+    raw: &mipsx::reorg::RawProgram,
+) -> Result<(Machine, mipsx::core::RunStats), Box<dyn std::error::Error>> {
     let reorg = Reorganizer::new(BranchScheme::mipsx());
     let (image, _) = reorg.reorganize(raw)?;
     let mut machine = Machine::new(MachineConfig {

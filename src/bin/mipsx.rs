@@ -1,29 +1,158 @@
 //! `mipsx` — command-line front end for the MIPS-X reproduction.
 //!
 //! ```text
-//! mipsx asm  <file.s>              assemble, print words as hex
-//! mipsx dis  <file.s>              assemble then disassemble (round trip)
-//! mipsx run  <file.s> [options]    execute on the cycle-accurate machine
-//! mipsx info                       print the modeled machine's parameters
+//! mipsx asm   <file.s>              assemble, print words as hex
+//! mipsx dis   <file.s>              assemble then disassemble (round trip)
+//! mipsx run   <file.s> [options]    execute on the cycle-accurate machine
+//! mipsx trace <kernel|file.s> [options]
+//!                                   execute with the cycle-level probes on:
+//!                                   ASCII pipe diagram + CPI attribution
+//! mipsx info                        print the modeled machine's parameters
 //!
 //! run options:
 //!   --cycles <n>        cycle budget (default 10,000,000)
 //!   --slots <1|2>       branch delay slots (default 2)
 //!   --trust             disable interlock checking (model the silicon)
 //!   --regs              dump the register file after the run
+//!
+//! trace options (in addition to --cycles/--slots):
+//!   --diagram <n>       render the first n cycles as a pipe diagram
+//!                       (default 60; 0 disables)
+//!   --jsonl <path>      also write every probe event as JSON lines
 //! ```
+//!
+//! `mipsx trace` accepts either a kernel name from the built-in suite
+//! (`mipsx trace fib_recursive`) — the kernel is scheduled by the code
+//! reorganizer exactly as the experiments run it — or a path to an
+//! assembly file.
 
 use std::process::ExitCode;
 
 use mipsx::asm::{assemble, disassemble};
+use mipsx::core::probe::{CpiAttribution, JsonlSink, PipeDiagram};
 use mipsx::core::{InterlockPolicy, Machine, MachineConfig};
 use mipsx::isa::Reg;
+use mipsx::reorg::{BranchScheme, Reorganizer};
+use mipsx::workloads::all_kernels;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mipsx <asm|dis|run|info> [file.s] [--cycles N] [--slots 1|2] [--trust] [--regs]"
+        "usage: mipsx <asm|dis|run|trace|info> [file.s|kernel] [--cycles N] [--slots 1|2] \
+         [--trust] [--regs] [--diagram N] [--jsonl path]"
     );
     ExitCode::FAILURE
+}
+
+/// Resolve the `trace` target: a built-in kernel name (scheduled through
+/// the reorganizer) or an assembly file.
+fn trace_program(target: &str) -> Result<mipsx::asm::Program, String> {
+    if let Some(kernel) = all_kernels().into_iter().find(|k| k.name == target) {
+        let reorg = Reorganizer::new(BranchScheme::mipsx());
+        let (program, _) = reorg
+            .reorganize(&kernel.raw)
+            .map_err(|e| format!("kernel {target}: {e}"))?;
+        return Ok(program);
+    }
+    let source = std::fs::read_to_string(target).map_err(|e| {
+        let kernels: Vec<&str> = all_kernels().iter().map(|k| k.name).collect();
+        format!(
+            "{target}: {e} (not a readable file; known kernels: {})",
+            kernels.join(", ")
+        )
+    })?;
+    assemble(&source).map_err(|e| format!("{target}: {e}"))
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let Some(target) = args.first() else {
+        return usage();
+    };
+    let mut cycles = 10_000_000u64;
+    let mut diagram_cycles = 60u64;
+    let mut jsonl_path: Option<String> = None;
+    let mut cfg = MachineConfig::mipsx();
+    let mut it = args.iter().skip(1);
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--cycles" => cycles = it.next().and_then(|v| v.parse().ok()).unwrap_or(cycles),
+            "--slots" => {
+                cfg.branch_delay_slots = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.branch_delay_slots)
+            }
+            "--diagram" => {
+                diagram_cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(diagram_cycles)
+            }
+            "--jsonl" => jsonl_path = it.next().cloned(),
+            other => {
+                eprintln!("mipsx: unknown option {other}");
+                return usage();
+            }
+        }
+    }
+    let program = match trace_program(target) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mipsx: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut machine = Machine::new(cfg);
+    machine.load_program(&program);
+
+    let diagram = PipeDiagram::with_limit(diagram_cycles.max(1));
+    let mut sink = (diagram, CpiAttribution::new());
+    let result = match &jsonl_path {
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => std::io::BufWriter::new(f),
+                Err(e) => {
+                    eprintln!("mipsx: cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut jsonl = JsonlSink::new(file);
+            let result = machine.run_with(cycles, &mut (&mut sink, &mut jsonl));
+            match jsonl.finish() {
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("mipsx: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            result
+        }
+        None => machine.run_with(cycles, &mut sink),
+    };
+    let (diagram, attribution) = sink;
+    if let Err(e) = result {
+        eprintln!("mipsx: execution failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if diagram_cycles > 0 {
+        println!(
+            "pipe diagram (first {diagram_cycles} cycles; F R A M W = stage, \
+             lowercase = killed, * = frozen):"
+        );
+        print!("{}", diagram.render());
+        println!();
+    }
+    print!("{}", attribution.report());
+    println!();
+    println!("{}", machine.stats());
+    println!("icache: {}", machine.icache().stats());
+    print!("{}", machine.icache().occupancy_report());
+    println!("ecache: {}", machine.ecache().stats());
+    println!("{}", machine.ecache().occupancy_report());
+    if !attribution.identity_holds() {
+        eprintln!("mipsx: INTERNAL ERROR: CPI attribution does not sum to total cycles");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -35,8 +164,14 @@ fn main() -> ExitCode {
         "info" => {
             let cfg = MachineConfig::mipsx();
             println!("MIPS-X (Chow & Horowitz, ISCA 1987)");
-            println!("  clock              : {} MHz (16 MHz first silicon)", cfg.clock_mhz);
-            println!("  pipeline           : IF RF ALU MEM WB, {} branch delay slots", cfg.branch_delay_slots);
+            println!(
+                "  clock              : {} MHz (16 MHz first silicon)",
+                cfg.clock_mhz
+            );
+            println!(
+                "  pipeline           : IF RF ALU MEM WB, {} branch delay slots",
+                cfg.branch_delay_slots
+            );
             println!(
                 "  icache             : {} words ({} rows x {} ways x {}-word blocks), {}-cycle miss, {}-word fetch-back",
                 cfg.icache.size_words(),
@@ -50,11 +185,15 @@ fn main() -> ExitCode {
                 "  ecache             : {} words, {}-word blocks, late-miss retry (+{} cycle)",
                 cfg.ecache.size_words, cfg.ecache.block_words, cfg.ecache.late_miss_overhead
             );
-            println!("  memory latency     : {} cycles per retry loop", cfg.mem_latency);
+            println!(
+                "  memory latency     : {} cycles per retry loop",
+                cfg.mem_latency
+            );
             println!("  coprocessor scheme : {}", cfg.coproc_scheme);
             println!("  exception vector   : {:#x}", cfg.exception_vector);
             ExitCode::SUCCESS
         }
+        "trace" => cmd_trace(&args[1..]),
         "asm" | "dis" | "run" => {
             let Some(path) = args.get(1) else {
                 return usage();
@@ -94,10 +233,7 @@ fn main() -> ExitCode {
                     while let Some(opt) = it.next() {
                         match opt.as_str() {
                             "--cycles" => {
-                                cycles = it
-                                    .next()
-                                    .and_then(|v| v.parse().ok())
-                                    .unwrap_or(cycles)
+                                cycles = it.next().and_then(|v| v.parse().ok()).unwrap_or(cycles)
                             }
                             "--slots" => {
                                 cfg.branch_delay_slots = it

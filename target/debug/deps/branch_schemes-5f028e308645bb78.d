@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/branch_schemes-5f028e308645bb78.d: crates/bench/benches/branch_schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbranch_schemes-5f028e308645bb78.rmeta: crates/bench/benches/branch_schemes.rs Cargo.toml
+
+crates/bench/benches/branch_schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

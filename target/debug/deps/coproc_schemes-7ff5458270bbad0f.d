@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coproc_schemes-7ff5458270bbad0f.d: crates/bench/benches/coproc_schemes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoproc_schemes-7ff5458270bbad0f.rmeta: crates/bench/benches/coproc_schemes.rs Cargo.toml
+
+crates/bench/benches/coproc_schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coprocessors-60bc18103b028213.d: crates/core/tests/coprocessors.rs
+
+/root/repo/target/debug/deps/coprocessors-60bc18103b028213: crates/core/tests/coprocessors.rs
+
+crates/core/tests/coprocessors.rs:

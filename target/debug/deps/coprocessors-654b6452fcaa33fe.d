@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coprocessors-654b6452fcaa33fe.d: crates/core/tests/coprocessors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoprocessors-654b6452fcaa33fe.rmeta: crates/core/tests/coprocessors.rs Cargo.toml
+
+crates/core/tests/coprocessors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disasm_complete-18a29b2e863d0039.d: crates/workloads/tests/disasm_complete.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisasm_complete-18a29b2e863d0039.rmeta: crates/workloads/tests/disasm_complete.rs Cargo.toml
+
+crates/workloads/tests/disasm_complete.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disasm_complete-c4cb84386701eb24.d: crates/workloads/tests/disasm_complete.rs
+
+/root/repo/target/debug/deps/disasm_complete-c4cb84386701eb24: crates/workloads/tests/disasm_complete.rs
+
+crates/workloads/tests/disasm_complete.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecache_late_miss-69f8eb0babc865d0.d: crates/bench/benches/ecache_late_miss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecache_late_miss-69f8eb0babc865d0.rmeta: crates/bench/benches/ecache_late_miss.rs Cargo.toml
+
+crates/bench/benches/ecache_late_miss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

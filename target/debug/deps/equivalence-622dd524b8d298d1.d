@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-622dd524b8d298d1.d: crates/reorg/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-622dd524b8d298d1.rmeta: crates/reorg/tests/equivalence.rs Cargo.toml
+
+crates/reorg/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-9710bc6b70c87cb4.d: crates/reorg/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-9710bc6b70c87cb4: crates/reorg/tests/equivalence.rs
+
+crates/reorg/tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exceptions-02f5f055385ae724.d: crates/core/tests/exceptions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexceptions-02f5f055385ae724.rmeta: crates/core/tests/exceptions.rs Cargo.toml
+
+crates/core/tests/exceptions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exceptions-634795c9e3233806.d: crates/core/tests/exceptions.rs
+
+/root/repo/target/debug/deps/exceptions-634795c9e3233806: crates/core/tests/exceptions.rs
+
+crates/core/tests/exceptions.rs:

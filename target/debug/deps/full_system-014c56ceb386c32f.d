@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_system-014c56ceb386c32f.d: tests/full_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_system-014c56ceb386c32f.rmeta: tests/full_system.rs Cargo.toml
+
+tests/full_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

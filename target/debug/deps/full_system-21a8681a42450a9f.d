@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_system-21a8681a42450a9f.d: tests/full_system.rs
+
+/root/repo/target/debug/deps/full_system-21a8681a42450a9f: tests/full_system.rs
+
+tests/full_system.rs:

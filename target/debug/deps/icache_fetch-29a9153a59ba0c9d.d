@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/icache_fetch-29a9153a59ba0c9d.d: crates/bench/benches/icache_fetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libicache_fetch-29a9153a59ba0c9d.rmeta: crates/bench/benches/icache_fetch.rs Cargo.toml
+
+crates/bench/benches/icache_fetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

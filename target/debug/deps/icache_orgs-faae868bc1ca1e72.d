@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/icache_orgs-faae868bc1ca1e72.d: crates/bench/benches/icache_orgs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libicache_orgs-faae868bc1ca1e72.rmeta: crates/bench/benches/icache_orgs.rs Cargo.toml
+
+crates/bench/benches/icache_orgs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iss_differential-d5c64b534e77ff6f.d: crates/core/tests/iss_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiss_differential-d5c64b534e77ff6f.rmeta: crates/core/tests/iss_differential.rs Cargo.toml
+
+crates/core/tests/iss_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

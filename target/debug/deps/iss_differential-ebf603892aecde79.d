@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iss_differential-ebf603892aecde79.d: crates/core/tests/iss_differential.rs
+
+/root/repo/target/debug/deps/iss_differential-ebf603892aecde79: crates/core/tests/iss_differential.rs
+
+crates/core/tests/iss_differential.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/json_output-915876413bf14fca.d: crates/bench/tests/json_output.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjson_output-915876413bf14fca.rmeta: crates/bench/tests/json_output.rs Cargo.toml
+
+crates/bench/tests/json_output.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_reproduce=placeholder:reproduce
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/json_output-fcb18740c3783a9b.d: crates/bench/tests/json_output.rs
+
+/root/repo/target/debug/deps/json_output-fcb18740c3783a9b: crates/bench/tests/json_output.rs
+
+crates/bench/tests/json_output.rs:
+
+# env-dep:CARGO_BIN_EXE_reproduce=/root/repo/target/debug/reproduce

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels_run-46709e7f76f3a346.d: crates/workloads/tests/kernels_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels_run-46709e7f76f3a346.rmeta: crates/workloads/tests/kernels_run.rs Cargo.toml
+
+crates/workloads/tests/kernels_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

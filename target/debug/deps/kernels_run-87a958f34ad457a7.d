@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_run-87a958f34ad457a7.d: crates/workloads/tests/kernels_run.rs
+
+/root/repo/target/debug/deps/kernels_run-87a958f34ad457a7: crates/workloads/tests/kernels_run.rs
+
+crates/workloads/tests/kernels_run.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mipsx-07f8f35469921194.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmipsx-07f8f35469921194.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmipsx-07f8f35469921194.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mipsx-0cbe22b477f38ae5.d: src/bin/mipsx.rs
+
+/root/repo/target/debug/deps/mipsx-0cbe22b477f38ae5: src/bin/mipsx.rs
+
+src/bin/mipsx.rs:

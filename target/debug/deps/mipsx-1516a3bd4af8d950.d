@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mipsx-1516a3bd4af8d950.d: src/bin/mipsx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx-1516a3bd4af8d950.rmeta: src/bin/mipsx.rs Cargo.toml
+
+src/bin/mipsx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

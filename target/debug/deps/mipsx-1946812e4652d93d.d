@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mipsx-1946812e4652d93d.d: src/bin/mipsx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx-1946812e4652d93d.rmeta: src/bin/mipsx.rs Cargo.toml
+
+src/bin/mipsx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mipsx-4aa91bcc76323ae7.d: src/bin/mipsx.rs
+
+/root/repo/target/debug/deps/mipsx-4aa91bcc76323ae7: src/bin/mipsx.rs
+
+src/bin/mipsx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mipsx-735214f3c12be829.d: src/lib.rs
+
+/root/repo/target/debug/deps/mipsx-735214f3c12be829: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mipsx_asm-52f61ce34535154f.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/program.rs crates/asm/src/text.rs
+
+/root/repo/target/debug/deps/mipsx_asm-52f61ce34535154f: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/program.rs crates/asm/src/text.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/disasm.rs:
+crates/asm/src/error.rs:
+crates/asm/src/program.rs:
+crates/asm/src/text.rs:

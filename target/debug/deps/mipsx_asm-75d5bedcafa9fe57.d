@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mipsx_asm-75d5bedcafa9fe57.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/program.rs crates/asm/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx_asm-75d5bedcafa9fe57.rmeta: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/program.rs crates/asm/src/text.rs Cargo.toml
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/disasm.rs:
+crates/asm/src/error.rs:
+crates/asm/src/program.rs:
+crates/asm/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

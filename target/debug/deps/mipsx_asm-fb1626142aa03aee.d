@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mipsx_asm-fb1626142aa03aee.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/program.rs crates/asm/src/text.rs
+
+/root/repo/target/debug/deps/libmipsx_asm-fb1626142aa03aee.rlib: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/program.rs crates/asm/src/text.rs
+
+/root/repo/target/debug/deps/libmipsx_asm-fb1626142aa03aee.rmeta: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/program.rs crates/asm/src/text.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/disasm.rs:
+crates/asm/src/error.rs:
+crates/asm/src/program.rs:
+crates/asm/src/text.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mipsx_baseline-760359769fa9c47f.d: crates/baseline/src/lib.rs crates/baseline/src/compare.rs crates/baseline/src/ir.rs crates/baseline/src/mipsx_gen.rs crates/baseline/src/programs.rs crates/baseline/src/vax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx_baseline-760359769fa9c47f.rmeta: crates/baseline/src/lib.rs crates/baseline/src/compare.rs crates/baseline/src/ir.rs crates/baseline/src/mipsx_gen.rs crates/baseline/src/programs.rs crates/baseline/src/vax.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/compare.rs:
+crates/baseline/src/ir.rs:
+crates/baseline/src/mipsx_gen.rs:
+crates/baseline/src/programs.rs:
+crates/baseline/src/vax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mipsx_baseline-dbd27f93e833b687.d: crates/baseline/src/lib.rs crates/baseline/src/compare.rs crates/baseline/src/ir.rs crates/baseline/src/mipsx_gen.rs crates/baseline/src/programs.rs crates/baseline/src/vax.rs
+
+/root/repo/target/debug/deps/libmipsx_baseline-dbd27f93e833b687.rlib: crates/baseline/src/lib.rs crates/baseline/src/compare.rs crates/baseline/src/ir.rs crates/baseline/src/mipsx_gen.rs crates/baseline/src/programs.rs crates/baseline/src/vax.rs
+
+/root/repo/target/debug/deps/libmipsx_baseline-dbd27f93e833b687.rmeta: crates/baseline/src/lib.rs crates/baseline/src/compare.rs crates/baseline/src/ir.rs crates/baseline/src/mipsx_gen.rs crates/baseline/src/programs.rs crates/baseline/src/vax.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/compare.rs:
+crates/baseline/src/ir.rs:
+crates/baseline/src/mipsx_gen.rs:
+crates/baseline/src/programs.rs:
+crates/baseline/src/vax.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mipsx_baseline-f5aecf97ef269a5f.d: crates/baseline/src/lib.rs crates/baseline/src/compare.rs crates/baseline/src/ir.rs crates/baseline/src/mipsx_gen.rs crates/baseline/src/programs.rs crates/baseline/src/vax.rs
+
+/root/repo/target/debug/deps/mipsx_baseline-f5aecf97ef269a5f: crates/baseline/src/lib.rs crates/baseline/src/compare.rs crates/baseline/src/ir.rs crates/baseline/src/mipsx_gen.rs crates/baseline/src/programs.rs crates/baseline/src/vax.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/compare.rs:
+crates/baseline/src/ir.rs:
+crates/baseline/src/mipsx_gen.rs:
+crates/baseline/src/programs.rs:
+crates/baseline/src/vax.rs:

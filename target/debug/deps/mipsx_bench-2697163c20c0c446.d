@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mipsx_bench-2697163c20c0c446.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_btb.rs crates/bench/src/experiments/e11_ecache.rs crates/bench/src/experiments/e12_subblock.rs crates/bench/src/experiments/e1_branch_schemes.rs crates/bench/src/experiments/e2_icache_fetch.rs crates/bench/src/experiments/e3_icache_orgs.rs crates/bench/src/experiments/e4_quick_compare.rs crates/bench/src/experiments/e5_reorganizer.rs crates/bench/src/experiments/e6_fsms.rs crates/bench/src/experiments/e7_cpi.rs crates/bench/src/experiments/e8_coproc.rs crates/bench/src/experiments/e9_vax.rs crates/bench/src/fp_workload.rs
+
+/root/repo/target/debug/deps/mipsx_bench-2697163c20c0c446: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_btb.rs crates/bench/src/experiments/e11_ecache.rs crates/bench/src/experiments/e12_subblock.rs crates/bench/src/experiments/e1_branch_schemes.rs crates/bench/src/experiments/e2_icache_fetch.rs crates/bench/src/experiments/e3_icache_orgs.rs crates/bench/src/experiments/e4_quick_compare.rs crates/bench/src/experiments/e5_reorganizer.rs crates/bench/src/experiments/e6_fsms.rs crates/bench/src/experiments/e7_cpi.rs crates/bench/src/experiments/e8_coproc.rs crates/bench/src/experiments/e9_vax.rs crates/bench/src/fp_workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/e10_btb.rs:
+crates/bench/src/experiments/e11_ecache.rs:
+crates/bench/src/experiments/e12_subblock.rs:
+crates/bench/src/experiments/e1_branch_schemes.rs:
+crates/bench/src/experiments/e2_icache_fetch.rs:
+crates/bench/src/experiments/e3_icache_orgs.rs:
+crates/bench/src/experiments/e4_quick_compare.rs:
+crates/bench/src/experiments/e5_reorganizer.rs:
+crates/bench/src/experiments/e6_fsms.rs:
+crates/bench/src/experiments/e7_cpi.rs:
+crates/bench/src/experiments/e8_coproc.rs:
+crates/bench/src/experiments/e9_vax.rs:
+crates/bench/src/fp_workload.rs:

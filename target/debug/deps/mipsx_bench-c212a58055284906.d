@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/mipsx_bench-c212a58055284906.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_btb.rs crates/bench/src/experiments/e11_ecache.rs crates/bench/src/experiments/e12_subblock.rs crates/bench/src/experiments/e1_branch_schemes.rs crates/bench/src/experiments/e2_icache_fetch.rs crates/bench/src/experiments/e3_icache_orgs.rs crates/bench/src/experiments/e4_quick_compare.rs crates/bench/src/experiments/e5_reorganizer.rs crates/bench/src/experiments/e6_fsms.rs crates/bench/src/experiments/e7_cpi.rs crates/bench/src/experiments/e8_coproc.rs crates/bench/src/experiments/e9_vax.rs crates/bench/src/fp_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx_bench-c212a58055284906.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_btb.rs crates/bench/src/experiments/e11_ecache.rs crates/bench/src/experiments/e12_subblock.rs crates/bench/src/experiments/e1_branch_schemes.rs crates/bench/src/experiments/e2_icache_fetch.rs crates/bench/src/experiments/e3_icache_orgs.rs crates/bench/src/experiments/e4_quick_compare.rs crates/bench/src/experiments/e5_reorganizer.rs crates/bench/src/experiments/e6_fsms.rs crates/bench/src/experiments/e7_cpi.rs crates/bench/src/experiments/e8_coproc.rs crates/bench/src/experiments/e9_vax.rs crates/bench/src/fp_workload.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/e10_btb.rs:
+crates/bench/src/experiments/e11_ecache.rs:
+crates/bench/src/experiments/e12_subblock.rs:
+crates/bench/src/experiments/e1_branch_schemes.rs:
+crates/bench/src/experiments/e2_icache_fetch.rs:
+crates/bench/src/experiments/e3_icache_orgs.rs:
+crates/bench/src/experiments/e4_quick_compare.rs:
+crates/bench/src/experiments/e5_reorganizer.rs:
+crates/bench/src/experiments/e6_fsms.rs:
+crates/bench/src/experiments/e7_cpi.rs:
+crates/bench/src/experiments/e8_coproc.rs:
+crates/bench/src/experiments/e9_vax.rs:
+crates/bench/src/fp_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mipsx_coproc-591e0f8fbc6b7533.d: crates/coproc/src/lib.rs crates/coproc/src/fpu.rs crates/coproc/src/intc.rs crates/coproc/src/scheme.rs
+
+/root/repo/target/debug/deps/mipsx_coproc-591e0f8fbc6b7533: crates/coproc/src/lib.rs crates/coproc/src/fpu.rs crates/coproc/src/intc.rs crates/coproc/src/scheme.rs
+
+crates/coproc/src/lib.rs:
+crates/coproc/src/fpu.rs:
+crates/coproc/src/intc.rs:
+crates/coproc/src/scheme.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mipsx_coproc-cd950490bb877121.d: crates/coproc/src/lib.rs crates/coproc/src/fpu.rs crates/coproc/src/intc.rs crates/coproc/src/scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx_coproc-cd950490bb877121.rmeta: crates/coproc/src/lib.rs crates/coproc/src/fpu.rs crates/coproc/src/intc.rs crates/coproc/src/scheme.rs Cargo.toml
+
+crates/coproc/src/lib.rs:
+crates/coproc/src/fpu.rs:
+crates/coproc/src/intc.rs:
+crates/coproc/src/scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

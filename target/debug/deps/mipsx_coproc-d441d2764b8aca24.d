@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mipsx_coproc-d441d2764b8aca24.d: crates/coproc/src/lib.rs crates/coproc/src/fpu.rs crates/coproc/src/intc.rs crates/coproc/src/scheme.rs
+
+/root/repo/target/debug/deps/libmipsx_coproc-d441d2764b8aca24.rlib: crates/coproc/src/lib.rs crates/coproc/src/fpu.rs crates/coproc/src/intc.rs crates/coproc/src/scheme.rs
+
+/root/repo/target/debug/deps/libmipsx_coproc-d441d2764b8aca24.rmeta: crates/coproc/src/lib.rs crates/coproc/src/fpu.rs crates/coproc/src/intc.rs crates/coproc/src/scheme.rs
+
+crates/coproc/src/lib.rs:
+crates/coproc/src/fpu.rs:
+crates/coproc/src/intc.rs:
+crates/coproc/src/scheme.rs:

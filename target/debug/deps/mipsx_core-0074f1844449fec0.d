@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mipsx_core-0074f1844449fec0.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/error.rs crates/core/src/fsm.rs crates/core/src/machine.rs crates/core/src/probe.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx_core-0074f1844449fec0.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/error.rs crates/core/src/fsm.rs crates/core/src/machine.rs crates/core/src/probe.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/cpu.rs:
+crates/core/src/error.rs:
+crates/core/src/fsm.rs:
+crates/core/src/machine.rs:
+crates/core/src/probe.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

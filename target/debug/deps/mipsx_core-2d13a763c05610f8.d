@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mipsx_core-2d13a763c05610f8.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/error.rs crates/core/src/fsm.rs crates/core/src/machine.rs crates/core/src/probe.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/mipsx_core-2d13a763c05610f8: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/error.rs crates/core/src/fsm.rs crates/core/src/machine.rs crates/core/src/probe.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/cpu.rs:
+crates/core/src/error.rs:
+crates/core/src/fsm.rs:
+crates/core/src/machine.rs:
+crates/core/src/probe.rs:
+crates/core/src/stats.rs:

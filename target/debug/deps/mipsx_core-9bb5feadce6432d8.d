@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mipsx_core-9bb5feadce6432d8.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/error.rs crates/core/src/fsm.rs crates/core/src/machine.rs crates/core/src/probe.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libmipsx_core-9bb5feadce6432d8.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/error.rs crates/core/src/fsm.rs crates/core/src/machine.rs crates/core/src/probe.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libmipsx_core-9bb5feadce6432d8.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/error.rs crates/core/src/fsm.rs crates/core/src/machine.rs crates/core/src/probe.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/cpu.rs:
+crates/core/src/error.rs:
+crates/core/src/fsm.rs:
+crates/core/src/machine.rs:
+crates/core/src/probe.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mipsx_isa-4a7ad5141f8fef23.d: crates/isa/src/lib.rs crates/isa/src/cond.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/psw.rs crates/isa/src/reg.rs crates/isa/src/sreg.rs
+
+/root/repo/target/debug/deps/mipsx_isa-4a7ad5141f8fef23: crates/isa/src/lib.rs crates/isa/src/cond.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/psw.rs crates/isa/src/reg.rs crates/isa/src/sreg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/exception.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/psw.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/sreg.rs:

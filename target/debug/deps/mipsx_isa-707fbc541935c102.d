@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mipsx_isa-707fbc541935c102.d: crates/isa/src/lib.rs crates/isa/src/cond.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/psw.rs crates/isa/src/reg.rs crates/isa/src/sreg.rs
+
+/root/repo/target/debug/deps/libmipsx_isa-707fbc541935c102.rlib: crates/isa/src/lib.rs crates/isa/src/cond.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/psw.rs crates/isa/src/reg.rs crates/isa/src/sreg.rs
+
+/root/repo/target/debug/deps/libmipsx_isa-707fbc541935c102.rmeta: crates/isa/src/lib.rs crates/isa/src/cond.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/psw.rs crates/isa/src/reg.rs crates/isa/src/sreg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/exception.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/psw.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/sreg.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mipsx_isa-8f0da84d9ad41726.d: crates/isa/src/lib.rs crates/isa/src/cond.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/psw.rs crates/isa/src/reg.rs crates/isa/src/sreg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx_isa-8f0da84d9ad41726.rmeta: crates/isa/src/lib.rs crates/isa/src/cond.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/psw.rs crates/isa/src/reg.rs crates/isa/src/sreg.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/exception.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/psw.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/sreg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mipsx_mem-511f353a7c7186c9.d: crates/mem/src/lib.rs crates/mem/src/ecache.rs crates/mem/src/icache.rs crates/mem/src/main_memory.rs crates/mem/src/stats.rs
+
+/root/repo/target/debug/deps/mipsx_mem-511f353a7c7186c9: crates/mem/src/lib.rs crates/mem/src/ecache.rs crates/mem/src/icache.rs crates/mem/src/main_memory.rs crates/mem/src/stats.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/ecache.rs:
+crates/mem/src/icache.rs:
+crates/mem/src/main_memory.rs:
+crates/mem/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mipsx_mem-7d31dffac90eb4eb.d: crates/mem/src/lib.rs crates/mem/src/ecache.rs crates/mem/src/icache.rs crates/mem/src/main_memory.rs crates/mem/src/stats.rs
+
+/root/repo/target/debug/deps/libmipsx_mem-7d31dffac90eb4eb.rlib: crates/mem/src/lib.rs crates/mem/src/ecache.rs crates/mem/src/icache.rs crates/mem/src/main_memory.rs crates/mem/src/stats.rs
+
+/root/repo/target/debug/deps/libmipsx_mem-7d31dffac90eb4eb.rmeta: crates/mem/src/lib.rs crates/mem/src/ecache.rs crates/mem/src/icache.rs crates/mem/src/main_memory.rs crates/mem/src/stats.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/ecache.rs:
+crates/mem/src/icache.rs:
+crates/mem/src/main_memory.rs:
+crates/mem/src/stats.rs:

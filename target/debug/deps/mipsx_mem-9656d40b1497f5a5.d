@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mipsx_mem-9656d40b1497f5a5.d: crates/mem/src/lib.rs crates/mem/src/ecache.rs crates/mem/src/icache.rs crates/mem/src/main_memory.rs crates/mem/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx_mem-9656d40b1497f5a5.rmeta: crates/mem/src/lib.rs crates/mem/src/ecache.rs crates/mem/src/icache.rs crates/mem/src/main_memory.rs crates/mem/src/stats.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/ecache.rs:
+crates/mem/src/icache.rs:
+crates/mem/src/main_memory.rs:
+crates/mem/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

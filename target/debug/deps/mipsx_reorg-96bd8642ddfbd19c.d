@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mipsx_reorg-96bd8642ddfbd19c.d: crates/reorg/src/lib.rs crates/reorg/src/btb.rs crates/reorg/src/liveness.rs crates/reorg/src/quick_compare.rs crates/reorg/src/raw.rs crates/reorg/src/schedule.rs crates/reorg/src/scheme.rs
+
+/root/repo/target/debug/deps/libmipsx_reorg-96bd8642ddfbd19c.rlib: crates/reorg/src/lib.rs crates/reorg/src/btb.rs crates/reorg/src/liveness.rs crates/reorg/src/quick_compare.rs crates/reorg/src/raw.rs crates/reorg/src/schedule.rs crates/reorg/src/scheme.rs
+
+/root/repo/target/debug/deps/libmipsx_reorg-96bd8642ddfbd19c.rmeta: crates/reorg/src/lib.rs crates/reorg/src/btb.rs crates/reorg/src/liveness.rs crates/reorg/src/quick_compare.rs crates/reorg/src/raw.rs crates/reorg/src/schedule.rs crates/reorg/src/scheme.rs
+
+crates/reorg/src/lib.rs:
+crates/reorg/src/btb.rs:
+crates/reorg/src/liveness.rs:
+crates/reorg/src/quick_compare.rs:
+crates/reorg/src/raw.rs:
+crates/reorg/src/schedule.rs:
+crates/reorg/src/scheme.rs:

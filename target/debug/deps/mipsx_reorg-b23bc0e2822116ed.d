@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mipsx_reorg-b23bc0e2822116ed.d: crates/reorg/src/lib.rs crates/reorg/src/btb.rs crates/reorg/src/liveness.rs crates/reorg/src/quick_compare.rs crates/reorg/src/raw.rs crates/reorg/src/schedule.rs crates/reorg/src/scheme.rs
+
+/root/repo/target/debug/deps/mipsx_reorg-b23bc0e2822116ed: crates/reorg/src/lib.rs crates/reorg/src/btb.rs crates/reorg/src/liveness.rs crates/reorg/src/quick_compare.rs crates/reorg/src/raw.rs crates/reorg/src/schedule.rs crates/reorg/src/scheme.rs
+
+crates/reorg/src/lib.rs:
+crates/reorg/src/btb.rs:
+crates/reorg/src/liveness.rs:
+crates/reorg/src/quick_compare.rs:
+crates/reorg/src/raw.rs:
+crates/reorg/src/schedule.rs:
+crates/reorg/src/scheme.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mipsx_reorg-e0c75694b33bfa5c.d: crates/reorg/src/lib.rs crates/reorg/src/btb.rs crates/reorg/src/liveness.rs crates/reorg/src/quick_compare.rs crates/reorg/src/raw.rs crates/reorg/src/schedule.rs crates/reorg/src/scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx_reorg-e0c75694b33bfa5c.rmeta: crates/reorg/src/lib.rs crates/reorg/src/btb.rs crates/reorg/src/liveness.rs crates/reorg/src/quick_compare.rs crates/reorg/src/raw.rs crates/reorg/src/schedule.rs crates/reorg/src/scheme.rs Cargo.toml
+
+crates/reorg/src/lib.rs:
+crates/reorg/src/btb.rs:
+crates/reorg/src/liveness.rs:
+crates/reorg/src/quick_compare.rs:
+crates/reorg/src/raw.rs:
+crates/reorg/src/schedule.rs:
+crates/reorg/src/scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mipsx_workloads-57b89097e8c2ae40.d: crates/workloads/src/lib.rs crates/workloads/src/calibration.rs crates/workloads/src/kernels.rs crates/workloads/src/synth.rs crates/workloads/src/traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmipsx_workloads-57b89097e8c2ae40.rmeta: crates/workloads/src/lib.rs crates/workloads/src/calibration.rs crates/workloads/src/kernels.rs crates/workloads/src/synth.rs crates/workloads/src/traces.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/calibration.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

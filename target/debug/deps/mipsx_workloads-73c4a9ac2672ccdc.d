@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mipsx_workloads-73c4a9ac2672ccdc.d: crates/workloads/src/lib.rs crates/workloads/src/calibration.rs crates/workloads/src/kernels.rs crates/workloads/src/synth.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/libmipsx_workloads-73c4a9ac2672ccdc.rlib: crates/workloads/src/lib.rs crates/workloads/src/calibration.rs crates/workloads/src/kernels.rs crates/workloads/src/synth.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/libmipsx_workloads-73c4a9ac2672ccdc.rmeta: crates/workloads/src/lib.rs crates/workloads/src/calibration.rs crates/workloads/src/kernels.rs crates/workloads/src/synth.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/calibration.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/traces.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mipsx_workloads-d98a9aa591a1c5d4.d: crates/workloads/src/lib.rs crates/workloads/src/calibration.rs crates/workloads/src/kernels.rs crates/workloads/src/synth.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/mipsx_workloads-d98a9aa591a1c5d4: crates/workloads/src/lib.rs crates/workloads/src/calibration.rs crates/workloads/src/kernels.rs crates/workloads/src/synth.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/calibration.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-c25b0e4794930ef1.d: crates/core/tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-c25b0e4794930ef1: crates/core/tests/pipeline.rs
+
+crates/core/tests/pipeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/probe-5113242eeae33ae8.d: crates/core/tests/probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe-5113242eeae33ae8.rmeta: crates/core/tests/probe.rs Cargo.toml
+
+crates/core/tests/probe.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

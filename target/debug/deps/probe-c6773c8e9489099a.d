@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/probe-c6773c8e9489099a.d: crates/core/tests/probe.rs
+
+/root/repo/target/debug/deps/probe-c6773c8e9489099a: crates/core/tests/probe.rs
+
+crates/core/tests/probe.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

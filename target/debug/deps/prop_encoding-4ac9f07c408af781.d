@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_encoding-4ac9f07c408af781.d: crates/isa/tests/prop_encoding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_encoding-4ac9f07c408af781.rmeta: crates/isa/tests/prop_encoding.rs Cargo.toml
+
+crates/isa/tests/prop_encoding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_encoding-8740f2eb356872f7.d: crates/isa/tests/prop_encoding.rs
+
+/root/repo/target/debug/deps/prop_encoding-8740f2eb356872f7: crates/isa/tests/prop_encoding.rs
+
+crates/isa/tests/prop_encoding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_icache-cba39c370e9354da.d: crates/mem/tests/prop_icache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_icache-cba39c370e9354da.rmeta: crates/mem/tests/prop_icache.rs Cargo.toml
+
+crates/mem/tests/prop_icache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

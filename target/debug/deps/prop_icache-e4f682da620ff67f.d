@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_icache-e4f682da620ff67f.d: crates/mem/tests/prop_icache.rs
+
+/root/repo/target/debug/deps/prop_icache-e4f682da620ff67f: crates/mem/tests/prop_icache.rs
+
+crates/mem/tests/prop_icache.rs:

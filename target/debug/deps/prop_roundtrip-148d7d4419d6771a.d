@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-148d7d4419d6771a.d: crates/asm/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-148d7d4419d6771a: crates/asm/tests/prop_roundtrip.rs
+
+crates/asm/tests/prop_roundtrip.rs:

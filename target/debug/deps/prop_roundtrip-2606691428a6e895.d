@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-2606691428a6e895.d: crates/asm/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-2606691428a6e895.rmeta: crates/asm/tests/prop_roundtrip.rs Cargo.toml
+
+crates/asm/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

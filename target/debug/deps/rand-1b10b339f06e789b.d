@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-1b10b339f06e789b.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1b10b339f06e789b.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1b10b339f06e789b.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-5c16a2702e19dfc7.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-5c16a2702e19dfc7: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

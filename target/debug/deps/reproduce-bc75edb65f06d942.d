@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-bc75edb65f06d942.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-bc75edb65f06d942: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

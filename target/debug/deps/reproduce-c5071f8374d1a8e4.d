@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-c5071f8374d1a8e4.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-c5071f8374d1a8e4: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

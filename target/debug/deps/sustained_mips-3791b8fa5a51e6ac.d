@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sustained_mips-3791b8fa5a51e6ac.d: crates/bench/benches/sustained_mips.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsustained_mips-3791b8fa5a51e6ac.rmeta: crates/bench/benches/sustained_mips.rs Cargo.toml
+
+crates/bench/benches/sustained_mips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vax_comparison-a3b54a9d19d039c2.d: crates/bench/benches/vax_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvax_comparison-a3b54a9d19d039c2.rmeta: crates/bench/benches/vax_comparison.rs Cargo.toml
+
+crates/bench/benches/vax_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/coprocessor_fpu-559792ee22d12de2.d: examples/coprocessor_fpu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoprocessor_fpu-559792ee22d12de2.rmeta: examples/coprocessor_fpu.rs Cargo.toml
+
+examples/coprocessor_fpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coprocessor_fpu-a6634d7a72a010d9.d: examples/coprocessor_fpu.rs
+
+/root/repo/target/debug/examples/coprocessor_fpu-a6634d7a72a010d9: examples/coprocessor_fpu.rs
+
+examples/coprocessor_fpu.rs:

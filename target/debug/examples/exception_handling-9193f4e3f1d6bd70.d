@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/exception_handling-9193f4e3f1d6bd70.d: examples/exception_handling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexception_handling-9193f4e3f1d6bd70.rmeta: examples/exception_handling.rs Cargo.toml
+
+examples/exception_handling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

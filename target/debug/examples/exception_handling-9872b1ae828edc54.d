@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/exception_handling-9872b1ae828edc54.d: examples/exception_handling.rs
+
+/root/repo/target/debug/examples/exception_handling-9872b1ae828edc54: examples/exception_handling.rs
+
+examples/exception_handling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lisp_workload-672cc19d3a493fab.d: examples/lisp_workload.rs
+
+/root/repo/target/debug/examples/lisp_workload-672cc19d3a493fab: examples/lisp_workload.rs
+
+examples/lisp_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lisp_workload-907ca5ed5f7fcce1.d: examples/lisp_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblisp_workload-907ca5ed5f7fcce1.rmeta: examples/lisp_workload.rs Cargo.toml
+
+examples/lisp_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pascal_workload-0b7aa33811a05e38.d: examples/pascal_workload.rs
+
+/root/repo/target/debug/examples/pascal_workload-0b7aa33811a05e38: examples/pascal_workload.rs
+
+examples/pascal_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pascal_workload-4ac631eb5c3ae329.d: examples/pascal_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpascal_workload-4ac631eb5c3ae329.rmeta: examples/pascal_workload.rs Cargo.toml
+
+examples/pascal_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8ef3313cac7286b1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8ef3313cac7286b1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mipsx-97eeb384ac5f7042.d: src/lib.rs
+
+/root/repo/target/release/deps/libmipsx-97eeb384ac5f7042.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmipsx-97eeb384ac5f7042.rmeta: src/lib.rs
+
+src/lib.rs:

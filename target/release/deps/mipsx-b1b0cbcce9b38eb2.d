@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mipsx-b1b0cbcce9b38eb2.d: src/bin/mipsx.rs
+
+/root/repo/target/release/deps/mipsx-b1b0cbcce9b38eb2: src/bin/mipsx.rs
+
+src/bin/mipsx.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mipsx_asm-ce7a86fab9a19924.d: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/program.rs crates/asm/src/text.rs
+
+/root/repo/target/release/deps/libmipsx_asm-ce7a86fab9a19924.rlib: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/program.rs crates/asm/src/text.rs
+
+/root/repo/target/release/deps/libmipsx_asm-ce7a86fab9a19924.rmeta: crates/asm/src/lib.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/program.rs crates/asm/src/text.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/disasm.rs:
+crates/asm/src/error.rs:
+crates/asm/src/program.rs:
+crates/asm/src/text.rs:

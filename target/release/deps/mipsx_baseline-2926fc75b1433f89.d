@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mipsx_baseline-2926fc75b1433f89.d: crates/baseline/src/lib.rs crates/baseline/src/compare.rs crates/baseline/src/ir.rs crates/baseline/src/mipsx_gen.rs crates/baseline/src/programs.rs crates/baseline/src/vax.rs
+
+/root/repo/target/release/deps/libmipsx_baseline-2926fc75b1433f89.rlib: crates/baseline/src/lib.rs crates/baseline/src/compare.rs crates/baseline/src/ir.rs crates/baseline/src/mipsx_gen.rs crates/baseline/src/programs.rs crates/baseline/src/vax.rs
+
+/root/repo/target/release/deps/libmipsx_baseline-2926fc75b1433f89.rmeta: crates/baseline/src/lib.rs crates/baseline/src/compare.rs crates/baseline/src/ir.rs crates/baseline/src/mipsx_gen.rs crates/baseline/src/programs.rs crates/baseline/src/vax.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/compare.rs:
+crates/baseline/src/ir.rs:
+crates/baseline/src/mipsx_gen.rs:
+crates/baseline/src/programs.rs:
+crates/baseline/src/vax.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mipsx_coproc-4e39f51f17931311.d: crates/coproc/src/lib.rs crates/coproc/src/fpu.rs crates/coproc/src/intc.rs crates/coproc/src/scheme.rs
+
+/root/repo/target/release/deps/libmipsx_coproc-4e39f51f17931311.rlib: crates/coproc/src/lib.rs crates/coproc/src/fpu.rs crates/coproc/src/intc.rs crates/coproc/src/scheme.rs
+
+/root/repo/target/release/deps/libmipsx_coproc-4e39f51f17931311.rmeta: crates/coproc/src/lib.rs crates/coproc/src/fpu.rs crates/coproc/src/intc.rs crates/coproc/src/scheme.rs
+
+crates/coproc/src/lib.rs:
+crates/coproc/src/fpu.rs:
+crates/coproc/src/intc.rs:
+crates/coproc/src/scheme.rs:

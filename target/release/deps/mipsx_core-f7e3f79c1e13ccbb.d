@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mipsx_core-f7e3f79c1e13ccbb.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/error.rs crates/core/src/fsm.rs crates/core/src/machine.rs crates/core/src/probe.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libmipsx_core-f7e3f79c1e13ccbb.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/error.rs crates/core/src/fsm.rs crates/core/src/machine.rs crates/core/src/probe.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libmipsx_core-f7e3f79c1e13ccbb.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/error.rs crates/core/src/fsm.rs crates/core/src/machine.rs crates/core/src/probe.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/cpu.rs:
+crates/core/src/error.rs:
+crates/core/src/fsm.rs:
+crates/core/src/machine.rs:
+crates/core/src/probe.rs:
+crates/core/src/stats.rs:

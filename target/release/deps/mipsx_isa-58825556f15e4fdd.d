@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mipsx_isa-58825556f15e4fdd.d: crates/isa/src/lib.rs crates/isa/src/cond.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/psw.rs crates/isa/src/reg.rs crates/isa/src/sreg.rs
+
+/root/repo/target/release/deps/libmipsx_isa-58825556f15e4fdd.rlib: crates/isa/src/lib.rs crates/isa/src/cond.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/psw.rs crates/isa/src/reg.rs crates/isa/src/sreg.rs
+
+/root/repo/target/release/deps/libmipsx_isa-58825556f15e4fdd.rmeta: crates/isa/src/lib.rs crates/isa/src/cond.rs crates/isa/src/exception.rs crates/isa/src/instr.rs crates/isa/src/psw.rs crates/isa/src/reg.rs crates/isa/src/sreg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/exception.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/psw.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/sreg.rs:

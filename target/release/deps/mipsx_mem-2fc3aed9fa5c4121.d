@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mipsx_mem-2fc3aed9fa5c4121.d: crates/mem/src/lib.rs crates/mem/src/ecache.rs crates/mem/src/icache.rs crates/mem/src/main_memory.rs crates/mem/src/stats.rs
+
+/root/repo/target/release/deps/libmipsx_mem-2fc3aed9fa5c4121.rlib: crates/mem/src/lib.rs crates/mem/src/ecache.rs crates/mem/src/icache.rs crates/mem/src/main_memory.rs crates/mem/src/stats.rs
+
+/root/repo/target/release/deps/libmipsx_mem-2fc3aed9fa5c4121.rmeta: crates/mem/src/lib.rs crates/mem/src/ecache.rs crates/mem/src/icache.rs crates/mem/src/main_memory.rs crates/mem/src/stats.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/ecache.rs:
+crates/mem/src/icache.rs:
+crates/mem/src/main_memory.rs:
+crates/mem/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mipsx_reorg-d3747fd3421698e3.d: crates/reorg/src/lib.rs crates/reorg/src/btb.rs crates/reorg/src/liveness.rs crates/reorg/src/quick_compare.rs crates/reorg/src/raw.rs crates/reorg/src/schedule.rs crates/reorg/src/scheme.rs
+
+/root/repo/target/release/deps/libmipsx_reorg-d3747fd3421698e3.rlib: crates/reorg/src/lib.rs crates/reorg/src/btb.rs crates/reorg/src/liveness.rs crates/reorg/src/quick_compare.rs crates/reorg/src/raw.rs crates/reorg/src/schedule.rs crates/reorg/src/scheme.rs
+
+/root/repo/target/release/deps/libmipsx_reorg-d3747fd3421698e3.rmeta: crates/reorg/src/lib.rs crates/reorg/src/btb.rs crates/reorg/src/liveness.rs crates/reorg/src/quick_compare.rs crates/reorg/src/raw.rs crates/reorg/src/schedule.rs crates/reorg/src/scheme.rs
+
+crates/reorg/src/lib.rs:
+crates/reorg/src/btb.rs:
+crates/reorg/src/liveness.rs:
+crates/reorg/src/quick_compare.rs:
+crates/reorg/src/raw.rs:
+crates/reorg/src/schedule.rs:
+crates/reorg/src/scheme.rs:

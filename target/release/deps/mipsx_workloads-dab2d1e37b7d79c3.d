@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mipsx_workloads-dab2d1e37b7d79c3.d: crates/workloads/src/lib.rs crates/workloads/src/calibration.rs crates/workloads/src/kernels.rs crates/workloads/src/synth.rs crates/workloads/src/traces.rs
+
+/root/repo/target/release/deps/libmipsx_workloads-dab2d1e37b7d79c3.rlib: crates/workloads/src/lib.rs crates/workloads/src/calibration.rs crates/workloads/src/kernels.rs crates/workloads/src/synth.rs crates/workloads/src/traces.rs
+
+/root/repo/target/release/deps/libmipsx_workloads-dab2d1e37b7d79c3.rmeta: crates/workloads/src/lib.rs crates/workloads/src/calibration.rs crates/workloads/src/kernels.rs crates/workloads/src/synth.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/calibration.rs:
+crates/workloads/src/kernels.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_overhead-5bc434e093741929.d: crates/bench/benches/probe_overhead.rs
+
+/root/repo/target/release/deps/probe_overhead-5bc434e093741929: crates/bench/benches/probe_overhead.rs
+
+crates/bench/benches/probe_overhead.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9e7acaf1941364c3.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9e7acaf1941364c3.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9e7acaf1941364c3.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-abbeaa53da60f7f9.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-abbeaa53da60f7f9: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:
