@@ -222,6 +222,10 @@ impl Coprocessor for Fpu {
         self.busy = self.busy.saturating_sub(1);
     }
 
+    fn inject_busy(&mut self, cycles: u32) {
+        self.busy = self.busy.max(cycles);
+    }
+
     fn name(&self) -> &'static str {
         "fpu"
     }

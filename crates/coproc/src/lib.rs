@@ -75,6 +75,12 @@ pub trait Coprocessor: std::any::Any {
     /// Advance one processor cycle.
     fn tick(&mut self) {}
 
+    /// Force the device busy for at least `cycles` cycles, as if an internal
+    /// fault (e.g. a microcode retry) delayed it. Devices with no busy state
+    /// ignore the injection; the fault-injection harness uses this to model
+    /// coprocessor-busy faults on whatever is attached.
+    fn inject_busy(&mut self, _cycles: u32) {}
+
     /// Human-readable device name.
     fn name(&self) -> &'static str;
 

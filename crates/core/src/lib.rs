@@ -45,14 +45,16 @@ mod config;
 mod cpu;
 mod error;
 mod fsm;
+pub mod inject;
 mod machine;
 pub mod probe;
 mod stats;
 
 pub use config::{InterlockPolicy, MachineConfig};
-pub use cpu::Cpu;
+pub use cpu::{Cpu, PcChainEntry};
 pub use error::RunError;
 pub use fsm::{CacheMissFsm, CacheMissState, SquashFsm, SquashLines};
+pub use inject::{FaultEvent, FaultKind, FaultPlan};
 pub use machine::Machine;
 pub use probe::{
     CpiAttribution, JsonlSink, NullSink, PipeDiagram, SquashReason, Stage, StallCause, TraceSink,

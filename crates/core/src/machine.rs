@@ -44,6 +44,7 @@ use mipsx_isa::{ComputeOp, ExceptionCause, Instr, Mode, Reg, SpecialReg, SquashM
 use mipsx_mem::{Ecache, Icache, MainMemory};
 
 use crate::cpu::PcChainEntry;
+use crate::inject::{FaultKind, FaultPlan};
 use crate::probe::{NullSink, SquashReason, Stage, StallCause, TraceSink};
 use crate::{CacheMissFsm, Cpu, InterlockPolicy, MachineConfig, RunError, RunStats, SquashFsm};
 
@@ -299,6 +300,44 @@ impl Machine {
     /// # Errors
     /// As [`Machine::step`].
     pub fn step_with<S: TraceSink>(&mut self, sink: &mut S) -> Result<(), RunError> {
+        self.step_with_faults(sink, &mut FaultPlan::none())
+    }
+
+    /// [`Machine::run_with`], injecting faults from `plan` as their cycles
+    /// come due. The plan is consumed in place: after a run its cursor sits
+    /// past every delivered event ([`FaultPlan::rewind`] replays it).
+    ///
+    /// # Errors
+    /// As [`Machine::run`].
+    pub fn run_with_faults<S: TraceSink>(
+        &mut self,
+        max_cycles: u64,
+        sink: &mut S,
+        plan: &mut FaultPlan,
+    ) -> Result<RunStats, RunError> {
+        if self.halted {
+            return Err(RunError::AlreadyHalted);
+        }
+        let start = self.stats.cycles;
+        while !self.halted {
+            if self.stats.cycles - start >= max_cycles {
+                return Err(RunError::CycleLimit { limit: max_cycles });
+            }
+            self.step_with_faults(sink, plan)?;
+        }
+        Ok(self.stats)
+    }
+
+    /// [`Machine::step_with`], injecting any faults from `plan` due this
+    /// cycle before the pipeline phases run.
+    ///
+    /// # Errors
+    /// As [`Machine::step`].
+    pub fn step_with_faults<S: TraceSink>(
+        &mut self,
+        sink: &mut S,
+        plan: &mut FaultPlan,
+    ) -> Result<(), RunError> {
         if self.halted {
             return Err(RunError::AlreadyHalted);
         }
@@ -309,6 +348,12 @@ impl Machine {
         }
         for c in self.coprocs.iter_mut().flatten() {
             c.tick();
+        }
+
+        // Phase 0: fault injection — external misfortune asserts pins and
+        // corrupts caches before the pipeline sees the cycle.
+        if !plan.exhausted() {
+            self.apply_faults(plan, sink);
         }
 
         // Phase 1: ψ1 gate — frozen cycles advance nothing.
@@ -357,11 +402,78 @@ impl Machine {
         Ok(())
     }
 
+    /// Deliver every fault due this cycle. Interrupts and NMIs assert the
+    /// external pins (sampled later this same cycle by
+    /// [`Machine::sample_interrupts`]); parity, jitter and coprocessor-busy
+    /// faults perturb timing only and must leave architectural state
+    /// untouched — the lockstep differ holds the machine to that.
+    fn apply_faults<S: TraceSink>(&mut self, plan: &mut FaultPlan, sink: &mut S) {
+        let cycle = self.stats.cycles;
+        if plan.interrupt_release_due(cycle) {
+            self.interrupt_line = false;
+        }
+        while let Some(kind) = plan.pop_due(cycle) {
+            if S::ENABLED {
+                sink.fault(cycle, kind, self.cpu.pc);
+            }
+            match kind {
+                FaultKind::Interrupt { hold } => {
+                    self.interrupt_line = true;
+                    plan.hold_interrupt_until(cycle + u64::from(hold.max(1)));
+                    self.stats.injected_interrupts += 1;
+                }
+                FaultKind::Nmi => {
+                    self.nmi_pending = true;
+                    self.stats.injected_nmis += 1;
+                }
+                FaultKind::IcacheParity => {
+                    // Drop the sub-block valid bit under the current fetch
+                    // PC; the next fetch refetches it through the Ecache.
+                    // A miss on a word that was never resident is not a
+                    // retry, so only count hits that were invalidated.
+                    if self.icache.invalidate_word(self.cpu.pc) {
+                        self.stats.injected_parity_retries += 1;
+                    }
+                }
+                FaultKind::EcacheJitter { extra } => {
+                    let extra = extra.max(1);
+                    self.miss_fsm.start(extra);
+                    self.stats.ecache_stall_cycles += u64::from(extra);
+                    self.stats.injected_jitter_cycles += u64::from(extra);
+                    if S::ENABLED {
+                        sink.stall(cycle, StallCause::EcacheRetry, extra, self.cpu.pc);
+                    }
+                }
+                FaultKind::CoprocBusy { cycles } => {
+                    let cycles = cycles.max(1);
+                    for c in self.coprocs.iter_mut().flatten() {
+                        c.inject_busy(cycles);
+                    }
+                    self.miss_fsm.start(cycles);
+                    self.stats.coproc_stall_cycles += u64::from(cycles);
+                    self.stats.injected_coproc_busy_cycles += u64::from(cycles);
+                    if S::ENABLED {
+                        sink.stall(cycle, StallCause::CoprocBusy, cycles, self.cpu.pc);
+                    }
+                }
+            }
+        }
+    }
+
     /// Sample external interrupt pins; take an exception if one is
     /// accepted. Acceptance is deferred while a special jump (`jpc`/`jpcrs`)
     /// is in flight: the restart sequence must complete atomically, and
     /// delaying acceptance at most three cycles is the cheap hardware fix.
     fn sample_interrupts<S: TraceSink>(&mut self, sink: &mut S) {
+        // The pipe must be primed first: an exception taken while the
+        // pipeline is still filling from reset would save a PC chain that
+        // holds reset-default entries, and the restart sequence would
+        // replay them. Boot software runs this window with interrupts
+        // masked; the model defers sampling until every pre-WB stage
+        // holds a real instruction (NMIs stay latched meanwhile).
+        if self.slots[..WB].iter().any(|s| s.is_none()) {
+            return;
+        }
         let special_jump_in_flight = self.slots[..WB]
             .iter()
             .any(|s| s.is_some_and(|s| !s.kill && matches!(s.instr, Instr::Jpc | Instr::Jpcrs)));
@@ -873,8 +985,9 @@ impl std::fmt::Debug for Machine {
 
 /// Execute a compute operation. Returns `(result, overflow, md_update)`.
 ///
-/// `md` is read lazily so the (rare) mstep/dstep path alone pays for the
-/// bypass scan.
+/// Semantics live in [`ComputeOp::execute`], shared with the functional
+/// reference interpreter; `md` is read lazily here so the (rare)
+/// mstep/dstep path alone pays for the bypass scan.
 fn execute_compute(
     op: ComputeOp,
     a: u32,
@@ -882,48 +995,8 @@ fn execute_compute(
     shamt: u8,
     md: impl FnOnce() -> u32,
 ) -> (u32, bool, Option<u32>) {
-    match op {
-        ComputeOp::Add => {
-            let (r, o) = (a as i32).overflowing_add(b as i32);
-            (r as u32, o, None)
-        }
-        ComputeOp::Sub => {
-            let (r, o) = (a as i32).overflowing_sub(b as i32);
-            (r as u32, o, None)
-        }
-        ComputeOp::AddU => (a.wrapping_add(b), false, None),
-        ComputeOp::SubU => (a.wrapping_sub(b), false, None),
-        ComputeOp::And => (a & b, false, None),
-        ComputeOp::Or => (a | b, false, None),
-        ComputeOp::Xor => (a ^ b, false, None),
-        ComputeOp::Nor => (!(a | b), false, None),
-        ComputeOp::Sll => (a << (shamt & 31), false, None),
-        ComputeOp::Srl => (a >> (shamt & 31), false, None),
-        ComputeOp::Sra => (((a as i32) >> (shamt & 31)) as u32, false, None),
-        ComputeOp::Shf => {
-            // Funnel shift: low 32 bits of (a ++ b) >> shamt.
-            let wide = ((a as u64) << 32) | b as u64;
-            ((wide >> (shamt & 63)) as u32, false, None)
-        }
-        ComputeOp::Mstep => {
-            // MSB-first shift-and-add multiply step.
-            let m = md();
-            let add = if m & 0x8000_0000 != 0 { a } else { 0 };
-            let r = b.wrapping_shl(1).wrapping_add(add);
-            (r, false, Some(m << 1))
-        }
-        ComputeOp::Dstep => {
-            // MSB-first restoring division step (unsigned).
-            let m = md();
-            let mut r = (b << 1) | (m >> 31);
-            let mut m2 = m << 1;
-            if r >= a && a != 0 {
-                r -= a;
-                m2 |= 1;
-            }
-            (r, false, Some(m2))
-        }
-    }
+    let md = if op.touches_md() { md() } else { 0 };
+    op.execute(a, b, shamt, md)
 }
 
 #[cfg(test)]

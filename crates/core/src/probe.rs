@@ -34,6 +34,7 @@ use std::io::Write;
 use mipsx_isa::{ExceptionCause, Instr, Reg};
 
 use crate::fsm::SquashLines;
+use crate::inject::FaultKind;
 
 /// A pipeline stage, in machine order.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -204,6 +205,12 @@ pub trait TraceSink {
     /// drain from an architectural completion.
     #[inline]
     fn retire(&mut self, _cycle: u64, _pc: u32, _instr: Instr, _killed: bool) {}
+
+    /// The fault-injection harness delivered `kind` this cycle; `pc` is the
+    /// fetch PC at delivery. Interrupt-class faults show up again as
+    /// [`TraceSink::exception`] events if and when the pins are accepted.
+    #[inline]
+    fn fault(&mut self, _cycle: u64, _kind: FaultKind, _pc: u32) {}
 }
 
 /// The default sink: observes nothing, costs nothing.
@@ -258,6 +265,11 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     fn retire(&mut self, cycle: u64, pc: u32, instr: Instr, killed: bool) {
         (**self).retire(cycle, pc, instr, killed);
     }
+
+    #[inline]
+    fn fault(&mut self, cycle: u64, kind: FaultKind, pc: u32) {
+        (**self).fault(cycle, kind, pc);
+    }
 }
 
 /// Fan-out: drive two sinks from one run (`(a, b)`; nest for more).
@@ -310,6 +322,12 @@ impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
     fn retire(&mut self, cycle: u64, pc: u32, instr: Instr, killed: bool) {
         self.0.retire(cycle, pc, instr, killed);
         self.1.retire(cycle, pc, instr, killed);
+    }
+
+    #[inline]
+    fn fault(&mut self, cycle: u64, kind: FaultKind, pc: u32) {
+        self.0.fault(cycle, kind, pc);
+        self.1.fault(cycle, kind, pc);
     }
 }
 
@@ -555,7 +573,9 @@ struct DiagramRow {
 /// One row per fetched instruction, one column per cycle. Marks: `F R A M
 /// W` for the stage occupied that cycle (lowercase once the instruction's
 /// kill bit is set — a squashed instruction keeps draining), `*` for
-/// frozen cycles.
+/// frozen cycles. Injected faults get their own `faults` lane under the
+/// instruction rows, marked with the fault's letter (`I N P J C`, see
+/// [`FaultKind::letter`]).
 ///
 /// Recording stops after `max_cycles` observed cycles so tracing a long
 /// run cannot exhaust memory; rendering is byte-stable for a given event
@@ -571,6 +591,8 @@ pub struct PipeDiagram {
     last_stage_cycle: Option<u64>,
     max_cycles: u64,
     cycles_seen: u64,
+    /// Injected-fault marks: `(cycle, letter)` in delivery order.
+    faults: Vec<(u64, char)>,
 }
 
 impl Default for PipeDiagram {
@@ -595,6 +617,7 @@ impl PipeDiagram {
             last_stage_cycle: None,
             max_cycles,
             cycles_seen: 0,
+            faults: Vec::new(),
         }
     }
 
@@ -654,6 +677,15 @@ impl PipeDiagram {
                 "{:#09x}  {:<label_width$}  {lane}\n",
                 row.pc, row.text
             ));
+        }
+        if !self.faults.is_empty() {
+            let mut lane = vec![' '; span];
+            for &(cycle, mark) in &self.faults {
+                lane[(cycle - first) as usize] = mark;
+            }
+            let lane: String = lane.into_iter().collect();
+            let lane = lane.trim_end();
+            out.push_str(&format!("{:>9}  {:<label_width$}  {lane}\n", "", "faults"));
         }
         out
     }
@@ -716,6 +748,13 @@ impl TraceSink for PipeDiagram {
             stage.letter()
         };
         self.mark(row, cycle, mark);
+    }
+
+    fn fault(&mut self, cycle: u64, kind: FaultKind, _pc: u32) {
+        if !self.recording() {
+            return;
+        }
+        self.faults.push((cycle, kind.letter()));
     }
 }
 
@@ -840,6 +879,13 @@ impl<W: Write> TraceSink for JsonlSink<W> {
         self.emit(format!(
             "{{\"t\":\"retire\",\"c\":{cycle},\"pc\":{pc},\"instr\":\"{}\",\"killed\":{killed}}}",
             json_escape(&instr.to_string())
+        ));
+    }
+
+    fn fault(&mut self, cycle: u64, kind: FaultKind, pc: u32) {
+        self.emit(format!(
+            "{{\"t\":\"fault\",\"c\":{cycle},\"kind\":\"{}\",\"pc\":{pc}}}",
+            json_escape(&kind.to_string())
         ));
     }
 }

@@ -54,6 +54,20 @@ pub struct RunStats {
     /// this stays zero on the shipped pipeline; interlocking variants fill
     /// it so CPI decomposes uniformly.
     pub interlock_stall_cycles: u64,
+    /// Maskable-interrupt pulses delivered by the fault-injection harness
+    /// (delivered ≠ accepted: a masked pulse may be ignored).
+    pub injected_interrupts: u64,
+    /// Non-maskable-interrupt pulses delivered by the harness.
+    pub injected_nmis: u64,
+    /// Icache parity faults that actually invalidated a resident word and
+    /// so forced a sub-block refetch.
+    pub injected_parity_retries: u64,
+    /// Extra Ecache retry-loop cycles injected as latency jitter (also
+    /// counted in [`RunStats::ecache_stall_cycles`]).
+    pub injected_jitter_cycles: u64,
+    /// Coprocessor-busy cycles injected (also counted in
+    /// [`RunStats::coproc_stall_cycles`]).
+    pub injected_coproc_busy_cycles: u64,
 }
 
 impl RunStats {
@@ -143,6 +157,20 @@ impl RunStats {
         self.coproc_forced_miss_cycles += other.coproc_forced_miss_cycles;
         self.frozen_cycles += other.frozen_cycles;
         self.interlock_stall_cycles += other.interlock_stall_cycles;
+        self.injected_interrupts += other.injected_interrupts;
+        self.injected_nmis += other.injected_nmis;
+        self.injected_parity_retries += other.injected_parity_retries;
+        self.injected_jitter_cycles += other.injected_jitter_cycles;
+        self.injected_coproc_busy_cycles += other.injected_coproc_busy_cycles;
+    }
+
+    /// Total fault-injection events and cycles delivered this run.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected_interrupts
+            + self.injected_nmis
+            + self.injected_parity_retries
+            + self.injected_jitter_cycles
+            + self.injected_coproc_busy_cycles
     }
 
     /// Cycles the pipeline actually advanced (total minus frozen).
@@ -186,7 +214,19 @@ impl fmt::Display for RunStats {
             self.interlock_stall_cycles,
             self.frozen_cycles,
             self.cycles
-        )
+        )?;
+        if self.injected_faults() > 0 {
+            write!(
+                f,
+                "\n  injected: irq={} nmi={} parity-retries={} jitter-cycles={} cpbusy-cycles={}",
+                self.injected_interrupts,
+                self.injected_nmis,
+                self.injected_parity_retries,
+                self.injected_jitter_cycles,
+                self.injected_coproc_busy_cycles
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -263,6 +303,11 @@ mod tests {
             coproc_forced_miss_cycles: 17 * k,
             frozen_cycles: 18 * k,
             interlock_stall_cycles: 19 * k,
+            injected_interrupts: 20 * k,
+            injected_nmis: 21 * k,
+            injected_parity_retries: 22 * k,
+            injected_jitter_cycles: 23 * k,
+            injected_coproc_busy_cycles: 24 * k,
         }
     }
 
@@ -304,5 +349,20 @@ mod tests {
             ..RunStats::default()
         };
         assert!(s.to_string().contains("cpi 1.700"));
+    }
+
+    #[test]
+    fn display_shows_injected_counters_only_when_present() {
+        let clean = RunStats::default();
+        assert!(!clean.to_string().contains("injected:"));
+        let faulted = RunStats {
+            injected_nmis: 2,
+            injected_jitter_cycles: 9,
+            ..RunStats::default()
+        };
+        let text = faulted.to_string();
+        assert!(text.contains("injected:"));
+        assert!(text.contains("nmi=2"));
+        assert!(text.contains("jitter-cycles=9"));
     }
 }

@@ -1,0 +1,134 @@
+//! Machine-level fault-injection tests: non-architectural faults must be
+//! architecturally invisible, architectural faults must be survivable via
+//! the restart protocol, and injected faults must show up in the trace
+//! probes (pipe-diagram fault lane, JSONL events) — with a golden file
+//! pinning the rendering.
+
+use mipsx_asm::{assemble, assemble_at};
+use mipsx_core::{FaultPlan, JsonlSink, Machine, MachineConfig, NullSink, PipeDiagram};
+use mipsx_isa::Reg;
+
+/// Restart-only handler at the exception vector (address 0).
+const NULL_HANDLER: &str = "jpc\njpc\njpcrs";
+
+/// A little loop with memory traffic: enough cycles for every plan below
+/// to land, with a checkable result (sum 1..=20 stored and kept in r2).
+const LOOP_PROGRAM: &str = "
+    li r1, 20
+    li r2, 0
+    li r3, 500
+loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    st r2, 0(r3)
+    nop
+    halt
+";
+
+fn machine_with_handler() -> Machine {
+    let handler = assemble(NULL_HANDLER).expect("handler assembles");
+    let user = assemble_at(LOOP_PROGRAM, 0x400).expect("program assembles");
+    let mut m = Machine::new(MachineConfig::default());
+    m.load_at(0, &handler.words);
+    m.load_program(&user);
+    m.cpu_mut().psw.set_interrupts_enabled(true);
+    m
+}
+
+fn run_with_plan(plan: &str) -> (Machine, mipsx_core::RunStats) {
+    let mut plan = FaultPlan::parse(plan).expect("plan parses");
+    let mut m = machine_with_handler();
+    let stats = m
+        .run_with_faults(1_000_000, &mut NullSink, &mut plan)
+        .expect("runs to halt");
+    (m, stats)
+}
+
+#[test]
+fn non_architectural_faults_are_architecturally_invisible() {
+    // Parity refetch, Ecache jitter and coprocessor-busy stalls cost
+    // cycles but must not change any architectural result.
+    let (clean, base) = run_with_plan("");
+    let (faulted, stats) = run_with_plan("20:parity,30:jitter6,40:cpbusy4,50:parity");
+    assert_eq!(stats.exceptions, 0, "no architectural fault was scheduled");
+    assert!(stats.cycles > base.cycles, "stall faults must cost cycles");
+    assert!(stats.injected_jitter_cycles >= 6);
+    assert!(stats.injected_coproc_busy_cycles >= 4);
+    assert_eq!(
+        clean.cpu().regs_snapshot(),
+        faulted.cpu().regs_snapshot(),
+        "stall-class faults leaked into architectural state"
+    );
+    assert_eq!(clean.read_word(500), faulted.read_word(500));
+}
+
+#[test]
+fn architectural_faults_are_survivable_via_restart() {
+    let (clean, _) = run_with_plan("");
+    let (faulted, stats) = run_with_plan("25:irq20,60:nmi,90:nmi");
+    assert!(
+        stats.exceptions >= 2,
+        "irq and NMIs must enter the handler, got {}",
+        stats.exceptions
+    );
+    assert!(stats.injected_nmis == 2 && stats.injected_interrupts == 1);
+    assert_eq!(
+        clean.cpu().reg(Reg::new(2)),
+        faulted.cpu().reg(Reg::new(2)),
+        "restart protocol corrupted the sum"
+    );
+    assert_eq!(clean.read_word(500), faulted.read_word(500));
+}
+
+#[test]
+fn fault_events_reach_the_jsonl_probe() {
+    let mut plan = FaultPlan::parse("20:parity,25:jitter3").expect("plan parses");
+    let mut m = machine_with_handler();
+    let mut sink = JsonlSink::new(Vec::new());
+    m.run_with_faults(1_000_000, &mut sink, &mut plan)
+        .expect("runs to halt");
+    let out = String::from_utf8(sink.finish().expect("no io errors")).expect("utf8");
+    assert!(
+        out.contains("\"t\":\"fault\",\"c\":20,\"kind\":\"parity\""),
+        "missing parity fault event:\n{out}"
+    );
+    assert!(
+        out.contains("\"t\":\"fault\",\"c\":25,\"kind\":\"jitter3\""),
+        "missing jitter fault event:\n{out}"
+    );
+}
+
+#[test]
+fn fault_lane_in_pipe_diagram_matches_golden() {
+    let render = || {
+        let mut plan = FaultPlan::parse("8:jitter2,14:parity,20:irq12").expect("plan parses");
+        let mut m = machine_with_handler();
+        let mut diagram = PipeDiagram::with_limit(48);
+        m.run_with_faults(1_000_000, &mut diagram, &mut plan)
+            .expect("runs to halt");
+        diagram.render()
+    };
+    let got = render();
+    assert_eq!(got, render(), "diagram must be deterministic");
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fault_pipe.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &got).expect("write golden");
+    }
+    let want = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to regenerate");
+    assert_eq!(
+        got, want,
+        "fault pipe diagram drifted from golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+    // The fault lane must actually mark the injections: J (jitter),
+    // P (parity), I (interrupt).
+    let lane = got
+        .lines()
+        .find(|l| l.contains("faults"))
+        .expect("diagram has a fault lane");
+    for mark in ['J', 'P', 'I'] {
+        assert!(lane.contains(mark), "fault lane missing {mark}: {lane}");
+    }
+}

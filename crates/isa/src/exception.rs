@@ -22,12 +22,34 @@ pub enum ExceptionCause {
 }
 
 impl ExceptionCause {
-    /// All causes, in increasing priority order.
+    /// All causes, in increasing priority order (see
+    /// [`ExceptionCause::priority`]).
     pub const ALL: [ExceptionCause; 3] = [
-        ExceptionCause::Interrupt,
         ExceptionCause::Overflow,
+        ExceptionCause::Interrupt,
         ExceptionCause::NonMaskableInterrupt,
     ];
+
+    /// Acceptance priority, higher wins when several causes are pending in
+    /// the same cycle. The full hardware order is reset > NMI > maskable
+    /// interrupt > overflow trap: reset is not an exception the simulator
+    /// takes (it rebuilds the [`Machine`]), so the modeled causes occupy
+    /// 1..=3 and reset would sit above them at 4.
+    ///
+    /// The pipeline realizes this order structurally — external pins are
+    /// sampled (NMI first) before the ALU's overflow compare is examined —
+    /// and [`crate::Psw::cause`] reads the cause bits back in the same
+    /// order.
+    ///
+    /// [`Machine`]: ../mipsx_core/struct.Machine.html
+    #[inline]
+    pub fn priority(self) -> u8 {
+        match self {
+            ExceptionCause::Overflow => 1,
+            ExceptionCause::Interrupt => 2,
+            ExceptionCause::NonMaskableInterrupt => 3,
+        }
+    }
 
     /// Whether this cause can be masked off in the PSW.
     #[inline]
@@ -55,5 +77,43 @@ mod tests {
         assert!(ExceptionCause::Interrupt.maskable());
         assert!(ExceptionCause::Overflow.maskable());
         assert!(!ExceptionCause::NonMaskableInterrupt.maskable());
+    }
+
+    #[test]
+    fn priorities_are_distinct_and_ordered() {
+        // ALL is documented as increasing priority; priority() must agree,
+        // and every cause must resolve deterministically against every
+        // other (no ties).
+        for pair in ExceptionCause::ALL.windows(2) {
+            assert!(pair[0].priority() < pair[1].priority(), "{pair:?}");
+        }
+        for a in ExceptionCause::ALL {
+            for b in ExceptionCause::ALL {
+                if a != b {
+                    assert_ne!(a.priority(), b.priority(), "{a} vs {b}");
+                }
+            }
+        }
+        // The paper's order: NMI above the maskable interrupt, the overflow
+        // trap at the bottom (reset, unmodeled, would sit on top).
+        assert!(
+            ExceptionCause::NonMaskableInterrupt.priority() > ExceptionCause::Interrupt.priority()
+        );
+        assert!(ExceptionCause::Interrupt.priority() > ExceptionCause::Overflow.priority());
+    }
+
+    #[test]
+    fn simultaneous_causes_resolve_by_priority() {
+        // max_by_key over any subset of pending causes is deterministic.
+        let pending = [
+            ExceptionCause::Overflow,
+            ExceptionCause::NonMaskableInterrupt,
+            ExceptionCause::Interrupt,
+        ];
+        let winner = pending.into_iter().max_by_key(|c| c.priority()).unwrap();
+        assert_eq!(winner, ExceptionCause::NonMaskableInterrupt);
+        let no_nmi = [ExceptionCause::Overflow, ExceptionCause::Interrupt];
+        let winner = no_nmi.into_iter().max_by_key(|c| c.priority()).unwrap();
+        assert_eq!(winner, ExceptionCause::Interrupt);
     }
 }

@@ -211,6 +211,56 @@ impl ComputeOp {
         !matches!(self, ComputeOp::Sll | ComputeOp::Srl | ComputeOp::Sra)
     }
 
+    /// Execute the operation: `(result, signed_overflow, md_update)`.
+    ///
+    /// This is the single definition of MIPS-X ALU semantics — the
+    /// pipeline's execute stage and the functional reference interpreter
+    /// both call it, so the two models cannot drift apart on arithmetic.
+    /// `md` is the multiply/divide register as seen by this instruction
+    /// (only [`ComputeOp::Mstep`]/[`ComputeOp::Dstep`] read it).
+    pub fn execute(self, a: u32, b: u32, shamt: u8, md: u32) -> (u32, bool, Option<u32>) {
+        match self {
+            ComputeOp::Add => {
+                let (r, o) = (a as i32).overflowing_add(b as i32);
+                (r as u32, o, None)
+            }
+            ComputeOp::Sub => {
+                let (r, o) = (a as i32).overflowing_sub(b as i32);
+                (r as u32, o, None)
+            }
+            ComputeOp::AddU => (a.wrapping_add(b), false, None),
+            ComputeOp::SubU => (a.wrapping_sub(b), false, None),
+            ComputeOp::And => (a & b, false, None),
+            ComputeOp::Or => (a | b, false, None),
+            ComputeOp::Xor => (a ^ b, false, None),
+            ComputeOp::Nor => (!(a | b), false, None),
+            ComputeOp::Sll => (a << (shamt & 31), false, None),
+            ComputeOp::Srl => (a >> (shamt & 31), false, None),
+            ComputeOp::Sra => (((a as i32) >> (shamt & 31)) as u32, false, None),
+            ComputeOp::Shf => {
+                // Funnel shift: low 32 bits of (a ++ b) >> shamt.
+                let wide = ((a as u64) << 32) | b as u64;
+                ((wide >> (shamt & 63)) as u32, false, None)
+            }
+            ComputeOp::Mstep => {
+                // MSB-first shift-and-add multiply step.
+                let add = if md & 0x8000_0000 != 0 { a } else { 0 };
+                let r = b.wrapping_shl(1).wrapping_add(add);
+                (r, false, Some(md << 1))
+            }
+            ComputeOp::Dstep => {
+                // MSB-first restoring division step (unsigned).
+                let mut r = (b << 1) | (md >> 31);
+                let mut m2 = md << 1;
+                if r >= a && a != 0 {
+                    r -= a;
+                    m2 |= 1;
+                }
+                (r, false, Some(m2))
+            }
+        }
+    }
+
     /// Assembler mnemonic.
     pub fn mnemonic(self) -> &'static str {
         match self {

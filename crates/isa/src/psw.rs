@@ -183,11 +183,7 @@ impl Psw {
     /// Record the cause of an exception in the PSW cause bits.
     #[inline]
     pub fn record_cause(&mut self, cause: ExceptionCause) {
-        self.bits |= match cause {
-            ExceptionCause::Interrupt => Self::CAUSE_INT,
-            ExceptionCause::Overflow => Self::CAUSE_OVF,
-            ExceptionCause::NonMaskableInterrupt => Self::CAUSE_NMI,
-        };
+        self.bits |= Self::cause_bit(cause);
     }
 
     /// Clear all recorded cause bits (done by handlers before returning).
@@ -197,16 +193,23 @@ impl Psw {
     }
 
     /// Read back the recorded cause, if any. If multiple bits are set the
-    /// highest-priority one (NMI > overflow > interrupt) is reported.
+    /// one with the highest [`ExceptionCause::priority`] is reported
+    /// (NMI > interrupt > overflow), so handlers and hardware agree on who
+    /// wins a simultaneous arrival.
     pub fn cause(self) -> Option<ExceptionCause> {
-        if self.bits & Self::CAUSE_NMI != 0 {
-            Some(ExceptionCause::NonMaskableInterrupt)
-        } else if self.bits & Self::CAUSE_OVF != 0 {
-            Some(ExceptionCause::Overflow)
-        } else if self.bits & Self::CAUSE_INT != 0 {
-            Some(ExceptionCause::Interrupt)
-        } else {
-            None
+        ExceptionCause::ALL
+            .into_iter()
+            .rev()
+            .find(|&c| self.bits & Self::cause_bit(c) != 0)
+    }
+
+    /// The PSW bit recording `cause`.
+    #[inline]
+    fn cause_bit(cause: ExceptionCause) -> u32 {
+        match cause {
+            ExceptionCause::Interrupt => Self::CAUSE_INT,
+            ExceptionCause::Overflow => Self::CAUSE_OVF,
+            ExceptionCause::NonMaskableInterrupt => Self::CAUSE_NMI,
         }
     }
 }
@@ -280,6 +283,22 @@ mod tests {
         assert_eq!(psw.cause(), Some(ExceptionCause::NonMaskableInterrupt));
         psw.clear_causes();
         assert_eq!(psw.cause(), None);
+        // Interrupt outranks overflow, matching ExceptionCause::priority().
+        psw.record_cause(ExceptionCause::Overflow);
+        psw.record_cause(ExceptionCause::Interrupt);
+        assert_eq!(psw.cause(), Some(ExceptionCause::Interrupt));
+    }
+
+    #[test]
+    fn cause_readback_follows_declared_priority() {
+        // With every cause bit set, readback must pick the cause whose
+        // priority() is highest — the two orderings can never drift apart.
+        let mut psw = Psw::reset();
+        for c in ExceptionCause::ALL {
+            psw.record_cause(c);
+        }
+        let expect = ExceptionCause::ALL.into_iter().max_by_key(|c| c.priority());
+        assert_eq!(psw.cause(), expect);
     }
 
     #[test]

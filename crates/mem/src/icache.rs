@@ -212,6 +212,29 @@ impl Icache {
         (row * self.cfg.ways + way) as usize
     }
 
+    /// Drop the sub-block valid bit covering `addr`, as a detected parity
+    /// error would: the stored word can no longer be trusted, so the next
+    /// fetch of `addr` misses with [`MissCause::SubBlockInvalid`] and
+    /// refetches the word (and its fetch-back partner) through the external
+    /// cache. The block's tag stays resident — parity kills one word, not
+    /// the block. Returns whether the word was resident (a non-resident
+    /// word has no parity to fail).
+    pub fn invalidate_word(&mut self, addr: u32) -> bool {
+        if !self.cfg.enabled {
+            return false;
+        }
+        let (row, tag, word) = self.locate(addr);
+        for way in 0..self.cfg.ways {
+            let index = self.block_index(row, way);
+            let b = &mut self.blocks[index];
+            if b.tag == Some(tag) && b.valid & (1 << word) != 0 {
+                b.valid &= !(1 << word);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Whether `addr` is resident (no statistics side effects).
     pub fn probe(&self, addr: u32) -> bool {
         if !self.cfg.enabled {

@@ -1,0 +1,298 @@
+//! The lockstep differ.
+//!
+//! [`Lockstep`] runs the cycle-accurate pipeline and the functional
+//! reference model over the *same* program and the *same* fault plan, and
+//! compares architectural state at every retirement:
+//!
+//! - every drained instruction's `(pc, killed)` pair — the reference
+//!   model predicts not just what commits but what the pipeline squashes;
+//! - the full register file after every committed instruction;
+//! - registers, PSW, PSWold, MD and every stored-to memory word at halt.
+//!
+//! Exceptions are synchronized by *event*, not by cycle count: when the
+//! pipeline reports one through its trace probe, the same cause is
+//! delivered to the reference model at the same retirement boundary. The
+//! pipeline decides **when** a fault lands (that depends on cache misses
+//! and stalls); the models must then agree on **everything that follows**
+//! — which is precisely the paper's restartability claim, *"all
+//! instructions are restartable"*.
+//!
+//! The first disagreement is reported as a [`Divergence`] with the cycle,
+//! both PCs, and the most recent injected fault — the context needed to
+//! debug a broken restart path.
+
+use std::fmt;
+
+use mipsx_asm::Program;
+use mipsx_core::{FaultEvent, FaultPlan, Machine, MachineConfig, RunError, RunStats, TraceSink};
+use mipsx_isa::{ExceptionCause, Instr};
+
+use crate::interp::RefMachine;
+
+/// The minimal exception handler: restart immediately via the three
+/// special jumps through the PC chain.
+pub const NULL_HANDLER: &str = "jpc\njpc\njpcrs";
+
+/// Per-cycle events captured from the pipeline's trace probe: what
+/// drained at write-back and whether an exception was taken.
+#[derive(Default)]
+struct StepEvents {
+    retires: Vec<(u32, Instr, bool)>,
+    exceptions: Vec<ExceptionCause>,
+}
+
+impl TraceSink for StepEvents {
+    fn exception(&mut self, _cycle: u64, cause: ExceptionCause) {
+        self.exceptions.push(cause);
+    }
+
+    fn retire(&mut self, _cycle: u64, pc: u32, instr: Instr, killed: bool) {
+        self.retires.push((pc, instr, killed));
+    }
+}
+
+/// The first point where pipeline and reference model disagree.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Pipeline cycle of the disagreeing retirement.
+    pub cycle: u64,
+    /// Committed instructions before the disagreement.
+    pub committed: u64,
+    /// What disagreed, human-readable.
+    pub what: String,
+    /// Pipeline fetch PC at the time.
+    pub machine_pc: u32,
+    /// Reference-model stream position at the time.
+    pub oracle_pc: u32,
+    /// The most recent injected fault, if any — usually the trigger.
+    pub pending_fault: Option<FaultEvent>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "lockstep divergence at cycle {} (after {} committed instructions)",
+            self.cycle, self.committed
+        )?;
+        writeln!(f, "  {}", self.what)?;
+        write!(
+            f,
+            "  pipeline pc {:#x}, reference pc {:#x}, last injected fault: ",
+            self.machine_pc, self.oracle_pc
+        )?;
+        match &self.pending_fault {
+            Some(ev) => write!(f, "{ev}"),
+            None => write!(f, "none"),
+        }
+    }
+}
+
+/// Why a lockstep run stopped early.
+#[derive(Debug, Clone)]
+pub enum LockstepError {
+    /// The pipeline itself reported a simulator-level error.
+    Machine(RunError),
+    /// Pipeline and reference model disagreed.
+    Diverged(Box<Divergence>),
+}
+
+impl fmt::Display for LockstepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockstepError::Machine(e) => write!(f, "machine error: {e}"),
+            LockstepError::Diverged(d) => d.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LockstepError {}
+
+impl From<RunError> for LockstepError {
+    fn from(e: RunError) -> LockstepError {
+        LockstepError::Machine(e)
+    }
+}
+
+/// Pipeline + reference model in lockstep under one fault plan.
+pub struct Lockstep {
+    machine: Machine,
+    oracle: RefMachine,
+    plan: FaultPlan,
+}
+
+impl Lockstep {
+    /// Build both models over `program` with `plan` scheduled against the
+    /// pipeline.
+    ///
+    /// # Panics
+    /// Panics unless `cfg` uses the shipped two-delay-slot pipeline — the
+    /// reference model hard-codes that ISA.
+    pub fn new(cfg: MachineConfig, program: &Program, plan: FaultPlan) -> Lockstep {
+        assert_eq!(
+            cfg.branch_delay_slots, 2,
+            "the reference model encodes the 2-delay-slot ISA"
+        );
+        let mut machine = Machine::new(cfg);
+        machine.load_program(program);
+        let mut oracle = RefMachine::new(cfg.exception_vector);
+        oracle.load_program(program);
+        Lockstep {
+            machine,
+            oracle,
+            plan,
+        }
+    }
+
+    /// Load an exception handler image at its origin on both sides.
+    pub fn install_handler(&mut self, handler: &Program) {
+        for (i, &w) in handler.words.iter().enumerate() {
+            self.machine
+                .write_word(handler.origin.wrapping_add(i as u32), w);
+        }
+        self.oracle.load_image(handler.origin, &handler.words);
+    }
+
+    /// Enable maskable interrupts on both sides (boot software would).
+    pub fn enable_interrupts(&mut self) {
+        self.machine.cpu_mut().psw.set_interrupts_enabled(true);
+        self.oracle.psw_mut().set_interrupts_enabled(true);
+    }
+
+    /// The pipeline side.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The pipeline side, mutable — robustness tests use this to corrupt
+    /// machine state and prove the differ notices.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The reference side.
+    pub fn oracle(&self) -> &RefMachine {
+        &self.oracle
+    }
+
+    /// Advance the pipeline one cycle, mirror its retirements and
+    /// exceptions into the reference model, and compare. Returns whether
+    /// the pipeline has halted.
+    pub fn step(&mut self) -> Result<bool, LockstepError> {
+        let mut ev = StepEvents::default();
+        self.machine
+            .step_with_faults(&mut ev, &mut self.plan)
+            .map_err(LockstepError::Machine)?;
+        for (pc, instr, killed) in std::mem::take(&mut ev.retires) {
+            let step = self.oracle.step_retire();
+            if step.pc != pc {
+                return Err(self.diverge(format!(
+                    "retired pc: pipeline {:#x}, reference {:#x}",
+                    pc, step.pc
+                )));
+            }
+            if step.killed != killed {
+                return Err(self.diverge(format!(
+                    "kill bit at {pc:#x} ({instr}): pipeline {killed}, reference {}",
+                    step.killed
+                )));
+            }
+            if !killed {
+                if step.instr != Some(instr) {
+                    return Err(self.diverge(format!(
+                        "instruction at {pc:#x}: pipeline {instr}, reference {}",
+                        step.instr
+                            .map_or_else(|| "<drain>".into(), |i| i.to_string())
+                    )));
+                }
+                let m = self.machine.cpu().regs_snapshot();
+                let o = self.oracle.regs_snapshot();
+                if m != o {
+                    let r = (0..32).find(|&i| m[i] != o[i]).unwrap_or(0);
+                    return Err(self.diverge(format!(
+                        "r{r} after {instr} at {pc:#x}: pipeline {:#x}, reference {:#x}",
+                        m[r], o[r]
+                    )));
+                }
+            }
+        }
+        for cause in ev.exceptions.drain(..) {
+            self.oracle.take_exception(cause);
+        }
+        Ok(self.machine.halted())
+    }
+
+    /// Run to halt (or `max_cycles`) and make the final architectural
+    /// comparison: registers, PSW, PSWold, MD and every memory word the
+    /// reference model stored to.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, LockstepError> {
+        while !self.machine.halted() {
+            if self.machine.stats().cycles >= max_cycles {
+                return Err(LockstepError::Machine(RunError::CycleLimit {
+                    limit: max_cycles,
+                }));
+            }
+            self.step()?;
+        }
+        self.final_check()?;
+        Ok(*self.machine.stats())
+    }
+
+    fn final_check(&self) -> Result<(), LockstepError> {
+        if !self.oracle.halted() {
+            return Err(self.diverge("pipeline halted, reference model did not".into()));
+        }
+        let m = self.machine.cpu().regs_snapshot();
+        let o = self.oracle.regs_snapshot();
+        if m != o {
+            let r = (0..32).find(|&i| m[i] != o[i]).unwrap_or(0);
+            return Err(self.diverge(format!(
+                "r{r} at halt: pipeline {:#x}, reference {:#x}",
+                m[r], o[r]
+            )));
+        }
+        let cpu = self.machine.cpu();
+        if cpu.psw.bits() != self.oracle.psw().bits() {
+            return Err(self.diverge(format!(
+                "psw at halt: pipeline {:#010x}, reference {:#010x}",
+                cpu.psw.bits(),
+                self.oracle.psw().bits()
+            )));
+        }
+        if cpu.psw_old.bits() != self.oracle.psw_old().bits() {
+            return Err(self.diverge(format!(
+                "pswold at halt: pipeline {:#010x}, reference {:#010x}",
+                cpu.psw_old.bits(),
+                self.oracle.psw_old().bits()
+            )));
+        }
+        if cpu.md != self.oracle.md() {
+            return Err(self.diverge(format!(
+                "md at halt: pipeline {:#x}, reference {:#x}",
+                cpu.md,
+                self.oracle.md()
+            )));
+        }
+        for addr in self.oracle.written_addrs() {
+            let mv = self.machine.read_word(addr);
+            let ov = self.oracle.mem_word(addr);
+            if mv != ov {
+                return Err(self.diverge(format!(
+                    "memory word {addr:#x} at halt: pipeline {mv:#x}, reference {ov:#x}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn diverge(&self, what: String) -> LockstepError {
+        LockstepError::Diverged(Box::new(Divergence {
+            cycle: self.machine.stats().cycles,
+            committed: self.machine.stats().instructions,
+            what,
+            machine_pc: self.machine.cpu().pc,
+            oracle_pc: self.oracle.pc(),
+            pending_fault: self.plan.last_fired(),
+        }))
+    }
+}

@@ -1,0 +1,123 @@
+//! Lockstep validation: the cycle-accurate pipeline against the
+//! functional reference model, over every workload kernel, with and
+//! without injected faults — plus the mutation check proving a broken
+//! restart path is actually caught.
+
+use mipsx_asm::assemble_at;
+use mipsx_core::{FaultPlan, MachineConfig, RunStats};
+use mipsx_isa::SpecialReg;
+use mipsx_ref::{Lockstep, LockstepError, NULL_HANDLER};
+use mipsx_reorg::{BranchScheme, Reorganizer};
+use mipsx_workloads::{all_kernels, Kernel};
+
+/// Exception vector well clear of kernel text and data.
+const VECTOR: u32 = 0x8000;
+
+fn lockstep_for(kernel: &Kernel, plan: FaultPlan) -> Lockstep {
+    let (program, _) = Reorganizer::new(BranchScheme::mipsx())
+        .reorganize(&kernel.raw)
+        .expect("kernel schedules");
+    let cfg = MachineConfig {
+        exception_vector: VECTOR,
+        ..MachineConfig::default()
+    };
+    let mut ls = Lockstep::new(cfg, &program, plan);
+    let handler = assemble_at(NULL_HANDLER, VECTOR).expect("handler assembles");
+    ls.install_handler(&handler);
+    ls.enable_interrupts();
+    ls
+}
+
+fn run(kernel: &Kernel, plan: FaultPlan, label: &str) -> RunStats {
+    let mut ls = lockstep_for(kernel, plan);
+    ls.run(5_000_000)
+        .unwrap_or_else(|e| panic!("{} [{label}]: {e}", kernel.name))
+}
+
+#[test]
+fn kernels_agree_without_faults() {
+    for k in all_kernels() {
+        let stats = run(&k, FaultPlan::none(), "no faults");
+        assert_eq!(stats.exceptions, 0, "{}", k.name);
+        assert!(stats.instructions > 0, "{}", k.name);
+    }
+}
+
+#[test]
+fn kernels_agree_under_random_fault_plans() {
+    let mut exceptions = 0;
+    let mut faults = 0;
+    for (i, k) in all_kernels().iter().enumerate() {
+        // Size each plan's horizon to the kernel's own fault-free run so
+        // every fault actually lands.
+        let horizon = run(k, FaultPlan::none(), "baseline").cycles;
+        for seed in 0..3u64 {
+            let plan = FaultPlan::random(0xC0FFEE ^ ((i as u64) << 8) ^ seed, horizon, 8);
+            let stats = run(k, plan, &format!("seed {seed}"));
+            exceptions += stats.exceptions;
+            faults += stats.injected_faults();
+        }
+    }
+    assert!(faults > 0, "no faults were injected");
+    assert!(exceptions > 0, "no plan ever took an exception");
+}
+
+#[test]
+fn parsed_fault_spec_agrees() {
+    // The same spec syntax `mipsx soak --faults` takes on the command
+    // line: one of every fault kind, early in the run. The interrupt
+    // line is held for 20 cycles so the pulse outlasts any cold-cache
+    // freeze (a short pulse inside a frozen stretch is missed — the
+    // pipeline only samples on advancing cycles).
+    let plan = FaultPlan::parse("12:irq20,25:parity,40:jitter4,60:nmi,80:cpbusy3").expect("parses");
+    for k in all_kernels() {
+        let stats = run(&k, plan.clone(), "fixed spec");
+        assert!(
+            stats.exceptions >= 2,
+            "{}: irq + nmi must both land",
+            k.name
+        );
+        assert!(stats.injected_faults() > 0, "{}", k.name);
+    }
+}
+
+#[test]
+fn corrupted_restart_path_is_caught() {
+    // Mutation check: take an exception, then corrupt the saved restart
+    // PC (chain entry 0) before the handler's first `jpc` consumes it.
+    // The replay resumes one word off, and the differ must notice at the
+    // first wrong retirement.
+    let kernel = &all_kernels()[0]; // sum_to_n: pure arithmetic loop
+    let plan = FaultPlan::parse("30:nmi").expect("parses");
+    let mut ls = lockstep_for(kernel, plan);
+    loop {
+        match ls.step() {
+            Err(e) => panic!("diverged before corruption: {e}"),
+            Ok(true) => panic!("halted before the injected NMI landed"),
+            Ok(false) => {}
+        }
+        if ls.machine().stats().exceptions >= 1 {
+            break;
+        }
+    }
+    let cpu = ls.machine_mut().cpu_mut();
+    let entry = cpu.special(SpecialReg::PcChain0);
+    cpu.set_special(SpecialReg::PcChain0, entry.wrapping_add(1));
+    let err = loop {
+        match ls.step() {
+            Err(e) => break e,
+            Ok(true) => panic!("halted cleanly despite the corrupted restart PC"),
+            Ok(false) => {}
+        }
+    };
+    match err {
+        LockstepError::Diverged(d) => {
+            assert!(
+                d.what.contains("retired pc"),
+                "expected a retired-pc divergence, got: {d}"
+            );
+            assert!(d.pending_fault.is_some(), "report must carry the fault");
+        }
+        other => panic!("expected a divergence report, got: {other}"),
+    }
+}

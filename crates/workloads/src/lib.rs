@@ -16,12 +16,15 @@
 //!   them.
 //!
 //! Instruction-address [`traces`] for the pure trace-driven cache studies
-//! round out the crate.
+//! and seed-driven random programs for the fault-injection [`soak`]
+//! harness round out the crate.
 
 pub mod calibration;
 pub mod kernels;
+pub mod soak;
 pub mod synth;
 pub mod traces;
 
 pub use kernels::{all_kernels, Kernel};
+pub use soak::random_scheduled_program;
 pub use synth::{SynthConfig, SynthProgram};

@@ -7,6 +7,9 @@
 //! mipsx trace <kernel|file.s> [options]
 //!                                   execute with the cycle-level probes on:
 //!                                   ASCII pipe diagram + CPI attribution
+//! mipsx soak  [options]             fuzz random programs under random
+//!                                   fault plans against the lockstep
+//!                                   reference model
 //! mipsx info                        print the modeled machine's parameters
 //!
 //! run options:
@@ -19,7 +22,18 @@
 //!   --diagram <n>       render the first n cycles as a pipe diagram
 //!                       (default 60; 0 disables)
 //!   --jsonl <path>      also write every probe event as JSON lines
+//!
+//! soak options:
+//!   --runs <n>          program x fault-plan pairs to run (default 100)
+//!   --seed <n>          base seed; run i uses seed n+i (default 1)
+//!   --faults <spec>     fixed plan for every run, e.g. "120:irq3,340:nmi"
+//!                       (default: a random plan derived from the run seed)
+//!   --fault-count <n>   faults per random plan (default 6)
+//!   --cycles <n>        lockstep cycle budget per run (default 2,000,000)
 //! ```
+//!
+//! A failing soak run prints a copy-pasteable `mipsx soak --runs 1 --seed N
+//! --faults <spec>` line that reproduces it exactly.
 //!
 //! `mipsx trace` accepts either a kernel name from the built-in suite
 //! (`mipsx trace fib_recursive`) — the kernel is scheduled by the code
@@ -28,17 +42,19 @@
 
 use std::process::ExitCode;
 
-use mipsx::asm::{assemble, disassemble};
+use mipsx::asm::{assemble, assemble_at, disassemble};
 use mipsx::core::probe::{CpiAttribution, JsonlSink, PipeDiagram};
-use mipsx::core::{InterlockPolicy, Machine, MachineConfig};
+use mipsx::core::{FaultPlan, InterlockPolicy, Machine, MachineConfig};
 use mipsx::isa::Reg;
+use mipsx::refmodel::{Lockstep, NULL_HANDLER};
 use mipsx::reorg::{BranchScheme, Reorganizer};
-use mipsx::workloads::all_kernels;
+use mipsx::workloads::{all_kernels, random_scheduled_program};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mipsx <asm|dis|run|trace|info> [file.s|kernel] [--cycles N] [--slots 1|2] \
-         [--trust] [--regs] [--diagram N] [--jsonl path]"
+        "usage: mipsx <asm|dis|run|trace|soak|info> [file.s|kernel] [--cycles N] [--slots 1|2] \
+         [--trust] [--regs] [--diagram N] [--jsonl path] [--runs N] [--seed N] \
+         [--faults spec] [--fault-count N]"
     );
     ExitCode::FAILURE
 }
@@ -155,6 +171,101 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Exception vector used by the soak harness: well clear of generated
+/// program text and its data region.
+const SOAK_VECTOR: u32 = 0x8000;
+
+fn cmd_soak(args: &[String]) -> ExitCode {
+    let mut runs = 100u64;
+    let mut base_seed = 1u64;
+    let mut fault_spec: Option<String> = None;
+    let mut fault_count = 6u32;
+    let mut cycles = 2_000_000u64;
+    let mut it = args.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--runs" => runs = it.next().and_then(|v| v.parse().ok()).unwrap_or(runs),
+            "--seed" => base_seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(base_seed),
+            "--faults" => fault_spec = it.next().cloned(),
+            "--fault-count" => {
+                fault_count = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(fault_count)
+            }
+            "--cycles" => cycles = it.next().and_then(|v| v.parse().ok()).unwrap_or(cycles),
+            other => {
+                eprintln!("mipsx: unknown option {other}");
+                return usage();
+            }
+        }
+    }
+    let fixed_plan = match &fault_spec {
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("mipsx: --faults {spec}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let handler = assemble_at(NULL_HANDLER, SOAK_VECTOR).expect("null handler assembles");
+    let cfg = MachineConfig {
+        exception_vector: SOAK_VECTOR,
+        ..MachineConfig::mipsx()
+    };
+
+    let mut divergences = 0u64;
+    let mut exceptions = 0u64;
+    let mut faults = 0u64;
+    for i in 0..runs {
+        let seed = base_seed.wrapping_add(i);
+        let program = random_scheduled_program(seed);
+        let plan = match &fixed_plan {
+            Some(p) => p.clone(),
+            None => {
+                // Size the plan's horizon to this program's fault-free run
+                // so every fault lands inside it.
+                let mut m = Machine::new(cfg);
+                m.load_program(&program);
+                let horizon = match m.run(cycles) {
+                    Ok(stats) => stats.cycles,
+                    Err(e) => {
+                        eprintln!("mipsx: seed {seed}: fault-free baseline failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                FaultPlan::random(seed, horizon, fault_count)
+            }
+        };
+        let plan_spec = plan.to_string();
+        faults += plan.events().len() as u64;
+        let mut lockstep = Lockstep::new(cfg, &program, plan);
+        lockstep.install_handler(&handler);
+        lockstep.enable_interrupts();
+        match lockstep.run(cycles) {
+            Ok(stats) => exceptions += stats.exceptions,
+            Err(e) => {
+                divergences += 1;
+                eprintln!("mipsx: seed {seed}: {e}");
+                eprintln!(
+                    "  reproduce: mipsx soak --runs 1 --seed {seed} --faults \"{plan_spec}\""
+                );
+            }
+        }
+    }
+    println!(
+        "soak: {runs} runs, {faults} fault events scheduled, {exceptions} exceptions taken, \
+         {divergences} divergences"
+    );
+    if divergences > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -194,6 +305,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "trace" => cmd_trace(&args[1..]),
+        "soak" => cmd_soak(&args[1..]),
         "asm" | "dis" | "run" => {
             let Some(path) = args.get(1) else {
                 return usage();
