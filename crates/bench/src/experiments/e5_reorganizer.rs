@@ -118,11 +118,14 @@ mod tests {
     fn improved_lands_near_1_27() {
         let r = run();
         // The exact figure depends on the synthetic-workload RNG stream;
-        // the in-repo `rand` shim (xoshiro256**) lands around 1.58 where
-        // the paper reports 1.27. The ordering test above carries the
-        // qualitative claim; here we only pin the magnitude loosely.
+        // the in-repo `rand` shim (xoshiro256**) lands around 1.69 where
+        // the paper reports 1.27 (it was ~1.58 before the verifier's
+        // squash-unsafe rule barred stores from annulled delay slots,
+        // which the paper's hand analysis did not model). The ordering
+        // test above carries the qualitative claim; here we only pin the
+        // magnitude loosely.
         assert!(
-            (r.improved - 1.27).abs() < 0.35,
+            (r.improved - 1.27).abs() < 0.5,
             "improved cycles/branch {:.3} too far from 1.27",
             r.improved
         );

@@ -168,6 +168,175 @@ mod tests {
         assert!(contains(l.live_in[0], Reg::new(6)));
     }
 
+    /// `step_backward` over every instruction class the workload and
+    /// fuzzer generators can emit: the verifier and the slot filler both
+    /// lean on these def/use sets, so each class gets an explicit check.
+    #[test]
+    fn def_use_sets_per_instruction_class() {
+        use mipsx_isa::SpecialReg;
+        let r = Reg::new;
+        // (instr, expected def, expected uses)
+        let cases: Vec<(Instr, Option<Reg>, Vec<Reg>)> = vec![
+            (
+                Instr::Ld {
+                    rs1: r(2),
+                    rd: r(1),
+                    offset: 4,
+                },
+                Some(r(1)),
+                vec![r(2)],
+            ),
+            (
+                Instr::St {
+                    rs1: r(2),
+                    rsrc: r(3),
+                    offset: -1,
+                },
+                None,
+                vec![r(2), r(3)],
+            ),
+            (
+                Instr::Addi {
+                    rs1: r(4),
+                    rd: r(5),
+                    imm: 7,
+                },
+                Some(r(5)),
+                vec![r(4)],
+            ),
+            (add(6, 7, 8), Some(r(6)), vec![r(7), r(8)]),
+            (
+                // Shifts read only rs1; rs2 is ignored by the funnel setup.
+                Instr::Compute {
+                    op: ComputeOp::Sll,
+                    rs1: r(9),
+                    rs2: r(10),
+                    rd: r(11),
+                    shamt: 3,
+                },
+                Some(r(11)),
+                vec![r(9)],
+            ),
+            (
+                Instr::Jspci {
+                    rs1: r(31),
+                    rd: r(12),
+                    imm: 0,
+                },
+                Some(r(12)),
+                vec![r(31)],
+            ),
+            (
+                Instr::Mvtc {
+                    rs: r(13),
+                    cop: 1,
+                    op: 2,
+                },
+                None,
+                vec![r(13)],
+            ),
+            (
+                Instr::Mvfc {
+                    rd: r(14),
+                    cop: 1,
+                    op: 2,
+                },
+                Some(r(14)),
+                vec![],
+            ),
+            (
+                Instr::Ldf {
+                    rs1: r(15),
+                    fr: 0,
+                    offset: 0,
+                },
+                None,
+                vec![r(15)],
+            ),
+            (
+                Instr::Stf {
+                    rs1: r(16),
+                    fr: 0,
+                    offset: 0,
+                },
+                None,
+                vec![r(16)],
+            ),
+            (
+                Instr::Cpop {
+                    rs1: r(17),
+                    cop: 2,
+                    op: 9,
+                },
+                None,
+                vec![r(17)],
+            ),
+            (
+                Instr::Movtos {
+                    sreg: SpecialReg::Md,
+                    rs: r(18),
+                },
+                None,
+                vec![r(18)],
+            ),
+            (
+                Instr::Movfrs {
+                    rd: r(19),
+                    sreg: SpecialReg::Md,
+                },
+                Some(r(19)),
+                vec![],
+            ),
+            (Instr::Nop, None, vec![]),
+        ];
+        for (instr, def, uses) in cases {
+            assert_eq!(instr.def(), def, "{instr}: wrong def");
+            let got: Vec<Reg> = instr.uses().collect();
+            assert_eq!(got, uses, "{instr}: wrong uses");
+            // And the backward transfer agrees: defs leave the set, uses
+            // enter it.
+            let mut live: RegSet = def.map_or(0, |d| 1 << d.index());
+            step_backward(&mut live, &instr);
+            if let Some(d) = def {
+                if !uses.contains(&d) {
+                    assert!(!contains(live, d), "{instr}: def must be killed");
+                }
+            }
+            for u in uses {
+                assert!(contains(live, u), "{instr}: use must be live");
+            }
+        }
+    }
+
+    /// Compare-and-branch and call/return terminators feed the same
+    /// analysis through `Terminator::{def, uses}`.
+    #[test]
+    fn def_use_sets_of_terminators() {
+        let r = Reg::new;
+        let branch = Terminator::Branch {
+            cond: Cond::Lt,
+            rs1: r(1),
+            rs2: r(2),
+            taken: 0,
+            fall: 1,
+            p_taken: 0.5,
+        };
+        assert_eq!(branch.def(), None);
+        assert_eq!(branch.uses(), vec![r(1), r(2)]);
+        let call = Terminator::Call {
+            target: 0,
+            link: Reg::LINK,
+            ret_to: 1,
+        };
+        assert_eq!(call.def(), Some(Reg::LINK));
+        assert!(call.uses().is_empty());
+        let ret = Terminator::Return { link: Reg::LINK };
+        assert_eq!(ret.def(), None);
+        assert_eq!(ret.uses(), vec![Reg::LINK]);
+        assert_eq!(Terminator::Halt.def(), None);
+        assert!(Terminator::Halt.uses().is_empty());
+    }
+
     #[test]
     fn step_backward_kill_then_gen() {
         // r1 = r1 + r2: def and use of r1 — still live (used before def).

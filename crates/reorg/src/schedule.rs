@@ -48,6 +48,11 @@ pub struct ScheduleReport {
     pub slot_nops: usize,
     /// `nop`s inserted by the load-delay pass.
     pub load_nops: usize,
+    /// Whether the emitted program passed the static hazard verifier
+    /// (`mipsx_verify`) with zero error-severity diagnostics.
+    pub verified: bool,
+    /// Total diagnostics (errors + warnings) the verifier reported.
+    pub diagnostics: usize,
 }
 
 impl ScheduleReport {
@@ -375,7 +380,30 @@ impl Reorganizer {
             }
         }
         let program = asm.finish()?;
+
+        // Post-condition: every program this reorganizer emits must pass
+        // the static hazard verifier. The report carries the result so
+        // callers can assert legality without re-running the pass.
+        let lint = self.verify_schedule(&program);
+        report.verified = lint.is_clean();
+        report.diagnostics = lint.diagnostics.len();
+        debug_assert!(
+            report.verified,
+            "reorganizer emitted an illegal schedule:\n{lint}\n{program}"
+        );
         Ok((program, report))
+    }
+
+    /// Run the static hazard verifier over a program under this
+    /// reorganizer's branch scheme (delay-slot count). `reorganize` and
+    /// `lower_naive` already call this and record the outcome in their
+    /// [`ScheduleReport`]; it is public so hand-scheduled programs can be
+    /// checked against the same contract.
+    pub fn verify_schedule(&self, program: &Program) -> mipsx_verify::LintReport {
+        mipsx_verify::verify(
+            program,
+            &mipsx_verify::VerifyConfig::for_slots(self.scheme.slots),
+        )
     }
 
     /// Fill one branch's delay slots; returns the slot instructions, the
@@ -464,7 +492,13 @@ impl Reorganizer {
             let mut skip = 0;
             while fill.len() < slots && skip < bodies[taken].len() {
                 let candidate = bodies[taken][skip];
-                if candidate.is_nop() || fill.last().is_some_and(|p| feeds_hazard(p, &candidate)) {
+                // Squashed slots are annulled via the destination-register
+                // kill line, so only instructions the kill line can reach
+                // (plain register writes) may ride in them.
+                if candidate.is_nop()
+                    || !mipsx_verify::squash_safe(&candidate)
+                    || fill.last().is_some_and(|p| feeds_hazard(p, &candidate))
+                {
                     break;
                 }
                 fill.push(candidate);
@@ -480,7 +514,10 @@ impl Reorganizer {
             let mut moved = 0;
             while fill.len() < slots && moved < bodies[fall].len() {
                 let candidate = bodies[fall][moved];
-                if candidate.is_nop() || (load_class(&candidate) && fill.len() == slots - 1) {
+                if candidate.is_nop()
+                    || !mipsx_verify::squash_safe(&candidate)
+                    || (load_class(&candidate) && fill.len() == slots - 1)
+                {
                     break;
                 }
                 fill.push(candidate);

@@ -1,0 +1,485 @@
+//! The actual analysis: CFG reconstruction from a decoded image, the
+//! adjacent-pair load-delay dataflow, delay-window shape rules, and the
+//! MD step-chain abstract interpretation.
+//!
+//! The central object is the **execution-adjacency relation**: the set of
+//! ordered pairs `(p, c)` such that instruction `c` can issue on the
+//! cycle after instruction `p` on some dynamic path where both survive
+//! squashing. Every load-delay hazard is a property of exactly one such
+//! pair, because the machine's only load interlock gap is one cycle wide.
+//! The relation is built from decoded branch displacements (the same
+//! arithmetic the hardware does in the RF stage) plus the squash mode's
+//! `slots_execute` truth table, so it includes the tricky pairs: final
+//! delay slot → branch target, final slot → fall-through, and the unknown
+//! successor of an indirect `jspci`/`jpc`.
+
+use crate::{squash_safe, DiagKind, Diagnostic, VerifyConfig};
+use mipsx_asm::Program;
+use mipsx_isa::{ComputeOp, Instr, Reg, SpecialReg, SquashMode};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Registers an instruction reads **in its ALU stage**. This is the
+/// consumer set for load-delay purposes: store data (`rsrc`) and `mvtc`
+/// sources ride to the MEM stage and tolerate a distance-1 producer, but
+/// branch/jump sources resolve early and do not.
+fn alu_uses(instr: &Instr) -> Vec<Reg> {
+    match instr {
+        Instr::St { rs1, .. } => vec![*rs1],
+        Instr::Mvtc { .. } => vec![],
+        i => i.uses().collect(),
+    }
+}
+
+/// The register a load-class instruction (`ld`, `mvfc`) delivers a cycle
+/// late, if it delivers one at all.
+fn late_def(instr: &Instr) -> Option<Reg> {
+    match instr {
+        Instr::Ld { .. } | Instr::Mvfc { .. } => instr.def().filter(|d| !d.is_zero()),
+        _ => None,
+    }
+}
+
+/// Abstract MD-register state for the step-chain rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Md {
+    /// No chain in progress (initial state; also after 32 steps retire).
+    Idle,
+    /// `count` same-kind steps done, `count < 32`. `mul` distinguishes
+    /// `mstep` chains from `dstep` chains.
+    Chain { mul: bool, count: u8 },
+    /// Paths disagree — give up silently rather than guess.
+    Top,
+}
+
+impl Md {
+    fn merge(self, other: Md) -> Md {
+        if self == other {
+            self
+        } else {
+            Md::Top
+        }
+    }
+}
+
+pub(crate) fn run(program: &Program, config: &VerifyConfig) -> Vec<Diagnostic> {
+    let analysis = Analysis::new(program, config);
+    let mut diags = Vec::new();
+    analysis.check_windows_and_pairs(&mut diags);
+    analysis.check_straight_lints(&mut diags);
+    analysis.check_md_chains(&mut diags);
+    diags
+}
+
+struct Analysis {
+    entry: u32,
+    /// Decoded instruction at every word address of the image.
+    code: BTreeMap<u32, Instr>,
+    /// Addresses reachable from the entry point (data words that the
+    /// program never flows into are not linted).
+    reachable: BTreeSet<u32>,
+    /// Delay-slot address → owning control-transfer address.
+    slot_of: BTreeMap<u32, u32>,
+    slots: u32,
+}
+
+impl Analysis {
+    fn new(program: &Program, config: &VerifyConfig) -> Analysis {
+        let code: BTreeMap<u32, Instr> = program.iter_instrs().collect();
+        let slots = config.branch_delay_slots as u32;
+
+        // Reachability walk. Successors mirror the hardware: a control
+        // transfer always fetches its delay slots; where it goes next
+        // depends on the decoded displacement (or is unknowable for
+        // indirect jumps, which simply end the walk on that path).
+        let mut reachable = BTreeSet::new();
+        let mut work = vec![program.entry];
+        while let Some(addr) = work.pop() {
+            if !code.contains_key(&addr) || !reachable.insert(addr) {
+                continue;
+            }
+            match code[&addr] {
+                Instr::Halt => {}
+                Instr::Branch { disp, .. } => {
+                    work.extend((1..=slots).map(|k| addr + k));
+                    work.push(addr.wrapping_add(disp as u32));
+                    work.push(addr + slots + 1);
+                }
+                Instr::Jspci { rs1, rd, imm } => {
+                    work.extend((1..=slots).map(|k| addr + k));
+                    if rs1.is_zero() {
+                        // Absolute jump/call: target is the immediate.
+                        work.push(imm as u32);
+                    }
+                    if !rd.is_zero() {
+                        // A call: the callee returns to the saved link,
+                        // which points just past the delay slots.
+                        work.push(addr + slots + 1);
+                    }
+                }
+                Instr::Jpc | Instr::Jpcrs => {
+                    work.extend((1..=slots).map(|k| addr + k));
+                }
+                _ => work.push(addr + 1),
+            }
+        }
+
+        let mut slot_of = BTreeMap::new();
+        for (&addr, instr) in &code {
+            if reachable.contains(&addr) && instr.is_control() {
+                for k in 1..=slots {
+                    slot_of.entry(addr + k).or_insert(addr);
+                }
+            }
+        }
+
+        Analysis {
+            entry: program.entry,
+            code,
+            reachable,
+            slot_of,
+            slots,
+        }
+    }
+
+    fn instr(&self, addr: u32) -> Option<&Instr> {
+        self.code.get(&addr)
+    }
+
+    /// Report a load-delay hazard if `c_addr` can issue right after
+    /// `p_addr` and ALU-consumes `p_addr`'s late-arriving load result.
+    fn check_pair(&self, p_addr: u32, c_addr: u32, diags: &mut Vec<Diagnostic>) {
+        let (Some(p), Some(c)) = (self.instr(p_addr), self.instr(c_addr)) else {
+            return;
+        };
+        let Some(d) = late_def(p) else { return };
+        if alu_uses(c).contains(&d) {
+            diags.push(Diagnostic {
+                kind: DiagKind::LoadDelay,
+                addr: c_addr,
+                instr: *c,
+                detail: format!(
+                    "consumes {d} one cycle after the load at {p_addr:#07x} — the value is not yet available"
+                ),
+            });
+        }
+    }
+
+    /// Delay-window shape rules plus every execution-adjacent pair check.
+    fn check_windows_and_pairs(&self, diags: &mut Vec<Diagnostic>) {
+        for &addr in &self.reachable {
+            let instr = self.code[&addr];
+            if !instr.is_control() {
+                // Plain straight-line adjacency. Pairs inside delay
+                // windows are handled by the owning transfer below, and
+                // `halt` has no successor.
+                if !self.slot_of.contains_key(&addr) && !matches!(instr, Instr::Halt) {
+                    self.check_pair(addr, addr + 1, diags);
+                }
+                continue;
+            }
+
+            // Window shape: all slots must exist in the image.
+            let window: Vec<u32> = (1..=self.slots)
+                .map(|k| addr + k)
+                .filter(|a| self.code.contains_key(a))
+                .collect();
+            if window.len() != self.slots as usize {
+                diags.push(Diagnostic {
+                    kind: DiagKind::SlotRunoff,
+                    addr,
+                    instr,
+                    detail: format!(
+                        "delay window ({} slot(s)) runs off the end of the image",
+                        self.slots
+                    ),
+                });
+                continue;
+            }
+
+            // Control transfers inside the window. The three-instruction
+            // exception-restart sequence `jpc; jpc; jpcrs` is the one
+            // architecturally sanctioned overlap.
+            let pc_chain = matches!(instr, Instr::Jpc | Instr::Jpcrs);
+            for &s in &window {
+                let si = self.code[&s];
+                if si.is_control() && !(pc_chain && matches!(si, Instr::Jpc | Instr::Jpcrs)) {
+                    diags.push(Diagnostic {
+                        kind: DiagKind::ControlInSlot,
+                        addr: s,
+                        instr: si,
+                        detail: format!(
+                            "control transfer inside the delay window of the transfer at {addr:#07x}"
+                        ),
+                    });
+                }
+            }
+
+            // Squashed slots must be annullable.
+            if let Instr::Branch { squash, .. } = instr {
+                if squash != SquashMode::NoSquash {
+                    for &s in &window {
+                        let si = self.code[&s];
+                        if !squash_safe(&si) && !si.is_control() && !matches!(si, Instr::Illegal(_))
+                        {
+                            diags.push(Diagnostic {
+                                kind: DiagKind::SquashUnsafe,
+                                addr: s,
+                                instr: si,
+                                detail: format!(
+                                    "cannot be annulled by the squashing branch at {addr:#07x} — no destination field for the kill line"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Adjacent pairs: transfer → slot 1, slot k → slot k+1.
+            self.check_pair(addr, window[0], diags);
+            for pair in window.windows(2) {
+                self.check_pair(pair[0], pair[1], diags);
+            }
+
+            // Pairs out of the final slot, per surviving outcome.
+            let final_slot = *window.last().expect("window is non-empty");
+            match instr {
+                Instr::Branch { squash, disp, .. } => {
+                    if squash.slots_execute(true) {
+                        self.check_pair(final_slot, addr.wrapping_add(disp as u32), diags);
+                    }
+                    if squash.slots_execute(false) {
+                        self.check_pair(final_slot, addr + self.slots + 1, diags);
+                    }
+                }
+                Instr::Jspci { rs1, imm, .. } if rs1.is_zero() => {
+                    self.check_pair(final_slot, imm as u32, diags);
+                }
+                _ => {
+                    // Indirect transfer (`jspci` through a register,
+                    // `jpc`, `jpcrs`): the successor is unknowable, so a
+                    // late def in the final slot is conservatively wrong.
+                    if let Some(d) = self.instr(final_slot).and_then(late_def) {
+                        diags.push(Diagnostic {
+                            kind: DiagKind::LoadDelay,
+                            addr: final_slot,
+                            instr: self.code[&final_slot],
+                            detail: format!(
+                                "loads {d} in the final delay slot of an indirect transfer — the target head is unknown and may consume it"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-instruction lints that need no flow information.
+    fn check_straight_lints(&self, diags: &mut Vec<Diagnostic>) {
+        for &addr in &self.reachable {
+            let instr = self.code[&addr];
+            match instr {
+                Instr::Illegal(word) => diags.push(Diagnostic {
+                    kind: DiagKind::IllegalInstr,
+                    addr,
+                    instr,
+                    detail: format!("word {word:#010x} does not decode; executing it traps"),
+                }),
+                Instr::Ld { rd, .. }
+                | Instr::Mvfc { rd, .. }
+                | Instr::Movfrs { rd, .. }
+                | Instr::Compute { rd, .. }
+                | Instr::Addi { rd, .. }
+                    if rd.is_zero() =>
+                {
+                    diags.push(Diagnostic {
+                        kind: DiagKind::WriteToR0,
+                        addr,
+                        instr,
+                        detail: "writes the hardwired zero register; the result is discarded"
+                            .to_string(),
+                    });
+                }
+                Instr::Cpop { cop, .. } => {
+                    if let Some(Instr::Mvfc { cop: c2, .. }) = self.instr(addr + 1) {
+                        if *c2 == cop {
+                            diags.push(Diagnostic {
+                                kind: DiagKind::CoprocResultTiming,
+                                addr: addr + 1,
+                                instr: self.code[&(addr + 1)],
+                                detail: format!(
+                                    "reads coprocessor {cop} the cycle after `cpop` issues; the unit may still be busy and will stall the pipe"
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Forward abstract interpretation of the MD register: `mstep`/`dstep`
+    /// chains must run 32 same-kind steps to completion without an
+    /// intervening `movtos md`. Delay windows are folded at their owning
+    /// transfer so a squashed outcome skips the annulled slots.
+    fn check_md_chains(&self, diags: &mut Vec<Diagnostic>) {
+        // Fixpoint over node states. Nodes are reachable addresses that
+        // are not delay slots (slots are folded through their window).
+        if !self.reachable.contains(&self.entry) {
+            return;
+        }
+        let mut states: BTreeMap<u32, Md> = BTreeMap::new();
+        let mut work: Vec<u32> = Vec::new();
+        states.insert(self.entry, Md::Idle);
+        work.push(self.entry);
+
+        while let Some(addr) = work.pop() {
+            let state = states[&addr];
+            for (succ, out) in self.md_successors(addr, state, None) {
+                if !self.reachable.contains(&succ) {
+                    continue;
+                }
+                let merged = states.get(&succ).map_or(out, |s| s.merge(out));
+                if states.get(&succ) != Some(&merged) {
+                    states.insert(succ, merged);
+                    work.push(succ);
+                }
+            }
+        }
+
+        // Deterministic reporting pass over the converged states.
+        for (&addr, &state) in &states {
+            let mut local = Vec::new();
+            let _ = self.md_successors(addr, state, Some(&mut local));
+            diags.append(&mut local);
+        }
+    }
+
+    /// Apply the MD transfer function at `addr` (folding the delay window
+    /// if `addr` is a control transfer) and return `(successor, state)`
+    /// pairs. When `diags` is given, chain-break errors are recorded.
+    fn md_successors(
+        &self,
+        addr: u32,
+        state: Md,
+        mut diags: Option<&mut Vec<Diagnostic>>,
+    ) -> Vec<(u32, Md)> {
+        let Some(&instr) = self.instr(addr) else {
+            return vec![];
+        };
+        if !instr.is_control() {
+            if matches!(instr, Instr::Halt) {
+                return vec![];
+            }
+            let out = self.md_transfer(state, addr, diags.as_deref_mut());
+            return vec![(addr + 1, out)];
+        }
+
+        // Fold the window once; outcomes that squash the slots keep the
+        // pre-window state instead.
+        let window: Vec<u32> = (1..=self.slots)
+            .map(|k| addr + k)
+            .filter(|a| self.code.contains_key(a))
+            .collect();
+        let mut folded = state;
+        for &s in &window {
+            folded = self.md_transfer(folded, s, diags.as_deref_mut());
+        }
+        let mut out = Vec::new();
+        match instr {
+            Instr::Branch { squash, disp, .. } => {
+                let target = addr.wrapping_add(disp as u32);
+                out.push((
+                    target,
+                    if squash.slots_execute(true) {
+                        folded
+                    } else {
+                        state
+                    },
+                ));
+                out.push((
+                    addr + self.slots + 1,
+                    if squash.slots_execute(false) {
+                        folded
+                    } else {
+                        state
+                    },
+                ));
+            }
+            Instr::Jspci { rs1, rd, imm } => {
+                if rs1.is_zero() {
+                    out.push((imm as u32, folded));
+                }
+                if !rd.is_zero() {
+                    // Whatever the callee did to MD is out of scope for a
+                    // per-image analysis; resume conservatively.
+                    out.push((addr + self.slots + 1, Md::Top));
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// MD transfer for the single instruction at `addr` (which decodes).
+    fn md_transfer(&self, state: Md, addr: u32, diags: Option<&mut Vec<Diagnostic>>) -> Md {
+        let instr = self.code[&addr];
+        match instr {
+            Instr::Compute {
+                op: op @ (ComputeOp::Mstep | ComputeOp::Dstep),
+                ..
+            } => {
+                let mul = op == ComputeOp::Mstep;
+                match state {
+                    Md::Idle => Md::Chain { mul, count: 1 },
+                    Md::Chain { mul: m, count } if m == mul => {
+                        if count + 1 == 32 {
+                            Md::Idle
+                        } else {
+                            Md::Chain {
+                                mul,
+                                count: count + 1,
+                            }
+                        }
+                    }
+                    Md::Chain { mul: m, count } => {
+                        if let Some(diags) = diags {
+                            diags.push(Diagnostic {
+                                kind: DiagKind::MdChainBroken,
+                                addr,
+                                instr,
+                                detail: format!(
+                                    "{} interrupts a {} chain {count} step(s) in — the partial product/remainder in MD is clobbered",
+                                    if mul { "mstep" } else { "dstep" },
+                                    if m { "mstep" } else { "dstep" },
+                                ),
+                            });
+                        }
+                        Md::Chain { mul, count: 1 }
+                    }
+                    Md::Top => Md::Top,
+                }
+            }
+            Instr::Movtos {
+                sreg: SpecialReg::Md,
+                ..
+            } => {
+                if let Md::Chain { mul, count } = state {
+                    if let Some(diags) = diags {
+                        diags.push(Diagnostic {
+                            kind: DiagKind::MdChainBroken,
+                            addr,
+                            instr,
+                            detail: format!(
+                                "writes MD in the middle of a {} chain ({count} of 32 steps done)",
+                                if mul { "mstep" } else { "dstep" },
+                            ),
+                        });
+                    }
+                }
+                Md::Idle
+            }
+            _ => state,
+        }
+    }
+}

@@ -1,0 +1,13 @@
+; Iterative Fibonacci with manually scheduled branch delay slots.
+; r2/r3 hold the sliding pair; the two no-squash slots after the loop
+; branch do the shift, so the loop body carries zero no-ops.
+        .entry main
+main:   li r1, 10             ; compute fib(10) = 55 into r3
+        li r2, 0              ; fib(0)
+        li r3, 1              ; fib(1)
+loop:   add r4, r2, r3
+        addi r1, r1, -1
+        bne r1, r0, loop
+        add r2, r0, r3        ; delay slot 1: shift the pair down
+        add r3, r0, r4        ; delay slot 2
+        halt

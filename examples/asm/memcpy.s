@@ -1,0 +1,15 @@
+; Word-by-word copy loop (MIPS-X is word addressed). The source-pointer
+; bump fills the load delay slot, and the destination bump rides in the
+; first branch slot — the idiomatic hand schedule for this loop.
+        .entry main
+main:   li r1, 64             ; source base
+        li r2, 128            ; destination base
+        li r3, 8              ; words to copy
+loop:   ld r4, 0(r1)
+        addi r1, r1, 1        ; load delay slot: bump src
+        st r4, 0(r2)
+        addi r3, r3, -1
+        bne r3, r0, loop
+        addi r2, r2, 1        ; delay slot 1: bump dst
+        nop                   ; delay slot 2
+        halt

@@ -1,0 +1,42 @@
+; Software 32-step multiply: r3 = r1 * r2 (low word). MIPS-X has no
+; multiply unit; a multiply is the MD setup followed by an unbroken
+; run of 32 mstep instructions — exactly the chain the verifier's
+; md-chain rule protects.
+        .entry main
+main:   li r1, 21             ; multiplicand
+        li r2, 2              ; multiplier
+        movtos md, r2         ; load the multiplier into MD
+        li r3, 0              ; accumulator
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        mstep r3, r1, r3
+        halt

@@ -10,6 +10,11 @@
 //! mipsx soak  [options]             fuzz random programs under random
 //!                                   fault plans against the lockstep
 //!                                   reference model
+//! mipsx lint  <kernel|file.s> [options]
+//!                                   static hazard verifier: prove the
+//!                                   program satisfies the pipeline
+//!                                   contract (load delays, squash
+//!                                   senses, MD chains, ...)
 //! mipsx info                        print the modeled machine's parameters
 //!
 //! run options:
@@ -30,15 +35,23 @@
 //!                       (default: a random plan derived from the run seed)
 //!   --fault-count <n>   faults per random plan (default 6)
 //!   --cycles <n>        lockstep cycle budget per run (default 2,000,000)
+//!
+//! lint options:
+//!   --slots <1|2>       branch delay slots of the contract (default 2);
+//!                       kernel targets are rescheduled for that count
+//!   --json              machine-readable report
+//!   --kernels           lint every built-in kernel under all six Table 1
+//!                       branch schemes instead of a single target
 //! ```
 //!
 //! A failing soak run prints a copy-pasteable `mipsx soak --runs 1 --seed N
 //! --faults <spec>` line that reproduces it exactly.
 //!
-//! `mipsx trace` accepts either a kernel name from the built-in suite
-//! (`mipsx trace fib_recursive`) — the kernel is scheduled by the code
-//! reorganizer exactly as the experiments run it — or a path to an
-//! assembly file.
+//! `mipsx trace` and `mipsx lint` accept either a kernel name from the
+//! built-in suite (`mipsx trace fib_recursive`) — the kernel is scheduled
+//! by the code reorganizer exactly as the experiments run it — or a path
+//! to an assembly file. `mipsx lint` exits non-zero if any error-severity
+//! diagnostic is found (warnings alone do not fail the run).
 
 use std::process::ExitCode;
 
@@ -47,14 +60,15 @@ use mipsx::core::probe::{CpiAttribution, JsonlSink, PipeDiagram};
 use mipsx::core::{FaultPlan, InterlockPolicy, Machine, MachineConfig};
 use mipsx::isa::Reg;
 use mipsx::refmodel::{Lockstep, NULL_HANDLER};
-use mipsx::reorg::{BranchScheme, Reorganizer};
+use mipsx::reorg::{BranchScheme, Reorganizer, SquashPolicy};
+use mipsx::verify::{verify, VerifyConfig};
 use mipsx::workloads::{all_kernels, random_scheduled_program};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mipsx <asm|dis|run|trace|soak|info> [file.s|kernel] [--cycles N] [--slots 1|2] \
-         [--trust] [--regs] [--diagram N] [--jsonl path] [--runs N] [--seed N] \
-         [--faults spec] [--fault-count N]"
+        "usage: mipsx <asm|dis|run|trace|soak|lint|info> [file.s|kernel] [--cycles N] \
+         [--slots 1|2] [--trust] [--regs] [--diagram N] [--jsonl path] [--runs N] [--seed N] \
+         [--faults spec] [--fault-count N] [--json] [--kernels]"
     );
     ExitCode::FAILURE
 }
@@ -171,6 +185,126 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Resolve the `lint` target: a built-in kernel name (scheduled through
+/// the reorganizer for the requested slot count) or an assembly file.
+fn lint_program(target: &str, slots: usize) -> Result<mipsx::asm::Program, String> {
+    if let Some(kernel) = all_kernels().into_iter().find(|k| k.name == target) {
+        let scheme = BranchScheme {
+            slots,
+            squash: SquashPolicy::SquashOptional,
+        };
+        let (program, _) = Reorganizer::new(scheme)
+            .reorganize(&kernel.raw)
+            .map_err(|e| format!("kernel {target}: {e}"))?;
+        return Ok(program);
+    }
+    let source = std::fs::read_to_string(target).map_err(|e| {
+        let kernels: Vec<&str> = all_kernels().iter().map(|k| k.name).collect();
+        format!(
+            "{target}: {e} (not a readable file; known kernels: {})",
+            kernels.join(", ")
+        )
+    })?;
+    assemble(&source).map_err(|e| format!("{target}: {e}"))
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut kernels_mode = false;
+    let mut slots = 2usize;
+    let mut target: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--json" => json = true,
+            "--kernels" => kernels_mode = true,
+            "--slots" => slots = it.next().and_then(|v| v.parse().ok()).unwrap_or(slots),
+            other if !other.starts_with("--") => target = Some(opt),
+            other => {
+                eprintln!("mipsx: unknown option {other}");
+                return usage();
+            }
+        }
+    }
+    if !(1..=2).contains(&slots) {
+        eprintln!("mipsx: --slots must be 1 or 2");
+        return ExitCode::FAILURE;
+    }
+
+    if kernels_mode {
+        // Every built-in kernel under every Table 1 branch scheme: the
+        // reorganizer's output contract, checked end to end.
+        let mut error_total = 0usize;
+        let mut json_rows: Vec<String> = Vec::new();
+        for kernel in all_kernels() {
+            for scheme in BranchScheme::table1() {
+                let (program, report) = match Reorganizer::new(scheme).reorganize(&kernel.raw) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("mipsx: kernel {} [{scheme}]: {e}", kernel.name);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let lint = verify(&program, &VerifyConfig::for_slots(scheme.slots));
+                error_total += lint.error_count();
+                if json {
+                    json_rows.push(format!(
+                        "{{\"kernel\":\"{}\",\"scheme\":\"{scheme}\",\"verified\":{},\"report\":{}}}",
+                        kernel.name,
+                        report.verified,
+                        lint.to_json()
+                    ));
+                } else if lint.diagnostics.is_empty() {
+                    println!("{:<16} [{scheme}]: clean", kernel.name);
+                } else {
+                    println!(
+                        "{:<16} [{scheme}]: {} error(s), {} warning(s)",
+                        kernel.name,
+                        lint.error_count(),
+                        lint.warning_count()
+                    );
+                    for d in &lint.diagnostics {
+                        println!("  {d}");
+                    }
+                }
+            }
+        }
+        if json {
+            println!("[{}]", json_rows.join(",\n "));
+        }
+        return if error_total == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let Some(target) = target else {
+        return usage();
+    };
+    let program = match lint_program(target, slots) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mipsx: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lint = verify(&program, &VerifyConfig::for_slots(slots));
+    if json {
+        println!("{}", lint.to_json());
+    } else if lint.diagnostics.is_empty() {
+        println!("{target}: clean ({slots}-slot contract)");
+    } else {
+        print!("{lint}");
+        println!(" ({slots}-slot contract)");
+    }
+    if lint.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// Exception vector used by the soak harness: well clear of generated
 /// program text and its data region.
 const SOAK_VECTOR: u32 = 0x8000;
@@ -222,6 +356,15 @@ fn cmd_soak(args: &[String]) -> ExitCode {
     for i in 0..runs {
         let seed = base_seed.wrapping_add(i);
         let program = random_scheduled_program(seed);
+        // Pre-flight: statically verify the generated program, so a
+        // generator bug reports as "emitted illegal code" rather than
+        // masquerading as a simulator divergence downstream.
+        let lint = verify(&program, &VerifyConfig::for_slots(cfg.branch_delay_slots));
+        if !lint.is_clean() {
+            eprintln!("mipsx: seed {seed}: generator emitted illegal code (not a divergence):");
+            eprintln!("{lint}");
+            return ExitCode::FAILURE;
+        }
         let plan = match &fixed_plan {
             Some(p) => p.clone(),
             None => {
@@ -306,6 +449,7 @@ fn main() -> ExitCode {
         }
         "trace" => cmd_trace(&args[1..]),
         "soak" => cmd_soak(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "asm" | "dis" | "run" => {
             let Some(path) = args.get(1) else {
                 return usage();

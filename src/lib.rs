@@ -20,6 +20,7 @@
 //! | [`core`] | `mipsx-core` | the pipeline, exceptions, FSMs, PC unit |
 //! | [`coproc`] | `mipsx-coproc` | coprocessor interface schemes, FPU |
 //! | [`reorg`] | `mipsx-reorg` | delay-slot filling, branch schemes, quick compare |
+//! | [`verify`] | `mipsx-verify` | static hazard verifier / lint pass over program images |
 //! | [`refmodel`] | `mipsx-ref` | functional reference interpreter, lockstep differ |
 //! | [`workloads`] | `mipsx-workloads` | kernels + synthetic Pascal/Lisp generators |
 //! | [`baseline`] | `mipsx-baseline` | IR with MIPS-X and VAX-like backends |
@@ -53,4 +54,5 @@ pub use mipsx_mem as mem;
 // `ref` is a keyword, so the reference-model crate surfaces as `refmodel`.
 pub use mipsx_ref as refmodel;
 pub use mipsx_reorg as reorg;
+pub use mipsx_verify as verify;
 pub use mipsx_workloads as workloads;

@@ -1,0 +1,22 @@
+; Deliberately broken program for the `mipsx lint` golden test.
+; Each section violates a different rule of the pipeline contract; the
+; expected diagnostic listing is checked into broken.lint next to this
+; file (regenerate with UPDATE_GOLDEN=1).
+        .entry main
+main:   li r20, 64
+        ld r1, 0(r20)
+        add r2, r1, r1        ; load-use in the load delay slot
+        ld r3, 1(r20)
+        bne r3, r0, squashy   ; branch sources resolve early: same hazard
+        nop
+        nop
+squashy:
+        beqsq r1, r2, chain
+        st r2, 2(r20)         ; a store cannot be annulled
+        addi r0, r1, 1        ; writes the hardwired zero register
+chain:  movtos md, r1
+        mstep r4, r5, r4
+        mstep r4, r5, r4
+        movtos md, r6         ; clobbers the partial product mid-chain
+        mstep r4, r5, r4
+        halt

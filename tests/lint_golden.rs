@@ -1,0 +1,34 @@
+//! Golden test for the lint listing.
+//!
+//! `tests/golden/broken.s` packs one violation of each major rule into a
+//! short program; the expected diagnostic listing is frozen in
+//! `tests/golden/broken.lint`. The listing is sorted and deterministic, so
+//! any change to diagnostic text, ordering, or rule coverage shows up as a
+//! diff here. Regenerate intentionally with `UPDATE_GOLDEN=1`.
+
+use mipsx::asm::assemble;
+use mipsx::verify::{verify, VerifyConfig};
+
+#[test]
+fn broken_program_lint_listing_matches_golden() {
+    let source_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/broken.s");
+    let source = std::fs::read_to_string(source_path).expect("read broken.s");
+    let program = assemble(&source).expect("broken.s still assembles — it is broken, not invalid");
+
+    let report = verify(&program, &VerifyConfig::default());
+    // The program is broken on purpose; make sure it stays broken in the
+    // ways the listing documents.
+    assert!(!report.is_clean(), "broken.s unexpectedly lints clean");
+    let got = format!("{report}\n");
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/broken.lint");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &got).expect("write golden");
+    }
+    let want = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to regenerate");
+    assert_eq!(
+        got, want,
+        "lint listing changed; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
