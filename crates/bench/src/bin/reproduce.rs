@@ -1,65 +1,105 @@
 //! Regenerate every table and figure-level claim of the MIPS-X paper.
 //!
-//! Usage: `reproduce [--json] [table1|icache|orgs|quickcmp|reorg|fsm|cpi|coproc|vax|btb|ecache|subblock|all]`
+//! Usage: `reproduce [--json] [--threads N] [table1|icache|orgs|quickcmp|reorg|fsm|cpi|coproc|vax|btb|ecache|subblock|all]`
+//!
+//! `--threads N` runs the sweep-engine-backed experiments (E1, E3, E11,
+//! E12) on N worker threads; results are identical to serial runs by
+//! construction. Every experiment is timed, and the wall clock is printed
+//! with each table (or emitted as `wall_ms` with `--json`).
 //!
 //! With `--json`, the selected experiments are emitted as one JSON document
 //! on stdout instead of text tables:
 //!
 //! ```json
-//! {"experiments":[{"name":"table1","title":"...","rows":[{"label":"...","paper":1.5,"measured":1.47}]}]}
+//! {"experiments":[{"wall_ms":12,"name":"table1","title":"...","rows":[{"label":"...","paper":1.5,"measured":1.47}]}]}
 //! ```
 
+use std::time::Instant;
+
 use mipsx_bench::experiments as e;
-use mipsx_bench::{json_document, render_table, rows_to_json, Row};
+use mipsx_bench::{json_document, render_table, rows_to_json_timed, Row};
+use mipsx_explore::ResultStore;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let which: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let threads_values: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i.checked_sub(1).is_some_and(|p| args[p] == "--threads"))
+        .map(|(_, v)| v)
+        .collect();
+    let which: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && !threads_values.contains(a))
+        .collect();
     let all = which.is_empty() || which.iter().any(|w| *w == "all");
     let want = |name: &str| all || which.iter().any(|w| *w == name);
+    // The reproduce binary is the determinism baseline, so it never reads
+    // or writes the on-disk result cache — `mipsx sweep` owns that.
+    let store = ResultStore::disabled();
 
     if !json {
-        println!("MIPS-X reproduction — paper vs measured");
+        println!("MIPS-X reproduction — paper vs measured ({threads} thread(s))");
         println!("=======================================\n");
     }
 
     let mut emitted: Vec<String> = Vec::new();
-    let mut report = |name: &str, title: &str, rows: Vec<Row>, extra: Option<String>| {
-        if json {
-            emitted.push(rows_to_json(name, title, &rows));
-        } else {
-            println!("{}", render_table(title, &rows));
-            if let Some(note) = extra {
-                println!("{note}\n");
+    let mut report =
+        |name: &str, title: &str, rows: Vec<Row>, wall_ms: u128, extra: Option<String>| {
+            if json {
+                emitted.push(rows_to_json_timed(name, title, &rows, wall_ms));
+            } else {
+                println!("{}", render_table(title, &rows));
+                if let Some(note) = extra {
+                    println!("{note}");
+                }
+                println!("  ({wall_ms} ms)\n");
             }
-        }
-    };
+        };
+    // Run one experiment closure under the wall clock.
+    macro_rules! timed {
+        ($run:expr) => {{
+            let start = Instant::now();
+            let result = $run;
+            (result, start.elapsed().as_millis())
+        }};
+    }
 
     if want("table1") {
-        let t = e::e1_branch_schemes::run();
+        let (t, ms) = timed!(e::e1_branch_schemes::run_with(threads, &store));
         report(
             "table1",
             "E1 / Table 1 — average cycles per branch",
             t.report_rows(),
+            ms,
             None,
         );
     }
     if want("icache") {
-        let r = e::e2_icache_fetch::run();
+        let (r, ms) = timed!(e::e2_icache_fetch::run());
         report(
             "icache",
             "E2 — Icache fetch-back (single vs double word)",
             r.report_rows(),
+            ms,
             None,
         );
     }
     if want("orgs") {
-        let r = e::e3_icache_orgs::run();
+        let (r, ms) = timed!(e::e3_icache_orgs::run_with(threads, &store));
         report(
             "orgs",
             "E3 — Icache organization sweep (miss service vs miss ratio)",
             r.report_rows(),
+            ms,
             Some(format!(
                 "  -> best block size: {} words",
                 r.best_block_words
@@ -67,78 +107,92 @@ fn main() {
         );
     }
     if want("quickcmp") {
-        let r = e::e4_quick_compare::run();
+        let (r, ms) = timed!(e::e4_quick_compare::run());
         report(
             "quickcmp",
             "E4 — quick-compare coverage",
             r.report_rows(),
+            ms,
             None,
         );
     }
     if want("reorg") {
-        let r = e::e5_reorganizer::run();
+        let (r, ms) = timed!(e::e5_reorganizer::run());
         report(
             "reorg",
             "E5 — reorganizer quality (cycles per branch)",
             r.report_rows(),
+            ms,
             None,
         );
     }
     if want("fsm") {
-        let r = e::e6_fsms::run();
+        let (r, ms) = timed!(e::e6_fsms::run());
         report(
             "fsm",
             "E6 / Figures 3 & 4 — control FSM activity",
             r.report_rows(),
+            ms,
             None,
         );
     }
     if want("cpi") {
-        let r = e::e7_cpi::run();
+        let (r, ms) = timed!(e::e7_cpi::run());
         report(
             "cpi",
             "E7 — no-ops, CPI and sustained MIPS",
             r.report_rows(),
+            ms,
             None,
         );
     }
     if want("coproc") {
-        let r = e::e8_coproc::run();
+        let (r, ms) = timed!(e::e8_coproc::run());
         report(
             "coproc",
             "E8 — coprocessor interface schemes (slowdown vs best)",
             r.report_rows(),
+            ms,
             None,
         );
     }
     if want("vax") {
-        let r = e::e9_vax::run();
-        report("vax", "E9 — VAX 11/780 comparison", r.report_rows(), None);
+        let (r, ms) = timed!(e::e9_vax::run());
+        report(
+            "vax",
+            "E9 — VAX 11/780 comparison",
+            r.report_rows(),
+            ms,
+            None,
+        );
     }
     if want("btb") {
-        let r = e::e10_btb::run();
+        let (r, ms) = timed!(e::e10_btb::run());
         report(
             "btb",
             "E10 — branch cache vs static prediction",
             r.report_rows(),
+            ms,
             Some(format!("  -> branch working set: {} sites", r.working_set)),
         );
     }
     if want("ecache") {
-        let r = e::e11_ecache::run();
+        let (r, ms) = timed!(e::e11_ecache::run_with(threads, &store));
         report(
             "ecache",
             "E11 — Ecache late-miss contribution",
             r.report_rows(),
+            ms,
             None,
         );
     }
     if want("subblock") {
-        let r = e::e12_subblock::run();
+        let (r, ms) = timed!(e::e12_subblock::run_with(threads, &store));
         report(
             "subblock",
             "E12 — ablation: sub-block valid bits vs whole-block fill",
             r.report_rows(),
+            ms,
             None,
         );
     }

@@ -7,11 +7,17 @@
 //! every data miss costs `1 + memory latency` frozen MEM-retry cycles.
 //! This experiment sweeps the data working set across the 64K-word cache
 //! boundary and the main-memory latency, isolating that contribution.
+//!
+//! The sweep is a [`SweepSpec`]: a `mem_latency` axis crossed with
+//! parameterized `stream:<words>x<reps>` workloads (the data-streaming
+//! loop lives in `mipsx_workloads::streaming`).
 
-use mipsx_core::MachineConfig;
-use mipsx_isa::{ComputeOp, Cond, Instr, Reg};
+use mipsx_core::SimConfig;
+use mipsx_explore::{
+    run_sweep, Axis, Grid, ResultStore, SimPoint, SweepOptions, SweepSpec, Workload,
+};
 use mipsx_mem::EcacheConfig;
-use mipsx_reorg::{BranchScheme, RawBlock, RawProgram, Terminator};
+use mipsx_reorg::BranchScheme;
 
 use crate::Row;
 
@@ -54,113 +60,62 @@ impl EcacheResult {
     }
 }
 
-/// A data-streaming loop: two passes over `words` of data (write then
-/// read-accumulate), repeated `reps` times.
-fn streaming(words: u32, reps: u32) -> RawProgram {
-    fn r(n: u8) -> Reg {
-        Reg::new(n)
-    }
-    let li = |rd: u8, imm: i32| Instr::Addi {
-        rs1: Reg::ZERO,
-        rd: r(rd),
-        imm,
+/// The swept working sets (words) and memory latencies (cycles).
+const WORKING_SETS: [u32; 4] = [1024, 2048, 8192, 16384];
+const MEM_LATENCIES: [u32; 3] = [3, 5, 10];
+
+/// The experiment as a declarative sweep. A small Ecache (4K words) keeps
+/// the sweep fast while preserving the fits/doesn't-fit boundary; the full
+/// 64K configuration behaves identically in shape, just needs
+/// proportionally larger sets.
+pub fn sweep_spec() -> SweepSpec {
+    let cfg = SimConfig {
+        ecache: EcacheConfig {
+            size_words: 4 * 1024,
+            ..EcacheConfig::mipsx()
+        },
+        ..SimConfig::mipsx()
     };
-    let addi = |rd: u8, rs1: u8, imm: i32| Instr::Addi {
-        rs1: r(rs1),
-        rd: r(rd),
-        imm,
-    };
-    RawProgram::new(
-        vec![
-            RawBlock::new(vec![li(9, reps as i32)]),
-            // b1: start one rep.
-            RawBlock::new(vec![li(10, 8192), li(1, words as i32)]),
-            // b2: streaming read-modify-write: x = a[i]; a[i] = x + 1.
-            RawBlock::new(vec![
-                Instr::Ld {
-                    rs1: r(10),
-                    rd: r(5),
-                    offset: 0,
-                },
-                addi(10, 10, 1),
-                Instr::Compute {
-                    op: ComputeOp::AddU,
-                    rs1: r(5),
-                    rs2: r(9),
-                    rd: r(6),
-                    shamt: 0,
-                },
-                Instr::St {
-                    rs1: r(10),
-                    rsrc: r(6),
-                    offset: -1,
-                },
-                addi(1, 1, -1),
-            ]),
-            // b3: next rep.
-            RawBlock::new(vec![addi(9, 9, -1)]),
-            RawBlock::default(),
-        ],
-        vec![
-            Terminator::Jump(1),
-            Terminator::Jump(2),
-            Terminator::Branch {
-                cond: Cond::Gt,
-                rs1: r(1),
-                rs2: Reg::ZERO,
-                taken: 2,
-                fall: 3,
-                p_taken: 0.99,
-            },
-            Terminator::Branch {
-                cond: Cond::Gt,
-                rs1: r(9),
-                rs2: Reg::ZERO,
-                taken: 1,
-                fall: 4,
-                p_taken: 0.7,
-            },
-            Terminator::Halt,
-        ],
-    )
+    let mut spec = SweepSpec::new(SimPoint::new(cfg, BranchScheme::mipsx()));
+    spec.grid = Grid::Axes(vec![
+        Axis::parse_flag("mem_latency=3,5,10").expect("static axis")
+    ]);
+    spec.workloads = WORKING_SETS
+        .iter()
+        .map(|ws| Workload::parse(&format!("stream:{ws}x4")).expect("static workload"))
+        .collect();
+    spec.run_cycles = 200_000_000;
+    spec
 }
 
-/// Run the sweep.
-pub fn run() -> EcacheResult {
-    let mut points = Vec::new();
-    // A small Ecache (4K words) keeps the sweep fast while preserving the
-    // fits/doesn't-fit boundary; the full 64K configuration behaves
-    // identically in shape, just needs proportionally larger sets.
-    let ecache_words = 4 * 1024;
-    for &working_set in &[1024u32, 2048, 8192, 16384] {
-        for &mem_latency in &[3u32, 5, 10] {
-            let raw = streaming(working_set, 4);
-            let cfg = MachineConfig {
-                ecache: EcacheConfig {
-                    size_words: ecache_words,
-                    ..EcacheConfig::mipsx()
-                },
-                mem_latency,
-                ..MachineConfig::mipsx()
-            };
-            let reorg = mipsx_reorg::Reorganizer::new(BranchScheme::mipsx());
-            let (program, _) = reorg.reorganize(&raw).expect("reorganize");
-            let mut machine = mipsx_core::Machine::new(MachineConfig {
-                interlock: mipsx_core::InterlockPolicy::Detect,
-                ..cfg
-            });
-            machine.load_program(&program);
-            let stats = machine.run(200_000_000).expect("run");
+/// Run the sweep on `threads` workers, serving repeats from `store`.
+pub fn run_with(threads: usize, store: &ResultStore) -> EcacheResult {
+    let opts = SweepOptions {
+        threads,
+        store: store.clone(),
+    };
+    let outcome = run_sweep(&sweep_spec(), &opts).expect("E11 sweep");
+    // Rows are (latency point × working-set workload); report them in the
+    // historical working-set-major order.
+    let mut points = Vec::with_capacity(outcome.rows.len());
+    for (w, &working_set) in WORKING_SETS.iter().enumerate() {
+        for (l, &mem_latency) in MEM_LATENCIES.iter().enumerate() {
+            let r = outcome.rows[l * WORKING_SETS.len() + w].result;
             points.push(EcachePoint {
                 working_set,
                 mem_latency,
-                stall_fraction: stats.ecache_stall_cycles as f64 / stats.cycles as f64,
-                cpi: stats.cpi(),
-                miss_ratio: machine.ecache().stats().miss_ratio(),
+                stall_fraction: r.ecache_stall_fraction(),
+                cpi: r.cpi(),
+                miss_ratio: r.ecache_miss_ratio(),
             });
         }
     }
     EcacheResult { points }
+}
+
+/// Run the sweep (serial, no result cache).
+pub fn run() -> EcacheResult {
+    run_with(1, &ResultStore::disabled())
 }
 
 #[cfg(test)]

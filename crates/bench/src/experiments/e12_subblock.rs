@@ -12,9 +12,14 @@
 //! the pipe for a whole line time; the 2-cycle sub-block design still
 //! edges it on average fetch cost while keeping worst-case stalls 8×
 //! shorter.
+//!
+//! The ablation is a [`SweepSpec`]: one boolean axis
+//! (`icache.whole_block_fill`) × the five medium traces, merged per
+//! policy.
 
-use mipsx_mem::{Icache, IcacheConfig};
-use mipsx_workloads::traces::{instruction_trace, TraceConfig};
+use mipsx_explore::{
+    run_sweep, Axis, Grid, ResultStore, SimPoint, SweepOptions, SweepSpec, Workload,
+};
 
 use crate::{Row, SEEDS};
 
@@ -66,28 +71,44 @@ impl SubBlockAblation {
     }
 }
 
-fn measure(whole_block_fill: bool) -> FillRow {
-    let mut cache = Icache::new(IcacheConfig {
-        whole_block_fill,
-        ..IcacheConfig::mipsx()
-    });
-    for &seed in &SEEDS {
-        let trace = instruction_trace(TraceConfig::medium(seed));
-        let _ = cache.simulate_trace(trace.iter().copied());
-    }
-    FillRow {
-        whole_block: whole_block_fill,
-        miss_ratio: cache.stats().miss_ratio(),
-        fetch_cost: cache.stats().avg_access_cycles(),
+/// The ablation as a declarative sweep: sub-block fill first (point 0),
+/// whole-block fill second (point 1).
+pub fn sweep_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(SimPoint::mipsx());
+    spec.grid = Grid::Axes(vec![
+        Axis::parse_flag("icache.whole_block_fill=false,true").expect("static axis")
+    ]);
+    spec.workloads = SEEDS
+        .iter()
+        .map(|s| Workload::parse(&format!("trace:medium:{s}")).expect("static workload"))
+        .collect();
+    spec
+}
+
+/// Run the ablation on `threads` workers, serving repeats from `store`.
+pub fn run_with(threads: usize, store: &ResultStore) -> SubBlockAblation {
+    let opts = SweepOptions {
+        threads,
+        store: store.clone(),
+    };
+    let outcome = run_sweep(&sweep_spec(), &opts).expect("E12 sweep");
+    let row = |point_index: usize, whole_block: bool| {
+        let m = outcome.merged_point(point_index);
+        FillRow {
+            whole_block,
+            miss_ratio: m.icache_miss_ratio(),
+            fetch_cost: m.icache_fetch_cost(),
+        }
+    };
+    SubBlockAblation {
+        sub_block: row(0, false),
+        whole_block: row(1, true),
     }
 }
 
-/// Run the ablation.
+/// Run the ablation (serial, no result cache).
 pub fn run() -> SubBlockAblation {
-    SubBlockAblation {
-        sub_block: measure(false),
-        whole_block: measure(true),
-    }
+    run_with(1, &ResultStore::disabled())
 }
 
 #[cfg(test)]

@@ -5,10 +5,13 @@
 //! count; the measured cost uses the paper's charging rule (branch + slot
 //! no-ops + squashed slots). The paper's row values are carried along for
 //! the report.
+//!
+//! The grid is a [`SweepSpec`] over the sweep engine: two axes
+//! (`branch.slots` × `branch.squash`, reproducing the Table 1 row order)
+//! crossed with the five calibrated seeds, merged per scheme.
 
-use mipsx_core::MachineConfig;
+use mipsx_explore::{run_sweep, Grid, ResultStore, SimPoint, SweepOptions, SweepSpec};
 use mipsx_reorg::BranchScheme;
-use mipsx_workloads::synth::{generate, SynthConfig};
 
 use crate::{Row, SEEDS};
 
@@ -48,34 +51,51 @@ impl Table1 {
     }
 }
 
-/// Run the experiment.
-pub fn run() -> Table1 {
-    let mut rows = Vec::new();
-    for scheme in BranchScheme::table1() {
-        let mut branches = 0u64;
-        let mut taken = 0u64;
-        let mut cost = 0.0f64;
-        let mut squashing = 0usize;
-        let mut total_branch_sites = 0usize;
-        for &seed in &SEEDS {
-            let synth = generate(SynthConfig::pascal_like(seed));
-            let (stats, report) =
-                super::run_scheduled(&synth.raw, scheme, MachineConfig::ideal_memory());
-            branches += stats.branches;
-            taken += stats.branches_taken;
-            cost += (stats.branches + stats.branch_slot_nops + stats.branch_slot_squashed) as f64;
-            squashing += report.squashing_branches;
-            total_branch_sites += report.branches;
-        }
-        rows.push(SchemeRow {
-            scheme,
-            cycles_per_branch: cost / branches as f64,
-            paper: scheme.paper_cycles_per_branch(),
-            squashing_fraction: squashing as f64 / total_branch_sites.max(1) as f64,
-            taken_fraction: taken as f64 / branches.max(1) as f64,
-        });
-    }
+/// The experiment as a declarative sweep. The axis order reproduces
+/// [`BranchScheme::table1`]: slots vary slowest (2 then 1), squash policy
+/// fastest (none, always, optional).
+pub fn sweep_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(SimPoint::ideal_memory());
+    spec.grid = Grid::Axes(vec![
+        mipsx_explore::Axis::parse_flag("branch.slots=2,1").expect("static axis"),
+        mipsx_explore::Axis::parse_flag("branch.squash=none,always,optional").expect("static axis"),
+    ]);
+    spec.workloads = SEEDS
+        .iter()
+        .map(|s| {
+            mipsx_explore::Workload::parse(&format!("synth:pascal:{s}")).expect("static workload")
+        })
+        .collect();
+    spec
+}
+
+/// Run the experiment on `threads` workers, serving repeats from `store`.
+pub fn run_with(threads: usize, store: &ResultStore) -> Table1 {
+    let opts = SweepOptions {
+        threads,
+        store: store.clone(),
+    };
+    let outcome = run_sweep(&sweep_spec(), &opts).expect("E1 sweep");
+    let rows = BranchScheme::table1()
+        .into_iter()
+        .enumerate()
+        .map(|(i, scheme)| {
+            let m = outcome.merged_point(i);
+            SchemeRow {
+                scheme,
+                cycles_per_branch: m.cycles_per_branch(),
+                paper: scheme.paper_cycles_per_branch(),
+                squashing_fraction: m.sched_squashing as f64 / m.sched_branches.max(1) as f64,
+                taken_fraction: m.branches_taken as f64 / m.branches.max(1) as f64,
+            }
+        })
+        .collect();
     Table1 { rows }
+}
+
+/// Run the experiment (serial, no result cache).
+pub fn run() -> Table1 {
+    run_with(1, &ResultStore::disabled())
 }
 
 #[cfg(test)]
@@ -141,5 +161,16 @@ mod tests {
             taken > 0.5 && taken < 0.85,
             "taken fraction {taken} out of calibration"
         );
+    }
+
+    #[test]
+    fn grid_matches_table1_order() {
+        let jobs = sweep_spec().expand().unwrap();
+        assert_eq!(jobs.len(), 6 * SEEDS.len());
+        for (i, scheme) in BranchScheme::table1().into_iter().enumerate() {
+            let job = &jobs[i * SEEDS.len()];
+            assert_eq!(job.point.scheme, scheme, "point {i}");
+            assert_eq!(job.point.cfg.branch_delay_slots, scheme.slots);
+        }
     }
 }

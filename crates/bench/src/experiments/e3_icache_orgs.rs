@@ -11,10 +11,14 @@
 //!
 //! The sweep holds capacity at 512 words and trades block size (hence tag
 //! count, hence miss penalty) against miss ratio, reporting the average
-//! fetch cost for every combination.
+//! fetch cost for every combination. Because block size *couples* to tag
+//! count and tag count to miss penalty (the floorplan rule), the grid is
+//! an explicit [`Grid::Points`] list rather than independent axes.
 
-use mipsx_mem::{Icache, IcacheConfig};
-use mipsx_workloads::traces::{instruction_trace, TraceConfig};
+use mipsx_core::SimConfig;
+use mipsx_explore::{run_sweep, Grid, ResultStore, SimPoint, SweepOptions, SweepSpec, Workload};
+use mipsx_mem::IcacheConfig;
+use mipsx_reorg::BranchScheme;
 
 use crate::{Row, SEEDS};
 
@@ -71,36 +75,72 @@ fn penalty_for_tags(tags: u32) -> u32 {
     }
 }
 
-/// Run the sweep.
-pub fn run() -> OrgSweep {
-    let traces: Vec<Vec<u32>> = SEEDS
+/// The fixed-capacity organizations: 512 words, 4 rows; block size varies,
+/// ways absorb the rest.
+const BLOCK_SIZES: [u32; 4] = [4, 8, 16, 32];
+
+fn organization(block_words: u32) -> (u32, u32, IcacheConfig) {
+    let ways = 512 / (4 * block_words);
+    let tags = 4 * ways;
+    let cfg = IcacheConfig {
+        rows: 4,
+        ways,
+        block_words,
+        miss_penalty: penalty_for_tags(tags),
+        ..IcacheConfig::mipsx()
+    };
+    (tags, cfg.miss_penalty, cfg)
+}
+
+/// The experiment as a declarative sweep: four coupled grid points × the
+/// five medium traces.
+pub fn sweep_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(SimPoint::mipsx());
+    spec.grid = Grid::Points(
+        BLOCK_SIZES
+            .iter()
+            .map(|&block_words| {
+                let (tags, penalty, icache) = organization(block_words);
+                let cfg = SimConfig {
+                    icache,
+                    ..SimConfig::mipsx()
+                };
+                (
+                    format!("{block_words}-word blocks, {tags} tags, {penalty}-cycle miss"),
+                    SimPoint::new(cfg, BranchScheme::mipsx()),
+                )
+            })
+            .collect(),
+    );
+    spec.workloads = SEEDS
         .iter()
-        .map(|&s| instruction_trace(TraceConfig::medium(s)))
+        .map(|s| Workload::parse(&format!("trace:medium:{s}")).expect("static workload"))
         .collect();
-    let mut rows = Vec::new();
-    // Fixed 512 words, 4 rows; block size varies, ways absorb the rest.
-    for block_words in [4u32, 8, 16, 32] {
-        let ways = 512 / (4 * block_words);
-        let tags = 4 * ways;
-        let cfg = IcacheConfig {
-            rows: 4,
-            ways,
-            block_words,
-            miss_penalty: penalty_for_tags(tags),
-            ..IcacheConfig::mipsx()
-        };
-        let mut cache = Icache::new(cfg);
-        for t in &traces {
-            let _ = cache.simulate_trace(t.iter().copied());
-        }
-        rows.push(OrgRow {
-            block_words,
-            tags,
-            miss_penalty: cfg.miss_penalty,
-            miss_ratio: cache.stats().miss_ratio(),
-            fetch_cost: cache.stats().avg_access_cycles(),
-        });
-    }
+    spec
+}
+
+/// Run the sweep on `threads` workers, serving repeats from `store`.
+pub fn run_with(threads: usize, store: &ResultStore) -> OrgSweep {
+    let opts = SweepOptions {
+        threads,
+        store: store.clone(),
+    };
+    let outcome = run_sweep(&sweep_spec(), &opts).expect("E3 sweep");
+    let rows: Vec<OrgRow> = BLOCK_SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, &block_words)| {
+            let (tags, miss_penalty, _) = organization(block_words);
+            let m = outcome.merged_point(i);
+            OrgRow {
+                block_words,
+                tags,
+                miss_penalty,
+                miss_ratio: m.icache_miss_ratio(),
+                fetch_cost: m.icache_fetch_cost(),
+            }
+        })
+        .collect();
     let best_block_words = rows
         .iter()
         .min_by(|a, b| a.fetch_cost.total_cmp(&b.fetch_cost))
@@ -110,6 +150,11 @@ pub fn run() -> OrgSweep {
         rows,
         best_block_words,
     }
+}
+
+/// Run the sweep (serial, no result cache).
+pub fn run() -> OrgSweep {
+    run_with(1, &ResultStore::disabled())
 }
 
 #[cfg(test)]

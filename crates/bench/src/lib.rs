@@ -104,6 +104,16 @@ pub fn rows_to_json(name: &str, title: &str, rows: &[Row]) -> String {
     )
 }
 
+/// [`rows_to_json`] plus the experiment's wall-clock time in milliseconds
+/// (`reproduce --json` reports how long each experiment took).
+pub fn rows_to_json_timed(name: &str, title: &str, rows: &[Row], wall_ms: u128) -> String {
+    let obj = rows_to_json(name, title, rows);
+    format!(
+        "{{\"wall_ms\":{wall_ms},{}",
+        obj.strip_prefix('{').expect("rows_to_json emits an object")
+    )
+}
+
 /// Assemble the full `reproduce --json` document from per-experiment
 /// objects produced by [`rows_to_json`].
 pub fn json_document(experiments: &[String]) -> String {

@@ -39,7 +39,10 @@ pub use scheme::InterfaceScheme;
 /// (in the final scheme); a coprocessor decodes the 14-bit operation field
 /// itself — *"the processor does not need to know the format of these
 /// instructions."*
-pub trait Coprocessor: std::any::Any {
+/// `Send` is a supertrait so an owner holding `Box<dyn Coprocessor>` slots
+/// (the simulated machine) can migrate between worker threads — the sweep
+/// engine simulates many machines on a thread pool.
+pub trait Coprocessor: std::any::Any + Send {
     /// Execute a coprocessor operation (`cpop`): the 14-bit field is the
     /// coprocessor's own instruction.
     fn execute(&mut self, op: u16);

@@ -21,7 +21,14 @@ pub enum InterlockPolicy {
 }
 
 /// Full configuration of a simulated MIPS-X.
-#[derive(Clone, Copy, Debug)]
+///
+/// The struct is `Copy` (a handful of plain scalars), `Send`, and has no
+/// interior mutability, so design-space sweeps can clone one base
+/// configuration per grid cell and ship it to a worker thread for free.
+/// Equality is field-wise and total over every simulated parameter — two
+/// configs that compare equal simulate identically — which is what the
+/// sweep engine's content-addressed result cache keys on.
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct MachineConfig {
     /// Branch delay slots: 2 (the real pipeline, condition resolved in ALU)
     /// or 1 (the *quick compare* design that was evaluated and dropped —
@@ -100,6 +107,10 @@ impl Default for MachineConfig {
     }
 }
 
+/// The name the design-space exploration layer uses for a full simulation
+/// configuration: one point in the grid the paper's tradeoff tables sample.
+pub type SimConfig = MachineConfig;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +124,14 @@ mod tests {
         assert_eq!(c.clock_mhz, 20.0);
         assert_eq!(c.exception_vector, 0);
         c.validate();
+    }
+
+    #[test]
+    fn config_is_send_and_cheap() {
+        fn assert_send_copy<T: Send + Copy>() {}
+        assert_send_copy::<MachineConfig>();
+        // The sweep engine clones one of these per grid cell; keep it small.
+        assert!(std::mem::size_of::<MachineConfig>() <= 128);
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod machine;
 pub mod probe;
 mod stats;
 
-pub use config::{InterlockPolicy, MachineConfig};
+pub use config::{InterlockPolicy, MachineConfig, SimConfig};
 pub use cpu::{Cpu, PcChainEntry};
 pub use error::RunError;
 pub use fsm::{CacheMissFsm, CacheMissState, SquashFsm, SquashLines};

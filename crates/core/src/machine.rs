@@ -1004,6 +1004,14 @@ mod tests {
     use super::*;
 
     #[test]
+    fn machine_is_send() {
+        // The sweep engine builds one Machine per grid cell inside worker
+        // threads and lets the scheduler move jobs freely between them.
+        fn assert_send<T: Send>() {}
+        assert_send::<Machine>();
+    }
+
+    #[test]
     fn mstep_multiplies() {
         // 32 msteps compute a*b mod 2^32 with md = b, accumulator threaded
         // through (a constant-register model of the datapath loop).

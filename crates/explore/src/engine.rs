@@ -1,0 +1,598 @@
+//! Sweep execution: expand a spec, shard the jobs across the pool, serve
+//! repeats from the result store, and aggregate order-independently.
+//!
+//! Aggregated reports are a pure function of the job list and the per-job
+//! results, assembled strictly in job-index order — so a 4-thread run and
+//! a serial run of the same spec render **byte-identical** JSON, CSV and
+//! markdown. Wall-clock time lives outside the rendered reports for
+//! exactly that reason.
+
+use std::time::{Duration, Instant};
+
+use mipsx_core::probe::{json_escape, NullSink};
+use mipsx_core::{FaultPlan, InterlockPolicy, Machine, SimConfig};
+use mipsx_mem::Icache;
+use mipsx_reorg::{RawProgram, Reorganizer, ScheduleReport};
+use mipsx_workloads::synth::{generate, SynthConfig};
+use mipsx_workloads::traces::{instruction_trace, TraceConfig};
+use mipsx_workloads::{all_kernels, streaming};
+
+use crate::key::{fnv1a_words, job_key, key_hex};
+use crate::pool::run_indexed;
+use crate::spec::{Job, SpecError, SweepSpec, Workload};
+use crate::store::ResultStore;
+
+macro_rules! job_result {
+    ($($field:ident: $doc:literal),+ $(,)?) => {
+        /// Everything one job measures, as raw counters (derived metrics
+        /// are computed on demand so cached and fresh results agree
+        /// bit-for-bit). Trace-driven jobs fill only the Icache counters.
+        #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+        pub struct JobResult {
+            $(#[doc = $doc] pub $field: u64,)+
+        }
+
+        impl JobResult {
+            /// Field names, in canonical (store and report) order.
+            pub const FIELDS: &'static [&'static str] = &[$(stringify!($field)),+];
+
+            /// `field=value` lines in canonical order (the store format).
+            pub fn to_record(&self) -> String {
+                let mut s = String::new();
+                $(
+                    s.push_str(stringify!($field));
+                    s.push('=');
+                    s.push_str(&self.$field.to_string());
+                    s.push('\n');
+                )+
+                s
+            }
+
+            /// Rebuild from parsed `(name, value)` pairs; `None` unless
+            /// every field is present and no unknown field appears.
+            pub fn from_fields(fields: &[(&str, u64)]) -> Option<JobResult> {
+                let mut r = JobResult::default();
+                let mut seen = 0usize;
+                for &(k, v) in fields {
+                    match k {
+                        $(stringify!($field) => { r.$field = v; seen += 1; })+
+                        _ => return None,
+                    }
+                }
+                (seen == JobResult::FIELDS.len()).then_some(r)
+            }
+
+            /// `(name, value)` pairs in canonical order (report rendering).
+            pub fn field_values(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($field), self.$field)),+]
+            }
+
+            /// Field-wise sum — the order-independent way experiment
+            /// aggregations combine per-seed cells.
+            pub fn merge(&mut self, other: &JobResult) {
+                $(self.$field += other.$field;)+
+            }
+        }
+    };
+}
+
+job_result! {
+    cycles: "Total clock cycles, stall cycles included.",
+    instructions: "Instructions completed (reached WB un-killed).",
+    squashed: "Instructions killed by squash or exception drain.",
+    nops: "Completed explicit no-ops.",
+    branches: "Conditional branches executed.",
+    branches_taken: "Conditional branches that took.",
+    branch_slot_nops: "No-ops observed in branch delay slots.",
+    branch_slot_squashed: "Branch delay-slot instructions squashed.",
+    loads: "Data loads completed.",
+    stores: "Data stores completed.",
+    exceptions: "Exceptions taken (traps and interrupts).",
+    icache_stall_cycles: "Pipeline cycles frozen for Icache miss service.",
+    ecache_stall_cycles: "Pipeline cycles frozen in the Ecache retry loop.",
+    icache_accesses: "Icache accesses (trace jobs: trace length).",
+    icache_misses: "Icache misses.",
+    icache_fill_stalls: "Icache-level stall cycles (miss service).",
+    ecache_accesses: "Ecache accesses (data side).",
+    ecache_misses: "Ecache misses.",
+    sched_branches: "Conditional branches the reorganizer scheduled.",
+    sched_squashing: "Branches the reorganizer emitted squashing.",
+    sched_slot_nops: "Delay slots the reorganizer left as no-ops.",
+    sched_load_nops: "No-ops inserted by the load-delay pass.",
+}
+
+impl JobResult {
+    /// Dynamic instructions as the paper counts them (completed plus
+    /// squashed).
+    pub fn dynamic_instructions(&self) -> u64 {
+        self.instructions + self.squashed
+    }
+
+    /// Cycles per dynamic instruction; zero when nothing completed.
+    pub fn cpi(&self) -> f64 {
+        ratio(self.cycles, self.dynamic_instructions())
+    }
+
+    /// Average cycles per branch under the paper's Table 1 charging rule
+    /// (branch + slot no-ops + squashed slots).
+    pub fn cycles_per_branch(&self) -> f64 {
+        ratio(
+            self.branches + self.branch_slot_nops + self.branch_slot_squashed,
+            self.branches,
+        )
+    }
+
+    /// Icache miss ratio in `[0, 1]`.
+    pub fn icache_miss_ratio(&self) -> f64 {
+        ratio(self.icache_misses, self.icache_accesses)
+    }
+
+    /// Average cycles per instruction fetch (1 + amortized miss service) —
+    /// the paper's cache figure of merit.
+    pub fn icache_fetch_cost(&self) -> f64 {
+        if self.icache_accesses == 0 {
+            0.0
+        } else {
+            1.0 + ratio(self.icache_fill_stalls, self.icache_accesses)
+        }
+    }
+
+    /// Ecache miss ratio in `[0, 1]`.
+    pub fn ecache_miss_ratio(&self) -> f64 {
+        ratio(self.ecache_misses, self.ecache_accesses)
+    }
+
+    /// Fraction of all cycles spent in the Ecache retry loop.
+    pub fn ecache_stall_fraction(&self) -> f64 {
+        ratio(self.ecache_stall_cycles, self.cycles)
+    }
+
+    /// Derived metrics in report order.
+    pub fn derived_metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("cpi", self.cpi()),
+            ("cycles_per_branch", self.cycles_per_branch()),
+            ("icache_miss_ratio", self.icache_miss_ratio()),
+            ("icache_fetch_cost", self.icache_fetch_cost()),
+            ("ecache_miss_ratio", self.ecache_miss_ratio()),
+            ("ecache_stall_fraction", self.ecache_stall_fraction()),
+        ]
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// How a sweep is executed.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Worker threads (0 or 1 = serial).
+    pub threads: usize,
+    /// The result store (disabled = always simulate).
+    pub store: ResultStore,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            threads: 1,
+            store: ResultStore::disabled(),
+        }
+    }
+}
+
+/// One aggregated report row: a job plus its result.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepRow {
+    /// Grid-point index (rows of a point are contiguous).
+    pub point_index: usize,
+    /// Grid-point label.
+    pub point_label: String,
+    /// Workload identity.
+    pub workload: String,
+    /// Fault-plan spec, if any.
+    pub fault: Option<String>,
+    /// Content-address of the result (16 hex digits).
+    pub key: String,
+    /// Whether the result was served from the store.
+    pub cached: bool,
+    /// The measured counters.
+    pub result: JobResult,
+}
+
+/// A finished sweep.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// One row per job, in expansion (index) order.
+    pub rows: Vec<SweepRow>,
+    /// How many rows were served from the result store.
+    pub cache_hits: usize,
+    /// Wall-clock time of the execution phase. Deliberately **not** part
+    /// of any rendered report, so reports stay byte-identical across
+    /// thread counts and machines.
+    pub wall: Duration,
+}
+
+impl SweepOutcome {
+    /// Merge the results of one grid point's rows (field-wise counter
+    /// sums) — the canonical cross-seed aggregation.
+    pub fn merged_point(&self, point_index: usize) -> JobResult {
+        let mut merged = JobResult::default();
+        for row in self.rows.iter().filter(|r| r.point_index == point_index) {
+            merged.merge(&row.result);
+        }
+        merged
+    }
+
+    /// The number of distinct grid points.
+    pub fn point_count(&self) -> usize {
+        self.rows.last().map_or(0, |r| r.point_index + 1)
+    }
+
+    /// The JSON report: cache-hit counts plus every row's raw counters and
+    /// derived metrics. Byte-identical for identical specs and store
+    /// states, regardless of thread count.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut fields: Vec<String> = vec![
+                    format!("\"point\":\"{}\"", json_escape(&row.point_label)),
+                    format!("\"workload\":\"{}\"", json_escape(&row.workload)),
+                    format!(
+                        "\"fault\":{}",
+                        match &row.fault {
+                            Some(f) => format!("\"{}\"", json_escape(f)),
+                            None => "null".to_owned(),
+                        }
+                    ),
+                    format!("\"key\":\"{}\"", row.key),
+                    format!("\"cached\":{}", row.cached),
+                ];
+                fields.extend(
+                    row.result
+                        .field_values()
+                        .into_iter()
+                        .map(|(k, v)| format!("\"{k}\":{v}")),
+                );
+                fields.extend(
+                    row.result
+                        .derived_metrics()
+                        .into_iter()
+                        .map(|(k, v)| format!("\"{k}\":{v}")),
+                );
+                format!("{{{}}}", fields.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"jobs\":{},\"cache_hits\":{},\"rows\":[{}]}}",
+            self.rows.len(),
+            self.cache_hits,
+            rows.join(",")
+        )
+    }
+
+    /// The CSV report (header + one line per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("point,workload,fault,key,cached");
+        for name in JobResult::FIELDS {
+            out.push(',');
+            out.push_str(name);
+        }
+        for (name, _) in JobResult::default().derived_metrics() {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let csv_quote = |s: &str| format!("\"{}\"", s.replace('"', "\"\""));
+            out.push_str(&csv_quote(&row.point_label));
+            out.push(',');
+            out.push_str(&csv_quote(&row.workload));
+            out.push(',');
+            out.push_str(&csv_quote(row.fault.as_deref().unwrap_or("")));
+            out.push(',');
+            out.push_str(&row.key);
+            out.push(',');
+            out.push_str(if row.cached { "true" } else { "false" });
+            for (_, v) in row.result.field_values() {
+                out.push(',');
+                out.push_str(&v.to_string());
+            }
+            for (_, v) in row.result.derived_metrics() {
+                out.push(',');
+                out.push_str(&format!("{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The human-readable markdown table (condensed metric set).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| point | workload | cycles | CPI | cyc/branch | I$ miss | fetch cyc | E$ miss | E$ stall |\n\
+             |---|---|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for row in &self.rows {
+            let r = &row.result;
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.3} | {:.3} | {:.2}% | {:.3} | {:.2}% | {:.2}% |\n",
+                row.point_label,
+                row.workload,
+                r.cycles,
+                r.cpi(),
+                r.cycles_per_branch(),
+                r.icache_miss_ratio() * 100.0,
+                r.icache_fetch_cost(),
+                r.ecache_miss_ratio() * 100.0,
+                r.ecache_stall_fraction() * 100.0,
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} jobs, {} served from cache\n",
+            self.rows.len(),
+            self.cache_hits
+        ));
+        out
+    }
+}
+
+/// Expand `spec` and execute every job on `opts.threads` workers, serving
+/// unchanged cells from the result store.
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, SpecError> {
+    let jobs = spec.expand()?;
+    let start = Instant::now();
+    let executed: Vec<Result<(JobResult, u64, bool), SpecError>> =
+        run_indexed(jobs.len(), opts.threads, |i| {
+            execute_job(&jobs[i], spec.run_cycles, &opts.store)
+        });
+    let wall = start.elapsed();
+    let mut rows = Vec::with_capacity(jobs.len());
+    let mut cache_hits = 0usize;
+    for (job, outcome) in jobs.iter().zip(executed) {
+        let (result, key, cached) = outcome?;
+        cache_hits += usize::from(cached);
+        rows.push(SweepRow {
+            point_index: job.point_index,
+            point_label: job.point_label.clone(),
+            workload: job.workload.id(),
+            fault: job.fault.clone(),
+            key: key_hex(key),
+            cached,
+            result,
+        });
+    }
+    Ok(SweepOutcome {
+        rows,
+        cache_hits,
+        wall,
+    })
+}
+
+/// What a job simulates, prepared deterministically from its workload.
+enum Artifact {
+    /// A scheduled program plus its schedule report.
+    Program(mipsx_asm::Program, ScheduleReport),
+    /// A raw instruction-address trace (Icache-only job).
+    Trace(Vec<u32>),
+}
+
+fn raw_program(job: &Job) -> Result<Option<RawProgram>, SpecError> {
+    match &job.workload {
+        Workload::Kernel(name) => all_kernels()
+            .into_iter()
+            .find(|k| k.name == *name)
+            .map(|k| Some(k.raw))
+            .ok_or_else(|| {
+                let known: Vec<&str> = all_kernels().iter().map(|k| k.name).collect();
+                SpecError(format!(
+                    "unknown kernel {name} (known: {})",
+                    known.join(", ")
+                ))
+            }),
+        Workload::Synth { profile, seed } => {
+            let cfg = match profile.as_str() {
+                "pascal" => SynthConfig::pascal_like(*seed),
+                "lisp" => SynthConfig::lisp_like(*seed),
+                "tiny" => SynthConfig::tiny(*seed),
+                other => return Err(SpecError(format!("unknown synth profile {other}"))),
+            };
+            Ok(Some(generate(cfg).raw))
+        }
+        Workload::Stream { words, reps } => Ok(Some(streaming(*words, *reps))),
+        Workload::Trace { .. } => Ok(None),
+    }
+}
+
+fn prepare(job: &Job) -> Result<Artifact, SpecError> {
+    if let Workload::Trace { profile, seed } = &job.workload {
+        let cfg = match profile.as_str() {
+            "medium" => TraceConfig::medium(*seed),
+            "large" => TraceConfig::large(*seed),
+            other => return Err(SpecError(format!("unknown trace profile {other}"))),
+        };
+        return Ok(Artifact::Trace(instruction_trace(cfg)));
+    }
+    let raw = raw_program(job)?.expect("non-trace workloads produce a raw program");
+    let (program, report) = Reorganizer::new(job.point.scheme)
+        .reorganize(&raw)
+        .map_err(|e| SpecError(format!("{}: reorganize failed: {e}", job.workload.id())))?;
+    Ok(Artifact::Program(program, report))
+}
+
+fn digest(artifact: &Artifact) -> u64 {
+    match artifact {
+        Artifact::Program(program, _) => fnv1a_words(
+            [program.origin, program.entry]
+                .into_iter()
+                .chain(program.words.iter().copied()),
+        ),
+        Artifact::Trace(addrs) => fnv1a_words(addrs.iter().copied()),
+    }
+}
+
+fn execute_job(
+    job: &Job,
+    run_cycles: u64,
+    store: &ResultStore,
+) -> Result<(JobResult, u64, bool), SpecError> {
+    let artifact = prepare(job)?;
+    let key = job_key(
+        &job.point,
+        &job.workload.id(),
+        digest(&artifact),
+        job.fault.as_deref(),
+        run_cycles,
+    );
+    if let Some(result) = store.load(key) {
+        return Ok((result, key, true));
+    }
+    let label = format!("{} | {}", job.point_label, job.workload.id());
+    let result = match artifact {
+        Artifact::Trace(addrs) => {
+            let mut cache = Icache::new(job.point.cfg.icache);
+            let trace = cache.simulate_trace(addrs.iter().copied());
+            JobResult {
+                icache_accesses: trace.stats.accesses,
+                icache_misses: trace.stats.misses,
+                icache_fill_stalls: trace.stats.stall_cycles,
+                ..JobResult::default()
+            }
+        }
+        Artifact::Program(program, report) => {
+            let cfg = SimConfig {
+                interlock: InterlockPolicy::Detect,
+                ..job.point.cfg
+            };
+            let mut machine = Machine::new(cfg);
+            machine.load_program(&program);
+            let stats = match &job.fault {
+                None => machine.run(run_cycles),
+                Some(spec) => {
+                    let mut plan = FaultPlan::parse(spec)
+                        .map_err(|e| SpecError(format!("{label}: fault plan: {e}")))?;
+                    machine.run_with_faults(run_cycles, &mut NullSink, &mut plan)
+                }
+            }
+            .map_err(|e| SpecError(format!("{label}: run failed: {e}")))?;
+            let ic = machine.icache().stats();
+            let ec = machine.ecache().stats();
+            JobResult {
+                cycles: stats.cycles,
+                instructions: stats.instructions,
+                squashed: stats.squashed,
+                nops: stats.nops,
+                branches: stats.branches,
+                branches_taken: stats.branches_taken,
+                branch_slot_nops: stats.branch_slot_nops,
+                branch_slot_squashed: stats.branch_slot_squashed,
+                loads: stats.loads,
+                stores: stats.stores,
+                exceptions: stats.exceptions,
+                icache_stall_cycles: stats.icache_stall_cycles,
+                ecache_stall_cycles: stats.ecache_stall_cycles,
+                icache_accesses: ic.accesses,
+                icache_misses: ic.misses,
+                icache_fill_stalls: ic.stall_cycles,
+                ecache_accesses: ec.accesses,
+                ecache_misses: ec.misses,
+                sched_branches: report.branches as u64,
+                sched_squashing: report.squashing_branches as u64,
+                sched_slot_nops: report.slot_nops as u64,
+                sched_load_nops: report.load_nops as u64,
+            }
+        }
+    };
+    store.save(key, &result, &label);
+    Ok((result, key, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Axis, Grid, SimPoint};
+
+    fn tiny_spec() -> SweepSpec {
+        let mut spec = SweepSpec::new(SimPoint::mipsx());
+        spec.workloads = vec![Workload::parse("kernel:sum_to_n").unwrap()];
+        spec.grid = Grid::Axes(vec![Axis::parse_flag("mem_latency=3,5").unwrap()]);
+        spec.run_cycles = 10_000_000;
+        spec
+    }
+
+    #[test]
+    fn sweep_runs_and_renders() {
+        let outcome = run_sweep(&tiny_spec(), &SweepOptions::default()).unwrap();
+        assert_eq!(outcome.rows.len(), 2);
+        assert_eq!(outcome.cache_hits, 0);
+        assert!(outcome.rows[0].result.cycles > 0);
+        let json = outcome.to_json();
+        assert!(json.contains("\"jobs\":2"), "{json}");
+        let csv = outcome.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(outcome.to_markdown().contains("| point |"));
+    }
+
+    #[test]
+    fn unknown_kernel_is_a_spec_error() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec![Workload::Kernel("does_not_exist".into())];
+        let e = run_sweep(&spec, &SweepOptions::default()).unwrap_err();
+        assert!(e.0.contains("unknown kernel"), "{e}");
+    }
+
+    #[test]
+    fn merged_point_sums_counters() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec![
+            Workload::parse("kernel:sum_to_n").unwrap(),
+            Workload::parse("kernel:memcpy").unwrap(),
+        ];
+        let outcome = run_sweep(&spec, &SweepOptions::default()).unwrap();
+        assert_eq!(outcome.point_count(), 2);
+        let merged = outcome.merged_point(0);
+        let by_hand = outcome.rows[0].result.cycles + outcome.rows[1].result.cycles;
+        assert_eq!(merged.cycles, by_hand);
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let r = JobResult {
+            cycles: u64::MAX,
+            sched_load_nops: 7,
+            ..JobResult::default()
+        };
+        let record = r.to_record();
+        let fields: Vec<(&str, u64)> = record
+            .lines()
+            .map(|l| {
+                let (k, v) = l.split_once('=').unwrap();
+                (k, v.parse().unwrap())
+            })
+            .collect();
+        assert_eq!(JobResult::from_fields(&fields), Some(r));
+        // A missing field or an unknown field both fail closed.
+        assert_eq!(JobResult::from_fields(&fields[1..]), None);
+        let mut extra = fields.clone();
+        extra.push(("mystery", 1));
+        assert_eq!(JobResult::from_fields(&extra), None);
+    }
+
+    #[test]
+    fn trace_jobs_fill_only_cache_counters() {
+        let mut spec = SweepSpec::new(SimPoint::mipsx());
+        spec.workloads = vec![Workload::parse("trace:medium:11").unwrap()];
+        let outcome = run_sweep(&spec, &SweepOptions::default()).unwrap();
+        let r = outcome.rows[0].result;
+        assert!(r.icache_accesses > 0);
+        assert_eq!(r.cycles, 0);
+        assert!(r.icache_fetch_cost() > 1.0);
+    }
+}

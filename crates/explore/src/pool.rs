@@ -1,0 +1,118 @@
+//! A fixed-size work-stealing thread pool over a known job list.
+//!
+//! The sweep engine knows every job up front, so the pool is deliberately
+//! minimal: job indices are dealt round-robin into one deque per worker;
+//! each worker pops from the *front* of its own deque and, when empty,
+//! steals from the *back* of the most-loaded victim. There are no external
+//! dependencies and no unsafe code — deques are `Mutex`-guarded, which is
+//! negligible next to jobs that each simulate millions of cycles.
+//!
+//! Results are written into a slot vector indexed by job index, so the
+//! output order is the job order regardless of which worker ran what —
+//! the property the byte-identical-aggregation guarantee rests on.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Run `worker(index)` for every `index in 0..count` on `threads` workers
+/// and return the results in index order.
+///
+/// `threads` is clamped to `1..=count` (zero means one). With one thread
+/// the jobs run on the calling thread in order, with no pool machinery —
+/// the serial baseline the determinism tests compare against.
+///
+/// # Panics
+/// Propagates a panic from any worker.
+pub fn run_indexed<T, F>(count: usize, threads: usize, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, count);
+    if threads == 1 {
+        return (0..count).map(worker).collect();
+    }
+
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| Mutex::new((w..count).step_by(threads).collect()))
+        .collect();
+    let results: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let queues = &queues;
+            let results = &results;
+            let worker = &worker;
+            scope.spawn(move || loop {
+                // Own work first (front of own deque)…
+                let mut job = queues[me].lock().expect("pool poisoned").pop_front();
+                // …then steal from the back of the fullest victim.
+                if job.is_none() {
+                    let victim = (0..threads)
+                        .filter(|&v| v != me)
+                        .max_by_key(|&v| queues[v].lock().expect("pool poisoned").len());
+                    if let Some(v) = victim {
+                        job = queues[v].lock().expect("pool poisoned").pop_back();
+                    }
+                }
+                let Some(index) = job else { break };
+                let value = worker(index);
+                *results[index].lock().expect("pool poisoned") = Some(value);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("pool poisoned")
+                .expect("every job index was executed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_jobs_run_once_in_index_order() {
+        let calls = AtomicUsize::new(0);
+        let out = run_indexed(100, 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i * 3
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_indexed(37, 1, |i| i as u64 * i as u64);
+        let parallel = run_indexed(37, 8, |i| i as u64 * i as u64);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn stealing_drains_imbalanced_loads() {
+        // One job is 1000x the others; the pool must still finish and keep
+        // index order.
+        let out = run_indexed(16, 4, |i| {
+            let reps = if i == 0 { 100_000 } else { 100 };
+            (0..reps).fold(i as u64, |a, x| a.wrapping_add(x))
+        });
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 16, |i| i), vec![0]);
+        assert_eq!(run_indexed(3, 0, |i| i), vec![0, 1, 2]);
+    }
+}

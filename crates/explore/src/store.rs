@@ -1,0 +1,162 @@
+//! The content-addressed, on-disk result store.
+//!
+//! One file per job result, named by the job's 64-bit key
+//! (`<dir>/<16-hex>.result`), in a line-oriented `field=value` format that
+//! round-trips every counter exactly (all fields are integers). Writes go
+//! through a per-process temporary file and an atomic rename, so parallel
+//! workers and even concurrent sweep processes never observe torn files.
+//!
+//! The directory defaults to `sweeps/` and is overridable with the
+//! `MIPSX_SWEEP_DIR` environment variable (used by CI to keep the store
+//! out of the checkout).
+
+use std::path::PathBuf;
+
+use crate::engine::JobResult;
+use crate::key::key_hex;
+
+/// Store format version, written into every file; unknown versions read as
+/// cache misses.
+const FORMAT_VERSION: u32 = 1;
+
+/// Handle to the result store (or to nothing, when caching is off).
+#[derive(Clone, Debug)]
+pub struct ResultStore {
+    dir: Option<PathBuf>,
+}
+
+impl ResultStore {
+    /// A store rooted at `dir` (created lazily on first save).
+    pub fn at(dir: impl Into<PathBuf>) -> ResultStore {
+        ResultStore {
+            dir: Some(dir.into()),
+        }
+    }
+
+    /// The disabled store: every load misses, every save is dropped.
+    pub fn disabled() -> ResultStore {
+        ResultStore { dir: None }
+    }
+
+    /// The default store root: `$MIPSX_SWEEP_DIR`, or `sweeps/` under the
+    /// current directory.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("MIPSX_SWEEP_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("sweeps"))
+    }
+
+    /// Whether caching is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    fn path_for(&self, key: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.result", key_hex(key))))
+    }
+
+    /// Load the result stored under `key`, if present and well-formed.
+    pub fn load(&self, key: u64) -> Option<JobResult> {
+        let path = self.path_for(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        parse_record(&text)
+    }
+
+    /// Persist `result` under `key`. `note` is a human-readable comment
+    /// (job label) written into the file header; it is not read back.
+    /// Failures are silent by design — a read-only store degrades to
+    /// caching nothing, not to failing the sweep.
+    pub fn save(&self, key: u64, result: &JobResult, note: &str) {
+        let Some(path) = self.path_for(key) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let mut text = format!(
+            "# mipsx sweep result\nversion={FORMAT_VERSION}\n# {}\n",
+            note.replace('\n', " ")
+        );
+        text.push_str(&result.to_record());
+        let tmp = dir.join(format!(".{}.tmp.{}", key_hex(key), std::process::id()));
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+fn parse_record(text: &str) -> Option<JobResult> {
+    let mut version: Option<u32> = None;
+    let mut fields: Vec<(&str, u64)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (k, v) = line.split_once('=')?;
+        if k == "version" {
+            version = v.parse().ok();
+        } else {
+            fields.push((k, v.parse().ok()?));
+        }
+    }
+    if version != Some(FORMAT_VERSION) {
+        return None;
+    }
+    JobResult::from_fields(&fields)
+}
+
+/// A store rooted in a fresh, unique temporary directory (test helper;
+/// also used by `--bench` to guarantee cold-cache timings).
+pub fn temp_store(tag: &str) -> ResultStore {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    ResultStore::at(
+        std::env::temp_dir().join(format!("mipsx-sweep-{tag}-{}-{n}", std::process::id())),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_misses() {
+        let store = temp_store("store-test");
+        let r = JobResult {
+            cycles: 123,
+            instructions: 45,
+            ..JobResult::default()
+        };
+        assert!(store.load(7).is_none());
+        store.save(7, &r, "label with\nnewline");
+        assert_eq!(store.load(7), Some(r));
+        assert!(store.load(8).is_none());
+    }
+
+    #[test]
+    fn disabled_store_is_inert() {
+        let store = ResultStore::disabled();
+        store.save(1, &JobResult::default(), "x");
+        assert!(store.load(1).is_none());
+        assert!(!store.is_enabled());
+    }
+
+    #[test]
+    fn malformed_files_read_as_misses() {
+        let store = temp_store("store-bad");
+        store.save(9, &JobResult::default(), "ok");
+        let path = match &store.dir {
+            Some(d) => d.join(format!("{}.result", key_hex(9))),
+            None => unreachable!(),
+        };
+        std::fs::write(&path, "version=999\ncycles=1\n").unwrap();
+        assert!(store.load(9).is_none());
+        std::fs::write(&path, "not a record at all").unwrap();
+        assert!(store.load(9).is_none());
+    }
+}

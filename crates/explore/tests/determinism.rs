@@ -1,0 +1,131 @@
+//! The engine's two headline guarantees, end to end:
+//!
+//! 1. **Order-independent aggregation** — a sweep run on one thread and on
+//!    many renders byte-identical reports.
+//! 2. **Content-addressed caching** — an unchanged spec re-run against a
+//!    warm store is served entirely from cache, with identical results;
+//!    and cache keys are invariant under how a configuration was built but
+//!    distinct across semantically different configurations.
+
+use mipsx_explore::{
+    canonical_point, job_key, run_sweep, Axis, Grid, ResultStore, SimPoint, SweepOptions,
+    SweepSpec, Workload,
+};
+use proptest::prelude::*;
+
+/// A small but non-trivial sweep: 4 grid points × 2 kernels = 8 jobs.
+fn small_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(SimPoint::mipsx());
+    spec.grid = Grid::Axes(vec![
+        Axis::parse_flag("mem_latency=3,5").unwrap(),
+        Axis::parse_flag("icache.rows=4,8").unwrap(),
+    ]);
+    spec.workloads = vec![
+        Workload::parse("kernel:sum_to_n").unwrap(),
+        Workload::parse("kernel:memcpy").unwrap(),
+    ];
+    spec.run_cycles = 5_000_000;
+    spec
+}
+
+fn opts(threads: usize, store: ResultStore) -> SweepOptions {
+    SweepOptions { threads, store }
+}
+
+#[test]
+fn serial_and_parallel_reports_are_byte_identical() {
+    let spec = small_spec();
+    let serial = run_sweep(&spec, &opts(1, ResultStore::disabled())).unwrap();
+    let parallel = run_sweep(&spec, &opts(4, ResultStore::disabled())).unwrap();
+    assert_eq!(serial.rows.len(), 8);
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_markdown(), parallel.to_markdown());
+}
+
+#[test]
+fn warm_rerun_is_fully_served_from_cache() {
+    let spec = small_spec();
+    let store = mipsx_explore::temp_store("determinism");
+    let cold = run_sweep(&spec, &opts(4, store.clone())).unwrap();
+    assert_eq!(cold.cache_hits, 0, "fresh store must not hit");
+    let warm = run_sweep(&spec, &opts(4, store)).unwrap();
+    assert_eq!(
+        warm.cache_hits,
+        warm.rows.len(),
+        "warm re-run must fully hit"
+    );
+    for (a, b) in cold.rows.iter().zip(&warm.rows) {
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.key, b.key);
+    }
+}
+
+#[test]
+fn cached_and_fresh_runs_agree_with_serial_baseline() {
+    // A parallel run over a half-warm store still renders the serial
+    // (cold, storeless) counters.
+    let spec = small_spec();
+    let baseline = run_sweep(&spec, &opts(1, ResultStore::disabled())).unwrap();
+    let store = mipsx_explore::temp_store("halfwarm");
+    let mut first = spec.clone();
+    first.workloads.truncate(1); // warm only half the cells
+    run_sweep(&first, &opts(2, store.clone())).unwrap();
+    let mixed = run_sweep(&spec, &opts(4, store)).unwrap();
+    assert_eq!(mixed.cache_hits, 4);
+    for (a, b) in baseline.rows.iter().zip(&mixed.rows) {
+        assert_eq!(a.result, b.result, "{}/{}", a.point_label, a.workload);
+    }
+}
+
+/// Build one point by applying three single-valued axes in the given
+/// order.
+fn point_from(lat: u32, rows_exp: u32, late: u32, order: [usize; 3]) -> SimPoint {
+    let flags = [
+        format!("mem_latency={lat}"),
+        format!("icache.rows={}", 1u32 << rows_exp),
+        format!("ecache.late_miss={late}"),
+    ];
+    let mut spec = SweepSpec::new(SimPoint::mipsx());
+    spec.grid = Grid::Axes(
+        order
+            .iter()
+            .map(|&i| Axis::parse_flag(&flags[i]).unwrap())
+            .collect(),
+    );
+    spec.workloads = vec![Workload::parse("kernel:sum_to_n").unwrap()];
+    spec.expand().unwrap()[0].point
+}
+
+proptest! {
+    /// The canonical form (hence the cache key) does not depend on the
+    /// order configuration fields were applied in.
+    #[test]
+    fn canonical_form_is_application_order_invariant(
+        lat in 1u32..16,
+        rows_exp in 0u32..4,
+        late in 0u32..4,
+    ) {
+        let reference = canonical_point(&point_from(lat, rows_exp, late, [0, 1, 2]));
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            prop_assert_eq!(
+                canonical_point(&point_from(lat, rows_exp, late, order)),
+                reference.clone()
+            );
+        }
+    }
+
+    /// Keys are equal exactly when the configurations are semantically
+    /// equal.
+    #[test]
+    fn keys_separate_exactly_the_distinct_configs(
+        a in (1u32..16, 0u32..4, 0u32..4),
+        b in (1u32..16, 0u32..4, 0u32..4),
+    ) {
+        let pa = point_from(a.0, a.1, a.2, [0, 1, 2]);
+        let pb = point_from(b.0, b.1, b.2, [2, 1, 0]);
+        let ka = job_key(&pa, "kernel:sum_to_n", 1, None, 1000);
+        let kb = job_key(&pb, "kernel:sum_to_n", 1, None, 1000);
+        prop_assert_eq!(ka == kb, a == b, "a={:?} b={:?}", a, b);
+    }
+}

@@ -22,9 +22,11 @@
 pub mod calibration;
 pub mod kernels;
 pub mod soak;
+pub mod streams;
 pub mod synth;
 pub mod traces;
 
 pub use kernels::{all_kernels, Kernel};
 pub use soak::random_scheduled_program;
+pub use streams::streaming;
 pub use synth::{SynthConfig, SynthProgram};

@@ -15,6 +15,10 @@
 //!                                   program satisfies the pipeline
 //!                                   contract (load delays, squash
 //!                                   senses, MD chains, ...)
+//! mipsx sweep [spec.sweep] [options]
+//!                                   design-space exploration: expand a
+//!                                   sweep grid, run it on a thread pool,
+//!                                   serve repeats from the result cache
 //! mipsx info                        print the modeled machine's parameters
 //!
 //! run options:
@@ -42,6 +46,25 @@
 //!   --json              machine-readable report
 //!   --kernels           lint every built-in kernel under all six Table 1
 //!                       branch schemes instead of a single target
+//!
+//! sweep options:
+//!   <spec.sweep>        spec file (see mipsx_explore::SweepSpec::parse);
+//!                       or build the grid from flags:
+//!   --grid f=v1,v2      one axis (repeatable), e.g. --grid mem_latency=3,5
+//!   --workload <id>     workload (repeatable): kernel:<name>,
+//!                       synth:<pascal|lisp|tiny>:<seed>,
+//!                       trace:<medium|large>:<seed>, stream:<words>x<reps>
+//!   --fault <spec>      fault plan cell (repeatable; "none" = fault-free)
+//!   --base <mipsx|ideal> base configuration (default mipsx)
+//!   --cycles <n>        per-job cycle budget (default 500,000,000)
+//!   --threads <n>       worker threads (default: all cores)
+//!   --json | --csv      report format (default: markdown table)
+//!   --store <dir>       result-cache directory (default $MIPSX_SWEEP_DIR
+//!                       or sweeps/)
+//!   --no-cache          disable the result cache entirely
+//!   --bench <path>      run the built-in E1+E11 grids serial vs parallel
+//!                       on cold caches, verify byte-identical reports,
+//!                       and write the timing baseline JSON to <path>
 //! ```
 //!
 //! A failing soak run prints a copy-pasteable `mipsx soak --runs 1 --seed N
@@ -52,12 +75,19 @@
 //! by the code reorganizer exactly as the experiments run it — or a path
 //! to an assembly file. `mipsx lint` exits non-zero if any error-severity
 //! diagnostic is found (warnings alone do not fail the run).
+//!
+//! The sweep report goes to stdout; timing and cache-hit chatter goes to
+//! stderr, so reports are byte-comparable across runs and thread counts.
 
 use std::process::ExitCode;
 
 use mipsx::asm::{assemble, assemble_at, disassemble};
+use mipsx::cli::{flag, parse_args, switch, ArgError, FlagSpec, ParsedArgs};
 use mipsx::core::probe::{CpiAttribution, JsonlSink, PipeDiagram};
 use mipsx::core::{FaultPlan, InterlockPolicy, Machine, MachineConfig};
+use mipsx::explore::{
+    run_sweep, Axis, Grid, ResultStore, SimPoint, SweepOptions, SweepSpec, Workload,
+};
 use mipsx::isa::Reg;
 use mipsx::refmodel::{Lockstep, NULL_HANDLER};
 use mipsx::reorg::{BranchScheme, Reorganizer, SquashPolicy};
@@ -66,19 +96,41 @@ use mipsx::workloads::{all_kernels, random_scheduled_program};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mipsx <asm|dis|run|trace|soak|lint|info> [file.s|kernel] [--cycles N] \
-         [--slots 1|2] [--trust] [--regs] [--diagram N] [--jsonl path] [--runs N] [--seed N] \
-         [--faults spec] [--fault-count N] [--json] [--kernels]"
+        "usage: mipsx <asm|dis|run|trace|soak|lint|sweep|info> [file.s|kernel|spec.sweep] \
+         [--cycles N] [--slots 1|2] [--trust] [--regs] [--diagram N] [--jsonl path] [--runs N] \
+         [--seed N] [--faults spec] [--fault-count N] [--json] [--kernels] [--grid f=v1,v2] \
+         [--workload id] [--fault spec] [--base mipsx|ideal] [--threads N] [--csv] \
+         [--store dir] [--no-cache] [--bench path]"
     );
     ExitCode::FAILURE
 }
 
-/// Resolve the `trace` target: a built-in kernel name (scheduled through
-/// the reorganizer) or an assembly file.
-fn trace_program(target: &str) -> Result<mipsx::asm::Program, String> {
+/// Parse a subcommand's arguments, printing the error and usage on
+/// failure.
+fn parse_or_usage(args: &[String], spec: &[FlagSpec]) -> Result<ParsedArgs, ExitCode> {
+    parse_args(args, spec).map_err(|e| {
+        eprintln!("mipsx: {e}");
+        usage()
+    })
+}
+
+/// `parsed_or` with the subcommand's error rendering.
+fn numeric<T: std::str::FromStr>(
+    parsed: &ParsedArgs,
+    name: &str,
+    default: T,
+) -> Result<T, ExitCode> {
+    parsed.parsed_or(name, default).map_err(|e: ArgError| {
+        eprintln!("mipsx: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// Resolve a `trace`/`lint` target: a built-in kernel name (scheduled
+/// through the reorganizer under `scheme`) or an assembly file.
+fn target_program(target: &str, scheme: BranchScheme) -> Result<mipsx::asm::Program, String> {
     if let Some(kernel) = all_kernels().into_iter().find(|k| k.name == target) {
-        let reorg = Reorganizer::new(BranchScheme::mipsx());
-        let (program, _) = reorg
+        let (program, _) = Reorganizer::new(scheme)
             .reorganize(&kernel.raw)
             .map_err(|e| format!("kernel {target}: {e}"))?;
         return Ok(program);
@@ -94,37 +146,32 @@ fn trace_program(target: &str) -> Result<mipsx::asm::Program, String> {
 }
 
 fn cmd_trace(args: &[String]) -> ExitCode {
-    let Some(target) = args.first() else {
+    let parsed = match parse_or_usage(
+        args,
+        &[
+            flag("--cycles"),
+            flag("--slots"),
+            flag("--diagram"),
+            flag("--jsonl"),
+        ],
+    ) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let Some(target) = parsed.positionals.first() else {
         return usage();
     };
-    let mut cycles = 10_000_000u64;
-    let mut diagram_cycles = 60u64;
-    let mut jsonl_path: Option<String> = None;
+    let (cycles, diagram_cycles, slots) = match (
+        numeric(&parsed, "--cycles", 10_000_000u64),
+        numeric(&parsed, "--diagram", 60u64),
+        numeric(&parsed, "--slots", 2usize),
+    ) {
+        (Ok(c), Ok(d), Ok(s)) => (c, d, s),
+        (Err(code), _, _) | (_, Err(code), _) | (_, _, Err(code)) => return code,
+    };
     let mut cfg = MachineConfig::mipsx();
-    let mut it = args.iter().skip(1);
-    while let Some(opt) = it.next() {
-        match opt.as_str() {
-            "--cycles" => cycles = it.next().and_then(|v| v.parse().ok()).unwrap_or(cycles),
-            "--slots" => {
-                cfg.branch_delay_slots = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(cfg.branch_delay_slots)
-            }
-            "--diagram" => {
-                diagram_cycles = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(diagram_cycles)
-            }
-            "--jsonl" => jsonl_path = it.next().cloned(),
-            other => {
-                eprintln!("mipsx: unknown option {other}");
-                return usage();
-            }
-        }
-    }
-    let program = match trace_program(target) {
+    cfg.branch_delay_slots = slots;
+    let program = match target_program(target, BranchScheme::mipsx()) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("mipsx: {e}");
@@ -136,7 +183,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
 
     let diagram = PipeDiagram::with_limit(diagram_cycles.max(1));
     let mut sink = (diagram, CpiAttribution::new());
-    let result = match &jsonl_path {
+    let result = match parsed.value("--jsonl") {
         Some(path) => {
             let file = match std::fs::File::create(path) {
                 Ok(f) => std::io::BufWriter::new(f),
@@ -185,53 +232,25 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Resolve the `lint` target: a built-in kernel name (scheduled through
-/// the reorganizer for the requested slot count) or an assembly file.
-fn lint_program(target: &str, slots: usize) -> Result<mipsx::asm::Program, String> {
-    if let Some(kernel) = all_kernels().into_iter().find(|k| k.name == target) {
-        let scheme = BranchScheme {
-            slots,
-            squash: SquashPolicy::SquashOptional,
-        };
-        let (program, _) = Reorganizer::new(scheme)
-            .reorganize(&kernel.raw)
-            .map_err(|e| format!("kernel {target}: {e}"))?;
-        return Ok(program);
-    }
-    let source = std::fs::read_to_string(target).map_err(|e| {
-        let kernels: Vec<&str> = all_kernels().iter().map(|k| k.name).collect();
-        format!(
-            "{target}: {e} (not a readable file; known kernels: {})",
-            kernels.join(", ")
-        )
-    })?;
-    assemble(&source).map_err(|e| format!("{target}: {e}"))
-}
-
 fn cmd_lint(args: &[String]) -> ExitCode {
-    let mut json = false;
-    let mut kernels_mode = false;
-    let mut slots = 2usize;
-    let mut target: Option<&String> = None;
-    let mut it = args.iter();
-    while let Some(opt) = it.next() {
-        match opt.as_str() {
-            "--json" => json = true,
-            "--kernels" => kernels_mode = true,
-            "--slots" => slots = it.next().and_then(|v| v.parse().ok()).unwrap_or(slots),
-            other if !other.starts_with("--") => target = Some(opt),
-            other => {
-                eprintln!("mipsx: unknown option {other}");
-                return usage();
-            }
-        }
-    }
+    let parsed = match parse_or_usage(
+        args,
+        &[switch("--json"), switch("--kernels"), flag("--slots")],
+    ) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let json = parsed.has("--json");
+    let slots = match numeric(&parsed, "--slots", 2usize) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
     if !(1..=2).contains(&slots) {
         eprintln!("mipsx: --slots must be 1 or 2");
         return ExitCode::FAILURE;
     }
 
-    if kernels_mode {
+    if parsed.has("--kernels") {
         // Every built-in kernel under every Table 1 branch scheme: the
         // reorganizer's output contract, checked end to end.
         let mut error_total = 0usize;
@@ -279,10 +298,14 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         };
     }
 
-    let Some(target) = target else {
+    let Some(target) = parsed.positionals.first() else {
         return usage();
     };
-    let program = match lint_program(target, slots) {
+    let scheme = BranchScheme {
+        slots,
+        squash: SquashPolicy::SquashOptional,
+    };
+    let program = match target_program(target, scheme) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("mipsx: {e}");
@@ -310,31 +333,31 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 const SOAK_VECTOR: u32 = 0x8000;
 
 fn cmd_soak(args: &[String]) -> ExitCode {
-    let mut runs = 100u64;
-    let mut base_seed = 1u64;
-    let mut fault_spec: Option<String> = None;
-    let mut fault_count = 6u32;
-    let mut cycles = 2_000_000u64;
-    let mut it = args.iter();
-    while let Some(opt) = it.next() {
-        match opt.as_str() {
-            "--runs" => runs = it.next().and_then(|v| v.parse().ok()).unwrap_or(runs),
-            "--seed" => base_seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(base_seed),
-            "--faults" => fault_spec = it.next().cloned(),
-            "--fault-count" => {
-                fault_count = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(fault_count)
-            }
-            "--cycles" => cycles = it.next().and_then(|v| v.parse().ok()).unwrap_or(cycles),
-            other => {
-                eprintln!("mipsx: unknown option {other}");
-                return usage();
-            }
+    let parsed = match parse_or_usage(
+        args,
+        &[
+            flag("--runs"),
+            flag("--seed"),
+            flag("--faults"),
+            flag("--fault-count"),
+            flag("--cycles"),
+        ],
+    ) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let (runs, base_seed, fault_count, cycles) = match (
+        numeric(&parsed, "--runs", 100u64),
+        numeric(&parsed, "--seed", 1u64),
+        numeric(&parsed, "--fault-count", 6u32),
+        numeric(&parsed, "--cycles", 2_000_000u64),
+    ) {
+        (Ok(r), Ok(s), Ok(f), Ok(c)) => (r, s, f, c),
+        (Err(code), ..) | (_, Err(code), ..) | (_, _, Err(code), _) | (.., Err(code)) => {
+            return code
         }
-    }
-    let fixed_plan = match &fault_spec {
+    };
+    let fixed_plan = match parsed.value("--faults") {
         Some(spec) => match FaultPlan::parse(spec) {
             Ok(p) => Some(p),
             Err(e) => {
@@ -409,6 +432,271 @@ fn cmd_soak(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_run(path: &str, args: &[String]) -> ExitCode {
+    let parsed = match parse_or_usage(
+        args,
+        &[
+            flag("--cycles"),
+            flag("--slots"),
+            switch("--trust"),
+            switch("--regs"),
+        ],
+    ) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let (cycles, slots) = match (
+        numeric(&parsed, "--cycles", 10_000_000u64),
+        numeric(&parsed, "--slots", 2usize),
+    ) {
+        (Ok(c), Ok(s)) => (c, s),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mipsx: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match assemble(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mipsx: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = MachineConfig::mipsx();
+    cfg.branch_delay_slots = slots;
+    if parsed.has("--trust") {
+        cfg.interlock = InterlockPolicy::Trust;
+    }
+    let mut machine = Machine::new(cfg);
+    machine.load_program(&program);
+    match machine.run(cycles) {
+        Ok(stats) => {
+            println!("{stats}");
+            println!("icache: {}", machine.icache().stats());
+            println!("ecache: {}", machine.ecache().stats());
+            if parsed.has("--regs") {
+                for r in Reg::all() {
+                    let v = machine.cpu().reg(r);
+                    if v != 0 {
+                        println!("  {r:>4} = {v:#010x} ({})", v as i32);
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mipsx: execution failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Build a [`SweepSpec`] from a spec file or from `--grid`/`--workload`
+/// flags.
+fn sweep_spec_from(parsed: &ParsedArgs) -> Result<SweepSpec, String> {
+    let mut spec = match parsed.positionals.first() {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            SweepSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => SweepSpec::new(SimPoint::mipsx()),
+    };
+    match parsed.value("--base") {
+        None => {}
+        Some("mipsx") => spec.base = SimPoint::mipsx(),
+        Some("ideal") => spec.base = SimPoint::ideal_memory(),
+        Some(other) => return Err(format!("--base {other}: expected mipsx or ideal")),
+    }
+    let flag_axes: Vec<Axis> = parsed
+        .values_of("--grid")
+        .map(|g| Axis::parse_flag(g).map_err(|e| e.to_string()))
+        .collect::<Result<_, String>>()?;
+    if !flag_axes.is_empty() {
+        match &mut spec.grid {
+            Grid::Axes(axes) => axes.extend(flag_axes),
+            Grid::Points(_) => return Err("--grid cannot extend an explicit point list".into()),
+        }
+    }
+    for id in parsed.values_of("--workload") {
+        spec.workloads
+            .push(Workload::parse(id).map_err(|e| e.to_string())?);
+    }
+    let flag_faults: Vec<Option<String>> = parsed
+        .values_of("--fault")
+        .map(|f| {
+            if f == "none" {
+                None
+            } else {
+                Some(f.to_owned())
+            }
+        })
+        .collect();
+    if !flag_faults.is_empty() {
+        spec.faults = flag_faults;
+    }
+    if let Some(cycles) = parsed.value("--cycles") {
+        spec.run_cycles = cycles
+            .parse()
+            .map_err(|_| format!("--cycles {cycles}: expected a cycle count"))?;
+    }
+    Ok(spec)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let parsed = match parse_or_usage(
+        args,
+        &[
+            flag("--grid"),
+            flag("--workload"),
+            flag("--fault"),
+            flag("--base"),
+            flag("--cycles"),
+            flag("--threads"),
+            flag("--store"),
+            switch("--json"),
+            switch("--csv"),
+            switch("--no-cache"),
+            flag("--bench"),
+        ],
+    ) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let threads = match numeric(&parsed, "--threads", default_threads()) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    if let Some(bench_path) = parsed.value("--bench") {
+        return sweep_bench(bench_path, threads.max(2));
+    }
+    let spec = match sweep_spec_from(&parsed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mipsx: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let store = if parsed.has("--no-cache") {
+        ResultStore::disabled()
+    } else {
+        match parsed.value("--store") {
+            Some(dir) => ResultStore::at(dir),
+            None => ResultStore::at(ResultStore::default_dir()),
+        }
+    };
+    let outcome = match run_sweep(&spec, &SweepOptions { threads, store }) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mipsx: sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.has("--json") {
+        println!("{}", outcome.to_json());
+    } else if parsed.has("--csv") {
+        print!("{}", outcome.to_csv());
+    } else {
+        print!("{}", outcome.to_markdown());
+    }
+    eprintln!(
+        "mipsx sweep: {} jobs on {} thread(s) in {:.2?} ({} from cache)",
+        outcome.rows.len(),
+        threads,
+        outcome.wall,
+        outcome.cache_hits,
+    );
+    ExitCode::SUCCESS
+}
+
+/// The `--bench` mode: run the E1 and E11 experiment grids serial and
+/// parallel on *cold* caches, check the reports match byte for byte, check
+/// a warm re-run is served fully from cache, and write the timing baseline.
+fn sweep_bench(path: &str, threads: usize) -> ExitCode {
+    let grids: [(&str, SweepSpec); 2] = [
+        (
+            "e1_branch_schemes",
+            mipsx::bench::experiments::e1_branch_schemes::sweep_spec(),
+        ),
+        (
+            "e11_ecache",
+            mipsx::bench::experiments::e11_ecache::sweep_spec(),
+        ),
+    ];
+    let mut entries: Vec<String> = Vec::new();
+    for (name, spec) in grids {
+        let cold = |threads: usize| {
+            let opts = SweepOptions {
+                threads,
+                store: mipsx::explore::temp_store(&format!("bench-{name}-{threads}")),
+            };
+            let start = std::time::Instant::now();
+            let outcome = run_sweep(&spec, &opts).expect("bench sweep");
+            (outcome, start.elapsed(), opts.store)
+        };
+        let (serial, serial_wall, _) = cold(1);
+        let (parallel, parallel_wall, warm_store) = cold(threads);
+        let identical = serial.to_json() == parallel.to_json();
+        // Re-run against the parallel run's store: every job must hit.
+        let rerun = run_sweep(
+            &spec,
+            &SweepOptions {
+                threads,
+                store: warm_store,
+            },
+        )
+        .expect("bench rerun");
+        let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
+        eprintln!(
+            "mipsx sweep --bench {name}: {} jobs, serial {serial_wall:.2?}, \
+             {threads} threads {parallel_wall:.2?} ({speedup:.2}x), identical={identical}, \
+             rerun {}/{} from cache",
+            serial.rows.len(),
+            rerun.cache_hits,
+            rerun.rows.len(),
+        );
+        if !identical {
+            eprintln!("mipsx: BENCH FAILURE: parallel report differs from serial report");
+            return ExitCode::FAILURE;
+        }
+        if rerun.cache_hits != rerun.rows.len() {
+            eprintln!("mipsx: BENCH FAILURE: warm re-run was not fully served from cache");
+            return ExitCode::FAILURE;
+        }
+        entries.push(format!(
+            "{{\"grid\":\"{name}\",\"jobs\":{},\"threads\":{threads},\
+             \"serial_ms\":{},\"parallel_ms\":{},\"speedup\":{speedup:.3},\
+             \"byte_identical\":true,\"rerun_cache_hits\":{},\"rerun_jobs\":{}}}",
+            serial.rows.len(),
+            serial_wall.as_millis(),
+            parallel_wall.as_millis(),
+            rerun.cache_hits,
+            rerun.rows.len(),
+        ));
+    }
+    // Speedups are only meaningful relative to the cores the host actually
+    // had, so the baseline records it.
+    let doc = format!(
+        "{{\"bench\":\"mipsx sweep --bench\",\"host_cpus\":{},\"grids\":[{}]}}\n",
+        default_threads(),
+        entries.join(",")
+    );
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("mipsx: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{doc}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -450,7 +738,8 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args[1..]),
         "soak" => cmd_soak(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
-        "asm" | "dis" | "run" => {
+        "sweep" => cmd_sweep(&args[1..]),
+        "asm" | "dis" => {
             let Some(path) = args.get(1) else {
                 return usage();
             };
@@ -468,67 +757,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match cmd.as_str() {
-                "asm" => {
-                    for (i, w) in program.words.iter().enumerate() {
-                        println!("{:#07x}: {w:08x}", program.origin + i as u32);
-                    }
-                    ExitCode::SUCCESS
+            if cmd == "asm" {
+                for (i, w) in program.words.iter().enumerate() {
+                    println!("{:#07x}: {w:08x}", program.origin + i as u32);
                 }
-                "dis" => {
-                    for line in disassemble(program.origin, &program.words) {
-                        println!("{line}");
-                    }
-                    ExitCode::SUCCESS
-                }
-                _ => {
-                    let mut cycles = 10_000_000u64;
-                    let mut cfg = MachineConfig::mipsx();
-                    let mut dump_regs = false;
-                    let mut it = args.iter().skip(2);
-                    while let Some(opt) = it.next() {
-                        match opt.as_str() {
-                            "--cycles" => {
-                                cycles = it.next().and_then(|v| v.parse().ok()).unwrap_or(cycles)
-                            }
-                            "--slots" => {
-                                cfg.branch_delay_slots = it
-                                    .next()
-                                    .and_then(|v| v.parse().ok())
-                                    .unwrap_or(cfg.branch_delay_slots)
-                            }
-                            "--trust" => cfg.interlock = InterlockPolicy::Trust,
-                            "--regs" => dump_regs = true,
-                            other => {
-                                eprintln!("mipsx: unknown option {other}");
-                                return usage();
-                            }
-                        }
-                    }
-                    let mut machine = Machine::new(cfg);
-                    machine.load_program(&program);
-                    match machine.run(cycles) {
-                        Ok(stats) => {
-                            println!("{stats}");
-                            println!("icache: {}", machine.icache().stats());
-                            println!("ecache: {}", machine.ecache().stats());
-                            if dump_regs {
-                                for r in Reg::all() {
-                                    let v = machine.cpu().reg(r);
-                                    if v != 0 {
-                                        println!("  {r:>4} = {v:#010x} ({})", v as i32);
-                                    }
-                                }
-                            }
-                            ExitCode::SUCCESS
-                        }
-                        Err(e) => {
-                            eprintln!("mipsx: execution failed: {e}");
-                            ExitCode::FAILURE
-                        }
-                    }
+            } else {
+                for line in disassemble(program.origin, &program.words) {
+                    println!("{line}");
                 }
             }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            cmd_run(path, &args[2..])
         }
         _ => usage(),
     }

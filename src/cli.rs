@@ -1,0 +1,225 @@
+//! Shared command-line flag parsing for the `mipsx` binary.
+//!
+//! Every subcommand used to hand-roll the same `while let Some(opt) =
+//! it.next()` loop — with the same two bugs waiting to happen: a flag at
+//! the end of the line silently swallowing its missing value, and a typo'd
+//! value silently falling back to the default. This module centralizes the
+//! loop: a subcommand declares its flags once, and lookups are typed and
+//! fail loudly.
+//!
+//! ```
+//! use mipsx::cli::{flag, parse_args, switch};
+//!
+//! let args: Vec<String> = ["prog.s", "--cycles", "500", "--regs"]
+//!     .iter().map(|s| s.to_string()).collect();
+//! let parsed = parse_args(&args, &[flag("--cycles"), switch("--regs")])?;
+//! assert_eq!(parsed.positionals, ["prog.s"]);
+//! assert_eq!(parsed.parsed_or("--cycles", 10u64)?, 500);
+//! assert!(parsed.has("--regs"));
+//! # Ok::<(), mipsx::cli::ArgError>(())
+//! ```
+
+use std::fmt;
+
+/// A flag-parsing error. `Display` renders the user-facing message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ArgError {
+    /// An option that is not in the subcommand's flag set.
+    UnknownFlag(String),
+    /// A value-taking flag appeared as the last argument.
+    MissingValue(String),
+    /// A flag's value failed to parse.
+    InvalidValue {
+        /// The flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected (e.g. `u64`).
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::UnknownFlag(flag) => write!(f, "unknown option {flag}"),
+            ArgError::MissingValue(flag) => write!(f, "option {flag} needs a value"),
+            ArgError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(
+                f,
+                "option {flag}: bad value {value:?} (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// One declared flag.
+#[derive(Clone, Copy, Debug)]
+pub struct FlagSpec {
+    /// The flag, including the leading dashes.
+    pub name: &'static str,
+    /// Whether the flag consumes the next argument as its value.
+    pub takes_value: bool,
+}
+
+/// Declare a value-taking flag (`--cycles N`).
+pub const fn flag(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+    }
+}
+
+/// Declare a boolean switch (`--regs`).
+pub const fn switch(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: false,
+    }
+}
+
+/// The parsed argument list.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedArgs {
+    /// `(flag, value)` occurrences of value-taking flags, in order.
+    pub values: Vec<(&'static str, String)>,
+    /// Switches seen.
+    pub switches: Vec<&'static str>,
+    /// Arguments that are not flags (targets, file paths).
+    pub positionals: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Whether `name` (switch or value flag) appeared.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(&name) || self.values.iter().any(|(n, _)| *n == name)
+    }
+
+    /// The last value given for `name`, if any.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value given for `name`, in order (for repeatable flags).
+    pub fn values_of<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.values
+            .iter()
+            .filter(move |(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse the last value of `name` as a `T`, or return `default` when
+    /// the flag is absent. Unlike the old hand-rolled loops, an
+    /// *unparsable* value is an error, not a silent default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::InvalidValue {
+                flag: name.to_owned(),
+                value: v.to_owned(),
+                expected: std::any::type_name::<T>()
+                    .rsplit("::")
+                    .next()
+                    .unwrap_or("value"),
+            }),
+        }
+    }
+}
+
+/// Parse `args` against the declared `spec`. Arguments starting with `--`
+/// must be declared flags; everything else collects into
+/// [`ParsedArgs::positionals`].
+pub fn parse_args(args: &[String], spec: &[FlagSpec]) -> Result<ParsedArgs, ArgError> {
+    let mut parsed = ParsedArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if !arg.starts_with("--") {
+            parsed.positionals.push(arg.clone());
+            continue;
+        }
+        let Some(decl) = spec.iter().find(|f| f.name == arg.as_str()) else {
+            return Err(ArgError::UnknownFlag(arg.clone()));
+        };
+        if decl.takes_value {
+            let Some(value) = it.next() else {
+                return Err(ArgError::MissingValue(arg.clone()));
+            };
+            parsed.values.push((decl.name, value.clone()));
+        } else {
+            parsed.switches.push(decl.name);
+        }
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let e = parse_args(&argv(&["--bogus"]), &[flag("--cycles")]).unwrap_err();
+        assert_eq!(e, ArgError::UnknownFlag("--bogus".into()));
+        assert_eq!(e.to_string(), "unknown option --bogus");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = parse_args(&argv(&["--cycles"]), &[flag("--cycles")]).unwrap_err();
+        assert_eq!(e, ArgError::MissingValue("--cycles".into()));
+        assert_eq!(e.to_string(), "option --cycles needs a value");
+    }
+
+    #[test]
+    fn invalid_value_is_an_error_not_a_silent_default() {
+        let parsed = parse_args(&argv(&["--cycles", "lots"]), &[flag("--cycles")]).unwrap();
+        let e = parsed.parsed_or("--cycles", 7u64).unwrap_err();
+        assert!(
+            matches!(&e, ArgError::InvalidValue { flag, value, .. }
+                if flag == "--cycles" && value == "lots"),
+            "{e:?}"
+        );
+        assert!(e.to_string().contains("u64"), "{e}");
+    }
+
+    #[test]
+    fn values_switches_and_positionals_separate() {
+        let parsed = parse_args(
+            &argv(&["prog.s", "--cycles", "500", "--regs", "extra"]),
+            &[flag("--cycles"), switch("--regs")],
+        )
+        .unwrap();
+        assert_eq!(parsed.positionals, ["prog.s", "extra"]);
+        assert_eq!(parsed.parsed_or("--cycles", 0u64).unwrap(), 500);
+        assert!(parsed.has("--regs"));
+        assert!(!parsed.has("--trust"));
+        assert_eq!(parsed.parsed_or("--slots", 2usize).unwrap(), 2);
+    }
+
+    #[test]
+    fn repeated_flags_keep_every_value_and_last_wins_for_scalar() {
+        let parsed = parse_args(
+            &argv(&[
+                "--grid", "a=1", "--grid", "b=2", "--cycles", "1", "--cycles", "2",
+            ]),
+            &[flag("--grid"), flag("--cycles")],
+        )
+        .unwrap();
+        let grids: Vec<&str> = parsed.values_of("--grid").collect();
+        assert_eq!(grids, ["a=1", "b=2"]);
+        assert_eq!(parsed.parsed_or("--cycles", 0u64).unwrap(), 2);
+    }
+}

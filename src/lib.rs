@@ -25,6 +25,7 @@
 //! | [`workloads`] | `mipsx-workloads` | kernels + synthetic Pascal/Lisp generators |
 //! | [`baseline`] | `mipsx-baseline` | IR with MIPS-X and VAX-like backends |
 //! | [`bench`] | `mipsx-bench` | the paper's experiments (E1..E11) |
+//! | [`explore`] | `mipsx-explore` | design-space sweep engine, result cache, thread pool |
 //!
 //! ## Quickstart
 //!
@@ -44,11 +45,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cli;
+
 pub use mipsx_asm as asm;
 pub use mipsx_baseline as baseline;
 pub use mipsx_bench as bench;
 pub use mipsx_coproc as coproc;
 pub use mipsx_core as core;
+pub use mipsx_explore as explore;
 pub use mipsx_isa as isa;
 pub use mipsx_mem as mem;
 // `ref` is a keyword, so the reference-model crate surfaces as `refmodel`.
