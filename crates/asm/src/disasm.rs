@@ -1,9 +1,11 @@
 //! Disassembler.
 
-use mipsx_isa::Instr;
+use crate::image::DecodedImage;
 
 /// Render memory words as assembly text, one `addr: instruction` line per
-/// word, starting at `origin`.
+/// word, starting at `origin`. The words are decoded once into a
+/// [`DecodedImage`] and the table is formatted — the same decode path the
+/// other static consumers use.
 ///
 /// ```
 /// use mipsx_asm::{assemble, disassemble};
@@ -15,10 +17,9 @@ use mipsx_isa::Instr;
 /// # Ok::<(), mipsx_asm::AsmError>(())
 /// ```
 pub fn disassemble(origin: u32, words: &[u32]) -> Vec<String> {
-    words
+    DecodedImage::decode(origin, words)
         .iter()
-        .enumerate()
-        .map(|(i, &w)| format!("{:#07x}:  {}", origin + i as u32, Instr::decode(w)))
+        .map(|(addr, entry)| format!("{addr:#07x}:  {}", entry.instr))
         .collect()
 }
 

@@ -36,11 +36,13 @@
 mod builder;
 mod disasm;
 mod error;
+mod image;
 mod program;
 mod text;
 
 pub use builder::{Asm, Label};
 pub use disasm::disassemble;
 pub use error::AsmError;
+pub use image::{DecodedEntry, DecodedImage, DecodedMem};
 pub use program::Program;
 pub use text::{assemble, assemble_at};

@@ -5,6 +5,8 @@ use std::fmt;
 
 use mipsx_isa::Instr;
 
+use crate::image::{DecodedEntry, DecodedImage};
+
 /// An assembled MIPS-X program: a contiguous block of words plus metadata.
 ///
 /// Addresses are **word** addresses (MIPS-X is word-addressed; instructions
@@ -56,7 +58,14 @@ impl Program {
 
     /// The decoded instruction at a given address, if inside the image.
     pub fn instr_at(&self, addr: u32) -> Option<Instr> {
-        self.word_at(addr).map(Instr::decode)
+        self.word_at(addr).map(|w| DecodedEntry::decode(w).instr)
+    }
+
+    /// Decode the whole image once into a dense side-car table. Static
+    /// consumers (verifier, disassembler) work from this rather than
+    /// re-decoding words.
+    pub fn decoded(&self) -> DecodedImage {
+        DecodedImage::from_program(self)
     }
 
     /// Address of a label.
@@ -69,7 +78,7 @@ impl Program {
         self.words
             .iter()
             .enumerate()
-            .map(move |(i, &w)| (self.origin + i as u32, Instr::decode(w)))
+            .map(move |(i, &w)| (self.origin + i as u32, DecodedEntry::decode(w).instr))
     }
 
     /// Count the explicit `nop` instructions in the image — the static

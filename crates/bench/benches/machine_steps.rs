@@ -1,0 +1,154 @@
+//! A/B bench for the decode-once fetch path: pipeline cycle throughput
+//! with the decoded side-car table against the word-decode baseline.
+//!
+//! Every workload kernel (plus a larger synthetic program for a stable
+//! headline number) is scheduled once under the shipped MIPS-X scheme and
+//! executed to halt with `InterlockPolicy::Trust` and the real memory
+//! system. Case A is the shipped configuration (decode cache on); case B
+//! calls `Machine::set_decode_cache_enabled(false)` so every IF fetch runs
+//! `Instr::decode` afresh — the pre-IR behaviour.
+//!
+//! Results go to `BENCH_core.json` at the repo root as steps (cycles) per
+//! second for both paths, and the bench **fails** if the decoded path is
+//! more than 3 % slower than the baseline on the aggregate — the layer
+//! must pay for itself.
+//!
+//! `MIPSX_PERF_SMOKE=1` switches to a quick mode for CI: fewer samples and
+//! no JSON artifact, but the same regression assertion.
+
+use criterion::{criterion_group, criterion_main, measure_ns, Criterion};
+use mipsx_core::{InterlockPolicy, Machine, MachineConfig};
+use mipsx_reorg::{BranchScheme, Reorganizer};
+use mipsx_workloads::all_kernels;
+use mipsx_workloads::synth::{generate, SynthConfig};
+
+struct Case {
+    name: String,
+    program: mipsx_asm::Program,
+    cycles: u64,
+    baseline_ns: f64,
+    decoded_ns: f64,
+}
+
+fn schedule(raw: &mipsx_reorg::RawProgram) -> mipsx_asm::Program {
+    Reorganizer::new(BranchScheme::mipsx())
+        .reorganize(raw)
+        .expect("schedules")
+        .0
+}
+
+fn run_once(program: &mipsx_asm::Program, decode_cache: bool) -> u64 {
+    let mut machine = Machine::new(MachineConfig {
+        interlock: InterlockPolicy::Trust,
+        ..MachineConfig::mipsx()
+    });
+    machine.set_decode_cache_enabled(decode_cache);
+    machine.load_program(program);
+    machine.run(200_000_000).expect("runs to halt").cycles
+}
+
+fn steps_per_sec(cycles: u64, ns: f64) -> f64 {
+    cycles as f64 / (ns / 1e9)
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::var_os("MIPSX_PERF_SMOKE").is_some();
+    let samples = if smoke { 3 } else { 10 };
+
+    let mut cases: Vec<Case> = Vec::new();
+    for kernel in all_kernels() {
+        cases.push(Case {
+            name: kernel.name.to_string(),
+            program: schedule(&kernel.raw),
+            cycles: 0,
+            baseline_ns: 0.0,
+            decoded_ns: 0.0,
+        });
+    }
+    let synth = generate(SynthConfig::pascal_like(31).with_code_scale(10, 4));
+    cases.push(Case {
+        name: "synth_pascal".to_string(),
+        program: schedule(&synth.raw),
+        cycles: 0,
+        baseline_ns: 0.0,
+        decoded_ns: 0.0,
+    });
+
+    for case in &mut cases {
+        case.cycles = run_once(&case.program, true);
+        assert_eq!(
+            case.cycles,
+            run_once(&case.program, false),
+            "{}: decoded and baseline runs must be cycle-identical",
+            case.name
+        );
+        case.decoded_ns = measure_ns(c, samples, |b| b.iter(|| run_once(&case.program, true)));
+        case.baseline_ns = measure_ns(c, samples, |b| b.iter(|| run_once(&case.program, false)));
+        println!(
+            "machine_steps/{:<16} {:>9} cycles  decoded {:>12.1} ns  baseline {:>12.1} ns  speedup {:.3}x",
+            case.name,
+            case.cycles,
+            case.decoded_ns,
+            case.baseline_ns,
+            case.baseline_ns / case.decoded_ns,
+        );
+    }
+
+    let total_cycles: u64 = cases.iter().map(|c| c.cycles).sum();
+    let total_decoded_ns: f64 = cases.iter().map(|c| c.decoded_ns).sum();
+    let total_baseline_ns: f64 = cases.iter().map(|c| c.baseline_ns).sum();
+    let speedup = total_baseline_ns / total_decoded_ns;
+    println!(
+        "machine_steps/TOTAL            {:>9} cycles  decoded {:.3e} steps/s  baseline {:.3e} steps/s  speedup {:.3}x",
+        total_cycles,
+        steps_per_sec(total_cycles, total_decoded_ns),
+        steps_per_sec(total_cycles, total_baseline_ns),
+        speedup,
+    );
+
+    if !smoke {
+        let rows: Vec<String> = cases
+            .iter()
+            .map(|case| {
+                format!(
+                    "{{\"kernel\":\"{}\",\"cycles\":{},\"baseline_steps_per_sec\":{:.0},\"decoded_steps_per_sec\":{:.0},\"speedup\":{:.4}}}",
+                    case.name,
+                    case.cycles,
+                    steps_per_sec(case.cycles, case.baseline_ns),
+                    steps_per_sec(case.cycles, case.decoded_ns),
+                    case.baseline_ns / case.decoded_ns,
+                )
+            })
+            .collect();
+        let doc = format!(
+            "{{\"bench\":\"machine_steps\",\"samples\":{},\"total\":{{\"cycles\":{},\"baseline_steps_per_sec\":{:.0},\"decoded_steps_per_sec\":{:.0},\"speedup\":{:.4}}},\"kernels\":[{}]}}",
+            samples,
+            total_cycles,
+            steps_per_sec(total_cycles, total_baseline_ns),
+            steps_per_sec(total_cycles, total_decoded_ns),
+            speedup,
+            rows.join(","),
+        );
+        assert!(mipsx_bench::json_is_valid(&doc), "malformed bench JSON");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json");
+        std::fs::write(path, doc + "\n").expect("write BENCH_core.json");
+        println!("machine_steps: wrote {path}");
+    }
+
+    // Acceptance: the decode-once path must not regress cycle throughput.
+    // 3 % of slack absorbs timer noise on loaded machines; any real
+    // regression (the memoization costing more than the decode it saves)
+    // is far larger than that.
+    assert!(
+        speedup > 0.97,
+        "decoded path is {:.2}% slower than the word-decode baseline",
+        (1.0 / speedup - 1.0) * 100.0
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Differential proof that the decode-once layer is invisible to simulated
+//! behaviour.
+//!
+//! The decoded side-car table is a pure memoization of `Instr::decode` over
+//! the fetch stream, so a machine with the cache enabled must be
+//! **cycle-identical** to the word-decode baseline: same `RunStats`, and a
+//! byte-identical JSONL event trace. This is checked over every workload
+//! kernel, under all six Table 1 branch schemes, with and without an
+//! injected fault plan.
+
+use mipsx_core::{FaultPlan, InterlockPolicy, JsonlSink, Machine, MachineConfig, RunStats};
+use mipsx_reorg::{BranchScheme, Reorganizer};
+use mipsx_workloads::all_kernels;
+
+/// Run one kernel image to halt and capture `(stats, jsonl_bytes)`.
+fn run_traced(
+    program: &mipsx_asm::Program,
+    cfg: MachineConfig,
+    plan: &FaultPlan,
+    decode_cache: bool,
+) -> (RunStats, Vec<u8>) {
+    let mut machine = Machine::new(cfg);
+    machine.set_decode_cache_enabled(decode_cache);
+    machine.load_program(program);
+    let mut sink = JsonlSink::new(Vec::new());
+    let mut plan = plan.clone();
+    let stats = machine
+        .run_with_faults(10_000_000, &mut sink, &mut plan)
+        .expect("kernel runs to halt");
+    (stats, sink.finish().expect("in-memory write succeeds"))
+}
+
+fn check_all(plan: &FaultPlan, label: &str) {
+    for kernel in all_kernels() {
+        for scheme in BranchScheme::table1() {
+            let (program, _) = Reorganizer::new(scheme)
+                .reorganize(&kernel.raw)
+                .expect("kernel schedules");
+            let cfg = MachineConfig {
+                branch_delay_slots: scheme.slots,
+                interlock: InterlockPolicy::Trust,
+                ..MachineConfig::default()
+            };
+            let (stats_cached, trace_cached) = run_traced(&program, cfg, plan, true);
+            let (stats_plain, trace_plain) = run_traced(&program, cfg, plan, false);
+            assert_eq!(
+                stats_cached, stats_plain,
+                "{} [{scheme}] [{label}]: RunStats diverged between decoded and word-decode runs",
+                kernel.name
+            );
+            assert_eq!(
+                trace_cached, trace_plain,
+                "{} [{scheme}] [{label}]: JSONL trace diverged between decoded and word-decode runs",
+                kernel.name
+            );
+            assert!(
+                !trace_cached.is_empty(),
+                "{} [{scheme}] [{label}]: trace unexpectedly empty",
+                kernel.name
+            );
+        }
+    }
+}
+
+#[test]
+fn decoded_runs_are_cycle_identical_without_faults() {
+    check_all(&FaultPlan::none(), "no faults");
+}
+
+#[test]
+fn decoded_runs_are_cycle_identical_under_faults() {
+    // Handler-free fault kinds only (parity refetch, Ecache latency
+    // jitter, coprocessor-busy stalls): they perturb timing without
+    // redirecting into an exception vector this bare machine lacks.
+    let plan = FaultPlan::parse("25:parity,40:jitter4,80:cpbusy3,120:parity").expect("parses");
+    check_all(&plan, "fault plan");
+}

@@ -38,9 +38,9 @@
 //! the no-op [`NullSink`](crate::probe::NullSink), so the untraced path
 //! pays nothing.
 
-use mipsx_asm::Program;
+use mipsx_asm::{DecodedEntry, DecodedMem, Program};
 use mipsx_coproc::Coprocessor;
-use mipsx_isa::{ComputeOp, ExceptionCause, Instr, Mode, Reg, SpecialReg, SquashMode};
+use mipsx_isa::{ComputeOp, ExceptionCause, Instr, InstrMeta, Mode, Reg, SpecialReg, SquashMode};
 use mipsx_mem::{Ecache, Icache, MainMemory};
 
 use crate::cpu::PcChainEntry;
@@ -60,6 +60,9 @@ const WB: usize = 4;
 struct Slot {
     pc: u32,
     instr: Instr,
+    /// Precomputed facts about `instr`, fetched with it from the decoded
+    /// image — the stage logic below reads these instead of re-classifying.
+    meta: InstrMeta,
     /// The destination-kill bit the Squash/Exception lines set.
     kill: bool,
     /// ALU result / effective address / link value / `movfrs` datum.
@@ -75,10 +78,11 @@ struct Slot {
 }
 
 impl Slot {
-    fn new(pc: u32, instr: Instr, kill: bool) -> Slot {
+    fn new(pc: u32, entry: DecodedEntry, kill: bool) -> Slot {
         Slot {
             pc,
-            instr,
+            instr: entry.instr,
+            meta: entry.meta,
             kill,
             result: 0,
             addr: 0,
@@ -90,9 +94,10 @@ impl Slot {
 
     /// The value this instruction writes to its destination register.
     fn final_value(&self) -> u32 {
-        match self.instr {
-            Instr::Ld { .. } | Instr::Mvfc { .. } => self.mem_data,
-            _ => self.result,
+        if self.meta.mem_result {
+            self.mem_data
+        } else {
+            self.result
         }
     }
 }
@@ -115,6 +120,10 @@ pub struct Machine {
     ecache: Ecache,
     mem: MainMemory,
     coprocs: [Option<Box<dyn Coprocessor>>; 8],
+    /// Decode-once side-car over instruction memory: IF fetches memoized
+    /// [`DecodedEntry`] records; every store to memory invalidates its
+    /// address so self-modifying code re-decodes the new word.
+    decoded: DecodedMem,
     miss_fsm: CacheMissFsm,
     squash_fsm: SquashFsm,
     stats: RunStats,
@@ -143,6 +152,7 @@ impl Machine {
             ecache: Ecache::new(cfg.ecache),
             mem: MainMemory::with_latency(cfg.mem_latency),
             coprocs: Default::default(),
+            decoded: DecodedMem::new(),
             miss_fsm: CacheMissFsm::new(),
             squash_fsm: SquashFsm::new(),
             stats: RunStats::default(),
@@ -200,7 +210,13 @@ impl Machine {
     }
 
     /// Load a program image into memory and point the PC at its entry.
+    ///
+    /// The decode-once table fills lazily: each word is decoded the first
+    /// time IF fetches it (eager preloading would also decode data words
+    /// and charge short runs for instructions they never reach). Any
+    /// entries cached before the load are dropped.
     pub fn load_program(&mut self, program: &Program) {
+        self.decoded.clear();
         self.mem.load(program.origin, &program.words);
         self.cpu.pc = program.entry;
     }
@@ -208,6 +224,7 @@ impl Machine {
     /// Load raw words at an address (e.g. an exception handler at the
     /// vector).
     pub fn load_at(&mut self, origin: u32, words: &[u32]) {
+        self.decoded.clear();
         self.mem.load(origin, words);
     }
 
@@ -218,7 +235,19 @@ impl Machine {
 
     /// Write a memory word directly (test setup).
     pub fn write_word(&mut self, addr: u32, word: u32) {
+        self.decoded.invalidate(addr);
         self.mem.write(addr, word);
+    }
+
+    /// Enable or disable the decode-once fetch cache (enabled by default).
+    ///
+    /// Disabling makes every IF fetch decode its word afresh — the
+    /// word-decode baseline the `machine_steps` benchmark and the decode
+    /// differential test compare against. Simulated behaviour is identical
+    /// either way; this is deliberately not a [`MachineConfig`] field so it
+    /// cannot perturb the sweep engine's config-keyed result cache.
+    pub fn set_decode_cache_enabled(&mut self, enabled: bool) {
+        self.decoded.set_enabled(enabled);
     }
 
     /// Attach a coprocessor to slot `n` (1..8; 0 is the CPU itself).
@@ -476,7 +505,7 @@ impl Machine {
         }
         let special_jump_in_flight = self.slots[..WB]
             .iter()
-            .any(|s| s.is_some_and(|s| !s.kill && matches!(s.instr, Instr::Jpc | Instr::Jpcrs)));
+            .any(|s| s.is_some_and(|s| !s.kill && s.meta.is_special_jump));
         if special_jump_in_flight {
             return;
         }
@@ -533,11 +562,10 @@ impl Machine {
             let Some(p) = &self.slots[stage] else {
                 continue;
             };
-            if p.kill || p.instr.def() != Some(reg) {
+            if p.kill || p.meta.def != Some(reg) {
                 continue;
             }
-            let load_class = p.instr.is_load() || matches!(p.instr, Instr::Mvfc { .. });
-            if load_class {
+            if p.meta.mem_result {
                 // A load's datum exists from the end of its MEM cycle. A
                 // producer still before MEM has nothing; a producer *in* MEM
                 // delivers at the very end of this cycle — too late for a
@@ -621,7 +649,7 @@ impl Machine {
         if let Instr::Illegal(word) = slot.instr {
             return Err(RunError::IllegalInstruction { pc, word });
         }
-        if slot.instr.is_privileged() && self.cpu.psw.mode() == Mode::User {
+        if slot.meta.is_privileged && self.cpu.psw.mode() == Mode::User {
             return Err(RunError::PrivilegeViolation { pc });
         }
         match slot.instr {
@@ -707,6 +735,9 @@ impl Machine {
             }
             Instr::St { rsrc, .. } => {
                 let v = self.operand(rsrc, MEM, pc, sink)?;
+                // The store may hit instruction memory: drop any decoded
+                // entry so the next fetch re-decodes the written word.
+                self.decoded.invalidate(slot.addr);
                 let extra = self.ecache.write(slot.addr, v, &mut self.mem);
                 if extra > 0 {
                     self.miss_fsm.start(extra);
@@ -733,6 +764,7 @@ impl Machine {
             Instr::Stf { fr, .. } => {
                 self.stall_if_coproc_busy(1, pc, sink);
                 let v = self.coprocs[1].as_mut().map_or(0, |c| c.store_direct(fr));
+                self.decoded.invalidate(slot.addr);
                 let extra = self.ecache.write(slot.addr, v, &mut self.mem);
                 if extra > 0 {
                     self.miss_fsm.start(extra);
@@ -788,7 +820,7 @@ impl Machine {
         let Some(mut slot) = self.slots[resolve_stage] else {
             return Ok(());
         };
-        if slot.kill || !slot.instr.is_control() {
+        if slot.kill || !slot.meta.is_control {
             return Ok(());
         }
         let pc = slot.pc;
@@ -880,7 +912,7 @@ impl Machine {
                     continue;
                 }
             }
-            if s.instr.is_nop() {
+            if s.meta.is_nop {
                 self.stats.branch_slot_nops += 1;
             }
         }
@@ -899,20 +931,22 @@ impl Machine {
             return;
         }
         self.stats.instructions += 1;
-        if let Some(rd) = slot.instr.def() {
+        if let Some(rd) = slot.meta.def {
             self.cpu.set_reg(rd, slot.final_value());
         }
         if let Some(md) = slot.md_out {
             self.cpu.md = md;
         }
-        match slot.instr {
-            Instr::Nop => self.stats.nops += 1,
-            Instr::Ld { .. } | Instr::Ldf { .. } => self.stats.loads += 1,
-            Instr::St { .. } | Instr::Stf { .. } => self.stats.stores += 1,
-            Instr::Halt => self.halted = true,
-            _ => {}
+        if slot.meta.is_nop {
+            self.stats.nops += 1;
+        } else if slot.meta.is_load {
+            self.stats.loads += 1;
+        } else if slot.meta.is_store {
+            self.stats.stores += 1;
+        } else if matches!(slot.instr, Instr::Halt) {
+            self.halted = true;
         }
-        if slot.instr.is_coproc() {
+        if slot.meta.is_coproc {
             self.stats.coproc_ops += 1;
         }
     }
@@ -937,11 +971,13 @@ impl Machine {
                 sink.stall(self.stats.cycles, StallCause::IcacheMiss, stall, pc);
             }
         }
-        let instr = Instr::decode(word);
+        // Decode-once: the side-car table serves the memoized entry; only a
+        // first fetch (or one after an invalidating store) decodes `word`.
+        let entry = self.decoded.fetch_with(pc, || word);
         // The non-cached coprocessor scheme forces an internal miss for
         // every coprocessor instruction so the coprocessor can see it on
         // the memory bus.
-        if instr.is_coproc() {
+        if entry.meta.is_coproc {
             let forced = self
                 .cfg
                 .coproc_scheme
@@ -955,7 +991,7 @@ impl Machine {
             }
         }
         let kill = std::mem::take(&mut self.pending_fetch_kill);
-        self.slots[IF] = Some(Slot::new(pc, instr, kill));
+        self.slots[IF] = Some(Slot::new(pc, entry, kill));
         self.cpu.pc = pc.wrapping_add(1);
 
         // PC chain: PCs (and kill bits) of the instructions now in RF, ALU

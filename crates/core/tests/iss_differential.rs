@@ -8,6 +8,7 @@
 //! Programs are generated to be correctly scheduled (no load-use at
 //! distance one), so both models are defined on them.
 
+use mipsx_asm::DecodedMem;
 use mipsx_core::{InterlockPolicy, Machine, MachineConfig};
 use mipsx_isa::{ComputeOp, Cond, Instr, Reg, SquashMode};
 use proptest::prelude::*;
@@ -17,6 +18,8 @@ use std::collections::HashMap;
 struct Iss {
     regs: [u32; 32],
     mem: HashMap<u32, u32>,
+    /// Decode-once side-car, same layer the production models fetch from.
+    decoded: DecodedMem,
     pc: u32,
     /// (fire_after_n_more_instructions, target) — delayed redirect.
     pending: Option<(u32, u32)>,
@@ -31,9 +34,12 @@ impl Iss {
         for (i, &w) in image.words.iter().enumerate() {
             mem.insert(image.origin + i as u32, w);
         }
+        let mut decoded = DecodedMem::new();
+        decoded.preload(image.origin, &image.words);
         Iss {
             regs: [0; 32],
             mem,
+            decoded,
             pc: image.entry,
             pending: None,
             squash_next: 0,
@@ -58,8 +64,12 @@ impl Iss {
                 return false;
             }
             self.executed += 1;
-            let word = self.mem.get(&self.pc).copied().unwrap_or(0);
-            let instr = Instr::decode(word);
+            let mem = &self.mem;
+            let pc = self.pc;
+            let instr = self
+                .decoded
+                .fetch_with(pc, || mem.get(&pc).copied().unwrap_or(0))
+                .instr;
             let this_pc = self.pc;
             self.pc = self.pc.wrapping_add(1);
 
@@ -128,6 +138,7 @@ impl Iss {
                     Instr::St { rs1, rsrc, offset } => {
                         let addr = self.reg(rs1).wrapping_add(offset as u32);
                         self.mem.insert(addr, self.reg(rsrc));
+                        self.decoded.invalidate(addr);
                     }
                     Instr::Branch {
                         cond,

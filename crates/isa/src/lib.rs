@@ -36,12 +36,16 @@
 //! - [`psw`]: the processor status word ([`Psw`]) and [`Mode`],
 //! - [`instr`]: the [`Instr`] enum with `encode`/`decode` and the dataflow
 //!   queries ([`Instr::def`], [`Instr::uses`]) the code reorganizer needs,
+//! - [`meta`]: the precomputed [`InstrMeta`] side-car record (def/use
+//!   bitmasks, class flags, squash safety, MD role) computed once at decode
+//!   time and shared by every execution layer,
 //! - [`sreg`]: special registers reachable by `movfrs`/`movtos`,
 //! - [`exception`]: exception causes.
 
 pub mod cond;
 pub mod exception;
 pub mod instr;
+pub mod meta;
 pub mod psw;
 pub mod reg;
 pub mod sreg;
@@ -49,6 +53,7 @@ pub mod sreg;
 pub use cond::Cond;
 pub use exception::ExceptionCause;
 pub use instr::{ComputeOp, Instr, JumpKind, SquashMode};
+pub use meta::{InstrMeta, MdRole};
 pub use psw::{Mode, Psw};
 pub use reg::Reg;
 pub use sreg::SpecialReg;

@@ -1,0 +1,291 @@
+//! Equivalence of the canonical [`InstrMeta`] record with the legacy
+//! per-layer derivations it replaced.
+//!
+//! Before the decode-once IR, the verifier, reorganizer, pipeline and
+//! reference model each classified instructions with their own `matches!`
+//! chains. Those chains are reproduced here verbatim as `legacy_*`
+//! functions and checked — field by field — against `InstrMeta::of`, both
+//! over an explicit enumeration of every instruction class the workload
+//! and fuzzer generators can emit and over arbitrary 32-bit words (which
+//! covers `Illegal` encodings and every field-boundary corner).
+
+use mipsx_isa::{ComputeOp, Cond, Instr, InstrMeta, MdRole, Reg, SpecialReg, SquashMode};
+use proptest::prelude::*;
+
+/// The verifier's old ALU-stage consumer set (`verify::analysis::alu_uses`):
+/// store data and `mvtc` sources are consumed in MEM, not ALU.
+fn legacy_alu_uses(instr: Instr) -> Vec<Reg> {
+    match instr {
+        Instr::St { rs1, .. } => vec![rs1],
+        Instr::Mvtc { .. } => vec![],
+        i => i.uses().collect(),
+    }
+}
+
+/// The verifier's old late-def rule (`verify::analysis::late_def`).
+fn legacy_late_def(instr: Instr) -> Option<Reg> {
+    match instr {
+        Instr::Ld { .. } | Instr::Mvfc { .. } => instr.def().filter(|d| !d.is_zero()),
+        _ => None,
+    }
+}
+
+/// The verifier's old squash-safety predicate (`verify::squash_safe` body).
+fn legacy_squash_safe(instr: Instr) -> bool {
+    !(instr.is_store()
+        || instr.is_coproc()
+        || instr.is_control()
+        || matches!(
+            instr,
+            Instr::Movtos { .. } | Instr::Halt | Instr::Illegal(_)
+        ))
+}
+
+/// The pipeline's old "load class" (result arrives from MEM, not ALU).
+fn legacy_mem_result(instr: Instr) -> bool {
+    instr.is_load() && !matches!(instr, Instr::Ldf { .. }) || matches!(instr, Instr::Mvfc { .. })
+}
+
+/// Mask from a register list with `r0` dropped — the reorganizer's old
+/// insert-guard semantics.
+fn mask_of(regs: impl IntoIterator<Item = Reg>) -> u32 {
+    regs.into_iter().fold(
+        0u32,
+        |m, r| {
+            if r.is_zero() {
+                m
+            } else {
+                m | 1 << r.index()
+            }
+        },
+    )
+}
+
+/// Check every `InstrMeta` field against its legacy derivation.
+fn check_meta(instr: Instr) {
+    let m = InstrMeta::of(instr);
+    assert_eq!(m, instr.meta(), "{instr}: meta() and of() disagree");
+
+    // Register sets.
+    assert_eq!(m.def, instr.def(), "{instr}: def specifier");
+    assert_eq!(m.def_mask, mask_of(instr.def()), "{instr}: def mask");
+    assert_eq!(m.use_mask, mask_of(instr.uses()), "{instr}: use mask");
+    let alu = legacy_alu_uses(instr);
+    assert_eq!(
+        m.alu_use_mask,
+        mask_of(alu.clone()),
+        "{instr}: alu use mask"
+    );
+    for r in Reg::all() {
+        assert_eq!(
+            m.alu_uses(r),
+            !r.is_zero() && alu.contains(&r),
+            "{instr}: alu_uses({r})"
+        );
+    }
+    assert_eq!(m.late_def, legacy_late_def(instr), "{instr}: late def");
+    // A late def is never r0 — the verifier's `alu_uses(d)` query relies on
+    // the masks being exact for every register it can ever ask about.
+    assert!(m.late_def.is_none_or(|d| !d.is_zero()));
+
+    // Classification flags.
+    assert_eq!(m.is_load, instr.is_load(), "{instr}: is_load");
+    assert_eq!(m.is_store, instr.is_store(), "{instr}: is_store");
+    assert_eq!(m.is_branch, instr.is_branch(), "{instr}: is_branch");
+    assert_eq!(m.is_jump, instr.is_jump(), "{instr}: is_jump");
+    assert_eq!(m.is_control, instr.is_control(), "{instr}: is_control");
+    assert_eq!(m.is_coproc, instr.is_coproc(), "{instr}: is_coproc");
+    assert_eq!(m.is_nop, instr.is_nop(), "{instr}: is_nop");
+    assert_eq!(
+        m.is_privileged,
+        instr.is_privileged(),
+        "{instr}: is_privileged"
+    );
+    assert_eq!(
+        m.has_side_effects,
+        instr.has_side_effects(),
+        "{instr}: has_side_effects"
+    );
+    assert_eq!(
+        m.is_special_jump,
+        matches!(instr, Instr::Jpc | Instr::Jpcrs),
+        "{instr}: is_special_jump"
+    );
+    assert_eq!(
+        m.squash_safe,
+        legacy_squash_safe(instr),
+        "{instr}: squash_safe"
+    );
+    assert_eq!(
+        m.mem_result,
+        legacy_mem_result(instr),
+        "{instr}: mem_result"
+    );
+
+    // MD chain role.
+    let expected_role = match instr {
+        Instr::Compute {
+            op: ComputeOp::Mstep,
+            ..
+        } => MdRole::Mstep,
+        Instr::Compute {
+            op: ComputeOp::Dstep,
+            ..
+        } => MdRole::Dstep,
+        Instr::Movtos {
+            sreg: SpecialReg::Md,
+            ..
+        } => MdRole::WritesMd,
+        _ => MdRole::None,
+    };
+    assert_eq!(m.md_role, expected_role, "{instr}: md_role");
+
+    // Branch displacement.
+    let expected_disp = match instr {
+        Instr::Branch { disp, .. } => Some(disp),
+        _ => None,
+    };
+    assert_eq!(m.branch_disp, expected_disp, "{instr}: branch_disp");
+}
+
+/// Explicit enumeration: one instance of every instruction class the
+/// workload kernels, synthetic generators, and fuzzer can emit, plus the
+/// corner specifiers (`r0` defs, `r0` uses, MD ops, every squash mode).
+#[test]
+fn every_emittable_class_matches_legacy_derivations() {
+    let r = Reg::new;
+    let mut cases: Vec<Instr> = vec![
+        Instr::Nop,
+        Instr::Halt,
+        Instr::Jpc,
+        Instr::Jpcrs,
+        Instr::Illegal(0xCAFE_BABE),
+        Instr::Ld {
+            rs1: r(2),
+            rd: r(1),
+            offset: 4,
+        },
+        Instr::Ld {
+            rs1: r(2),
+            rd: Reg::ZERO,
+            offset: 4,
+        },
+        Instr::St {
+            rs1: r(2),
+            rsrc: r(3),
+            offset: -1,
+        },
+        Instr::Addi {
+            rs1: r(4),
+            rd: r(5),
+            imm: 7,
+        },
+        Instr::Addi {
+            rs1: Reg::ZERO,
+            rd: Reg::ZERO,
+            imm: 0,
+        },
+        Instr::Jspci {
+            rs1: r(31),
+            rd: r(12),
+            imm: 0,
+        },
+        Instr::Jspci {
+            rs1: Reg::ZERO,
+            rd: Reg::ZERO,
+            imm: 0x40,
+        },
+        Instr::Mvtc {
+            rs: r(13),
+            cop: 1,
+            op: 2,
+        },
+        Instr::Mvfc {
+            rd: r(14),
+            cop: 1,
+            op: 2,
+        },
+        Instr::Mvfc {
+            rd: Reg::ZERO,
+            cop: 1,
+            op: 2,
+        },
+        Instr::Ldf {
+            rs1: r(15),
+            fr: 0,
+            offset: 0,
+        },
+        Instr::Stf {
+            rs1: r(16),
+            fr: 0,
+            offset: 0,
+        },
+        Instr::Cpop {
+            rs1: r(17),
+            cop: 2,
+            op: 9,
+        },
+    ];
+    for op in [
+        ComputeOp::Add,
+        ComputeOp::AddU,
+        ComputeOp::Sub,
+        ComputeOp::SubU,
+        ComputeOp::And,
+        ComputeOp::Or,
+        ComputeOp::Xor,
+        ComputeOp::Nor,
+        ComputeOp::Sll,
+        ComputeOp::Srl,
+        ComputeOp::Sra,
+        ComputeOp::Shf,
+        ComputeOp::Mstep,
+        ComputeOp::Dstep,
+    ] {
+        cases.push(Instr::Compute {
+            op,
+            rs1: r(7),
+            rs2: r(8),
+            rd: r(6),
+            shamt: 3,
+        });
+    }
+    for cond in Cond::ALL {
+        for squash in [
+            SquashMode::NoSquash,
+            SquashMode::SquashIfNotTaken,
+            SquashMode::SquashIfGo,
+        ] {
+            cases.push(Instr::Branch {
+                cond,
+                squash,
+                rs1: r(1),
+                rs2: Reg::ZERO,
+                disp: -3,
+            });
+        }
+    }
+    for sreg in [
+        SpecialReg::Psw,
+        SpecialReg::PswOld,
+        SpecialReg::Md,
+        SpecialReg::PcChain0,
+        SpecialReg::PcChain1,
+        SpecialReg::PcChain2,
+    ] {
+        cases.push(Instr::Movtos { sreg, rs: r(18) });
+        cases.push(Instr::Movfrs { rd: r(19), sreg });
+    }
+    for instr in cases {
+        check_meta(instr);
+    }
+}
+
+proptest! {
+    /// Arbitrary 32-bit words: whatever `decode` produces (including
+    /// `Illegal`), its metadata matches the legacy derivations.
+    #[test]
+    fn arbitrary_words_match_legacy_derivations(word in any::<u32>()) {
+        check_meta(Instr::decode(word));
+    }
+}

@@ -41,7 +41,7 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use mipsx_asm::Program;
+use mipsx_asm::{DecodedEntry, DecodedMem, Program};
 use mipsx_core::PcChainEntry;
 use mipsx_isa::{ExceptionCause, Instr, Mode, Psw, Reg, SpecialReg};
 
@@ -92,6 +92,9 @@ pub struct RefMachine {
     /// Word-addressed memory. Absent words read as zero, like the
     /// machine's main memory.
     mem: HashMap<u32, u32>,
+    /// Decode-once side-car over `mem`: retire and lookahead fetch
+    /// memoized entries; stores invalidate their address.
+    decoded: DecodedMem,
     /// Every address a store has written — the footprint the differ
     /// compares against machine memory at halt.
     written: BTreeSet<u32>,
@@ -122,6 +125,7 @@ impl RefMachine {
             md: 0,
             chain: [PcChainEntry::default(); REDIRECT_DEPTH],
             mem: HashMap::new(),
+            decoded: DecodedMem::new(),
             written: BTreeSet::new(),
             pending: [None; REDIRECT_DEPTH],
             squash_next: 0,
@@ -142,6 +146,7 @@ impl RefMachine {
     /// Load an image (e.g. an exception handler at the vector) without
     /// touching the PC.
     pub fn load_image(&mut self, origin: u32, words: &[u32]) {
+        self.decoded.clear();
         for (i, &w) in words.iter().enumerate() {
             self.mem.insert(origin.wrapping_add(i as u32), w);
         }
@@ -216,7 +221,7 @@ impl RefMachine {
             };
         }
         let this_pc = self.pc;
-        let instr = Instr::decode(self.mem_word(this_pc));
+        let instr = self.fetch_decoded(this_pc).instr;
         self.pc = this_pc.wrapping_add(1);
         // Both kill sources apply to the same position when a squashing
         // branch is replayed through the chain: consuming only one would
@@ -240,6 +245,14 @@ impl RefMachine {
             instr: Some(instr),
             killed,
         }
+    }
+
+    /// Fetch the decoded entry at `addr` through the decode-once side-car,
+    /// reading `mem` only when the entry is absent.
+    fn fetch_decoded(&mut self, addr: u32) -> DecodedEntry {
+        let mem = &self.mem;
+        self.decoded
+            .fetch_with(addr, || mem.get(&addr).copied().unwrap_or(0))
     }
 
     /// End-of-position bookkeeping: fire the oldest pending redirect and
@@ -380,6 +393,9 @@ impl RefMachine {
     }
 
     fn write_mem(&mut self, addr: u32, v: u32) {
+        // The store may overwrite an instruction: invalidate its decoded
+        // entry so the next fetch re-decodes the new word.
+        self.decoded.invalidate(addr);
         self.mem.insert(addr, v);
         self.written.insert(addr);
     }
@@ -438,7 +454,7 @@ impl RefMachine {
             };
             if n == 0 && !killed {
                 // The already-resolved oldest position (see above).
-                match Instr::decode(self.mem_word(this_pc)) {
+                match self.fetch_decoded(this_pc).instr {
                     Instr::Branch {
                         cond,
                         squash,

@@ -6,7 +6,7 @@
 //! a single `u32` mask, and the classic backward fixed point converges in a
 //! few sweeps.
 
-use mipsx_isa::{Instr, Reg};
+use mipsx_isa::{Instr, InstrMeta, Reg};
 
 use crate::{RawProgram, Terminator};
 
@@ -39,14 +39,13 @@ pub struct Liveness {
     pub live_out: Vec<RegSet>,
 }
 
-/// Transfer one instruction backward through a live set.
+/// Transfer one instruction backward through a live set: kill the def,
+/// then gen the uses, straight off the instruction's canonical
+/// [`InstrMeta`] masks (which already exclude `r0`).
 pub fn step_backward(live: &mut RegSet, instr: &Instr) {
-    if let Some(d) = instr.def() {
-        remove(live, d);
-    }
-    for u in instr.uses() {
-        insert(live, u);
-    }
+    let m = InstrMeta::of(*instr);
+    *live &= !m.def_mask;
+    *live |= m.use_mask;
 }
 
 /// Compute liveness for a whole program.

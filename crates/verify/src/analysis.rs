@@ -12,32 +12,16 @@
 //! `slots_execute` truth table, so it includes the tricky pairs: final
 //! delay slot → branch target, final slot → fall-through, and the unknown
 //! successor of an indirect `jspci`/`jpc`.
+//!
+//! The program is decoded exactly once (`Program::decoded`) and every
+//! per-instruction fact — late defs, ALU-stage use sets, squash safety,
+//! MD roles — is read from the canonical `InstrMeta` record rather than
+//! re-derived locally.
 
-use crate::{squash_safe, DiagKind, Diagnostic, VerifyConfig};
-use mipsx_asm::Program;
-use mipsx_isa::{ComputeOp, Instr, Reg, SpecialReg, SquashMode};
+use crate::{DiagKind, Diagnostic, VerifyConfig};
+use mipsx_asm::{DecodedEntry, Program};
+use mipsx_isa::{Instr, MdRole, SquashMode};
 use std::collections::{BTreeMap, BTreeSet};
-
-/// Registers an instruction reads **in its ALU stage**. This is the
-/// consumer set for load-delay purposes: store data (`rsrc`) and `mvtc`
-/// sources ride to the MEM stage and tolerate a distance-1 producer, but
-/// branch/jump sources resolve early and do not.
-fn alu_uses(instr: &Instr) -> Vec<Reg> {
-    match instr {
-        Instr::St { rs1, .. } => vec![*rs1],
-        Instr::Mvtc { .. } => vec![],
-        i => i.uses().collect(),
-    }
-}
-
-/// The register a load-class instruction (`ld`, `mvfc`) delivers a cycle
-/// late, if it delivers one at all.
-fn late_def(instr: &Instr) -> Option<Reg> {
-    match instr {
-        Instr::Ld { .. } | Instr::Mvfc { .. } => instr.def().filter(|d| !d.is_zero()),
-        _ => None,
-    }
-}
 
 /// Abstract MD-register state for the step-chain rule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,8 +56,9 @@ pub(crate) fn run(program: &Program, config: &VerifyConfig) -> Vec<Diagnostic> {
 
 struct Analysis {
     entry: u32,
-    /// Decoded instruction at every word address of the image.
-    code: BTreeMap<u32, Instr>,
+    /// Decoded entry (instruction + precomputed metadata) at every word
+    /// address of the image — decoded once, up front.
+    code: BTreeMap<u32, DecodedEntry>,
     /// Addresses reachable from the entry point (data words that the
     /// program never flows into are not linted).
     reachable: BTreeSet<u32>,
@@ -84,7 +69,11 @@ struct Analysis {
 
 impl Analysis {
     fn new(program: &Program, config: &VerifyConfig) -> Analysis {
-        let code: BTreeMap<u32, Instr> = program.iter_instrs().collect();
+        let code: BTreeMap<u32, DecodedEntry> = program
+            .decoded()
+            .iter()
+            .map(|(addr, e)| (addr, *e))
+            .collect();
         let slots = config.branch_delay_slots as u32;
 
         // Reachability walk. Successors mirror the hardware: a control
@@ -97,7 +86,7 @@ impl Analysis {
             if !code.contains_key(&addr) || !reachable.insert(addr) {
                 continue;
             }
-            match code[&addr] {
+            match code[&addr].instr {
                 Instr::Halt => {}
                 Instr::Branch { disp, .. } => {
                     work.extend((1..=slots).map(|k| addr + k));
@@ -124,8 +113,8 @@ impl Analysis {
         }
 
         let mut slot_of = BTreeMap::new();
-        for (&addr, instr) in &code {
-            if reachable.contains(&addr) && instr.is_control() {
+        for (&addr, entry) in &code {
+            if reachable.contains(&addr) && entry.meta.is_control {
                 for k in 1..=slots {
                     slot_of.entry(addr + k).or_insert(addr);
                 }
@@ -141,22 +130,22 @@ impl Analysis {
         }
     }
 
-    fn instr(&self, addr: u32) -> Option<&Instr> {
+    fn entry_at(&self, addr: u32) -> Option<&DecodedEntry> {
         self.code.get(&addr)
     }
 
     /// Report a load-delay hazard if `c_addr` can issue right after
     /// `p_addr` and ALU-consumes `p_addr`'s late-arriving load result.
     fn check_pair(&self, p_addr: u32, c_addr: u32, diags: &mut Vec<Diagnostic>) {
-        let (Some(p), Some(c)) = (self.instr(p_addr), self.instr(c_addr)) else {
+        let (Some(p), Some(c)) = (self.entry_at(p_addr), self.entry_at(c_addr)) else {
             return;
         };
-        let Some(d) = late_def(p) else { return };
-        if alu_uses(c).contains(&d) {
+        let Some(d) = p.meta.late_def else { return };
+        if c.meta.alu_uses(d) {
             diags.push(Diagnostic {
                 kind: DiagKind::LoadDelay,
                 addr: c_addr,
-                instr: *c,
+                instr: c.instr,
                 detail: format!(
                     "consumes {d} one cycle after the load at {p_addr:#07x} — the value is not yet available"
                 ),
@@ -167,12 +156,12 @@ impl Analysis {
     /// Delay-window shape rules plus every execution-adjacent pair check.
     fn check_windows_and_pairs(&self, diags: &mut Vec<Diagnostic>) {
         for &addr in &self.reachable {
-            let instr = self.code[&addr];
-            if !instr.is_control() {
+            let entry = self.code[&addr];
+            if !entry.meta.is_control {
                 // Plain straight-line adjacency. Pairs inside delay
                 // windows are handled by the owning transfer below, and
                 // `halt` has no successor.
-                if !self.slot_of.contains_key(&addr) && !matches!(instr, Instr::Halt) {
+                if !self.slot_of.contains_key(&addr) && !matches!(entry.instr, Instr::Halt) {
                     self.check_pair(addr, addr + 1, diags);
                 }
                 continue;
@@ -187,7 +176,7 @@ impl Analysis {
                 diags.push(Diagnostic {
                     kind: DiagKind::SlotRunoff,
                     addr,
-                    instr,
+                    instr: entry.instr,
                     detail: format!(
                         "delay window ({} slot(s)) runs off the end of the image",
                         self.slots
@@ -199,14 +188,14 @@ impl Analysis {
             // Control transfers inside the window. The three-instruction
             // exception-restart sequence `jpc; jpc; jpcrs` is the one
             // architecturally sanctioned overlap.
-            let pc_chain = matches!(instr, Instr::Jpc | Instr::Jpcrs);
+            let pc_chain = entry.meta.is_special_jump;
             for &s in &window {
                 let si = self.code[&s];
-                if si.is_control() && !(pc_chain && matches!(si, Instr::Jpc | Instr::Jpcrs)) {
+                if si.meta.is_control && !(pc_chain && si.meta.is_special_jump) {
                     diags.push(Diagnostic {
                         kind: DiagKind::ControlInSlot,
                         addr: s,
-                        instr: si,
+                        instr: si.instr,
                         detail: format!(
                             "control transfer inside the delay window of the transfer at {addr:#07x}"
                         ),
@@ -215,16 +204,18 @@ impl Analysis {
             }
 
             // Squashed slots must be annullable.
-            if let Instr::Branch { squash, .. } = instr {
+            if let Instr::Branch { squash, .. } = entry.instr {
                 if squash != SquashMode::NoSquash {
                     for &s in &window {
                         let si = self.code[&s];
-                        if !squash_safe(&si) && !si.is_control() && !matches!(si, Instr::Illegal(_))
+                        if !si.meta.squash_safe
+                            && !si.meta.is_control
+                            && !matches!(si.instr, Instr::Illegal(_))
                         {
                             diags.push(Diagnostic {
                                 kind: DiagKind::SquashUnsafe,
                                 addr: s,
-                                instr: si,
+                                instr: si.instr,
                                 detail: format!(
                                     "cannot be annulled by the squashing branch at {addr:#07x} — no destination field for the kill line"
                                 ),
@@ -242,7 +233,7 @@ impl Analysis {
 
             // Pairs out of the final slot, per surviving outcome.
             let final_slot = *window.last().expect("window is non-empty");
-            match instr {
+            match entry.instr {
                 Instr::Branch { squash, disp, .. } => {
                     if squash.slots_execute(true) {
                         self.check_pair(final_slot, addr.wrapping_add(disp as u32), diags);
@@ -258,11 +249,11 @@ impl Analysis {
                     // Indirect transfer (`jspci` through a register,
                     // `jpc`, `jpcrs`): the successor is unknowable, so a
                     // late def in the final slot is conservatively wrong.
-                    if let Some(d) = self.instr(final_slot).and_then(late_def) {
+                    if let Some(d) = self.entry_at(final_slot).and_then(|e| e.meta.late_def) {
                         diags.push(Diagnostic {
                             kind: DiagKind::LoadDelay,
                             addr: final_slot,
-                            instr: self.code[&final_slot],
+                            instr: self.code[&final_slot].instr,
                             detail: format!(
                                 "loads {d} in the final delay slot of an indirect transfer — the target head is unknown and may consume it"
                             ),
@@ -276,7 +267,7 @@ impl Analysis {
     /// Per-instruction lints that need no flow information.
     fn check_straight_lints(&self, diags: &mut Vec<Diagnostic>) {
         for &addr in &self.reachable {
-            let instr = self.code[&addr];
+            let instr = self.code[&addr].instr;
             match instr {
                 Instr::Illegal(word) => diags.push(Diagnostic {
                     kind: DiagKind::IllegalInstr,
@@ -300,12 +291,14 @@ impl Analysis {
                     });
                 }
                 Instr::Cpop { cop, .. } => {
-                    if let Some(Instr::Mvfc { cop: c2, .. }) = self.instr(addr + 1) {
-                        if *c2 == cop {
+                    if let Some(Instr::Mvfc { cop: c2, .. }) =
+                        self.entry_at(addr + 1).map(|e| e.instr)
+                    {
+                        if c2 == cop {
                             diags.push(Diagnostic {
                                 kind: DiagKind::CoprocResultTiming,
                                 addr: addr + 1,
-                                instr: self.code[&(addr + 1)],
+                                instr: self.code[&(addr + 1)].instr,
                                 detail: format!(
                                     "reads coprocessor {cop} the cycle after `cpop` issues; the unit may still be busy and will stall the pipe"
                                 ),
@@ -364,11 +357,11 @@ impl Analysis {
         state: Md,
         mut diags: Option<&mut Vec<Diagnostic>>,
     ) -> Vec<(u32, Md)> {
-        let Some(&instr) = self.instr(addr) else {
+        let Some(&entry) = self.entry_at(addr) else {
             return vec![];
         };
-        if !instr.is_control() {
-            if matches!(instr, Instr::Halt) {
+        if !entry.meta.is_control {
+            if matches!(entry.instr, Instr::Halt) {
                 return vec![];
             }
             let out = self.md_transfer(state, addr, diags.as_deref_mut());
@@ -386,7 +379,7 @@ impl Analysis {
             folded = self.md_transfer(folded, s, diags.as_deref_mut());
         }
         let mut out = Vec::new();
-        match instr {
+        match entry.instr {
             Instr::Branch { squash, disp, .. } => {
                 let target = addr.wrapping_add(disp as u32);
                 out.push((
@@ -423,13 +416,10 @@ impl Analysis {
 
     /// MD transfer for the single instruction at `addr` (which decodes).
     fn md_transfer(&self, state: Md, addr: u32, diags: Option<&mut Vec<Diagnostic>>) -> Md {
-        let instr = self.code[&addr];
-        match instr {
-            Instr::Compute {
-                op: op @ (ComputeOp::Mstep | ComputeOp::Dstep),
-                ..
-            } => {
-                let mul = op == ComputeOp::Mstep;
+        let entry = self.code[&addr];
+        match entry.meta.md_role {
+            MdRole::Mstep | MdRole::Dstep => {
+                let mul = entry.meta.md_role == MdRole::Mstep;
                 match state {
                     Md::Idle => Md::Chain { mul, count: 1 },
                     Md::Chain { mul: m, count } if m == mul => {
@@ -447,7 +437,7 @@ impl Analysis {
                             diags.push(Diagnostic {
                                 kind: DiagKind::MdChainBroken,
                                 addr,
-                                instr,
+                                instr: entry.instr,
                                 detail: format!(
                                     "{} interrupts a {} chain {count} step(s) in — the partial product/remainder in MD is clobbered",
                                     if mul { "mstep" } else { "dstep" },
@@ -460,16 +450,13 @@ impl Analysis {
                     Md::Top => Md::Top,
                 }
             }
-            Instr::Movtos {
-                sreg: SpecialReg::Md,
-                ..
-            } => {
+            MdRole::WritesMd => {
                 if let Md::Chain { mul, count } = state {
                     if let Some(diags) = diags {
                         diags.push(Diagnostic {
                             kind: DiagKind::MdChainBroken,
                             addr,
-                            instr,
+                            instr: entry.instr,
                             detail: format!(
                                 "writes MD in the middle of a {} chain ({count} of 32 steps done)",
                                 if mul { "mstep" } else { "dstep" },
@@ -479,7 +466,7 @@ impl Analysis {
                 }
                 Md::Idle
             }
-            _ => state,
+            MdRole::None => state,
         }
     }
 }

@@ -284,13 +284,7 @@ fn json_escape(s: &str) -> String {
 /// reach — the reorganizer must never place them in squashing slots, and
 /// the verifier reports [`DiagKind::SquashUnsafe`] when something does.
 pub fn squash_safe(instr: &Instr) -> bool {
-    !(instr.is_store()
-        || instr.is_coproc()
-        || instr.is_control()
-        || matches!(
-            instr,
-            Instr::Movtos { .. } | Instr::Halt | Instr::Illegal(_)
-        ))
+    instr.meta().squash_safe
 }
 
 /// Statically verify a program image against the MIPS-X pipeline

@@ -14,16 +14,19 @@ use mipsx_workloads::synth::{generate, SynthConfig};
 fn check_program(label: &str, raw: &RawProgram) {
     let reorg = Reorganizer::new(BranchScheme::mipsx());
     let (program, _) = reorg.reorganize(raw).expect("reorganizes");
-    for (i, &word) in program.words.iter().enumerate() {
-        let instr = Instr::decode(word);
+    // One decode pass via the shared side-car table — the same accessor
+    // the production consumers use.
+    for (addr, entry) in program.decoded().iter() {
         assert!(
-            !matches!(instr, Instr::Illegal(_)),
-            "{label}: word {i} ({word:#010x}) decodes to the .word escape"
+            !matches!(entry.instr, Instr::Illegal(_)),
+            "{label}: word at {addr:#07x} ({:#010x}) decodes to the .word escape",
+            entry.word
         );
         assert_eq!(
-            Instr::decode(instr.encode()),
-            instr,
-            "{label}: word {i} ({word:#010x}) does not round-trip"
+            Instr::decode(entry.instr.encode()),
+            entry.instr,
+            "{label}: word at {addr:#07x} ({:#010x}) does not round-trip",
+            entry.word
         );
     }
     for line in disassemble(program.origin, &program.words) {
