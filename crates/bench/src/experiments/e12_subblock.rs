@@ -90,6 +90,7 @@ pub fn run_with(threads: usize, store: &ResultStore) -> SubBlockAblation {
     let opts = SweepOptions {
         threads,
         store: store.clone(),
+        ..SweepOptions::default()
     };
     let outcome = run_sweep(&sweep_spec(), &opts).expect("E12 sweep");
     let row = |point_index: usize, whole_block: bool| {

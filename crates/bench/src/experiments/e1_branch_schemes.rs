@@ -74,6 +74,7 @@ pub fn run_with(threads: usize, store: &ResultStore) -> Table1 {
     let opts = SweepOptions {
         threads,
         store: store.clone(),
+        ..SweepOptions::default()
     };
     let outcome = run_sweep(&sweep_spec(), &opts).expect("E1 sweep");
     let rows = BranchScheme::table1()

@@ -124,6 +124,7 @@ pub fn run_with(threads: usize, store: &ResultStore) -> OrgSweep {
     let opts = SweepOptions {
         threads,
         store: store.clone(),
+        ..SweepOptions::default()
     };
     let outcome = run_sweep(&sweep_spec(), &opts).expect("E3 sweep");
     let rows: Vec<OrgRow> = BLOCK_SIZES

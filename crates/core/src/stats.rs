@@ -135,6 +135,18 @@ impl RunStats {
         }
     }
 
+    /// Host simulation rate: simulated guest cycles per *host* second,
+    /// given the wall-clock time the run took. Zero when the wall time is
+    /// zero (the run did not happen or the clock did not advance).
+    pub fn host_cycles_per_sec(&self, wall: std::time::Duration) -> f64 {
+        let secs = wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.cycles as f64 / secs
+        }
+    }
+
     /// Merge another run's statistics into this one (for suite-level
     /// averages).
     pub fn merge(&mut self, other: &RunStats) {

@@ -5,7 +5,18 @@
 //! results, assembled strictly in job-index order — so a 4-thread run and
 //! a serial run of the same spec render **byte-identical** JSON, CSV and
 //! markdown. Wall-clock time lives outside the rendered reports for
-//! exactly that reason.
+//! exactly that reason: per-job wall times ride in [`SweepRow::wall_ns`]
+//! and render only through the explicitly-timed variants
+//! ([`SweepOutcome::to_json_timed`], [`SweepOutcome::to_csv_timed`]).
+//!
+//! When [`SweepOptions::telemetry`] is live, every job records stage
+//! spans (`job/assemble`, `job/reorganize`, `job/construct`,
+//! `job/decode`, `job/run`) plus deterministic guest counters
+//! (`guest.cycles`, ... — totals provably identical between serial and
+//! N-thread runs), and the sweep records `sweep`/`sweep/expand`/
+//! `sweep/execute`/`sweep/aggregate` spans. The per-job spans are pinned
+//! to the root of the span tree so their paths do not depend on whether
+//! the job ran inline (serial) or on a pool worker.
 
 use std::time::{Duration, Instant};
 
@@ -13,12 +24,13 @@ use mipsx_core::probe::{json_escape, NullSink};
 use mipsx_core::{FaultPlan, InterlockPolicy, Machine, SimConfig};
 use mipsx_mem::Icache;
 use mipsx_reorg::{RawProgram, Reorganizer, ScheduleReport};
+use mipsx_telemetry::Telemetry;
 use mipsx_workloads::synth::{generate, SynthConfig};
 use mipsx_workloads::traces::{instruction_trace, TraceConfig};
-use mipsx_workloads::{all_kernels, streaming};
+use mipsx_workloads::{find_kernel, kernel_names, streaming};
 
 use crate::key::{fnv1a_words, job_key, key_hex};
-use crate::pool::run_indexed;
+use crate::pool::run_indexed_with;
 use crate::spec::{Job, SpecError, SweepSpec, Workload};
 use crate::store::ResultStore;
 
@@ -175,6 +187,9 @@ pub struct SweepOptions {
     pub threads: usize,
     /// The result store (disabled = always simulate).
     pub store: ResultStore,
+    /// Host telemetry (disabled by default — the sweep then pays only a
+    /// branch per recording site).
+    pub telemetry: Telemetry,
 }
 
 impl Default for SweepOptions {
@@ -182,6 +197,7 @@ impl Default for SweepOptions {
         SweepOptions {
             threads: 1,
             store: ResultStore::disabled(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -203,6 +219,10 @@ pub struct SweepRow {
     pub cached: bool,
     /// The measured counters.
     pub result: JobResult,
+    /// Wall time this job took on its worker (preparation + simulation,
+    /// or the store read for a cached row). **Not** part of the
+    /// byte-identical reports — rendered only by the `_timed` variants.
+    pub wall_ns: u64,
 }
 
 /// A finished sweep.
@@ -342,22 +362,79 @@ impl SweepOutcome {
         ));
         out
     }
+
+    /// [`SweepOutcome::to_json`] plus a trailing `"timings"` object keyed
+    /// by row index, carrying per-job wall milliseconds and the sweep
+    /// wall. The deterministic report is a byte-for-byte prefix; only the
+    /// timing suffix varies run to run.
+    pub fn to_json_timed(&self) -> String {
+        let base = self.to_json();
+        let per_job: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| format!("{:.3}", row.wall_ns as f64 / 1e6))
+            .collect();
+        format!(
+            "{},\"timings\":{{\"sweep_wall_ms\":{:.3},\"job_wall_ms\":[{}]}}}}",
+            &base[..base.len() - 1],
+            self.wall.as_secs_f64() * 1e3,
+            per_job.join(",")
+        )
+    }
+
+    /// [`SweepOutcome::to_csv`] with one extra trailing `wall_ms` column.
+    pub fn to_csv_timed(&self) -> String {
+        let base = self.to_csv();
+        let mut lines = base.lines();
+        let mut out = String::new();
+        out.push_str(lines.next().unwrap_or(""));
+        out.push_str(",wall_ms\n");
+        for (line, row) in lines.zip(&self.rows) {
+            out.push_str(line);
+            out.push_str(&format!(",{:.3}\n", row.wall_ns as f64 / 1e6));
+        }
+        out
+    }
+}
+
+/// Record the deterministic guest-side counters for one finished job.
+/// These derive purely from the simulation result, so their totals are
+/// identical whichever worker (or thread count) produced them — cached
+/// rows record them too, keeping totals independent of store state.
+fn record_guest(tele: &Telemetry, result: &JobResult) {
+    if !tele.is_enabled() {
+        return;
+    }
+    tele.count("guest.cycles", result.cycles);
+    tele.count("guest.instructions", result.instructions);
+    tele.count("guest.icache_accesses", result.icache_accesses);
+    tele.count("guest.icache_misses", result.icache_misses);
+    tele.observe("guest.cycles_per_job", result.cycles);
 }
 
 /// Expand `spec` and execute every job on `opts.threads` workers, serving
 /// unchanged cells from the result store.
 pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, SpecError> {
-    let jobs = spec.expand()?;
+    let tele = &opts.telemetry;
+    let _sweep_span = tele.span_root("sweep");
+    let jobs = {
+        let _s = tele.span("expand");
+        spec.expand()?
+    };
+    tele.count("sweep.jobs", jobs.len() as u64);
     let start = Instant::now();
-    let executed: Vec<Result<(JobResult, u64, bool), SpecError>> =
-        run_indexed(jobs.len(), opts.threads, |i| {
-            execute_job(&jobs[i], spec.run_cycles, &opts.store)
-        });
+    let executed: Vec<Result<(JobResult, u64, bool, u64), SpecError>> = {
+        let _s = tele.span("execute");
+        run_indexed_with(jobs.len(), opts.threads, tele, |i| {
+            execute_job(&jobs[i], spec.run_cycles, &opts.store, tele)
+        })
+    };
     let wall = start.elapsed();
+    let _agg_span = tele.span("aggregate");
     let mut rows = Vec::with_capacity(jobs.len());
     let mut cache_hits = 0usize;
     for (job, outcome) in jobs.iter().zip(executed) {
-        let (result, key, cached) = outcome?;
+        let (result, key, cached, wall_ns) = outcome?;
         cache_hits += usize::from(cached);
         rows.push(SweepRow {
             point_index: job.point_index,
@@ -367,6 +444,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
             key: key_hex(key),
             cached,
             result,
+            wall_ns,
         });
     }
     Ok(SweepOutcome {
@@ -386,17 +464,12 @@ enum Artifact {
 
 fn raw_program(job: &Job) -> Result<Option<RawProgram>, SpecError> {
     match &job.workload {
-        Workload::Kernel(name) => all_kernels()
-            .into_iter()
-            .find(|k| k.name == *name)
-            .map(|k| Some(k.raw))
-            .ok_or_else(|| {
-                let known: Vec<&str> = all_kernels().iter().map(|k| k.name).collect();
-                SpecError(format!(
-                    "unknown kernel {name} (known: {})",
-                    known.join(", ")
-                ))
-            }),
+        Workload::Kernel(name) => find_kernel(name).map(|k| Some(k.raw)).ok_or_else(|| {
+            SpecError(format!(
+                "unknown kernel {name} (known: {})",
+                kernel_names().join(", ")
+            ))
+        }),
         Workload::Synth { profile, seed } => {
             let cfg = match profile.as_str() {
                 "pascal" => SynthConfig::pascal_like(*seed),
@@ -411,8 +484,9 @@ fn raw_program(job: &Job) -> Result<Option<RawProgram>, SpecError> {
     }
 }
 
-fn prepare(job: &Job) -> Result<Artifact, SpecError> {
+fn prepare(job: &Job, tele: &Telemetry) -> Result<Artifact, SpecError> {
     if let Workload::Trace { profile, seed } = &job.workload {
+        let _s = tele.span("assemble");
         let cfg = match profile.as_str() {
             "medium" => TraceConfig::medium(*seed),
             "large" => TraceConfig::large(*seed),
@@ -420,7 +494,11 @@ fn prepare(job: &Job) -> Result<Artifact, SpecError> {
         };
         return Ok(Artifact::Trace(instruction_trace(cfg)));
     }
-    let raw = raw_program(job)?.expect("non-trace workloads produce a raw program");
+    let raw = {
+        let _s = tele.span("assemble");
+        raw_program(job)?.expect("non-trace workloads produce a raw program")
+    };
+    let _s = tele.span("reorganize");
     let (program, report) = Reorganizer::new(job.point.scheme)
         .reorganize(&raw)
         .map_err(|e| SpecError(format!("{}: reorganize failed: {e}", job.workload.id())))?;
@@ -442,8 +520,13 @@ fn execute_job(
     job: &Job,
     run_cycles: u64,
     store: &ResultStore,
-) -> Result<(JobResult, u64, bool), SpecError> {
-    let artifact = prepare(job)?;
+    tele: &Telemetry,
+) -> Result<(JobResult, u64, bool, u64), SpecError> {
+    // The job span is pinned to the tree root so its path is "job" whether
+    // this runs inline (inside sweep/execute, serial) or on a pool worker.
+    let _job_span = tele.span_root("job");
+    let job_start = Instant::now();
+    let artifact = prepare(job, tele)?;
     let key = job_key(
         &job.point,
         &job.workload.id(),
@@ -451,12 +534,18 @@ fn execute_job(
         job.fault.as_deref(),
         run_cycles,
     );
-    if let Some(result) = store.load(key) {
-        return Ok((result, key, true));
+    if let Some(result) = store.load_traced(key, tele) {
+        tele.count("sweep.cache_hits", 1);
+        record_guest(tele, &result);
+        let wall_ns = job_start.elapsed().as_nanos() as u64;
+        tele.timing_observe("job.wall_ns", wall_ns);
+        return Ok((result, key, true, wall_ns));
     }
+    tele.count("sweep.cache_misses", 1);
     let label = format!("{} | {}", job.point_label, job.workload.id());
     let result = match artifact {
         Artifact::Trace(addrs) => {
+            let _s = tele.span("run");
             let mut cache = Icache::new(job.point.cfg.icache);
             let trace = cache.simulate_trace(addrs.iter().copied());
             JobResult {
@@ -471,8 +560,15 @@ fn execute_job(
                 interlock: InterlockPolicy::Detect,
                 ..job.point.cfg
             };
-            let mut machine = Machine::new(cfg);
-            machine.load_program(&program);
+            let mut machine = {
+                let _s = tele.span("construct");
+                Machine::new(cfg)
+            };
+            {
+                let _s = tele.span("decode");
+                machine.load_program(&program);
+            }
+            let run_span = tele.span("run");
             let stats = match &job.fault {
                 None => machine.run(run_cycles),
                 Some(spec) => {
@@ -482,6 +578,7 @@ fn execute_job(
                 }
             }
             .map_err(|e| SpecError(format!("{label}: run failed: {e}")))?;
+            drop(run_span);
             let ic = machine.icache().stats();
             let ec = machine.ecache().stats();
             JobResult {
@@ -510,8 +607,11 @@ fn execute_job(
             }
         }
     };
-    store.save(key, &result, &label);
-    Ok((result, key, false))
+    store.save_traced(key, &result, &label, tele);
+    record_guest(tele, &result);
+    let wall_ns = job_start.elapsed().as_nanos() as u64;
+    tele.timing_observe("job.wall_ns", wall_ns);
+    Ok((result, key, false, wall_ns))
 }
 
 #[cfg(test)]
@@ -583,6 +683,35 @@ mod tests {
         let mut extra = fields.clone();
         extra.push(("mystery", 1));
         assert_eq!(JobResult::from_fields(&extra), None);
+    }
+
+    #[test]
+    fn timed_reports_extend_plain_reports() {
+        let outcome = run_sweep(&tiny_spec(), &SweepOptions::default()).unwrap();
+        assert!(outcome.rows.iter().all(|r| r.wall_ns > 0));
+        let timed = outcome.to_json_timed();
+        assert!(timed.starts_with(&outcome.to_json()[..outcome.to_json().len() - 1]));
+        assert!(timed.contains("\"job_wall_ms\":["), "{timed}");
+        let csv = outcome.to_csv_timed();
+        assert!(csv.lines().next().unwrap().ends_with(",wall_ms"));
+        assert_eq!(csv.lines().count(), outcome.rows.len() + 1);
+    }
+
+    #[test]
+    fn telemetry_records_stage_spans_and_guest_counters() {
+        let opts = SweepOptions {
+            telemetry: Telemetry::enabled(),
+            ..SweepOptions::default()
+        };
+        let outcome = run_sweep(&tiny_spec(), &opts).unwrap();
+        let snap = opts.telemetry.snapshot();
+        assert_eq!(snap.counter("sweep.jobs"), outcome.rows.len() as u64);
+        assert_eq!(snap.counter("sweep.cache_misses"), 2);
+        let guest_cycles: u64 = outcome.rows.iter().map(|r| r.result.cycles).sum();
+        assert_eq!(snap.counter("guest.cycles"), guest_cycles);
+        for path in ["sweep", "sweep/execute", "job", "job/run", "job/assemble"] {
+            assert!(snap.span_total_ns(path) > 0, "missing span {path}");
+        }
     }
 
     #[test]

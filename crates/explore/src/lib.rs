@@ -22,6 +22,11 @@
 //! defines its grids as `SweepSpec`s and gets the parallelism and caching
 //! for free.
 //!
+//! Passing a live [`Telemetry`] handle in [`SweepOptions::telemetry`]
+//! additionally records per-stage spans, pool occupancy and store
+//! latencies (see `mipsx sweep --metrics` / `mipsx profile`); the default
+//! disabled handle keeps the engine on its pre-telemetry fast path.
+//!
 //! [`SimConfig`]: mipsx_core::SimConfig
 
 pub mod engine;
@@ -32,5 +37,6 @@ pub mod store;
 
 pub use engine::{run_sweep, JobResult, SweepOptions, SweepOutcome, SweepRow};
 pub use key::{canonical_point, fnv1a, job_key};
+pub use mipsx_telemetry::{Snapshot, Telemetry};
 pub use spec::{Axis, AxisField, AxisValue, Grid, Job, SimPoint, SpecError, SweepSpec, Workload};
 pub use store::{temp_store, ResultStore};

@@ -13,6 +13,9 @@
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
+use std::time::Instant;
+
+use mipsx_telemetry::Telemetry;
 
 /// Run `worker(index)` for every `index in 0..count` on `threads` workers
 /// and return the results in index order.
@@ -28,11 +31,37 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(count, threads, &Telemetry::disabled(), worker)
+}
+
+/// [`run_indexed`] with pool telemetry: when `tele` is live, each worker
+/// records busy/idle nanoseconds (`pool.busy_ns`, `pool.idle_ns`), its
+/// task and steal counts (`pool.tasks`, `pool.steals`), and the pool
+/// records the worker count and deepest queue observed at a steal
+/// attempt (`pool.workers`, `pool.queue_depth_max` gauges). With
+/// telemetry disabled this is exactly [`run_indexed`] — no clock reads.
+pub fn run_indexed_with<T, F>(count: usize, threads: usize, tele: &Telemetry, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if count == 0 {
         return Vec::new();
     }
     let threads = threads.clamp(1, count);
     if threads == 1 {
+        if tele.is_enabled() {
+            tele.gauge_max("pool.workers", 1);
+            let start = Instant::now();
+            let out: Vec<T> = (0..count)
+                .map(|i| {
+                    tele.timing_count("pool.tasks", 1);
+                    worker(i)
+                })
+                .collect();
+            tele.timing_count("pool.busy_ns", start.elapsed().as_nanos() as u64);
+            return out;
+        }
         return (0..count).map(worker).collect();
     }
 
@@ -40,27 +69,56 @@ where
         .map(|w| Mutex::new((w..count).step_by(threads).collect()))
         .collect();
     let results: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    if tele.is_enabled() {
+        tele.gauge_max("pool.workers", threads as u64);
+    }
 
     std::thread::scope(|scope| {
         for me in 0..threads {
             let queues = &queues;
             let results = &results;
             let worker = &worker;
-            scope.spawn(move || loop {
-                // Own work first (front of own deque)…
-                let mut job = queues[me].lock().expect("pool poisoned").pop_front();
-                // …then steal from the back of the fullest victim.
-                if job.is_none() {
-                    let victim = (0..threads)
-                        .filter(|&v| v != me)
-                        .max_by_key(|&v| queues[v].lock().expect("pool poisoned").len());
-                    if let Some(v) = victim {
-                        job = queues[v].lock().expect("pool poisoned").pop_back();
+            scope.spawn(move || {
+                let live = tele.is_enabled();
+                let spawned = live.then(Instant::now);
+                let mut busy_ns = 0u64;
+                let mut tasks = 0u64;
+                let mut steals = 0u64;
+                loop {
+                    // Own work first (front of own deque)…
+                    let mut job = queues[me].lock().expect("pool poisoned").pop_front();
+                    // …then steal from the back of the fullest victim.
+                    if job.is_none() {
+                        let victim = (0..threads).filter(|&v| v != me).max_by_key(|&v| {
+                            let depth = queues[v].lock().expect("pool poisoned").len();
+                            if live {
+                                tele.gauge_max("pool.queue_depth_max", depth as u64);
+                            }
+                            depth
+                        });
+                        if let Some(v) = victim {
+                            job = queues[v].lock().expect("pool poisoned").pop_back();
+                            if live && job.is_some() {
+                                steals += 1;
+                            }
+                        }
                     }
+                    let Some(index) = job else { break };
+                    let task_start = live.then(Instant::now);
+                    let value = worker(index);
+                    if let Some(t) = task_start {
+                        busy_ns += t.elapsed().as_nanos() as u64;
+                        tasks += 1;
+                    }
+                    *results[index].lock().expect("pool poisoned") = Some(value);
                 }
-                let Some(index) = job else { break };
-                let value = worker(index);
-                *results[index].lock().expect("pool poisoned") = Some(value);
+                if let Some(t) = spawned {
+                    let alive_ns = t.elapsed().as_nanos() as u64;
+                    tele.timing_count("pool.busy_ns", busy_ns);
+                    tele.timing_count("pool.idle_ns", alive_ns.saturating_sub(busy_ns));
+                    tele.timing_count("pool.tasks", tasks);
+                    tele.timing_count("pool.steals", steals);
+                }
             });
         }
     });
@@ -114,5 +172,26 @@ mod tests {
         assert!(run_indexed(0, 4, |i| i).is_empty());
         assert_eq!(run_indexed(1, 16, |i| i), vec![0]);
         assert_eq!(run_indexed(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn telemetry_accounts_for_every_task() {
+        let tele = Telemetry::enabled();
+        let out = run_indexed_with(50, 4, &tele, |i| i);
+        assert_eq!(out.len(), 50);
+        let snap = tele.snapshot();
+        assert_eq!(snap.timing_counters.get("pool.tasks"), Some(&50));
+        assert_eq!(snap.gauges.get("pool.workers"), Some(&4));
+        assert!(snap.timing_counters.contains_key("pool.busy_ns"));
+        assert!(snap.timing_counters.contains_key("pool.idle_ns"));
+    }
+
+    #[test]
+    fn serial_path_counts_tasks_too() {
+        let tele = Telemetry::enabled();
+        run_indexed_with(7, 1, &tele, |i| i);
+        let snap = tele.snapshot();
+        assert_eq!(snap.timing_counters.get("pool.tasks"), Some(&7));
+        assert_eq!(snap.gauges.get("pool.workers"), Some(&1));
     }
 }

@@ -11,6 +11,9 @@
 //! out of the checkout).
 
 use std::path::PathBuf;
+use std::time::Instant;
+
+use mipsx_telemetry::Telemetry;
 
 use crate::engine::JobResult;
 use crate::key::key_hex;
@@ -86,6 +89,38 @@ impl ResultStore {
             let _ = std::fs::remove_file(&tmp);
         }
     }
+
+    /// [`ResultStore::load`] with latency telemetry: counts
+    /// `store.reads` / `store.read_hits` and samples `store.read_ns`.
+    /// With telemetry disabled (or the store disabled) this is exactly
+    /// `load` — no clock reads.
+    pub fn load_traced(&self, key: u64, tele: &Telemetry) -> Option<JobResult> {
+        if !tele.is_enabled() || !self.is_enabled() {
+            return self.load(key);
+        }
+        let start = Instant::now();
+        let result = self.load(key);
+        tele.timing_observe("store.read_ns", start.elapsed().as_nanos() as u64);
+        tele.timing_count("store.reads", 1);
+        if result.is_some() {
+            tele.timing_count("store.read_hits", 1);
+        }
+        result
+    }
+
+    /// [`ResultStore::save`] with latency telemetry: counts
+    /// `store.writes` and samples `store.write_ns`. With telemetry
+    /// disabled (or the store disabled) this is exactly `save`.
+    pub fn save_traced(&self, key: u64, result: &JobResult, note: &str, tele: &Telemetry) {
+        if !tele.is_enabled() || !self.is_enabled() {
+            self.save(key, result, note);
+            return;
+        }
+        let start = Instant::now();
+        self.save(key, result, note);
+        tele.timing_observe("store.write_ns", start.elapsed().as_nanos() as u64);
+        tele.timing_count("store.writes", 1);
+    }
 }
 
 fn parse_record(text: &str) -> Option<JobResult> {
@@ -144,6 +179,25 @@ mod tests {
         store.save(1, &JobResult::default(), "x");
         assert!(store.load(1).is_none());
         assert!(!store.is_enabled());
+    }
+
+    #[test]
+    fn traced_paths_record_latencies() {
+        let store = temp_store("store-traced");
+        let tele = Telemetry::enabled();
+        let r = JobResult {
+            cycles: 9,
+            ..JobResult::default()
+        };
+        assert!(store.load_traced(3, &tele).is_none());
+        store.save_traced(3, &r, "traced", &tele);
+        assert_eq!(store.load_traced(3, &tele), Some(r));
+        let snap = tele.snapshot();
+        assert_eq!(snap.timing_counters.get("store.reads"), Some(&2));
+        assert_eq!(snap.timing_counters.get("store.read_hits"), Some(&1));
+        assert_eq!(snap.timing_counters.get("store.writes"), Some(&1));
+        assert_eq!(snap.timing_histograms["store.read_ns"].count, 2);
+        assert_eq!(snap.timing_histograms["store.write_ns"].count, 1);
     }
 
     #[test]

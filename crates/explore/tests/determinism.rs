@@ -9,7 +9,7 @@
 
 use mipsx_explore::{
     canonical_point, job_key, run_sweep, Axis, Grid, ResultStore, SimPoint, SweepOptions,
-    SweepSpec, Workload,
+    SweepSpec, Telemetry, Workload,
 };
 use proptest::prelude::*;
 
@@ -29,7 +29,11 @@ fn small_spec() -> SweepSpec {
 }
 
 fn opts(threads: usize, store: ResultStore) -> SweepOptions {
-    SweepOptions { threads, store }
+    SweepOptions {
+        threads,
+        store,
+        ..SweepOptions::default()
+    }
 }
 
 #[test]
@@ -41,6 +45,36 @@ fn serial_and_parallel_reports_are_byte_identical() {
     assert_eq!(serial.to_json(), parallel.to_json());
     assert_eq!(serial.to_csv(), parallel.to_csv());
     assert_eq!(serial.to_markdown(), parallel.to_markdown());
+}
+
+#[test]
+fn deterministic_metrics_are_thread_count_invariant() {
+    // The deterministic telemetry section (counters + histograms) must
+    // total identically — byte for byte — whether the sweep ran serial or
+    // on four workers, even though the jobs interleave arbitrarily.
+    let spec = small_spec();
+    let run = |threads: usize| {
+        let o = SweepOptions {
+            threads,
+            store: ResultStore::disabled(),
+            telemetry: Telemetry::enabled(),
+        };
+        run_sweep(&spec, &o).unwrap();
+        o.telemetry.snapshot()
+    };
+    let serial = run(1);
+    let threaded = run(4);
+    assert_eq!(
+        serial.deterministic_json(),
+        threaded.deterministic_json(),
+        "deterministic sections diverged"
+    );
+    assert_eq!(serial.counter("sweep.jobs"), 8);
+    assert!(serial.counter("guest.cycles") > 0);
+    // The timing section exists in both but is *expected* to differ; the
+    // exporters must still emit it with stable key order (checked by the
+    // telemetry crate's merge-order proptests).
+    assert!(threaded.span_total_ns("job/run") > 0);
 }
 
 #[test]

@@ -1,0 +1,126 @@
+//! RAII span guards with a thread-local parent stack.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::Snapshot;
+
+thread_local! {
+    /// The open span paths on this thread, innermost last. Guards push on
+    /// open and truncate back to their own depth on drop, so a guard
+    /// leaked past its siblings still restores a consistent stack.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span. Dropping it stops the clock and records the interval
+/// under the span's `/`-joined path; see [`Telemetry::span`].
+///
+/// Guards are meant to be scope-bound (strict LIFO per thread). A guard
+/// dropped out of order closes every span opened after it on the same
+/// thread's stack.
+///
+/// [`Telemetry::span`]: crate::Telemetry::span
+#[derive(Debug)]
+#[must_use = "a span records only when the guard is dropped"]
+pub struct Span {
+    rec: Option<Rec>,
+}
+
+#[derive(Debug)]
+struct Rec {
+    registry: Arc<Mutex<Snapshot>>,
+    path: String,
+    depth: usize,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn open(registry: Option<Arc<Mutex<Snapshot>>>, name: &str, root: bool) -> Span {
+        let Some(registry) = registry else {
+            // Disabled: no clock read, no thread-local traffic.
+            return Span { rec: None };
+        };
+        debug_assert!(
+            !name.is_empty() && !name.contains('/'),
+            "span names must be non-empty and slash-free: {name:?}"
+        );
+        let (path, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) if !root => format!("{parent}/{name}"),
+                _ => name.to_owned(),
+            };
+            stack.push(path.clone());
+            (path, stack.len() - 1)
+        });
+        Span {
+            rec: Some(Rec {
+                registry,
+                path,
+                depth,
+                start: Instant::now(),
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec.take() else { return };
+        let ns = rec.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        SPAN_STACK.with(|stack| stack.borrow_mut().truncate(rec.depth));
+        rec.registry
+            .lock()
+            .expect("telemetry registry poisoned")
+            .spans
+            .entry(rec.path)
+            .or_default()
+            .record(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn sibling_spans_share_a_path() {
+        let t = Telemetry::enabled();
+        for _ in 0..3 {
+            let _s = t.span("work");
+        }
+        assert_eq!(t.snapshot().spans["work"].count, 3);
+    }
+
+    #[test]
+    fn out_of_order_drop_restores_the_stack() {
+        let t = Telemetry::enabled();
+        let outer = t.span("outer");
+        let _inner = t.span("inner");
+        drop(outer); // closes outer while inner is still live
+        let next = t.span("next"); // must be a root, not "outer/inner/next"
+        drop(next);
+        let snap = t.snapshot();
+        assert!(snap.spans.contains_key("next"), "{:?}", snap.spans.keys());
+    }
+
+    #[test]
+    fn worker_threads_get_independent_stacks() {
+        let t = Telemetry::enabled();
+        let _outer = t.span("main");
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    let _job = t.span("job"); // no parent on this thread
+                    let _stage = t.span("stage");
+                });
+            }
+        });
+        let snap = t.snapshot();
+        assert_eq!(snap.spans["job"].count, 2);
+        assert_eq!(snap.spans["job/stage"].count, 2);
+        assert!(!snap.spans.contains_key("main/job"));
+    }
+}

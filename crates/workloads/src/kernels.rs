@@ -622,6 +622,16 @@ pub fn all_kernels() -> Vec<Kernel> {
     ]
 }
 
+/// Look a kernel up by its stable name.
+pub fn find_kernel(name: &str) -> Option<Kernel> {
+    all_kernels().into_iter().find(|k| k.name == name)
+}
+
+/// Every kernel's stable name, suite order (for error messages and CLIs).
+pub fn kernel_names() -> Vec<&'static str> {
+    all_kernels().iter().map(|k| k.name).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,7 +26,7 @@ pub mod streams;
 pub mod synth;
 pub mod traces;
 
-pub use kernels::{all_kernels, Kernel};
+pub use kernels::{all_kernels, find_kernel, kernel_names, Kernel};
 pub use soak::random_scheduled_program;
 pub use streams::streaming;
 pub use synth::{SynthConfig, SynthProgram};

@@ -19,6 +19,11 @@
 //!                                   design-space exploration: expand a
 //!                                   sweep grid, run it on a thread pool,
 //!                                   serve repeats from the result cache
+//! mipsx profile <kernel|file.s|spec.sweep> [options]
+//!                                   run with host telemetry on and print
+//!                                   a span-tree wall-time report (stage
+//!                                   attribution, pool occupancy, store
+//!                                   latencies)
 //! mipsx info                        print the modeled machine's parameters
 //!
 //! run options:
@@ -65,6 +70,17 @@
 //!   --bench <path>      run the built-in E1+E11 grids serial vs parallel
 //!                       on cold caches, verify byte-identical reports,
 //!                       and write the timing baseline JSON to <path>
+//!   --metrics <path>    record host telemetry and write it to <path>
+//!                       (JSON) plus a Prometheus text exposition at
+//!                       <path>.prom
+//!   --timings           render the timed report variants (adds per-job
+//!                       wall_ms; no longer byte-comparable across runs)
+//!
+//! profile options:
+//!   a kernel name or .s file profiles a single run (assemble, machine
+//!   construction, program decode, execution — plus host steps/s); a
+//!   .sweep file or --grid/--workload flags profile a whole sweep with
+//!   the same flags as `mipsx sweep`. `--metrics <path>` works here too.
 //! ```
 //!
 //! A failing soak run prints a copy-pasteable `mipsx soak --runs 1 --seed N
@@ -86,21 +102,22 @@ use mipsx::cli::{flag, parse_args, switch, ArgError, FlagSpec, ParsedArgs};
 use mipsx::core::probe::{CpiAttribution, JsonlSink, PipeDiagram};
 use mipsx::core::{FaultPlan, InterlockPolicy, Machine, MachineConfig};
 use mipsx::explore::{
-    run_sweep, Axis, Grid, ResultStore, SimPoint, SweepOptions, SweepSpec, Workload,
+    run_sweep, Axis, Grid, ResultStore, SimPoint, SweepOptions, SweepSpec, Telemetry, Workload,
 };
 use mipsx::isa::Reg;
 use mipsx::refmodel::{Lockstep, NULL_HANDLER};
 use mipsx::reorg::{BranchScheme, Reorganizer, SquashPolicy};
 use mipsx::verify::{verify, VerifyConfig};
-use mipsx::workloads::{all_kernels, random_scheduled_program};
+use mipsx::workloads::{all_kernels, find_kernel, kernel_names, random_scheduled_program};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mipsx <asm|dis|run|trace|soak|lint|sweep|info> [file.s|kernel|spec.sweep] \
+        "usage: mipsx <asm|dis|run|trace|soak|lint|sweep|profile|info> \
+         [file.s|kernel|spec.sweep] \
          [--cycles N] [--slots 1|2] [--trust] [--regs] [--diagram N] [--jsonl path] [--runs N] \
          [--seed N] [--faults spec] [--fault-count N] [--json] [--kernels] [--grid f=v1,v2] \
          [--workload id] [--fault spec] [--base mipsx|ideal] [--threads N] [--csv] \
-         [--store dir] [--no-cache] [--bench path]"
+         [--store dir] [--no-cache] [--bench path] [--metrics path] [--timings]"
     );
     ExitCode::FAILURE
 }
@@ -129,17 +146,16 @@ fn numeric<T: std::str::FromStr>(
 /// Resolve a `trace`/`lint` target: a built-in kernel name (scheduled
 /// through the reorganizer under `scheme`) or an assembly file.
 fn target_program(target: &str, scheme: BranchScheme) -> Result<mipsx::asm::Program, String> {
-    if let Some(kernel) = all_kernels().into_iter().find(|k| k.name == target) {
+    if let Some(kernel) = find_kernel(target) {
         let (program, _) = Reorganizer::new(scheme)
             .reorganize(&kernel.raw)
             .map_err(|e| format!("kernel {target}: {e}"))?;
         return Ok(program);
     }
     let source = std::fs::read_to_string(target).map_err(|e| {
-        let kernels: Vec<&str> = all_kernels().iter().map(|k| k.name).collect();
         format!(
             "{target}: {e} (not a readable file; known kernels: {})",
-            kernels.join(", ")
+            kernel_names().join(", ")
         )
     })?;
     assemble(&source).map_err(|e| format!("{target}: {e}"))
@@ -566,6 +582,8 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             switch("--csv"),
             switch("--no-cache"),
             flag("--bench"),
+            flag("--metrics"),
+            switch("--timings"),
         ],
     ) {
         Ok(p) => p,
@@ -593,19 +611,43 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             None => ResultStore::at(ResultStore::default_dir()),
         }
     };
-    let outcome = match run_sweep(&spec, &SweepOptions { threads, store }) {
+    let telemetry = match parsed.value("--metrics") {
+        Some(_) => Telemetry::enabled(),
+        None => Telemetry::disabled(),
+    };
+    let opts = SweepOptions {
+        threads,
+        store,
+        telemetry,
+    };
+    let outcome = match run_sweep(&spec, &opts) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("mipsx: sweep failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let timed = parsed.has("--timings");
     if parsed.has("--json") {
-        println!("{}", outcome.to_json());
+        if timed {
+            println!("{}", outcome.to_json_timed());
+        } else {
+            println!("{}", outcome.to_json());
+        }
     } else if parsed.has("--csv") {
-        print!("{}", outcome.to_csv());
+        if timed {
+            print!("{}", outcome.to_csv_timed());
+        } else {
+            print!("{}", outcome.to_csv());
+        }
     } else {
         print!("{}", outcome.to_markdown());
+    }
+    if let Some(path) = parsed.value("--metrics") {
+        if let Err(e) = write_metrics(path, &opts.telemetry.snapshot()) {
+            eprintln!("mipsx: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     eprintln!(
         "mipsx sweep: {} jobs on {} thread(s) in {:.2?} ({} from cache)",
@@ -615,6 +657,18 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         outcome.cache_hits,
     );
     ExitCode::SUCCESS
+}
+
+/// Write a telemetry snapshot to `path` as JSON, plus the Prometheus text
+/// exposition next to it at `<path>.prom`.
+fn write_metrics(path: &str, snapshot: &mipsx::telemetry::Snapshot) -> Result<(), String> {
+    std::fs::write(path, snapshot.to_json() + "\n")
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    let prom = format!("{path}.prom");
+    std::fs::write(&prom, snapshot.to_prometheus())
+        .map_err(|e| format!("cannot write {prom}: {e}"))?;
+    eprintln!("mipsx: metrics written to {path} and {prom}");
+    Ok(())
 }
 
 /// The `--bench` mode: run the E1 and E11 experiment grids serial and
@@ -633,24 +687,35 @@ fn sweep_bench(path: &str, threads: usize) -> ExitCode {
     ];
     let mut entries: Vec<String> = Vec::new();
     for (name, spec) in grids {
-        let cold = |threads: usize| {
+        let cold = |threads: usize, telemetry: Telemetry| {
             let opts = SweepOptions {
                 threads,
                 store: mipsx::explore::temp_store(&format!("bench-{name}-{threads}")),
+                telemetry,
             };
             let start = std::time::Instant::now();
             let outcome = run_sweep(&spec, &opts).expect("bench sweep");
             (outcome, start.elapsed(), opts.store)
         };
-        let (serial, serial_wall, _) = cold(1);
-        let (parallel, parallel_wall, warm_store) = cold(threads);
+        // One untimed warm-up run: the first sweep in a fresh process is
+        // up to 2x slower (page faults, allocator growth, CPU frequency
+        // ramp), which would poison every ratio derived below.
+        let _ = cold(1, Telemetry::disabled());
+        let (serial, serial_wall, _) = cold(1, Telemetry::disabled());
+        let (parallel, parallel_wall, warm_store) = cold(threads, Telemetry::disabled());
         let identical = serial.to_json() == parallel.to_json();
+        // A third cold serial run with telemetry live prices the
+        // instrumentation itself: enabled wall / disabled wall.
+        let (traced, traced_wall, _) = cold(1, Telemetry::enabled());
+        let telemetry_identical = traced.to_json() == serial.to_json();
+        let telemetry_overhead = traced_wall.as_secs_f64() / serial_wall.as_secs_f64().max(1e-9);
         // Re-run against the parallel run's store: every job must hit.
         let rerun = run_sweep(
             &spec,
             &SweepOptions {
                 threads,
                 store: warm_store,
+                ..SweepOptions::default()
             },
         )
         .expect("bench rerun");
@@ -658,13 +723,13 @@ fn sweep_bench(path: &str, threads: usize) -> ExitCode {
         eprintln!(
             "mipsx sweep --bench {name}: {} jobs, serial {serial_wall:.2?}, \
              {threads} threads {parallel_wall:.2?} ({speedup:.2}x), identical={identical}, \
-             rerun {}/{} from cache",
+             telemetry {telemetry_overhead:.3}x, rerun {}/{} from cache",
             serial.rows.len(),
             rerun.cache_hits,
             rerun.rows.len(),
         );
-        if !identical {
-            eprintln!("mipsx: BENCH FAILURE: parallel report differs from serial report");
+        if !identical || !telemetry_identical {
+            eprintln!("mipsx: BENCH FAILURE: reports differ across thread/telemetry modes");
             return ExitCode::FAILURE;
         }
         if rerun.cache_hits != rerun.rows.len() {
@@ -674,6 +739,7 @@ fn sweep_bench(path: &str, threads: usize) -> ExitCode {
         entries.push(format!(
             "{{\"grid\":\"{name}\",\"jobs\":{},\"threads\":{threads},\
              \"serial_ms\":{},\"parallel_ms\":{},\"speedup\":{speedup:.3},\
+             \"telemetry_overhead\":{telemetry_overhead:.3},\
              \"byte_identical\":true,\"rerun_cache_hits\":{},\"rerun_jobs\":{}}}",
             serial.rows.len(),
             serial_wall.as_millis(),
@@ -694,6 +760,183 @@ fn sweep_bench(path: &str, threads: usize) -> ExitCode {
         return ExitCode::FAILURE;
     }
     print!("{doc}");
+    ExitCode::SUCCESS
+}
+
+/// `mipsx profile`: run with host telemetry live and print the span-tree
+/// wall-time report. A kernel name or `.s` file profiles one run
+/// (assemble / construct / decode / run stages plus the host simulation
+/// rate); a `.sweep` file or `--grid`/`--workload` flags profile a whole
+/// sweep, including pool occupancy and store latency metrics.
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let parsed = match parse_or_usage(
+        args,
+        &[
+            flag("--grid"),
+            flag("--workload"),
+            flag("--fault"),
+            flag("--base"),
+            flag("--cycles"),
+            flag("--threads"),
+            flag("--slots"),
+            flag("--store"),
+            flag("--metrics"),
+        ],
+    ) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let tele = Telemetry::enabled();
+    let sweep_mode = match parsed.positionals.first() {
+        Some(t) => t.ends_with(".sweep"),
+        None => true,
+    };
+
+    if sweep_mode {
+        let spec = match sweep_spec_from(&parsed) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mipsx: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if spec.workloads.is_empty() {
+            eprintln!(
+                "mipsx: profile: give a kernel name, a .s file, a .sweep file, or --workload flags"
+            );
+            return usage();
+        }
+        let threads = match numeric(&parsed, "--threads", default_threads()) {
+            Ok(t) => t,
+            Err(code) => return code,
+        };
+        let store = match parsed.value("--store") {
+            Some(dir) => ResultStore::at(dir),
+            None => ResultStore::disabled(),
+        };
+        let opts = SweepOptions {
+            threads,
+            store,
+            telemetry: tele.clone(),
+        };
+        let outcome = match run_sweep(&spec, &opts) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("mipsx: sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let snap = tele.snapshot();
+        println!(
+            "profile: {} jobs on {} thread(s) in {:.2?} ({} from cache)",
+            outcome.rows.len(),
+            threads,
+            outcome.wall,
+            outcome.cache_hits
+        );
+        println!();
+        print!("{}", snap.span_tree_report());
+        let busy = snap
+            .timing_counters
+            .get("pool.busy_ns")
+            .copied()
+            .unwrap_or(0);
+        let idle = snap
+            .timing_counters
+            .get("pool.idle_ns")
+            .copied()
+            .unwrap_or(0);
+        if busy + idle > 0 {
+            println!();
+            println!(
+                "pool: {} worker(s), busy {:.1} ms, idle {:.1} ms ({:.1}% occupancy), {} steal(s)",
+                snap.gauges.get("pool.workers").copied().unwrap_or(0),
+                busy as f64 / 1e6,
+                idle as f64 / 1e6,
+                100.0 * busy as f64 / (busy + idle) as f64,
+                snap.timing_counters
+                    .get("pool.steals")
+                    .copied()
+                    .unwrap_or(0),
+            );
+        }
+        let guest_cycles = snap.counter("guest.cycles");
+        if guest_cycles > 0 {
+            println!(
+                "guest: {guest_cycles} cycles simulated, {:.2} Mcycles/s of host time",
+                guest_cycles as f64 / outcome.wall.as_secs_f64().max(1e-9) / 1e6
+            );
+        }
+        if let Some(path) = parsed.value("--metrics") {
+            if let Err(e) = write_metrics(path, &snap) {
+                eprintln!("mipsx: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Single-target mode: one program, one machine, stage spans by hand.
+    let target = parsed.positionals.first().expect("checked above");
+    let (cycles, slots) = match (
+        numeric(&parsed, "--cycles", 10_000_000u64),
+        numeric(&parsed, "--slots", 2usize),
+    ) {
+        (Ok(c), Ok(s)) => (c, s),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let root = tele.span_root("profile");
+    let program = {
+        let _s = tele.span("assemble");
+        match target_program(target, BranchScheme::mipsx()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("mipsx: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let mut cfg = MachineConfig::mipsx();
+    cfg.branch_delay_slots = slots;
+    let mut machine = {
+        let _s = tele.span("construct");
+        Machine::new(cfg)
+    };
+    {
+        let _s = tele.span("decode");
+        machine.load_program(&program);
+    }
+    let run_start = std::time::Instant::now();
+    let stats = {
+        let _s = tele.span("run");
+        match machine.run(cycles) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mipsx: execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let run_wall = run_start.elapsed();
+    drop(root);
+    let snap = tele.snapshot();
+    println!("profile: {target} ({cycles} cycle budget)");
+    println!();
+    print!("{}", snap.span_tree_report());
+    println!();
+    println!(
+        "run: {} guest cycles in {run_wall:.2?} — {:.2} Mcycles/s, {:.2} Minstr/s of host time",
+        stats.cycles,
+        stats.host_cycles_per_sec(run_wall) / 1e6,
+        stats.dynamic_instructions() as f64 / run_wall.as_secs_f64().max(1e-9) / 1e6,
+    );
+    println!("guest: {stats}");
+    if let Some(path) = parsed.value("--metrics") {
+        if let Err(e) = write_metrics(path, &snap) {
+            eprintln!("mipsx: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -739,6 +982,7 @@ fn main() -> ExitCode {
         "soak" => cmd_soak(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "profile" => cmd_profile(&args[1..]),
         "asm" | "dis" => {
             let Some(path) = args.get(1) else {
                 return usage();

@@ -26,6 +26,7 @@
 //! | [`baseline`] | `mipsx-baseline` | IR with MIPS-X and VAX-like backends |
 //! | [`bench`] | `mipsx-bench` | the paper's experiments (E1..E11) |
 //! | [`explore`] | `mipsx-explore` | design-space sweep engine, result cache, thread pool |
+//! | [`telemetry`] | `mipsx-telemetry` | host observability: spans, metrics registry, exporters |
 //!
 //! ## Quickstart
 //!
@@ -58,5 +59,6 @@ pub use mipsx_mem as mem;
 // `ref` is a keyword, so the reference-model crate surfaces as `refmodel`.
 pub use mipsx_ref as refmodel;
 pub use mipsx_reorg as reorg;
+pub use mipsx_telemetry as telemetry;
 pub use mipsx_verify as verify;
 pub use mipsx_workloads as workloads;
