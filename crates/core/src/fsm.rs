@@ -53,6 +53,18 @@ impl CacheMissFsm {
         self.state
     }
 
+    /// Rebuild an FSM from checkpointed parts — state plus both
+    /// instrumentation counters — without replaying the miss events that
+    /// produced them ([`CacheMissFsm::start`] counts every call, so a
+    /// restore cannot go through it).
+    pub fn from_parts(state: CacheMissState, frozen_cycles: u64, misses_serviced: u64) -> Self {
+        CacheMissFsm {
+            state,
+            frozen_cycles,
+            misses_serviced,
+        }
+    }
+
     /// Whether ψ1 is withheld this cycle.
     pub fn stalled(&self) -> bool {
         matches!(self.state, CacheMissState::Stalled(_))

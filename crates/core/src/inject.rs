@@ -283,6 +283,26 @@ impl FaultPlan {
         self.cursor = 0;
         self.irq_release = None;
     }
+
+    /// How many events have fired so far (the consumption cursor), for
+    /// checkpointing.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// The pending release cycle of a fault-held interrupt line, for
+    /// checkpointing.
+    pub fn irq_release(&self) -> Option<u64> {
+        self.irq_release
+    }
+
+    /// Restore checkpointed consumption progress: `cursor` events already
+    /// fired (clamped to the schedule length) and an optional pending
+    /// interrupt-release cycle.
+    pub fn restore_progress(&mut self, cursor: usize, irq_release: Option<u64>) {
+        self.cursor = cursor.min(self.events.len());
+        self.irq_release = irq_release;
+    }
 }
 
 impl fmt::Display for FaultPlan {

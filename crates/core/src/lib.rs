@@ -48,6 +48,7 @@ mod fsm;
 pub mod inject;
 mod machine;
 pub mod probe;
+pub mod snapshot;
 mod stats;
 
 pub use config::{InterlockPolicy, MachineConfig, SimConfig};
@@ -59,4 +60,5 @@ pub use machine::Machine;
 pub use probe::{
     CpiAttribution, JsonlSink, NullSink, PipeDiagram, SquashReason, Stage, StallCause, TraceSink,
 };
+pub use snapshot::{SnapshotError, SnapshotInfo, SNAPSHOT_VERSION};
 pub use stats::RunStats;

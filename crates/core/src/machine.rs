@@ -55,26 +55,27 @@ const ALU: usize = 2;
 const MEM: usize = 3;
 const WB: usize = 4;
 
-/// One in-flight instruction.
+/// One in-flight instruction. Fields are crate-visible so the snapshot
+/// module can marshal pipeline latches without an accessor layer.
 #[derive(Clone, Copy, Debug)]
-struct Slot {
-    pc: u32,
-    instr: Instr,
+pub(crate) struct Slot {
+    pub(crate) pc: u32,
+    pub(crate) instr: Instr,
     /// Precomputed facts about `instr`, fetched with it from the decoded
     /// image — the stage logic below reads these instead of re-classifying.
-    meta: InstrMeta,
+    pub(crate) meta: InstrMeta,
     /// The destination-kill bit the Squash/Exception lines set.
-    kill: bool,
+    pub(crate) kill: bool,
     /// ALU result / effective address / link value / `movfrs` datum.
-    result: u32,
+    pub(crate) result: u32,
     /// Effective memory address (loads/stores), computed in ALU.
-    addr: u32,
+    pub(crate) addr: u32,
     /// Datum returned by MEM (loads, `mvfc`).
-    mem_data: u32,
+    pub(crate) mem_data: u32,
     /// Pending MD-register update (msteps/dsteps), committed at WB.
-    md_out: Option<u32>,
+    pub(crate) md_out: Option<u32>,
     /// Signed overflow detected in ALU.
-    overflow: bool,
+    pub(crate) overflow: bool,
 }
 
 impl Slot {
@@ -111,30 +112,31 @@ enum Hazard {
 }
 
 /// A complete simulated MIPS-X system: CPU, pipeline, caches, memory and up
-/// to seven coprocessors.
+/// to seven coprocessors. Fields are crate-visible so the snapshot module
+/// can marshal the full state.
 pub struct Machine {
-    cfg: MachineConfig,
-    cpu: Cpu,
-    slots: [Option<Slot>; 5],
-    icache: Icache,
-    ecache: Ecache,
-    mem: MainMemory,
-    coprocs: [Option<Box<dyn Coprocessor>>; 8],
+    pub(crate) cfg: MachineConfig,
+    pub(crate) cpu: Cpu,
+    pub(crate) slots: [Option<Slot>; 5],
+    pub(crate) icache: Icache,
+    pub(crate) ecache: Ecache,
+    pub(crate) mem: MainMemory,
+    pub(crate) coprocs: [Option<Box<dyn Coprocessor>>; 8],
     /// Decode-once side-car over instruction memory: IF fetches memoized
     /// [`DecodedEntry`] records; every store to memory invalidates its
     /// address so self-modifying code re-decodes the new word.
-    decoded: DecodedMem,
-    miss_fsm: CacheMissFsm,
-    squash_fsm: SquashFsm,
-    stats: RunStats,
-    halted: bool,
+    pub(crate) decoded: DecodedMem,
+    pub(crate) miss_fsm: CacheMissFsm,
+    pub(crate) squash_fsm: SquashFsm,
+    pub(crate) stats: RunStats,
+    pub(crate) halted: bool,
     /// Kill the next fetched instruction (replay of a squashed PC-chain
     /// entry).
-    pending_fetch_kill: bool,
+    pub(crate) pending_fetch_kill: bool,
     /// Level-triggered maskable interrupt line.
-    interrupt_line: bool,
+    pub(crate) interrupt_line: bool,
     /// Edge-triggered non-maskable interrupt.
-    nmi_pending: bool,
+    pub(crate) nmi_pending: bool,
 }
 
 impl Machine {

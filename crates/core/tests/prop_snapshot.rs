@@ -1,0 +1,162 @@
+//! Property tests for the snapshot subsystem: across randomized machine
+//! configurations (Icache geometry, replacement policy, Ecache size,
+//! memory latency, delay slots), run lengths, and timing-fault plans,
+//! a snapshot must be a *fixed point* (save → restore → save is
+//! byte-identical) and must be *invisible* (the restored machine finishes
+//! with exactly the stats and final state of the one it was taken from).
+
+use mipsx_asm::assemble;
+use mipsx_core::{FaultPlan, Machine, MachineConfig, NullSink, RunError, RunStats};
+use mipsx_mem::{EcacheConfig, IcacheConfig, Replacement};
+use proptest::prelude::*;
+
+/// Nested loops with loads, stores, and branches: every pipeline
+/// structure (bypass network, squash FSM, miss FSM, write buffer) gets
+/// exercised, and the run is long enough (>1000 cycles) that snapshots
+/// land mid-flight in interesting states.
+const BUSY: &str = "
+    li r1, 40
+    li r4, 600
+outer:
+    li r2, 12
+inner:
+    add r3, r3, r2
+    st r3, 0(r4)
+    ld r5, 0(r4)
+    addi r2, r2, -1
+    add r6, r6, r5
+    bne r2, r0, inner
+    addi r4, r4, 1
+    nop
+    addi r1, r1, -1
+    bne r1, r0, outer
+    nop
+    nop
+    halt
+";
+
+/// Plenty for BUSY to halt under any generated configuration.
+const BUDGET: u64 = 2_000_000;
+
+fn machine_for(cfg: MachineConfig) -> Machine {
+    let program = assemble(BUSY).expect("BUSY assembles");
+    let mut machine = Machine::new(cfg);
+    machine.load_program(&program);
+    machine
+}
+
+/// Run to completion (the plan's remaining events delivered on the way)
+/// and return the final stats. The machine may already be halted — that
+/// is a legal snapshot point, not an error.
+fn finish(machine: &mut Machine, plan: &mut FaultPlan) -> RunStats {
+    if !machine.halted() {
+        machine
+            .run_with_faults(BUDGET, &mut NullSink, plan)
+            .expect("BUSY halts within budget");
+    }
+    *machine.stats()
+}
+
+prop_compose! {
+    fn arb_config()(
+        rows in prop::sample::select(vec![4u32, 8, 16, 32]),
+        ways in 1u32..=4,
+        block_words in prop::sample::select(vec![2u32, 4, 8]),
+        fetch_words in 1u32..=2,
+        miss_penalty in 1u32..=6,
+        replacement in prop::sample::select(vec![Replacement::Fifo, Replacement::Lru]),
+        whole_block_fill in any::<bool>(),
+        icache_enabled in any::<bool>(),
+        ecache_size in prop::sample::select(vec![256u32, 1024, 65_536]),
+        ecache_enabled in any::<bool>(),
+        mem_latency in 1u32..=8,
+        branch_delay_slots in 1usize..=2,
+    ) -> MachineConfig {
+        let mut cfg = MachineConfig::mipsx();
+        cfg.branch_delay_slots = branch_delay_slots;
+        cfg.icache = IcacheConfig {
+            rows,
+            ways,
+            block_words,
+            fetch_words,
+            miss_penalty,
+            replacement,
+            enabled: icache_enabled,
+            whole_block_fill,
+        };
+        cfg.ecache = EcacheConfig {
+            size_words: ecache_size,
+            block_words: 4,
+            late_miss_overhead: 1,
+            enabled: ecache_enabled,
+        };
+        cfg.mem_latency = mem_latency;
+        cfg
+    }
+}
+
+prop_compose! {
+    /// A timing-only fault plan (Icache parity retries, Ecache jitter):
+    /// rich interaction with the miss FSMs, no exception handler needed.
+    fn arb_plan()(
+        events in prop::collection::vec(
+            (1u64..2_000, prop::sample::select(vec!["parity", "jitter2", "jitter7"])),
+            0..5,
+        ),
+    ) -> FaultPlan {
+        let mut events = events;
+        events.sort_by_key(|(cycle, _)| *cycle);
+        let spec = events
+            .iter()
+            .map(|(cycle, kind)| format!("{cycle}:{kind}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        FaultPlan::parse(&spec).expect("generated spec is valid")
+    }
+}
+
+proptest! {
+    #[test]
+    fn snapshot_is_a_fixed_point_and_invisible(
+        cfg in arb_config(),
+        interrupt_at in 1u64..3_000,
+        plan in arb_plan(),
+    ) {
+        // The uninterrupted reference.
+        let mut reference = machine_for(cfg);
+        let mut reference_plan = plan.clone();
+        let reference_stats = finish(&mut reference, &mut reference_plan);
+        let reference_final = reference.save_snapshot(Some(&reference_plan)).unwrap();
+
+        // Interrupt mid-run (or at the halt, if the run is shorter).
+        let mut machine = machine_for(cfg);
+        let mut head_plan = plan.clone();
+        match machine.run_with_faults(interrupt_at, &mut NullSink, &mut head_plan) {
+            Ok(_) | Err(RunError::CycleLimit { .. }) => {}
+            Err(e) => panic!("unexpected run failure: {e}"),
+        }
+        let bytes = machine.save_snapshot(Some(&head_plan)).unwrap();
+
+        // Fixed point: restoring and re-saving reproduces the bytes.
+        let (restored, restored_plan) = Machine::restore_snapshot(&bytes).unwrap();
+        let mut restored = restored;
+        let mut restored_plan = restored_plan.expect("plan rides in the snapshot");
+        prop_assert_eq!(
+            &restored.save_snapshot(Some(&restored_plan)).unwrap(),
+            &bytes,
+            "save(restore(save)) must be byte-identical"
+        );
+
+        // Invisible: the restored machine finishes exactly like the
+        // machine it was taken from, and both match the reference.
+        let machine_stats = finish(&mut machine, &mut head_plan);
+        let restored_stats = finish(&mut restored, &mut restored_plan);
+        prop_assert_eq!(machine_stats, reference_stats);
+        prop_assert_eq!(restored_stats, reference_stats);
+        prop_assert_eq!(
+            restored.save_snapshot(Some(&restored_plan)).unwrap(),
+            reference_final,
+            "final state after restore must be byte-identical to the reference"
+        );
+    }
+}

@@ -21,7 +21,7 @@
 use std::time::{Duration, Instant};
 
 use mipsx_core::probe::{json_escape, NullSink};
-use mipsx_core::{FaultPlan, InterlockPolicy, Machine, SimConfig};
+use mipsx_core::{FaultPlan, InterlockPolicy, Machine, RunError, SimConfig};
 use mipsx_mem::Icache;
 use mipsx_reorg::{RawProgram, Reorganizer, ScheduleReport};
 use mipsx_telemetry::Telemetry;
@@ -29,8 +29,9 @@ use mipsx_workloads::synth::{generate, SynthConfig};
 use mipsx_workloads::traces::{instruction_trace, TraceConfig};
 use mipsx_workloads::{find_kernel, kernel_names, streaming};
 
+use crate::journal::{fingerprint, Journal, JournalConfig};
 use crate::key::{fnv1a_words, job_key, key_hex};
-use crate::pool::run_indexed_with;
+use crate::pool::run_indexed_catching;
 use crate::spec::{Job, SpecError, SweepSpec, Workload};
 use crate::store::ResultStore;
 
@@ -190,6 +191,12 @@ pub struct SweepOptions {
     /// Host telemetry (disabled by default — the sweep then pays only a
     /// branch per recording site).
     pub telemetry: Telemetry,
+    /// Crash-safe progress journal ([`crate::journal`]). When set, jobs
+    /// completed in a previous run are replayed from the result store,
+    /// long jobs checkpoint mid-run, and — for byte-identity between an
+    /// interrupted-then-resumed run and an uninterrupted one — every row
+    /// renders `cached: false` regardless of store state.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for SweepOptions {
@@ -198,6 +205,7 @@ impl Default for SweepOptions {
             threads: 1,
             store: ResultStore::disabled(),
             telemetry: Telemetry::disabled(),
+            journal: None,
         }
     }
 }
@@ -223,6 +231,9 @@ pub struct SweepRow {
     /// or the store read for a cached row). **Not** part of the
     /// byte-identical reports — rendered only by the `_timed` variants.
     pub wall_ns: u64,
+    /// The quarantine note: a panicking job degrades to this row — zeroed
+    /// counters, the panic message here — instead of aborting the sweep.
+    pub failed: Option<String>,
 }
 
 /// A finished sweep.
@@ -254,6 +265,11 @@ impl SweepOutcome {
         self.rows.last().map_or(0, |r| r.point_index + 1)
     }
 
+    /// How many rows are quarantined failures.
+    pub fn failed_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.failed.is_some()).count()
+    }
+
     /// The JSON report: cache-hit counts plus every row's raw counters and
     /// derived metrics. Byte-identical for identical specs and store
     /// states, regardless of thread count.
@@ -274,6 +290,13 @@ impl SweepOutcome {
                     ),
                     format!("\"key\":\"{}\"", row.key),
                     format!("\"cached\":{}", row.cached),
+                    format!(
+                        "\"failed\":{}",
+                        match &row.failed {
+                            Some(msg) => format!("\"{}\"", json_escape(msg)),
+                            None => "null".to_owned(),
+                        }
+                    ),
                 ];
                 fields.extend(
                     row.result
@@ -300,7 +323,7 @@ impl SweepOutcome {
 
     /// The CSV report (header + one line per row).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("point,workload,fault,key,cached");
+        let mut out = String::from("point,workload,fault,key,cached,failed");
         for name in JobResult::FIELDS {
             out.push(',');
             out.push_str(name);
@@ -321,6 +344,8 @@ impl SweepOutcome {
             out.push_str(&row.key);
             out.push(',');
             out.push_str(if row.cached { "true" } else { "false" });
+            out.push(',');
+            out.push_str(&csv_quote(row.failed.as_deref().unwrap_or("")));
             for (_, v) in row.result.field_values() {
                 out.push(',');
                 out.push_str(&v.to_string());
@@ -360,6 +385,18 @@ impl SweepOutcome {
             self.rows.len(),
             self.cache_hits
         ));
+        let failed: Vec<&SweepRow> = self.rows.iter().filter(|r| r.failed.is_some()).collect();
+        if !failed.is_empty() {
+            out.push_str(&format!("{} quarantined:\n", failed.len()));
+            for row in failed {
+                out.push_str(&format!(
+                    "- {} | {}: {}\n",
+                    row.point_label,
+                    row.workload,
+                    row.failed.as_deref().unwrap_or("")
+                ));
+            }
+        }
         out
     }
 
@@ -414,6 +451,12 @@ fn record_guest(tele: &Telemetry, result: &JobResult) {
 
 /// Expand `spec` and execute every job on `opts.threads` workers, serving
 /// unchanged cells from the result store.
+///
+/// Workers are panic-isolated: a job that panics becomes a quarantined
+/// [`SweepRow`] (zeroed counters, [`SweepRow::failed`] set) while every
+/// other job completes normally. Spec-level errors (unknown kernel, bad
+/// fault plan) still abort the sweep — they mean the *request* is wrong,
+/// not that one simulation went bad.
 pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, SpecError> {
     let tele = &opts.telemetry;
     let _sweep_span = tele.span_root("sweep");
@@ -422,11 +465,29 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
         spec.expand()?
     };
     tele.count("sweep.jobs", jobs.len() as u64);
+    let journal = match &opts.journal {
+        Some(cfg) => {
+            let journal = Journal::open(cfg, fingerprint(&jobs, spec.run_cycles))?;
+            if journal.resumed() {
+                tele.count("sweep.journal_done_at_open", journal.done_count() as u64);
+            }
+            Some(journal)
+        }
+        None => None,
+    };
     let start = Instant::now();
-    let executed: Vec<Result<(JobResult, u64, bool, u64), SpecError>> = {
+    // Each slot: Err(panic message) from a quarantined worker, or the
+    // job's own Result<(result, key, cached, wall_ns), SpecError>.
+    let executed = {
         let _s = tele.span("execute");
-        run_indexed_with(jobs.len(), opts.threads, tele, |i| {
-            execute_job(&jobs[i], spec.run_cycles, &opts.store, tele)
+        run_indexed_catching(jobs.len(), opts.threads, tele, |i| {
+            execute_job(
+                &jobs[i],
+                spec.run_cycles,
+                &opts.store,
+                journal.as_ref(),
+                tele,
+            )
         })
     };
     let wall = start.elapsed();
@@ -434,17 +495,33 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
     let mut rows = Vec::with_capacity(jobs.len());
     let mut cache_hits = 0usize;
     for (job, outcome) in jobs.iter().zip(executed) {
-        let (result, key, cached, wall_ns) = outcome?;
+        let (result, key, cached, wall_ns, failed) = match outcome {
+            Ok(ok) => {
+                let (result, key, cached, wall_ns) = ok?;
+                (result, key_hex(key), cached, wall_ns, None)
+            }
+            // A panicking job is quarantined, not fatal: counters zero,
+            // no key (preparation may not have reached hashing), and the
+            // panic message on the row.
+            Err(panic_msg) => (
+                JobResult::default(),
+                String::new(),
+                false,
+                0,
+                Some(panic_msg),
+            ),
+        };
         cache_hits += usize::from(cached);
         rows.push(SweepRow {
             point_index: job.point_index,
             point_label: job.point_label.clone(),
             workload: job.workload.id(),
             fault: job.fault.clone(),
-            key: key_hex(key),
+            key,
             cached,
             result,
             wall_ns,
+            failed,
         });
     }
     Ok(SweepOutcome {
@@ -520,11 +597,14 @@ fn execute_job(
     job: &Job,
     run_cycles: u64,
     store: &ResultStore,
+    journal: Option<&Journal>,
     tele: &Telemetry,
 ) -> Result<(JobResult, u64, bool, u64), SpecError> {
     // The job span is pinned to the tree root so its path is "job" whether
     // this runs inline (inside sweep/execute, serial) or on a pool worker.
     let _job_span = tele.span_root("job");
+    #[cfg(test)]
+    deliberate_test_panic(job);
     let job_start = Instant::now();
     let artifact = prepare(job, tele)?;
     let key = job_key(
@@ -534,12 +614,33 @@ fn execute_job(
         job.fault.as_deref(),
         run_cycles,
     );
-    if let Some(result) = store.load_traced(key, tele) {
-        tele.count("sweep.cache_hits", 1);
-        record_guest(tele, &result);
-        let wall_ns = job_start.elapsed().as_nanos() as u64;
-        tele.timing_observe("job.wall_ns", wall_ns);
-        return Ok((result, key, true, wall_ns));
+    match journal {
+        // A journaled job already marked done replays from the store; it
+        // renders `cached: false` (and counts `sweep.resumed`, not a
+        // cache hit) so the resumed report is byte-identical to the
+        // uninterrupted run's. A lost store entry just recomputes.
+        Some(j) if j.is_done(key) => {
+            if let Some(result) = store.load_traced(key, tele) {
+                tele.count("sweep.resumed", 1);
+                record_guest(tele, &result);
+                let wall_ns = job_start.elapsed().as_nanos() as u64;
+                tele.timing_observe("job.wall_ns", wall_ns);
+                return Ok((result, key, false, wall_ns));
+            }
+        }
+        // Journaled but not done: always simulate. Reading the store here
+        // would let a crash between store-write and journal-append flip a
+        // row's `cached` flag on resume — a byte difference.
+        Some(_) => {}
+        None => {
+            if let Some(result) = store.load_traced(key, tele) {
+                tele.count("sweep.cache_hits", 1);
+                record_guest(tele, &result);
+                let wall_ns = job_start.elapsed().as_nanos() as u64;
+                tele.timing_observe("job.wall_ns", wall_ns);
+                return Ok((result, key, true, wall_ns));
+            }
+        }
     }
     tele.count("sweep.cache_misses", 1);
     let label = format!("{} | {}", job.point_label, job.workload.id());
@@ -560,21 +661,70 @@ fn execute_job(
                 interlock: InterlockPolicy::Detect,
                 ..job.point.cfg
             };
-            let mut machine = {
-                let _s = tele.span("construct");
-                Machine::new(cfg)
-            };
-            {
-                let _s = tele.span("decode");
-                machine.load_program(&program);
+            // A checkpointed machine resumes from its snapshot — the
+            // fault-plan cursor rides inside — otherwise build fresh.
+            let mut resumed = None;
+            if let Some(j) = journal {
+                if let Some(bytes) = j.load_snapshot(key) {
+                    if let Ok(pair) = Machine::restore_snapshot(&bytes) {
+                        tele.count("snapshot.restores", 1);
+                        resumed = Some(pair);
+                    }
+                }
             }
+            let (mut machine, mut plan) = match resumed {
+                Some((machine, plan)) => (machine, plan),
+                None => {
+                    let mut machine = {
+                        let _s = tele.span("construct");
+                        Machine::new(cfg)
+                    };
+                    {
+                        let _s = tele.span("decode");
+                        machine.load_program(&program);
+                    }
+                    let plan = match &job.fault {
+                        None => None,
+                        Some(spec) => Some(
+                            FaultPlan::parse(spec)
+                                .map_err(|e| SpecError(format!("{label}: fault plan: {e}")))?,
+                        ),
+                    };
+                    (machine, plan)
+                }
+            };
             let run_span = tele.span("run");
-            let stats = match &job.fault {
-                None => machine.run(run_cycles),
-                Some(spec) => {
-                    let mut plan = FaultPlan::parse(spec)
-                        .map_err(|e| SpecError(format!("{label}: fault plan: {e}")))?;
-                    machine.run_with_faults(run_cycles, &mut NullSink, &mut plan)
+            let interval = journal.map_or(0, Journal::snapshot_interval);
+            // Run in checkpoint-sized chunks (one chunk = the whole
+            // budget when checkpointing is off). The budget is relative,
+            // so a restored machine only gets what it has not yet spent,
+            // and a genuine budget exhaustion re-reports `run_cycles` —
+            // the same error an uninterrupted run produces.
+            let stats = loop {
+                let remaining = run_cycles.saturating_sub(machine.stats().cycles);
+                let chunk = if interval > 0 {
+                    remaining.min(interval)
+                } else {
+                    remaining
+                };
+                let attempt = match plan.as_mut() {
+                    None => machine.run(chunk),
+                    Some(plan) => machine.run_with_faults(chunk, &mut NullSink, plan),
+                };
+                match attempt {
+                    Ok(stats) => break Ok(stats),
+                    Err(RunError::CycleLimit { .. }) if machine.stats().cycles < run_cycles => {
+                        if let (Some(j), Ok(bytes)) =
+                            (journal, machine.save_snapshot(plan.as_ref()))
+                        {
+                            tele.count("snapshot.saves", 1);
+                            j.save_snapshot(key, &bytes);
+                        }
+                    }
+                    Err(RunError::CycleLimit { .. }) => {
+                        break Err(RunError::CycleLimit { limit: run_cycles })
+                    }
+                    Err(e) => break Err(e),
                 }
             }
             .map_err(|e| SpecError(format!("{label}: run failed: {e}")))?;
@@ -608,10 +758,30 @@ fn execute_job(
         }
     };
     store.save_traced(key, &result, &label, tele);
+    if let Some(j) = journal {
+        // Store write first, journal line second: a crash in between
+        // leaves a store entry without a done mark, and the resume
+        // recomputes — never the other way around, which would resume
+        // from a result that was never persisted.
+        j.record_done(key);
+    }
     record_guest(tele, &result);
     let wall_ns = job_start.elapsed().as_nanos() as u64;
     tele.timing_observe("job.wall_ns", wall_ns);
     Ok((result, key, false, wall_ns))
+}
+
+/// Test-only deterministic panic source (compiled only into this crate's
+/// unit tests): the synth seed `0xdead_beef` stands in for "a job whose
+/// simulation panics", proving quarantine end to end without planting a
+/// bug in real simulation code.
+#[cfg(test)]
+fn deliberate_test_panic(job: &Job) {
+    if let Workload::Synth { seed, .. } = &job.workload {
+        if *seed == 0xdead_beef {
+            panic!("deliberate test panic ({})", job.workload.id());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -712,6 +882,204 @@ mod tests {
         for path in ["sweep", "sweep/execute", "job", "job/run", "job/assemble"] {
             assert!(snap.span_total_ns(path) > 0, "missing span {path}");
         }
+    }
+
+    #[test]
+    fn a_panicking_job_degrades_to_a_quarantined_row() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec![
+            Workload::parse("kernel:sum_to_n").unwrap(),
+            // The engine's test-only panic trigger (seed 0xdead_beef).
+            Workload::parse("synth:tiny:3735928559").unwrap(),
+        ];
+        let opts = SweepOptions {
+            threads: 2,
+            telemetry: Telemetry::enabled(),
+            ..SweepOptions::default()
+        };
+        let outcome = run_sweep(&spec, &opts).unwrap();
+        // 2 points x 2 workloads: the sweep survives with all 4 rows,
+        // the panicking pair quarantined and the honest pair intact.
+        assert_eq!(outcome.rows.len(), 4);
+        assert_eq!(outcome.failed_count(), 2);
+        for row in &outcome.rows {
+            if row.workload.starts_with("synth") {
+                let msg = row.failed.as_deref().expect("panicking job quarantined");
+                assert!(msg.contains("deliberate test panic"), "{msg}");
+                assert_eq!(row.result, JobResult::default());
+                assert!(row.key.is_empty());
+            } else {
+                assert!(row.failed.is_none());
+                assert!(row.result.cycles > 0);
+            }
+        }
+        assert_eq!(
+            opts.telemetry.snapshot().counters.get("pool.quarantined"),
+            Some(&2)
+        );
+        // Failures render in every report format.
+        assert!(outcome
+            .to_json()
+            .contains("\"failed\":\"deliberate test panic"));
+        assert!(outcome.to_csv().lines().next().unwrap().contains(",failed"));
+        assert!(outcome.to_markdown().contains("2 quarantined:"));
+    }
+
+    /// The journal cfg + a scratch path that will not collide across tests.
+    fn temp_journal(tag: &str) -> crate::journal::JournalConfig {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        crate::journal::JournalConfig::new(std::env::temp_dir().join(format!(
+            "mipsx-engine-{tag}-{}-{n}.journal",
+            std::process::id()
+        )))
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_byte_identically() {
+        let mut spec = tiny_spec();
+        spec.workloads = vec![
+            Workload::parse("kernel:sum_to_n").unwrap(),
+            Workload::parse("kernel:memcpy").unwrap(),
+        ];
+        spec.faults = vec![None, Some("40:parity,90:jitter3".to_string())];
+        // 2 points x 2 workloads x 2 fault plans = 8 jobs.
+        let store = crate::store::temp_store("resume-ident");
+        let journal_cfg = temp_journal("resume-ident");
+
+        // The uninterrupted journaled run: the reference reports.
+        let opts = SweepOptions {
+            store: store.clone(),
+            journal: Some(journal_cfg.clone()),
+            ..SweepOptions::default()
+        };
+        let full = run_sweep(&spec, &opts).unwrap();
+        assert!(full.rows.iter().all(|r| !r.cached && r.failed.is_none()));
+
+        // Simulate a crash after three jobs: truncate the journal to its
+        // header plus the first three done lines. The store still holds
+        // every result — resume must *not* let that leak into the report.
+        let text = std::fs::read_to_string(&journal_cfg.path).unwrap();
+        let keep: Vec<&str> = text.lines().take(3 + 3).collect();
+        assert_eq!(keep.iter().filter(|l| l.starts_with("done=")).count(), 3);
+        std::fs::write(&journal_cfg.path, format!("{}\n", keep.join("\n"))).unwrap();
+
+        let opts = SweepOptions {
+            store: store.clone(),
+            journal: Some(crate::journal::JournalConfig {
+                resume: true,
+                ..journal_cfg.clone()
+            }),
+            telemetry: Telemetry::enabled(),
+            ..SweepOptions::default()
+        };
+        let resumed = run_sweep(&spec, &opts).unwrap();
+        assert_eq!(resumed.to_json(), full.to_json());
+        assert_eq!(resumed.to_csv(), full.to_csv());
+        assert_eq!(resumed.to_markdown(), full.to_markdown());
+        let snap = opts.telemetry.snapshot();
+        assert_eq!(snap.counter("sweep.resumed"), 3);
+        assert_eq!(snap.counter("sweep.cache_misses"), 5);
+
+        // And the journal is whole again: a third run resumes everything.
+        let opts = SweepOptions {
+            store,
+            journal: Some(crate::journal::JournalConfig {
+                resume: true,
+                ..journal_cfg
+            }),
+            ..SweepOptions::default()
+        };
+        let replayed = run_sweep(&spec, &opts).unwrap();
+        assert_eq!(replayed.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn resume_refuses_a_journal_from_a_different_spec() {
+        let journal_cfg = temp_journal("fingerprint");
+        let opts = SweepOptions {
+            journal: Some(journal_cfg.clone()),
+            ..SweepOptions::default()
+        };
+        run_sweep(&tiny_spec(), &opts).unwrap();
+
+        let mut other = tiny_spec();
+        other.run_cycles += 1;
+        let opts = SweepOptions {
+            journal: Some(crate::journal::JournalConfig {
+                resume: true,
+                ..journal_cfg
+            }),
+            ..SweepOptions::default()
+        };
+        let err = run_sweep(&other, &opts).unwrap_err();
+        assert!(err.0.contains("fingerprint mismatch"), "{err}");
+    }
+
+    #[test]
+    fn checkpointed_job_resumes_from_its_snapshot_identically() {
+        let mut spec = tiny_spec();
+        // fib_recursive(10) runs for thousands of cycles — long enough to
+        // be mid-flight at cycle 900 in every grid point.
+        spec.workloads = vec![Workload::parse("kernel:fib_recursive").unwrap()];
+        // Reference: the same spec, no journal at all.
+        let reference = run_sweep(&spec, &SweepOptions::default()).unwrap();
+        assert!(reference.rows[0].result.cycles > 1_500);
+
+        // Plant a mid-run checkpoint for job 0 exactly as a killed
+        // checkpointing sweep would have left it: machine built the same
+        // way the engine builds it, stopped mid-flight, snapshot keyed by
+        // the job key in the journal's .snaps directory.
+        let journal_cfg = crate::journal::JournalConfig {
+            snapshot_interval: 700,
+            ..temp_journal("ckpt")
+        };
+        let jobs = spec.expand().unwrap();
+        let job = &jobs[0];
+        let tele = Telemetry::disabled();
+        let artifact = prepare(job, &tele).unwrap();
+        let key = job_key(
+            &job.point,
+            &job.workload.id(),
+            digest(&artifact),
+            None,
+            spec.run_cycles,
+        );
+        let Artifact::Program(program, _) = artifact else {
+            panic!("kernel workloads are programs")
+        };
+        let mut machine = Machine::new(SimConfig {
+            interlock: InterlockPolicy::Detect,
+            ..job.point.cfg
+        });
+        machine.load_program(&program);
+        assert!(matches!(
+            machine.run(900),
+            Err(mipsx_core::RunError::CycleLimit { .. })
+        ));
+        let bytes = machine.save_snapshot(None).unwrap();
+        {
+            let j = Journal::open(&journal_cfg, fingerprint(&jobs, spec.run_cycles)).unwrap();
+            j.save_snapshot(key, &bytes);
+        }
+
+        let opts = SweepOptions {
+            journal: Some(crate::journal::JournalConfig {
+                resume: true,
+                ..journal_cfg
+            }),
+            telemetry: Telemetry::enabled(),
+            ..SweepOptions::default()
+        };
+        let resumed = run_sweep(&spec, &opts).unwrap();
+        let snap = opts.telemetry.snapshot();
+        assert_eq!(snap.counter("snapshot.restores"), 1);
+        // The restored job finished from cycle 900, not from zero — and
+        // still produced the exact counters of the cold run, so the
+        // reports agree byte for byte.
+        assert_eq!(resumed.to_json(), reference.to_json());
+        assert_eq!(resumed.to_csv(), reference.to_csv());
     }
 
     #[test]

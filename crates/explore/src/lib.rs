@@ -30,12 +30,14 @@
 //! [`SimConfig`]: mipsx_core::SimConfig
 
 pub mod engine;
+pub mod journal;
 pub mod key;
 pub mod pool;
 pub mod spec;
 pub mod store;
 
 pub use engine::{run_sweep, JobResult, SweepOptions, SweepOutcome, SweepRow};
+pub use journal::{Journal, JournalConfig};
 pub use key::{canonical_point, fnv1a, job_key};
 pub use mipsx_telemetry::{Snapshot, Telemetry};
 pub use spec::{Axis, AxisField, AxisValue, Grid, Job, SimPoint, SpecError, SweepSpec, Workload};

@@ -12,6 +12,7 @@
 //! the property the byte-identical-aggregation guarantee rests on.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -32,6 +33,47 @@ where
     F: Fn(usize) -> T + Sync,
 {
     run_indexed_with(count, threads, &Telemetry::disabled(), worker)
+}
+
+/// [`run_indexed_with`], but a panicking job is quarantined instead of
+/// taking the pool (and the whole sweep) down with it.
+///
+/// Each call to `worker` runs under [`std::panic::catch_unwind`]; a panic
+/// becomes `Err(message)` in that job's slot while every other job still
+/// runs to completion in index order. The panic payload is recovered when
+/// it is a `String` or `&str` (which covers `panic!`, `assert!`,
+/// `unwrap`/`expect`); anything else degrades to a generic message. Each
+/// quarantined job counts one `pool.quarantined` tick when `tele` is live.
+///
+/// The worker is wrapped in [`AssertUnwindSafe`]: the sweep engine only
+/// shares the job list, the result store, and telemetry across jobs, and
+/// all of those are either read-only or internally synchronized, so a
+/// half-finished job cannot leave them in a state later jobs would
+/// misread.
+pub fn run_indexed_catching<T, F>(
+    count: usize,
+    threads: usize,
+    tele: &Telemetry,
+    worker: F,
+) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(count, threads, tele, |i| {
+        catch_unwind(AssertUnwindSafe(|| worker(i))).map_err(|payload| {
+            if tele.is_enabled() {
+                tele.count("pool.quarantined", 1);
+            }
+            if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                "worker panicked (non-string payload)".to_string()
+            }
+        })
+    })
 }
 
 /// [`run_indexed`] with pool telemetry: when `tele` is live, each worker
@@ -184,6 +226,36 @@ mod tests {
         assert_eq!(snap.gauges.get("pool.workers"), Some(&4));
         assert!(snap.timing_counters.contains_key("pool.busy_ns"));
         assert!(snap.timing_counters.contains_key("pool.idle_ns"));
+    }
+
+    #[test]
+    fn a_panicking_job_is_quarantined_not_fatal() {
+        let tele = Telemetry::enabled();
+        let out = run_indexed_catching(8, 4, &tele, |i| {
+            if i == 5 {
+                panic!("job {i} exploded");
+            }
+            i * 2
+        });
+        assert_eq!(out.len(), 8);
+        for (i, slot) in out.iter().enumerate() {
+            match slot {
+                Ok(v) if i != 5 => assert_eq!(*v, i * 2),
+                Err(msg) if i == 5 => assert!(msg.contains("job 5 exploded")),
+                other => panic!("job {i}: unexpected {other:?}"),
+            }
+        }
+        assert_eq!(tele.snapshot().counters.get("pool.quarantined"), Some(&1));
+    }
+
+    #[test]
+    fn quarantine_works_on_the_serial_path_too() {
+        let out = run_indexed_catching(3, 1, &Telemetry::disabled(), |i| {
+            assert!(i != 1, "assert-style panic");
+            i
+        });
+        assert!(out[0].is_ok() && out[2].is_ok());
+        assert!(out[1].as_ref().unwrap_err().contains("assert-style panic"));
     }
 
     #[test]

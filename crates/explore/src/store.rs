@@ -6,6 +6,13 @@
 //! through a per-process temporary file and an atomic rename, so parallel
 //! workers and even concurrent sweep processes never observe torn files.
 //!
+//! Every record carries a `checksum=` line — FNV-1a 64 over the canonical
+//! field block — so a truncated or bit-flipped entry is detected on read,
+//! **evicted** (the file is deleted), and reported as a miss; the sweep
+//! then recomputes and rewrites it. A well-formed record whose version is
+//! not ours is left on disk untouched (it may belong to a newer binary
+//! sharing the store) and also reads as a miss.
+//!
 //! The directory defaults to `sweeps/` and is overridable with the
 //! `MIPSX_SWEEP_DIR` environment variable (used by CI to keep the store
 //! out of the checkout).
@@ -16,11 +23,11 @@ use std::time::Instant;
 use mipsx_telemetry::Telemetry;
 
 use crate::engine::JobResult;
-use crate::key::key_hex;
+use crate::key::{fnv1a, key_hex};
 
 /// Store format version, written into every file; unknown versions read as
-/// cache misses.
-const FORMAT_VERSION: u32 = 1;
+/// cache misses. Version 2 added the `checksum=` integrity line.
+const FORMAT_VERSION: u32 = 2;
 
 /// Handle to the result store (or to nothing, when caching is off).
 #[derive(Clone, Debug)]
@@ -61,10 +68,28 @@ impl ResultStore {
     }
 
     /// Load the result stored under `key`, if present and well-formed.
+    /// A corrupt entry (checksum mismatch, truncation, unparsable fields)
+    /// is deleted so the recomputed result can take its place.
     pub fn load(&self, key: u64) -> Option<JobResult> {
-        let path = self.path_for(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        parse_record(&text)
+        self.load_inner(key).0
+    }
+
+    /// `(result, evicted-a-corrupt-entry)`.
+    fn load_inner(&self, key: u64) -> (Option<JobResult>, bool) {
+        let Some(path) = self.path_for(key) else {
+            return (None, false);
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return (None, false);
+        };
+        match parse_record(&text) {
+            Parsed::Ok(result) => (Some(result), false),
+            Parsed::Foreign => (None, false),
+            Parsed::Corrupt => {
+                let _ = std::fs::remove_file(&path);
+                (None, true)
+            }
+        }
     }
 
     /// Persist `result` under `key`. `note` is a human-readable comment
@@ -83,7 +108,9 @@ impl ResultStore {
             "# mipsx sweep result\nversion={FORMAT_VERSION}\n# {}\n",
             note.replace('\n', " ")
         );
-        text.push_str(&result.to_record());
+        let record = result.to_record();
+        text.push_str(&record);
+        text.push_str(&format!("checksum={}\n", key_hex(fnv1a(record.as_bytes()))));
         let tmp = dir.join(format!(".{}.tmp.{}", key_hex(key), std::process::id()));
         if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
@@ -91,19 +118,22 @@ impl ResultStore {
     }
 
     /// [`ResultStore::load`] with latency telemetry: counts
-    /// `store.reads` / `store.read_hits` and samples `store.read_ns`.
-    /// With telemetry disabled (or the store disabled) this is exactly
-    /// `load` — no clock reads.
+    /// `store.reads` / `store.read_hits` / `store.corrupt_evictions` and
+    /// samples `store.read_ns`. With telemetry disabled (or the store
+    /// disabled) this is exactly `load` — no clock reads.
     pub fn load_traced(&self, key: u64, tele: &Telemetry) -> Option<JobResult> {
         if !tele.is_enabled() || !self.is_enabled() {
             return self.load(key);
         }
         let start = Instant::now();
-        let result = self.load(key);
+        let (result, evicted) = self.load_inner(key);
         tele.timing_observe("store.read_ns", start.elapsed().as_nanos() as u64);
         tele.timing_count("store.reads", 1);
         if result.is_some() {
             tele.timing_count("store.read_hits", 1);
+        }
+        if evicted {
+            tele.timing_count("store.corrupt_evictions", 1);
         }
         result
     }
@@ -123,25 +153,51 @@ impl ResultStore {
     }
 }
 
-fn parse_record(text: &str) -> Option<JobResult> {
+enum Parsed {
+    /// Current version, fields parse, checksum matches.
+    Ok(JobResult),
+    /// Well-formed header with a version that is not ours — a miss, but
+    /// not ours to delete.
+    Foreign,
+    /// Truncated, bit-flipped, or otherwise unparsable — evict it.
+    Corrupt,
+}
+
+fn parse_record(text: &str) -> Parsed {
     let mut version: Option<u32> = None;
+    let mut checksum: Option<u64> = None;
     let mut fields: Vec<(&str, u64)> = Vec::new();
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (k, v) = line.split_once('=')?;
-        if k == "version" {
-            version = v.parse().ok();
-        } else {
-            fields.push((k, v.parse().ok()?));
+        let Some((k, v)) = line.split_once('=') else {
+            return Parsed::Corrupt;
+        };
+        match k {
+            "version" => version = v.parse().ok(),
+            "checksum" => checksum = u64::from_str_radix(v, 16).ok(),
+            _ => match v.parse() {
+                Ok(n) => fields.push((k, n)),
+                Err(_) => return Parsed::Corrupt,
+            },
         }
     }
-    if version != Some(FORMAT_VERSION) {
-        return None;
+    match version {
+        Some(v) if v == FORMAT_VERSION => {}
+        Some(_) => return Parsed::Foreign,
+        None => return Parsed::Corrupt,
     }
-    JobResult::from_fields(&fields)
+    let (Some(stored), Some(result)) = (checksum, JobResult::from_fields(&fields)) else {
+        return Parsed::Corrupt;
+    };
+    // Recompute over the canonical re-serialization: any flipped digit or
+    // dropped line changes either the parse or this hash.
+    if fnv1a(result.to_record().as_bytes()) != stored {
+        return Parsed::Corrupt;
+    }
+    Parsed::Ok(result)
 }
 
 /// A store rooted in a fresh, unique temporary directory (test helper;
@@ -198,6 +254,49 @@ mod tests {
         assert_eq!(snap.timing_counters.get("store.writes"), Some(&1));
         assert_eq!(snap.timing_histograms["store.read_ns"].count, 2);
         assert_eq!(snap.timing_histograms["store.write_ns"].count, 1);
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted_and_recomputable() {
+        let store = temp_store("store-corrupt");
+        let tele = Telemetry::enabled();
+        let r = JobResult {
+            cycles: 123_456,
+            instructions: 7,
+            ..JobResult::default()
+        };
+        store.save(4, &r, "victim");
+        let path = store
+            .dir
+            .as_ref()
+            .unwrap()
+            .join(format!("{}.result", key_hex(4)));
+
+        // Bit-flip: change one digit of a counter without touching the
+        // checksum line. The record still parses — only the hash betrays it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let flipped = text.replacen("cycles=123456", "cycles=123457", 1);
+        assert_ne!(text, flipped, "fixture must actually flip a digit");
+        std::fs::write(&path, flipped).unwrap();
+        assert_eq!(store.load_traced(4, &tele), None);
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        assert_eq!(
+            tele.snapshot()
+                .timing_counters
+                .get("store.corrupt_evictions"),
+            Some(&1)
+        );
+
+        // Truncation: cut the file mid-record (losing the checksum line).
+        store.save(4, &r, "victim");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(store.load_traced(4, &tele), None);
+        assert!(!path.exists());
+
+        // Recompute-and-rewrite restores service.
+        store.save(4, &r, "victim");
+        assert_eq!(store.load(4), Some(r));
     }
 
     #[test]

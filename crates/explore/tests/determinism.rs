@@ -58,6 +58,7 @@ fn deterministic_metrics_are_thread_count_invariant() {
             threads,
             store: ResultStore::disabled(),
             telemetry: Telemetry::enabled(),
+            journal: None,
         };
         run_sweep(&spec, &o).unwrap();
         o.telemetry.snapshot()

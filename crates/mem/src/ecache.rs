@@ -207,6 +207,51 @@ impl Default for Ecache {
     }
 }
 
+/// Plain-data image of an [`Ecache`]'s mutable state (tags,
+/// miss-classification history, statistics) for checkpointing. The
+/// configuration is not part of the state — the owner restores into a
+/// cache built with the identical [`EcacheConfig`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EcacheState {
+    /// Tag per direct-mapped frame.
+    pub tags: Vec<Option<u32>>,
+    /// Block addresses ever read, sorted ascending (deterministic
+    /// encoding of the same cache state).
+    pub seen_blocks: Vec<u32>,
+    /// Accumulated statistics.
+    pub stats: CacheStats,
+}
+
+impl Ecache {
+    /// Capture the cache's mutable state for a checkpoint.
+    pub fn snapshot_state(&self) -> EcacheState {
+        let mut seen_blocks: Vec<u32> = self.seen_blocks.iter().copied().collect();
+        seen_blocks.sort_unstable();
+        EcacheState {
+            tags: self.tags.clone(),
+            seen_blocks,
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrite the cache's mutable state from a checkpoint taken from a
+    /// cache with the same configuration. Fails (leaving the cache
+    /// untouched) if the frame count does not match this organization.
+    pub fn restore_state(&mut self, state: &EcacheState) -> Result<(), String> {
+        if state.tags.len() != self.tags.len() {
+            return Err(format!(
+                "ecache state has {} frames, organization needs {}",
+                state.tags.len(),
+                self.tags.len()
+            ));
+        }
+        self.tags.copy_from_slice(&state.tags);
+        self.seen_blocks = state.seen_blocks.iter().copied().collect();
+        self.stats = state.stats;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

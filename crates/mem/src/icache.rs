@@ -475,6 +475,79 @@ impl Default for Icache {
     }
 }
 
+/// Plain-data image of an [`Icache`]'s mutable state — tags, sub-block
+/// valid bits, replacement state (FIFO pointers, LRU clock, xorshift RNG),
+/// miss-classification history, and statistics — for checkpointing. The
+/// configuration is *not* part of the state: the owner restores into a
+/// cache built with the identical [`IcacheConfig`], and
+/// [`Icache::restore_state`] rejects a state whose shape does not match.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IcacheState {
+    /// `(tag, valid bits, recency stamp)` per block, in
+    /// `row * ways + way` order.
+    pub blocks: Vec<(Option<u32>, u64, u64)>,
+    /// FIFO victim pointer per row.
+    pub fifo: Vec<u32>,
+    /// LRU recency clock.
+    pub clock: u64,
+    /// xorshift state for random replacement.
+    pub rng: u64,
+    /// Block addresses ever referenced, sorted ascending (so the encoding
+    /// of the same cache state is always byte-identical).
+    pub seen_blocks: Vec<u32>,
+    /// Accumulated statistics.
+    pub stats: CacheStats,
+}
+
+impl Icache {
+    /// Capture the cache's mutable state for a checkpoint.
+    pub fn snapshot_state(&self) -> IcacheState {
+        let mut seen_blocks: Vec<u32> = self.seen_blocks.iter().copied().collect();
+        seen_blocks.sort_unstable();
+        IcacheState {
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| (b.tag, b.valid, b.stamp))
+                .collect(),
+            fifo: self.fifo.clone(),
+            clock: self.clock,
+            rng: self.rng,
+            seen_blocks,
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrite the cache's mutable state from a checkpoint taken from a
+    /// cache with the same configuration. Fails (leaving the cache
+    /// untouched) if the state's shape does not match this organization.
+    pub fn restore_state(&mut self, state: &IcacheState) -> Result<(), String> {
+        if state.blocks.len() != self.blocks.len() {
+            return Err(format!(
+                "icache state has {} blocks, organization needs {}",
+                state.blocks.len(),
+                self.blocks.len()
+            ));
+        }
+        if state.fifo.len() != self.fifo.len() {
+            return Err(format!(
+                "icache state has {} fifo pointers, organization needs {}",
+                state.fifo.len(),
+                self.fifo.len()
+            ));
+        }
+        for (b, &(tag, valid, stamp)) in self.blocks.iter_mut().zip(&state.blocks) {
+            *b = Block { tag, valid, stamp };
+        }
+        self.fifo.copy_from_slice(&state.fifo);
+        self.clock = state.clock;
+        self.rng = state.rng;
+        self.seen_blocks = state.seen_blocks.iter().copied().collect();
+        self.stats = state.stats;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

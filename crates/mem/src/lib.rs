@@ -26,7 +26,7 @@ mod icache;
 mod main_memory;
 mod stats;
 
-pub use ecache::{Ecache, EcacheConfig};
-pub use icache::{FetchOutcome, Icache, IcacheConfig, Replacement, TraceResult};
-pub use main_memory::MainMemory;
+pub use ecache::{Ecache, EcacheConfig, EcacheState};
+pub use icache::{FetchOutcome, Icache, IcacheConfig, IcacheState, Replacement, TraceResult};
+pub use main_memory::{MainMemory, MainMemoryState};
 pub use stats::{CacheStats, MissCause};

@@ -100,6 +100,59 @@ impl Default for MainMemory {
     }
 }
 
+/// Plain-data image of a [`MainMemory`] for checkpointing: the resident
+/// pages (sorted by page number so the same memory always encodes to the
+/// same bytes), the configured latency, and the access counters.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MainMemoryState {
+    /// Cycles per access once an Ecache miss is detected.
+    pub latency_cycles: u32,
+    /// Read accesses served so far.
+    pub reads: u64,
+    /// Write accesses served so far.
+    pub writes: u64,
+    /// `(page number, page contents)` sorted ascending by page number;
+    /// every page is exactly 4096 words.
+    pub pages: Vec<(u32, Vec<u32>)>,
+}
+
+impl MainMemory {
+    /// Capture the memory's full state for a checkpoint.
+    pub fn snapshot_state(&self) -> MainMemoryState {
+        let mut pages: Vec<(u32, Vec<u32>)> =
+            self.pages.iter().map(|(&n, p)| (n, p.to_vec())).collect();
+        pages.sort_unstable_by_key(|(n, _)| *n);
+        MainMemoryState {
+            latency_cycles: self.latency_cycles,
+            reads: self.reads,
+            writes: self.writes,
+            pages,
+        }
+    }
+
+    /// Replace the memory's full state from a checkpoint. Fails (leaving
+    /// the memory untouched) if any page is not exactly 4096 words.
+    pub fn restore_state(&mut self, state: &MainMemoryState) -> Result<(), String> {
+        for (n, words) in &state.pages {
+            if words.len() != PAGE_WORDS as usize {
+                return Err(format!(
+                    "memory page {n} has {} words, expected {PAGE_WORDS}",
+                    words.len()
+                ));
+            }
+        }
+        self.latency_cycles = state.latency_cycles;
+        self.reads = state.reads;
+        self.writes = state.writes;
+        self.pages = state
+            .pages
+            .iter()
+            .map(|(n, words)| (*n, words.clone().into_boxed_slice()))
+            .collect();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,6 +24,14 @@
 //!                                   a span-tree wall-time report (stage
 //!                                   attribution, pool occupancy, store
 //!                                   latencies)
+//! mipsx snapshot save <kernel|file.s> --out <path> [options]
+//!                                   run for --cycles, then write a
+//!                                   restorable machine snapshot
+//! mipsx snapshot restore <path> [--cycles N]
+//!                                   restore a snapshot, run it to
+//!                                   completion, print the final stats
+//! mipsx snapshot info <path>        print a snapshot's header, section
+//!                                   sizes and checksum without restoring
 //! mipsx info                        print the modeled machine's parameters
 //!
 //! run options:
@@ -36,6 +44,9 @@
 //!   --diagram <n>       render the first n cycles as a pipe diagram
 //!                       (default 60; 0 disables)
 //!   --jsonl <path>      also write every probe event as JSON lines
+//!   --from-cycle <k>    fast-forward k cycles untraced, then attach the
+//!                       probes (the diagram shows cycles k..k+n; JSONL
+//!                       lines keep their absolute cycle numbers)
 //!
 //! soak options:
 //!   --runs <n>          program x fault-plan pairs to run (default 100)
@@ -44,6 +55,8 @@
 //!                       (default: a random plan derived from the run seed)
 //!   --fault-count <n>   faults per random plan (default 6)
 //!   --cycles <n>        lockstep cycle budget per run (default 2,000,000)
+//!   --snap-dir <dir>    where a diverging run's last-good machine
+//!                       snapshot lands (default: the system temp dir)
 //!
 //! lint options:
 //!   --slots <1|2>       branch delay slots of the contract (default 2);
@@ -75,6 +88,23 @@
 //!                       <path>.prom
 //!   --timings           render the timed report variants (adds per-job
 //!                       wall_ms; no longer byte-comparable across runs)
+//!   --journal <path>    crash-safe progress journal: one flushed line per
+//!                       completed job, in-flight machine checkpoints in
+//!                       <path>.snaps/
+//!   --snapshot-every <n> checkpoint running machines every n cycles
+//!                       (requires --journal; 0 disables checkpoints)
+//!   --resume            replay an existing journal: completed jobs come
+//!                       from the result store, checkpointed jobs resume
+//!                       mid-run; refuses a journal from a different spec
+//!
+//! snapshot options:
+//!   --cycles <n>        save: cycles to run before snapshotting (0 =
+//!                       snapshot the freshly loaded machine);
+//!                       restore: further cycle budget (default 10,000,000)
+//!   --slots <1|2>       save: branch delay slots (default 2)
+//!   --faults <spec>     save: fault plan; its delivery cursor rides in
+//!                       the snapshot, so restore continues it exactly
+//!   --out <path>        save: where the snapshot is written (required)
 //!
 //! profile options:
 //!   a kernel name or .s file profiles a single run (assemble, machine
@@ -99,10 +129,11 @@ use std::process::ExitCode;
 
 use mipsx::asm::{assemble, assemble_at, disassemble};
 use mipsx::cli::{flag, parse_args, switch, ArgError, FlagSpec, ParsedArgs};
-use mipsx::core::probe::{CpiAttribution, JsonlSink, PipeDiagram};
-use mipsx::core::{FaultPlan, InterlockPolicy, Machine, MachineConfig};
+use mipsx::core::probe::{CpiAttribution, JsonlSink, NullSink, PipeDiagram};
+use mipsx::core::{FaultPlan, InterlockPolicy, Machine, MachineConfig, RunError};
 use mipsx::explore::{
-    run_sweep, Axis, Grid, ResultStore, SimPoint, SweepOptions, SweepSpec, Telemetry, Workload,
+    run_sweep, Axis, Grid, JournalConfig, ResultStore, SimPoint, SweepOptions, SweepSpec,
+    Telemetry, Workload,
 };
 use mipsx::isa::Reg;
 use mipsx::refmodel::{Lockstep, NULL_HANDLER};
@@ -112,12 +143,15 @@ use mipsx::workloads::{all_kernels, find_kernel, kernel_names, random_scheduled_
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mipsx <asm|dis|run|trace|soak|lint|sweep|profile|info> \
+        "usage: mipsx <asm|dis|run|trace|soak|lint|sweep|profile|snapshot|info> \
          [file.s|kernel|spec.sweep] \
-         [--cycles N] [--slots 1|2] [--trust] [--regs] [--diagram N] [--jsonl path] [--runs N] \
-         [--seed N] [--faults spec] [--fault-count N] [--json] [--kernels] [--grid f=v1,v2] \
+         [--cycles N] [--slots 1|2] [--trust] [--regs] [--diagram N] [--jsonl path] \
+         [--from-cycle K] [--runs N] \
+         [--seed N] [--faults spec] [--fault-count N] [--snap-dir dir] [--json] [--kernels] \
+         [--grid f=v1,v2] \
          [--workload id] [--fault spec] [--base mipsx|ideal] [--threads N] [--csv] \
-         [--store dir] [--no-cache] [--bench path] [--metrics path] [--timings]"
+         [--store dir] [--no-cache] [--bench path] [--metrics path] [--timings] \
+         [--journal path] [--snapshot-every N] [--resume] [--out path]"
     );
     ExitCode::FAILURE
 }
@@ -169,6 +203,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             flag("--slots"),
             flag("--diagram"),
             flag("--jsonl"),
+            flag("--from-cycle"),
         ],
     ) {
         Ok(p) => p,
@@ -177,14 +212,21 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     let Some(target) = parsed.positionals.first() else {
         return usage();
     };
-    let (cycles, diagram_cycles, slots) = match (
+    let (cycles, diagram_cycles, slots, from_cycle) = match (
         numeric(&parsed, "--cycles", 10_000_000u64),
         numeric(&parsed, "--diagram", 60u64),
         numeric(&parsed, "--slots", 2usize),
+        numeric(&parsed, "--from-cycle", 0u64),
     ) {
-        (Ok(c), Ok(d), Ok(s)) => (c, d, s),
-        (Err(code), _, _) | (_, Err(code), _) | (_, _, Err(code)) => return code,
+        (Ok(c), Ok(d), Ok(s), Ok(f)) => (c, d, s, f),
+        (Err(code), ..) | (_, Err(code), ..) | (_, _, Err(code), _) | (.., Err(code)) => {
+            return code
+        }
     };
+    if from_cycle >= cycles {
+        eprintln!("mipsx: --from-cycle {from_cycle} must be below the --cycles budget {cycles}");
+        return ExitCode::FAILURE;
+    }
     let mut cfg = MachineConfig::mipsx();
     cfg.branch_delay_slots = slots;
     let program = match target_program(target, BranchScheme::mipsx()) {
@@ -196,6 +238,27 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     };
     let mut machine = Machine::new(cfg);
     machine.load_program(&program);
+
+    // Fast-forward untraced: probes are pure observers, so skipping them
+    // for the first k cycles cannot change how the machine evolves.
+    if from_cycle > 0 {
+        match machine.run(from_cycle) {
+            Err(RunError::CycleLimit { .. }) => {}
+            Ok(stats) => {
+                eprintln!(
+                    "mipsx: program halted at cycle {} — nothing left to trace \
+                     from cycle {from_cycle}",
+                    stats.cycles
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("mipsx: execution failed before --from-cycle {from_cycle}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let budget = cycles - from_cycle;
 
     let diagram = PipeDiagram::with_limit(diagram_cycles.max(1));
     let mut sink = (diagram, CpiAttribution::new());
@@ -209,7 +272,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
                 }
             };
             let mut jsonl = JsonlSink::new(file);
-            let result = machine.run_with(cycles, &mut (&mut sink, &mut jsonl));
+            let result = machine.run_with(budget, &mut (&mut sink, &mut jsonl));
             match jsonl.finish() {
                 Ok(_) => {}
                 Err(e) => {
@@ -219,7 +282,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             }
             result
         }
-        None => machine.run_with(cycles, &mut sink),
+        None => machine.run_with(budget, &mut sink),
     };
     let (diagram, attribution) = sink;
     if let Err(e) = result {
@@ -228,7 +291,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     }
     if diagram_cycles > 0 {
         println!(
-            "pipe diagram (first {diagram_cycles} cycles; F R A M W = stage, \
+            "pipe diagram ({diagram_cycles} cycles from cycle {from_cycle}; F R A M W = stage, \
              lowercase = killed, * = frozen):"
         );
         print!("{}", diagram.render());
@@ -348,6 +411,11 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 /// program text and its data region.
 const SOAK_VECTOR: u32 = 0x8000;
 
+/// Cycles between last-good checkpoints inside a soak run: coarse enough
+/// to stay off the profile, fine enough that the written snapshot lands
+/// within a few thousand cycles of the divergence.
+const SOAK_CHECKPOINT_CYCLES: u64 = 2048;
+
 fn cmd_soak(args: &[String]) -> ExitCode {
     let parsed = match parse_or_usage(
         args,
@@ -357,6 +425,7 @@ fn cmd_soak(args: &[String]) -> ExitCode {
             flag("--faults"),
             flag("--fault-count"),
             flag("--cycles"),
+            flag("--snap-dir"),
         ],
     ) {
         Ok(p) => p,
@@ -384,6 +453,10 @@ fn cmd_soak(args: &[String]) -> ExitCode {
         None => None,
     };
     let handler = assemble_at(NULL_HANDLER, SOAK_VECTOR).expect("null handler assembles");
+    let snap_dir = parsed
+        .value("--snap-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
     let cfg = MachineConfig {
         exception_vector: SOAK_VECTOR,
         ..MachineConfig::mipsx()
@@ -426,11 +499,43 @@ fn cmd_soak(args: &[String]) -> ExitCode {
         let mut lockstep = Lockstep::new(cfg, &program, plan);
         lockstep.install_handler(&handler);
         lockstep.enable_interrupts();
-        match lockstep.run(cycles) {
-            Ok(stats) => exceptions += stats.exceptions,
+        // Step with a checkpoint cadence: the last snapshot taken before a
+        // divergence is written out, so the failing window can be replayed
+        // under `mipsx snapshot restore` / a debugger without re-running
+        // the whole soak from cycle zero.
+        let mut last_good: Option<(u64, Vec<u8>)> = None;
+        let mut since_checkpoint = 0u64;
+        let outcome = loop {
+            if lockstep.machine().stats().cycles >= cycles {
+                break Ok(());
+            }
+            match lockstep.step() {
+                Ok(true) => break Ok(()),
+                Ok(false) => {}
+                Err(e) => break Err(e),
+            }
+            since_checkpoint += 1;
+            if since_checkpoint >= SOAK_CHECKPOINT_CYCLES {
+                since_checkpoint = 0;
+                if let Ok(bytes) = lockstep.machine().save_snapshot(None) {
+                    last_good = Some((lockstep.machine().stats().cycles, bytes));
+                }
+            }
+        };
+        match outcome {
+            Ok(()) => exceptions += lockstep.machine().stats().exceptions,
             Err(e) => {
                 divergences += 1;
                 eprintln!("mipsx: seed {seed}: {e}");
+                if let Some((cycle, bytes)) = last_good {
+                    let path = snap_dir.join(format!("soak-seed{seed}-cycle{cycle}.msnap"));
+                    match std::fs::write(&path, &bytes) {
+                        Ok(()) => {
+                            eprintln!("  last-good snapshot (cycle {cycle}): {}", path.display());
+                        }
+                        Err(e) => eprintln!("  could not write last-good snapshot: {e}"),
+                    }
+                }
                 eprintln!(
                     "  reproduce: mipsx soak --runs 1 --seed {seed} --faults \"{plan_spec}\""
                 );
@@ -584,14 +689,34 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             flag("--bench"),
             flag("--metrics"),
             switch("--timings"),
+            flag("--journal"),
+            flag("--snapshot-every"),
+            switch("--resume"),
         ],
     ) {
         Ok(p) => p,
         Err(code) => return code,
     };
-    let threads = match numeric(&parsed, "--threads", default_threads()) {
-        Ok(t) => t,
-        Err(code) => return code,
+    let (threads, snapshot_every) = match (
+        numeric(&parsed, "--threads", default_threads()),
+        numeric(&parsed, "--snapshot-every", 0u64),
+    ) {
+        (Ok(t), Ok(s)) => (t, s),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let journal = match parsed.value("--journal") {
+        Some(path) => Some(JournalConfig {
+            path: path.into(),
+            resume: parsed.has("--resume"),
+            snapshot_interval: snapshot_every,
+        }),
+        None => {
+            if parsed.has("--resume") || snapshot_every > 0 {
+                eprintln!("mipsx: --resume and --snapshot-every require --journal <path>");
+                return ExitCode::FAILURE;
+            }
+            None
+        }
     };
     if let Some(bench_path) = parsed.value("--bench") {
         return sweep_bench(bench_path, threads.max(2));
@@ -619,6 +744,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         threads,
         store,
         telemetry,
+        journal,
     };
     let outcome = match run_sweep(&spec, &opts) {
         Ok(o) => o,
@@ -649,13 +775,33 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Quarantined jobs never abort the sweep (the report above is
+    // complete), but each one gets a reproduction line and the exit code
+    // says the run was not clean.
+    for row in &outcome.rows {
+        if let Some(msg) = &row.failed {
+            eprintln!(
+                "mipsx: quarantined: {} | {}{}: {msg}",
+                row.point_label,
+                row.workload,
+                match &row.fault {
+                    Some(f) => format!(" (faults {f})"),
+                    None => String::new(),
+                },
+            );
+        }
+    }
     eprintln!(
-        "mipsx sweep: {} jobs on {} thread(s) in {:.2?} ({} from cache)",
+        "mipsx sweep: {} jobs on {} thread(s) in {:.2?} ({} from cache, {} quarantined)",
         outcome.rows.len(),
         threads,
         outcome.wall,
         outcome.cache_hits,
+        outcome.failed_count(),
     );
+    if outcome.failed_count() > 0 {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -692,6 +838,7 @@ fn sweep_bench(path: &str, threads: usize) -> ExitCode {
                 threads,
                 store: mipsx::explore::temp_store(&format!("bench-{name}-{threads}")),
                 telemetry,
+                journal: None,
             };
             let start = std::time::Instant::now();
             let outcome = run_sweep(&spec, &opts).expect("bench sweep");
@@ -818,6 +965,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             threads,
             store,
             telemetry: tele.clone(),
+            journal: None,
         };
         let outcome = match run_sweep(&spec, &opts) {
             Ok(o) => o,
@@ -940,6 +1088,178 @@ fn cmd_profile(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `mipsx snapshot <save|restore|info>`: the checkpoint/restore surface.
+///
+/// `save` runs a target for `--cycles` and writes the machine (plus the
+/// fault plan's delivery cursor) to `--out`; `restore` reads a snapshot
+/// back in a *fresh process* and runs it to completion, printing the same
+/// stats block a from-scratch run would — so CI can diff the two outputs
+/// byte for byte; `info` prints the self-describing header without
+/// constructing a machine at all.
+fn cmd_snapshot(args: &[String]) -> ExitCode {
+    let Some(action) = args.first() else {
+        eprintln!("mipsx: snapshot: expected save, restore or info");
+        return usage();
+    };
+    match action.as_str() {
+        "save" => snapshot_save(&args[1..]),
+        "restore" => snapshot_restore(&args[1..]),
+        "info" => snapshot_info(&args[1..]),
+        other => {
+            eprintln!("mipsx: snapshot {other}: expected save, restore or info");
+            usage()
+        }
+    }
+}
+
+fn snapshot_save(args: &[String]) -> ExitCode {
+    let parsed = match parse_or_usage(
+        args,
+        &[
+            flag("--cycles"),
+            flag("--slots"),
+            flag("--faults"),
+            flag("--out"),
+        ],
+    ) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let Some(target) = parsed.positionals.first() else {
+        return usage();
+    };
+    let Some(out) = parsed.value("--out") else {
+        eprintln!("mipsx: snapshot save: --out <path> is required");
+        return ExitCode::FAILURE;
+    };
+    let (cycles, slots) = match (
+        numeric(&parsed, "--cycles", 0u64),
+        numeric(&parsed, "--slots", 2usize),
+    ) {
+        (Ok(c), Ok(s)) => (c, s),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let mut plan = match parsed.value("--faults") {
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("mipsx: --faults {spec}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => FaultPlan::none(),
+    };
+    let program = match target_program(target, BranchScheme::mipsx()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mipsx: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = MachineConfig::mipsx();
+    cfg.branch_delay_slots = slots;
+    let mut machine = Machine::new(cfg);
+    machine.load_program(&program);
+    // --cycles 0 snapshots the freshly loaded machine: restoring that is
+    // exactly a from-scratch run, which gives CI its reference output.
+    if cycles > 0 {
+        match machine.run_with_faults(cycles, &mut NullSink, &mut plan) {
+            Err(RunError::CycleLimit { .. }) => {}
+            Ok(stats) => eprintln!(
+                "mipsx: note: program halted at cycle {} (before the {cycles}-cycle mark); \
+                 snapshotting the final state",
+                stats.cycles
+            ),
+            Err(e) => {
+                eprintln!("mipsx: execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let bytes = match machine.save_snapshot(Some(&plan)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("mipsx: snapshot failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(out, &bytes) {
+        eprintln!("mipsx: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("mipsx: {} bytes written to {out}", bytes.len());
+    match mipsx::core::snapshot::inspect(&bytes) {
+        Ok(info) => print!("{info}"),
+        Err(e) => {
+            eprintln!("mipsx: INTERNAL ERROR: just-written snapshot does not inspect: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn snapshot_restore(args: &[String]) -> ExitCode {
+    let parsed = match parse_or_usage(args, &[flag("--cycles")]) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let Some(path) = parsed.positionals.first() else {
+        return usage();
+    };
+    let cycles = match numeric(&parsed, "--cycles", 10_000_000u64) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("mipsx: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (mut machine, plan) = match Machine::restore_snapshot(&bytes) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("mipsx: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut plan = plan.unwrap_or_else(FaultPlan::none);
+    if !machine.halted() {
+        if let Err(e) = machine.run_with_faults(cycles, &mut NullSink, &mut plan) {
+            eprintln!("mipsx: execution failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("{}", machine.stats());
+    println!("icache: {}", machine.icache().stats());
+    println!("ecache: {}", machine.ecache().stats());
+    ExitCode::SUCCESS
+}
+
+fn snapshot_info(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("mipsx: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mipsx::core::snapshot::inspect(&bytes) {
+        Ok(info) => {
+            print!("{info}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mipsx: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -983,6 +1303,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
+        "snapshot" => cmd_snapshot(&args[1..]),
         "asm" | "dis" => {
             let Some(path) = args.get(1) else {
                 return usage();
