@@ -44,6 +44,14 @@ impl DecodedEntry {
             meta: InstrMeta::of(instr),
         }
     }
+
+    /// Whether this entry is the `halt` sentinel — the one block
+    /// terminator the metadata flags cannot express (`halt` is neither a
+    /// branch nor a jump), so the basic-block partitioner asks here.
+    #[inline]
+    pub fn is_halt(&self) -> bool {
+        matches!(self.instr, Instr::Halt)
+    }
 }
 
 /// A dense decoded table over one contiguous image: `entries[i]` decodes

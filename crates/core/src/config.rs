@@ -89,6 +89,20 @@ impl MachineConfig {
         }
     }
 
+    /// A *cache-ideal* variant: every stall source priced at zero cycles, so
+    /// the pipeline literally never freezes (`RunStats::frozen_cycles() == 0`
+    /// on fault-free code). Unlike [`MachineConfig::ideal_memory`] — which
+    /// merely makes misses rare — this zeroes the miss penalties themselves.
+    /// It is the config under which the static timing analyzer's per-block
+    /// predictions are *exact*, so the static-vs-dynamic differential runs
+    /// here.
+    pub fn cache_ideal() -> MachineConfig {
+        let mut c = MachineConfig::ideal_memory();
+        c.icache.miss_penalty = 0;
+        c.ecache.late_miss_overhead = 0;
+        c
+    }
+
     /// Validate invariants.
     ///
     /// # Panics

@@ -893,6 +893,8 @@ impl Machine {
             }
         }
         // The delay slots sit in the stages younger than the branch.
+        let mut squashed_slots = 0u32;
+        let mut nop_slots = 0u32;
         for stage in (0..resolve_stage).rev() {
             let Some(s) = &mut self.slots[stage] else {
                 continue;
@@ -911,11 +913,28 @@ impl Machine {
                 if killed {
                     s.kill = true;
                     self.stats.branch_slot_squashed += 1;
+                    squashed_slots += 1;
                     continue;
                 }
             }
             if s.meta.is_nop {
                 self.stats.branch_slot_nops += 1;
+                nop_slots += 1;
+            }
+        }
+        if S::ENABLED {
+            // A branch resolving behind an in-flight `halt` never drains:
+            // the machine stops when the halt retires, so the resolution is
+            // a fetch-ramp artifact. The probe event models the retiring
+            // stream and suppresses it; the aggregate `branches` counters
+            // keep it, matching the resolve-stage hardware activity.
+            let behind_halt = (resolve_stage + 1..=WB).any(|stage| {
+                self.slots[stage]
+                    .as_ref()
+                    .is_some_and(|s| !s.kill && matches!(s.instr, Instr::Halt))
+            });
+            if !behind_halt {
+                sink.branch(self.stats.cycles, pc, taken, squashed_slots, nop_slots);
             }
         }
     }

@@ -206,6 +206,23 @@ pub trait TraceSink {
     #[inline]
     fn retire(&mut self, _cycle: u64, _pc: u32, _instr: Instr, _killed: bool) {}
 
+    /// A branch at `pc` resolved: `taken` is the condition outcome,
+    /// `squashed_slots` counts delay-slot instructions whose destination-kill
+    /// line was asserted this resolution, and `nop_slots` counts surviving
+    /// delay-slot instructions that are explicit nops (wasted issue slots the
+    /// reorganizer failed to fill). Fires once per dynamic branch, from the
+    /// resolve stage.
+    #[inline]
+    fn branch(
+        &mut self,
+        _cycle: u64,
+        _pc: u32,
+        _taken: bool,
+        _squashed_slots: u32,
+        _nop_slots: u32,
+    ) {
+    }
+
     /// The fault-injection harness delivered `kind` this cycle; `pc` is the
     /// fetch PC at delivery. Interrupt-class faults show up again as
     /// [`TraceSink::exception`] events if and when the pins are accepted.
@@ -267,6 +284,11 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     }
 
     #[inline]
+    fn branch(&mut self, cycle: u64, pc: u32, taken: bool, squashed_slots: u32, nop_slots: u32) {
+        (**self).branch(cycle, pc, taken, squashed_slots, nop_slots);
+    }
+
+    #[inline]
     fn fault(&mut self, cycle: u64, kind: FaultKind, pc: u32) {
         (**self).fault(cycle, kind, pc);
     }
@@ -322,6 +344,12 @@ impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
     fn retire(&mut self, cycle: u64, pc: u32, instr: Instr, killed: bool) {
         self.0.retire(cycle, pc, instr, killed);
         self.1.retire(cycle, pc, instr, killed);
+    }
+
+    #[inline]
+    fn branch(&mut self, cycle: u64, pc: u32, taken: bool, squashed_slots: u32, nop_slots: u32) {
+        self.0.branch(cycle, pc, taken, squashed_slots, nop_slots);
+        self.1.branch(cycle, pc, taken, squashed_slots, nop_slots);
     }
 
     #[inline]
@@ -879,6 +907,12 @@ impl<W: Write> TraceSink for JsonlSink<W> {
         self.emit(format!(
             "{{\"t\":\"retire\",\"c\":{cycle},\"pc\":{pc},\"instr\":\"{}\",\"killed\":{killed}}}",
             json_escape(&instr.to_string())
+        ));
+    }
+
+    fn branch(&mut self, cycle: u64, pc: u32, taken: bool, squashed_slots: u32, nop_slots: u32) {
+        self.emit(format!(
+            "{{\"t\":\"branch\",\"c\":{cycle},\"pc\":{pc},\"taken\":{taken},\"squashed\":{squashed_slots},\"nops\":{nop_slots}}}"
         ));
     }
 

@@ -180,6 +180,28 @@ impl InstrMeta {
     pub fn alu_uses(&self, reg: Reg) -> bool {
         self.alu_use_mask & reg_bit(reg) != 0
     }
+
+    /// Whether `reg` is read at all, in any stage (`r0` is never "used" —
+    /// it carries no dataflow).
+    #[inline]
+    pub fn uses(&self, reg: Reg) -> bool {
+        self.use_mask & reg_bit(reg) != 0
+    }
+
+    /// Whether `reg` is architecturally written (`r0` writes are discarded
+    /// and report `false`).
+    #[inline]
+    pub fn defines(&self, reg: Reg) -> bool {
+        self.def_mask & reg_bit(reg) != 0
+    }
+
+    /// Every register in `mask`, ascending — for walking def/use masks
+    /// without re-deriving bit positions at each call site.
+    pub fn mask_regs(mask: u32) -> impl Iterator<Item = Reg> {
+        (1u8..32)
+            .filter(move |&i| mask & (1 << i) != 0)
+            .map(Reg::new)
+    }
 }
 
 impl Instr {

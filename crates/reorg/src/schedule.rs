@@ -53,6 +53,10 @@ pub struct ScheduleReport {
     pub verified: bool,
     /// Total diagnostics (errors + warnings) the verifier reported.
     pub diagnostics: usize,
+    /// Scheduling-quality findings (`mipsx_verify::quality`): missed slot
+    /// fills, redundant nops, avoidable load stalls, zero-slack join
+    /// hazards. All warnings — the schedule is legal, just improvable.
+    pub quality_findings: usize,
 }
 
 impl ScheduleReport {
@@ -321,6 +325,32 @@ impl Reorganizer {
             }
         }
 
+        // Pass 2.5: hoisting can orphan a load-delay pad — the consumer
+        // moved into a delay slot, leaving its nop between the load and a
+        // transfer that never reads the value. Trailing nops whose removal
+        // provably creates no hazard are dropped. (The tail never overlaps
+        // a prefix copied into a predecessor's squashing slots, which is
+        // all `pinned` protects.)
+        for id in 0..raw.len() {
+            let uses = term_alu_uses(&raw.terms[id]);
+            while bodies[id].len() > pinned[id].max(1) {
+                let n = bodies[id].len();
+                if !bodies[id][n - 1].is_nop() {
+                    break;
+                }
+                let prev = bodies[id][n - 2];
+                let pad_needed = load_class(&prev)
+                    && prev
+                        .def()
+                        .is_some_and(|d| !d.is_zero() && uses.contains(&d));
+                if pad_needed {
+                    break;
+                }
+                bodies[id].pop();
+                report.load_nops = report.load_nops.saturating_sub(1);
+            }
+        }
+
         // Pass 3: emission.
         let mut asm = Asm::new(0);
         // Labels: one per (block, instruction offset) that is ever targeted.
@@ -387,6 +417,7 @@ impl Reorganizer {
         let lint = self.verify_schedule(&program);
         report.verified = lint.is_clean();
         report.diagnostics = lint.diagnostics.len();
+        report.quality_findings = self.quality_report(&program).diagnostics.len();
         debug_assert!(
             report.verified,
             "reorganizer emitted an illegal schedule:\n{lint}\n{program}"
@@ -401,6 +432,18 @@ impl Reorganizer {
     /// checked against the same contract.
     pub fn verify_schedule(&self, program: &Program) -> mipsx_verify::LintReport {
         mipsx_verify::verify(
+            program,
+            &mipsx_verify::VerifyConfig::for_slots(self.scheme.slots),
+        )
+    }
+
+    /// Run only the scheduling-*quality* lints (missed-slot-fill,
+    /// redundant-nop, avoidable-load-stall, cross-block-hazard-at-join)
+    /// over a program under this reorganizer's branch scheme. A clean
+    /// schedule wastes no issue slot the analyzer can prove fillable;
+    /// `reorganize` records the count in [`ScheduleReport`].
+    pub fn quality_report(&self, program: &Program) -> mipsx_verify::LintReport {
+        mipsx_verify::quality(
             program,
             &mipsx_verify::VerifyConfig::for_slots(self.scheme.slots),
         )

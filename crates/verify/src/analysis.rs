@@ -54,21 +54,21 @@ pub(crate) fn run(program: &Program, config: &VerifyConfig) -> Vec<Diagnostic> {
     diags
 }
 
-struct Analysis {
-    entry: u32,
+pub(crate) struct Analysis {
+    pub(crate) entry: u32,
     /// Decoded entry (instruction + precomputed metadata) at every word
     /// address of the image — decoded once, up front.
-    code: BTreeMap<u32, DecodedEntry>,
+    pub(crate) code: BTreeMap<u32, DecodedEntry>,
     /// Addresses reachable from the entry point (data words that the
     /// program never flows into are not linted).
-    reachable: BTreeSet<u32>,
+    pub(crate) reachable: BTreeSet<u32>,
     /// Delay-slot address → owning control-transfer address.
-    slot_of: BTreeMap<u32, u32>,
-    slots: u32,
+    pub(crate) slot_of: BTreeMap<u32, u32>,
+    pub(crate) slots: u32,
 }
 
 impl Analysis {
-    fn new(program: &Program, config: &VerifyConfig) -> Analysis {
+    pub(crate) fn new(program: &Program, config: &VerifyConfig) -> Analysis {
         let code: BTreeMap<u32, DecodedEntry> = program
             .decoded()
             .iter()

@@ -30,6 +30,16 @@
 //! disassembly, and come back sorted in a deterministic order so listings
 //! are stable across runs — suitable for golden-file tests and CI.
 //!
+//! On top of the legality checks sits a **static timing analyzer**:
+//! [`TimingAnalysis`] partitions the image into basic blocks
+//! ([`BlockSummary`]: live-in/live-out, per-cause static stall counts,
+//! fillable-vs-wasted delay-slot accounting, pre-resolved hazard edges),
+//! discovers natural loops, and derives a whole-program **static CPI
+//! lower bound**. Four scheduling-*quality* lints
+//! ([`verify_with_timing`]) flag legal-but-slow schedules, and
+//! [`BlockAttribution`] + [`differential`] prove the static model exact
+//! against a fault-free cache-ideal dynamic run.
+//!
 //! ```
 //! use mipsx_asm::assemble;
 //! use mipsx_verify::{verify, DiagKind, VerifyConfig};
@@ -41,6 +51,15 @@
 //! ```
 
 mod analysis;
+mod attrib;
+mod quality;
+mod summary;
+mod timing;
+
+pub use attrib::{differential, BlockAttribution, DynBlock, PIPE_FILL};
+pub use quality::{quality, quality_diags, verify_with_timing};
+pub use summary::{BlockExit, BlockSummary, HazardRef, ALL_REGS};
+pub use timing::{BlockCost, TimingAnalysis};
 
 use mipsx_asm::Program;
 use mipsx_isa::Instr;
@@ -112,13 +131,30 @@ pub enum DiagKind {
     /// A coprocessor result is read back the cycle after the operation
     /// launches; the unit may still be busy and the processor will stall.
     CoprocResultTiming,
+    /// A delay slot that always executes holds a nop while the
+    /// instruction just before the transfer could legally fill it.
+    MissedSlotFill,
+    /// A nop outside every delay window that pads no hazard; deleting it
+    /// is free.
+    RedundantNop,
+    /// A needed load-delay pad nop that an independent instruction from
+    /// later in the same block could replace with real work.
+    AvoidableLoadStall,
+    /// A join head ALU-consumes a value loaded at issue distance exactly
+    /// 2 along one incoming edge — legal, but with zero scheduling slack.
+    CrossBlockHazardAtJoin,
 }
 
 impl DiagKind {
     /// Severity class of this rule.
     pub fn severity(self) -> Severity {
         match self {
-            DiagKind::WriteToR0 | DiagKind::CoprocResultTiming => Severity::Warning,
+            DiagKind::WriteToR0
+            | DiagKind::CoprocResultTiming
+            | DiagKind::MissedSlotFill
+            | DiagKind::RedundantNop
+            | DiagKind::AvoidableLoadStall
+            | DiagKind::CrossBlockHazardAtJoin => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -134,6 +170,10 @@ impl DiagKind {
             DiagKind::IllegalInstr => "illegal-instr",
             DiagKind::WriteToR0 => "write-to-r0",
             DiagKind::CoprocResultTiming => "coproc-result-timing",
+            DiagKind::MissedSlotFill => "missed-slot-fill",
+            DiagKind::RedundantNop => "redundant-nop",
+            DiagKind::AvoidableLoadStall => "avoidable-load-stall",
+            DiagKind::CrossBlockHazardAtJoin => "cross-block-hazard-at-join",
         }
     }
 }
@@ -183,7 +223,7 @@ pub struct LintReport {
 }
 
 impl LintReport {
-    fn from_raw(mut diagnostics: Vec<Diagnostic>) -> Self {
+    pub(crate) fn from_raw(mut diagnostics: Vec<Diagnostic>) -> Self {
         diagnostics.sort_by(|a, b| (a.addr, a.kind, &a.detail).cmp(&(b.addr, b.kind, &b.detail)));
         diagnostics.dedup();
         LintReport { diagnostics }

@@ -15,6 +15,11 @@
 //!                                   program satisfies the pipeline
 //!                                   contract (load delays, squash
 //!                                   senses, MD chains, ...)
+//! mipsx analyze <kernel|file.s> [options]
+//!                                   static timing analyzer: per-block
+//!                                   cost table (delay-slot waste,
+//!                                   liveness, loop depth) and the
+//!                                   whole-program static CPI bound
 //! mipsx sweep [spec.sweep] [options]
 //!                                   design-space exploration: expand a
 //!                                   sweep grid, run it on a thread pool,
@@ -63,7 +68,24 @@
 //!                       kernel targets are rescheduled for that count
 //!   --json              machine-readable report
 //!   --kernels           lint every built-in kernel under all six Table 1
-//!                       branch schemes instead of a single target
+//!                       branch schemes instead of a single target; one
+//!                       summary line per scheme, detail where findings
+//!                       exist, non-zero exit only on errors
+//!   --timing            add the four scheduling-quality lints
+//!                       (missed-slot-fill, redundant-nop,
+//!                       avoidable-load-stall, cross-block-hazard-at-join)
+//!
+//! analyze options:
+//!   --slots <1|2>       branch delay slots (default 2), as in lint
+//!   --json              machine-readable analysis
+//!   --kernels           analyze every built-in kernel under all six
+//!                       Table 1 branch schemes
+//!   --differential      also run the program fault-free on the
+//!                       cache-ideal machine with the per-block dynamic
+//!                       attributor attached, and check that the static
+//!                       model predicts every per-block counter exactly;
+//!                       any mismatch exits non-zero
+//!   --cycles <n>        differential run budget (default 10,000,000)
 //!
 //! sweep options:
 //!   <spec.sweep>        spec file (see mipsx_explore::SweepSpec::parse);
@@ -138,16 +160,19 @@ use mipsx::explore::{
 use mipsx::isa::Reg;
 use mipsx::refmodel::{Lockstep, NULL_HANDLER};
 use mipsx::reorg::{BranchScheme, Reorganizer, SquashPolicy};
-use mipsx::verify::{verify, VerifyConfig};
+use mipsx::verify::{
+    differential, verify, verify_with_timing, BlockAttribution, TimingAnalysis, VerifyConfig,
+};
 use mipsx::workloads::{all_kernels, find_kernel, kernel_names, random_scheduled_program};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mipsx <asm|dis|run|trace|soak|lint|sweep|profile|snapshot|info> \
+        "usage: mipsx <asm|dis|run|trace|soak|lint|analyze|sweep|profile|snapshot|info> \
          [file.s|kernel|spec.sweep] \
          [--cycles N] [--slots 1|2] [--trust] [--regs] [--diagram N] [--jsonl path] \
          [--from-cycle K] [--runs N] \
          [--seed N] [--faults spec] [--fault-count N] [--snap-dir dir] [--json] [--kernels] \
+         [--timing] [--differential] \
          [--grid f=v1,v2] \
          [--workload id] [--fault spec] [--base mipsx|ideal] [--threads N] [--csv] \
          [--store dir] [--no-cache] [--bench path] [--metrics path] [--timings] \
@@ -314,12 +339,18 @@ fn cmd_trace(args: &[String]) -> ExitCode {
 fn cmd_lint(args: &[String]) -> ExitCode {
     let parsed = match parse_or_usage(
         args,
-        &[switch("--json"), switch("--kernels"), flag("--slots")],
+        &[
+            switch("--json"),
+            switch("--kernels"),
+            switch("--timing"),
+            flag("--slots"),
+        ],
     ) {
         Ok(p) => p,
         Err(code) => return code,
     };
     let json = parsed.has("--json");
+    let timing = parsed.has("--timing");
     let slots = match numeric(&parsed, "--slots", 2usize) {
         Ok(s) => s,
         Err(code) => return code,
@@ -328,14 +359,28 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         eprintln!("mipsx: --slots must be 1 or 2");
         return ExitCode::FAILURE;
     }
+    let run_lint = |program: &mipsx::asm::Program, cfg: &VerifyConfig| {
+        if timing {
+            verify_with_timing(program, cfg)
+        } else {
+            verify(program, cfg)
+        }
+    };
 
     if parsed.has("--kernels") {
         // Every built-in kernel under every Table 1 branch scheme: the
-        // reorganizer's output contract, checked end to end.
+        // reorganizer's output contract, checked end to end. One summary
+        // line per scheme; kernel detail only where something fired. The
+        // exit code reflects error-severity findings only.
         let mut error_total = 0usize;
-        let mut json_rows: Vec<String> = Vec::new();
-        for kernel in all_kernels() {
-            for scheme in BranchScheme::table1() {
+        let mut scheme_rows: Vec<String> = Vec::new();
+        for scheme in BranchScheme::table1() {
+            let vcfg = VerifyConfig::for_slots(scheme.slots);
+            let mut errors = 0usize;
+            let mut warnings = 0usize;
+            let mut kernel_rows: Vec<String> = Vec::new();
+            let mut details: Vec<String> = Vec::new();
+            for kernel in all_kernels() {
                 let (program, report) = match Reorganizer::new(scheme).reorganize(&kernel.raw) {
                     Ok(r) => r,
                     Err(e) => {
@@ -343,32 +388,41 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                let lint = verify(&program, &VerifyConfig::for_slots(scheme.slots));
-                error_total += lint.error_count();
+                let lint = run_lint(&program, &vcfg);
+                errors += lint.error_count();
+                warnings += lint.warning_count();
                 if json {
-                    json_rows.push(format!(
-                        "{{\"kernel\":\"{}\",\"scheme\":\"{scheme}\",\"verified\":{},\"report\":{}}}",
+                    kernel_rows.push(format!(
+                        "{{\"kernel\":\"{}\",\"verified\":{},\"report\":{}}}",
                         kernel.name,
                         report.verified,
                         lint.to_json()
                     ));
-                } else if lint.diagnostics.is_empty() {
-                    println!("{:<16} [{scheme}]: clean", kernel.name);
                 } else {
-                    println!(
-                        "{:<16} [{scheme}]: {} error(s), {} warning(s)",
-                        kernel.name,
-                        lint.error_count(),
-                        lint.warning_count()
-                    );
                     for d in &lint.diagnostics {
-                        println!("  {d}");
+                        details.push(format!("  {:<16} {d}", kernel.name));
                     }
+                }
+            }
+            error_total += errors;
+            if json {
+                scheme_rows.push(format!(
+                    "{{\"scheme\":\"{scheme}\",\"errors\":{errors},\"warnings\":{warnings},\
+                     \"kernels\":[{}]}}",
+                    kernel_rows.join(",")
+                ));
+            } else {
+                println!(
+                    "{scheme}: {} kernel(s), {errors} error(s), {warnings} warning(s)",
+                    all_kernels().len()
+                );
+                for d in &details {
+                    println!("{d}");
                 }
             }
         }
         if json {
-            println!("[{}]", json_rows.join(",\n "));
+            println!("[{}]", scheme_rows.join(",\n "));
         }
         return if error_total == 0 {
             ExitCode::SUCCESS
@@ -391,7 +445,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let lint = verify(&program, &VerifyConfig::for_slots(slots));
+    let lint = run_lint(&program, &VerifyConfig::for_slots(slots));
     if json {
         println!("{}", lint.to_json());
     } else if lint.diagnostics.is_empty() {
@@ -401,6 +455,197 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         println!(" ({slots}-slot contract)");
     }
     if lint.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Run `program` fault-free on the cache-ideal configuration with the
+/// per-block attributor attached, and check every static identity.
+/// Returns the violation list (empty = exact match).
+fn run_differential(
+    program: &mipsx::asm::Program,
+    ta: &TimingAnalysis,
+    slots: usize,
+    budget: u64,
+) -> Result<Vec<String>, String> {
+    let cfg = MachineConfig {
+        branch_delay_slots: slots,
+        ..MachineConfig::cache_ideal()
+    };
+    let mut machine = Machine::new(cfg);
+    machine.load_program(program);
+    let mut attrib = BlockAttribution::new(ta);
+    let stats = machine
+        .run_with(budget, &mut attrib)
+        .map_err(|e| e.to_string())?;
+    Ok(differential(ta, &attrib, &stats))
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let parsed = match parse_or_usage(
+        args,
+        &[
+            switch("--json"),
+            switch("--kernels"),
+            switch("--differential"),
+            flag("--slots"),
+            flag("--cycles"),
+        ],
+    ) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let json = parsed.has("--json");
+    let diff = parsed.has("--differential");
+    let (slots, budget) = match (
+        numeric(&parsed, "--slots", 2usize),
+        numeric(&parsed, "--cycles", 10_000_000u64),
+    ) {
+        (Ok(s), Ok(b)) => (s, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    if !(1..=2).contains(&slots) {
+        eprintln!("mipsx: --slots must be 1 or 2");
+        return ExitCode::FAILURE;
+    }
+
+    if parsed.has("--kernels") {
+        // Every kernel under every Table 1 scheme: static bound per cell,
+        // and with --differential the exact static-vs-dynamic check that
+        // CI gates on.
+        let mut violations = 0usize;
+        let mut rows: Vec<String> = Vec::new();
+        for scheme in BranchScheme::table1() {
+            let vcfg = VerifyConfig::for_slots(scheme.slots);
+            for kernel in all_kernels() {
+                let (program, _) = match Reorganizer::new(scheme).reorganize(&kernel.raw) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("mipsx: kernel {} [{scheme}]: {e}", kernel.name);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let ta = TimingAnalysis::of(&program, &vcfg);
+                let errs = if diff {
+                    match run_differential(&program, &ta, scheme.slots, budget) {
+                        Ok(errs) => Some(errs),
+                        Err(e) => {
+                            eprintln!("mipsx: kernel {} [{scheme}]: {e}", kernel.name);
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    None
+                };
+                if let Some(errs) = &errs {
+                    violations += errs.len();
+                }
+                if json {
+                    let diff_json = match &errs {
+                        None => String::new(),
+                        Some(errs) => format!(
+                            ",\"differential_violations\":[{}]",
+                            errs.iter()
+                                .map(|e| format!("\"{}\"", e.replace('"', "'")))
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        ),
+                    };
+                    rows.push(format!(
+                        "{{\"kernel\":\"{}\",\"scheme\":\"{scheme}\",\
+                         \"static_cpi_bound\":{:.4},\"blocks\":{}{diff_json}}}",
+                        kernel.name,
+                        ta.static_cpi_bound(),
+                        ta.blocks.len()
+                    ));
+                } else {
+                    let verdict = match &errs {
+                        None => String::new(),
+                        Some(e) if e.is_empty() => ", differential exact".to_string(),
+                        Some(e) => format!(", {} DIFFERENTIAL VIOLATION(S)", e.len()),
+                    };
+                    println!(
+                        "{:<16} [{scheme}]: bound {:.4}, {} block(s){verdict}",
+                        kernel.name,
+                        ta.static_cpi_bound(),
+                        ta.blocks.len()
+                    );
+                    if let Some(errs) = &errs {
+                        for e in errs {
+                            println!("  {e}");
+                        }
+                    }
+                }
+            }
+        }
+        if json {
+            println!("[{}]", rows.join(",\n "));
+        }
+        return if violations == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let Some(target) = parsed.positionals.first() else {
+        return usage();
+    };
+    let scheme = BranchScheme {
+        slots,
+        squash: SquashPolicy::SquashOptional,
+    };
+    let program = match target_program(target, scheme) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mipsx: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ta = TimingAnalysis::of(&program, &VerifyConfig::for_slots(slots));
+    let errs = if diff {
+        if ta.irregular {
+            eprintln!("mipsx: {target}: irregular control flow — exact differential unavailable");
+            return ExitCode::FAILURE;
+        }
+        match run_differential(&program, &ta, slots, budget) {
+            Ok(errs) => Some(errs),
+            Err(e) => {
+                eprintln!("mipsx: {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    if json {
+        match &errs {
+            None => println!("{}", ta.to_json()),
+            Some(errs) => println!(
+                "{{\"analysis\":{},\"differential_violations\":[{}]}}",
+                ta.to_json(),
+                errs.iter()
+                    .map(|e| format!("\"{}\"", e.replace('"', "'")))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        }
+    } else {
+        print!("{}", ta.render());
+        match &errs {
+            None => {}
+            Some(e) if e.is_empty() => println!("differential: exact (cache-ideal, fault-free)"),
+            Some(e) => {
+                println!("differential: {} violation(s)", e.len());
+                for v in e {
+                    println!("  {v}");
+                }
+            }
+        }
+    }
+    if errs.as_ref().is_none_or(|e| e.is_empty()) {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -1301,6 +1546,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args[1..]),
         "soak" => cmd_soak(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
         "snapshot" => cmd_snapshot(&args[1..]),

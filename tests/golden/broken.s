@@ -19,4 +19,7 @@ chain:  movtos md, r1
         mstep r4, r5, r4
         movtos md, r6         ; clobbers the partial product mid-chain
         mstep r4, r5, r4
+        add r7, r8, r9
+        nop                   ; pads no load: redundant (timing lint)
+        add r10, r8, r9
         halt

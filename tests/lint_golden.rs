@@ -7,7 +7,7 @@
 //! diff here. Regenerate intentionally with `UPDATE_GOLDEN=1`.
 
 use mipsx::asm::assemble;
-use mipsx::verify::{verify, VerifyConfig};
+use mipsx::verify::{verify, verify_with_timing, VerifyConfig};
 
 #[test]
 fn broken_program_lint_listing_matches_golden() {
@@ -30,5 +30,44 @@ fn broken_program_lint_listing_matches_golden() {
     assert_eq!(
         got, want,
         "lint listing changed; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The `--json` report (correctness + scheduling-quality diagnostics) is
+/// byte-stable: diagnostics are sorted on `(addr, kind, detail)` and
+/// deduplicated, and the serializer emits keys in a fixed order, so the
+/// same program produces the same bytes on every run. The golden file
+/// locks the exact bytes; any ordering or formatting drift fails here.
+#[test]
+fn broken_program_json_report_matches_golden_byte_for_byte() {
+    let source_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/broken.s");
+    let source = std::fs::read_to_string(source_path).expect("read broken.s");
+    let program = assemble(&source).expect("broken.s still assembles — it is broken, not invalid");
+
+    let report = verify_with_timing(&program, &VerifyConfig::default());
+    assert!(!report.is_clean(), "broken.s unexpectedly lints clean");
+    assert!(
+        report.warning_count() > 0,
+        "broken.s should trip at least one scheduling-quality warning"
+    );
+    let got = format!("{}\n", report.to_json());
+
+    // Determinism: a second independent analysis of the same image must
+    // produce identical bytes, not just equivalent content.
+    let again = format!(
+        "{}\n",
+        verify_with_timing(&program, &VerifyConfig::default()).to_json()
+    );
+    assert_eq!(got, again, "JSON report is not run-to-run deterministic");
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/broken.lint.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &got).expect("write golden");
+    }
+    let want = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to regenerate");
+    assert_eq!(
+        got, want,
+        "JSON lint report changed; if intentional, regenerate with UPDATE_GOLDEN=1"
     );
 }

@@ -1,0 +1,105 @@
+//! Headline correctness for the static timing analyzer: for fault-free
+//! execution of **every kernel × all six Table 1 branch schemes** on the
+//! cache-ideal configuration, the per-block dynamic stall attributor must
+//! match the static prediction **exactly** — drains, squashes, nop
+//! retires, branch outcomes, stall buckets, and total cycles, per block
+//! and globally. Any drift in either the analyzer or the pipeline model
+//! fails this test.
+
+use mipsx_core::probe::NullSink;
+use mipsx_core::{Machine, MachineConfig};
+use mipsx_reorg::{BranchScheme, Reorganizer};
+use mipsx_verify::{differential, BlockAttribution, TimingAnalysis, VerifyConfig};
+use mipsx_workloads::all_kernels;
+
+const BUDGET: u64 = 5_000_000;
+
+fn check_kernel_scheme(kernel: &str, raw: &mipsx_reorg::RawProgram, scheme: BranchScheme) {
+    let label = format!("{kernel} / {scheme}");
+    let (program, _) = Reorganizer::new(scheme)
+        .reorganize(raw)
+        .unwrap_or_else(|e| panic!("{label}: reorganize failed: {e}"));
+
+    let vcfg = VerifyConfig::for_slots(scheme.slots);
+    let ta = TimingAnalysis::of(&program, &vcfg);
+    assert!(
+        !ta.irregular,
+        "{label}: kernel produced an irregular CFG — exact model unavailable"
+    );
+    assert!(
+        ta.blocks.iter().all(|b| !b.irregular),
+        "{label}: irregular block in kernel output"
+    );
+
+    let cfg = MachineConfig {
+        branch_delay_slots: scheme.slots,
+        ..MachineConfig::cache_ideal()
+    };
+    let mut machine = Machine::new(cfg);
+    machine.load_program(&program);
+    let mut attrib = BlockAttribution::new(&ta);
+    let stats = machine
+        .run_with(BUDGET, &mut attrib)
+        .unwrap_or_else(|e| panic!("{label}: run failed: {e}"));
+
+    let errs = differential(&ta, &attrib, &stats);
+    assert!(
+        errs.is_empty(),
+        "{label}: static/dynamic mismatch:\n  {}",
+        errs.join("\n  ")
+    );
+
+    // The per-block cost model is a true per-visit lower bound: plugging
+    // the *measured* visit counts into the static formula (best-case
+    // outcomes) can never exceed the measured cycles-per-useful
+    // instruction, because actual wasted slots >= best-case wasted slots
+    // on every visit. (The headline `static_cpi_bound()` uses loop-nest
+    // weights instead of visit counts, so it is an estimate, not an
+    // inequality — see DESIGN.md.)
+    let costs = ta.cost_table();
+    let (mut cyc, mut useful) = (0u64, 0u64);
+    for (c, d) in costs.iter().zip(&attrib.blocks) {
+        let b = &ta.blocks[c.index];
+        cyc += d.visits * u64::from(b.len);
+        useful += d.visits * u64::from(b.len - c.best_wasted);
+    }
+    let visit_bound = cyc as f64 / useful.max(1) as f64;
+    let measured_useful = stats.cycles as f64 / (stats.instructions - stats.nops).max(1) as f64;
+    assert!(
+        visit_bound <= measured_useful + 1e-9,
+        "{label}: visit-weighted bound {visit_bound:.4} exceeds measured useful CPI \
+         {measured_useful:.4}"
+    );
+    assert!(
+        ta.static_cpi_bound() >= 1.0,
+        "{label}: static CPI bound below 1.0"
+    );
+}
+
+#[test]
+fn static_model_matches_dynamic_exactly_for_all_kernels_and_schemes() {
+    for kernel in all_kernels() {
+        for scheme in BranchScheme::table1() {
+            check_kernel_scheme(kernel.name, &kernel.raw, scheme);
+        }
+    }
+}
+
+/// The cache-ideal config really is stall-free: a plain default-config run
+/// of the same program shows frozen cycles, proving the differential's
+/// zero-stall claim is a property of the config, not of the workload.
+#[test]
+fn default_config_is_not_cache_ideal() {
+    let kernel = all_kernels().first().expect("kernels exist").clone();
+    let (program, _) = Reorganizer::new(BranchScheme::mipsx())
+        .reorganize(&kernel.raw)
+        .expect("schedulable");
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.load_program(&program);
+    let stats = machine.run_with(BUDGET, &mut NullSink).expect("runs");
+    assert!(
+        stats.frozen_cycles > 0,
+        "default config should take cache misses on {}",
+        kernel.name
+    );
+}
