@@ -177,7 +177,14 @@ pub struct DecodedMem {
     /// `(page number, page)` — a handful of pages in practice, scanned
     /// linearly with a most-recently-used fast path.
     pages: Vec<(u32, Page)>,
+    /// Index of the most recently fetched page.
     mru: usize,
+    /// The page number at `pages[mru]`, mirrored into the struct header so
+    /// the per-fetch probe is one register compare with no pointer chase.
+    /// `u64::MAX` (never a valid `u32` page number) when `pages` holds no
+    /// MRU — the invariant is: `mru_page != u64::MAX` implies
+    /// `pages[mru].0 as u64 == mru_page`.
+    mru_page: u64,
     enabled: bool,
 }
 
@@ -193,6 +200,7 @@ impl DecodedMem {
         DecodedMem {
             pages: Vec::new(),
             mru: 0,
+            mru_page: u64::MAX,
             enabled: true,
         }
     }
@@ -213,26 +221,32 @@ impl DecodedMem {
     }
 
     /// Drop every cached entry (e.g. before loading a fresh image over a
-    /// possibly-executed address range).
+    /// possibly-executed address range). Page allocations are kept — the
+    /// entry tables are the only sizable buffers here and machine-reuse
+    /// paths clear this cache once per job — and invalidated wholesale by
+    /// zeroing their valid bitmaps.
     pub fn clear(&mut self) {
-        self.pages.clear();
+        for (_, page) in &mut self.pages {
+            page.valid = [0; PAGE_WORDS / 64];
+        }
         self.mru = 0;
+        self.mru_page = u64::MAX;
     }
 
-    /// Index into `pages` for `page_no`, creating the page if needed.
-    fn page_index(&mut self, page_no: u32) -> usize {
-        if let Some(&(no, _)) = self.pages.get(self.mru) {
-            if no == page_no {
-                return self.mru;
+    /// Index into `pages` for `page_no`, creating the page if needed — the
+    /// out-of-line miss path behind the MRU probe in `fetch_with`.
+    #[cold]
+    fn page_index_slow(&mut self, page_no: u32) -> usize {
+        let i = match self.pages.iter().position(|&(no, _)| no == page_no) {
+            Some(i) => i,
+            None => {
+                self.pages.push((page_no, Page::new()));
+                self.pages.len() - 1
             }
-        }
-        if let Some(i) = self.pages.iter().position(|&(no, _)| no == page_no) {
-            self.mru = i;
-            return i;
-        }
-        self.pages.push((page_no, Page::new()));
-        self.mru = self.pages.len() - 1;
-        self.mru
+        };
+        self.mru = i;
+        self.mru_page = u64::from(page_no);
+        i
     }
 
     /// Fetch the decoded entry for `addr`, calling `read_word` for the raw
@@ -242,8 +256,13 @@ impl DecodedMem {
         if !self.enabled {
             return DecodedEntry::decode(read_word());
         }
+        let page_no = addr / PAGE_WORDS as u32;
         let idx = (addr as usize) % PAGE_WORDS;
-        let p = self.page_index(addr / PAGE_WORDS as u32);
+        let p = if self.mru_page == u64::from(page_no) {
+            self.mru
+        } else {
+            self.page_index_slow(page_no)
+        };
         let page = &mut self.pages[p].1;
         if page.is_valid(idx) {
             return page.entries[idx];
@@ -256,13 +275,20 @@ impl DecodedMem {
 
     /// Drop the cached entry for `addr`. Must be called for every write
     /// that can alter instruction memory; the next fetch re-decodes.
+    #[inline]
     pub fn invalidate(&mut self, addr: u32) {
         if !self.enabled {
             return;
         }
         let page_no = addr / PAGE_WORDS as u32;
-        if let Some(i) = self.pages.iter().position(|&(no, _)| no == page_no) {
-            self.pages[i].1.clear_valid((addr as usize) % PAGE_WORDS);
+        let idx = (addr as usize) % PAGE_WORDS;
+        // Most stores land either in the code page IF has hot (the MRU) or
+        // in an untouched data page (no entry to drop) — both are decided
+        // without the scan.
+        if self.mru_page == u64::from(page_no) {
+            self.pages[self.mru].1.clear_valid(idx);
+        } else if let Some(i) = self.pages.iter().position(|&(no, _)| no == page_no) {
+            self.pages[i].1.clear_valid(idx);
         }
     }
 
@@ -275,7 +301,12 @@ impl DecodedMem {
         for (i, &w) in words.iter().enumerate() {
             let addr = origin.wrapping_add(i as u32);
             let idx = (addr as usize) % PAGE_WORDS;
-            let p = self.page_index(addr / PAGE_WORDS as u32);
+            let page_no = addr / PAGE_WORDS as u32;
+            let p = if self.mru_page == u64::from(page_no) {
+                self.mru
+            } else {
+                self.page_index_slow(page_no)
+            };
             let page = &mut self.pages[p].1;
             page.entries[idx] = DecodedEntry::decode(w);
             page.set_valid(idx);

@@ -284,6 +284,144 @@ impl Machine {
         self.nmi_pending = true;
     }
 
+    // === Lifecycle reuse and the block-engine handshake ==================
+
+    /// Cycles on the clock before the first WB drain from an empty pipe:
+    /// the instruction fetched on cycle 1 occupies IF/RF/ALU/MEM on cycles
+    /// 1–4 and drains from WB on cycle 5. `mipsx_verify`'s static/dynamic
+    /// differential proves `cycles == drains + PIPE_FILL_CYCLES` on every
+    /// stall-free run, which is what makes the block-engine enter/exit
+    /// cycle splice exact.
+    pub const PIPE_FILL_CYCLES: u64 = 5;
+
+    /// Reset to power-on state under a (possibly different) configuration,
+    /// reusing this machine's allocations.
+    ///
+    /// The post-state is indistinguishable from `Machine::new(cfg)`, but
+    /// the big allocations — cache tag arrays, resident memory pages, the
+    /// decode-once table — are recycled when the new configuration permits.
+    /// Sweep workers run thousands of jobs back-to-back and construction
+    /// dominated their serial time; this is the reuse path. Attached
+    /// coprocessors are dropped (each job attaches its own).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`MachineConfig::validate`]).
+    pub fn reset_with(&mut self, cfg: MachineConfig) {
+        cfg.validate();
+        self.cpu = Cpu::new();
+        self.slots = [None; 5];
+        if self.icache.config() == cfg.icache {
+            self.icache.invalidate_all();
+            self.icache.reset_stats();
+        } else {
+            self.icache = Icache::new(cfg.icache);
+        }
+        if self.ecache.config() == cfg.ecache {
+            self.ecache.invalidate_all();
+            self.ecache.reset_stats();
+        } else {
+            self.ecache = Ecache::new(cfg.ecache);
+        }
+        self.mem.reset(cfg.mem_latency);
+        self.coprocs = Default::default();
+        self.decoded.clear();
+        self.decoded.set_enabled(true);
+        self.miss_fsm = CacheMissFsm::new();
+        self.squash_fsm = SquashFsm::new();
+        self.stats = RunStats::default();
+        self.halted = false;
+        self.pending_fetch_kill = false;
+        self.interrupt_line = false;
+        self.nmi_pending = false;
+        self.cfg = cfg;
+    }
+
+    /// The next fetch address (the architectural PC).
+    pub fn pc(&self) -> u32 {
+        self.cpu.pc
+    }
+
+    /// Redirect the next fetch (block-engine handoff).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.cpu.pc = pc;
+    }
+
+    /// Mutable run statistics (block-engine accounting).
+    pub fn stats_mut(&mut self) -> &mut RunStats {
+        &mut self.stats
+    }
+
+    /// Whether the pipeline is quiescent: no instruction in flight, no
+    /// pending fetch kill, and no cache miss in service. Holds at reset and
+    /// whenever the pipe has fully drained; it is the precondition for
+    /// entering a block-engine fast region.
+    pub fn pipeline_quiescent(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+            && !self.pending_fetch_kill
+            && !self.miss_fsm.stalled()
+    }
+
+    /// Whether any coprocessor is attached. Coprocessor interfaces stall
+    /// the pipe asynchronously, which is outside the block engine's static
+    /// model.
+    pub fn has_coprocessors(&self) -> bool {
+        self.coprocs.iter().any(Option::is_some)
+    }
+
+    /// Whether an external interrupt is awaiting delivery (level-triggered
+    /// line asserted or an NMI edge latched).
+    pub fn interrupt_pending(&self) -> bool {
+        self.interrupt_line || self.nmi_pending
+    }
+
+    /// Begin a block-engine fast region: charge the [`Self::PIPE_FILL_CYCLES`]
+    /// fetch ramp the region's first block would have paid on the stepper.
+    ///
+    /// Returns `false` — charging nothing — unless the machine is quiescent
+    /// and not halted; the caller must then stay on the stepper.
+    pub fn enter_block_region(&mut self) -> bool {
+        if self.halted || !self.pipeline_quiescent() {
+            return false;
+        }
+        self.stats.cycles += Self::PIPE_FILL_CYCLES;
+        true
+    }
+
+    /// End a block-engine fast region, handing control back to the stepper
+    /// with the next fetch at `pc`.
+    ///
+    /// Refunds the [`Self::PIPE_FILL_CYCLES`] ramp charged by
+    /// [`Machine::enter_block_region`]: the stepper re-pays exactly that
+    /// many cycles refilling the empty pipe, so the final cycle count
+    /// matches a contiguous stepper run to the cycle. `recent` seeds the PC
+    /// history chain with the last (up to three) instructions the region
+    /// fetched, oldest first, as `(pc, squashed)` pairs — reproducing the
+    /// chain contents a contiguous run would carry into the handoff point,
+    /// so `jpc`/`jpcrs` replay stays exact even if an exception fires
+    /// before the stepper's own advances refresh the chain.
+    pub fn exit_block_region(&mut self, pc: u32, recent: &[(u32, bool)]) {
+        debug_assert!(self.stats.cycles >= Self::PIPE_FILL_CYCLES);
+        self.stats.cycles -= Self::PIPE_FILL_CYCLES;
+        self.cpu.pc = pc;
+        if self.cpu.psw.pc_shifting_enabled() {
+            let chain_len = self.cpu.pc_chain.len();
+            let n = recent.len().min(chain_len);
+            // Oldest entry lands deepest (chain[0] mirrors the MEM stage).
+            for (i, &(rpc, squashed)) in recent[recent.len() - n..].iter().enumerate() {
+                self.cpu.pc_chain[chain_len - n + i] = PcChainEntry { pc: rpc, squashed };
+            }
+        }
+    }
+
+    /// Retire a `halt` on the block-engine fast path: the region keeps its
+    /// pipe-fill charge (a halting region is not handed back to the
+    /// stepper) and the machine refuses further stepping, exactly as after
+    /// a stepper-retired `halt`.
+    pub fn retire_halt(&mut self) {
+        self.halted = true;
+    }
+
     /// Run until `halt` completes or the cycle budget expires.
     ///
     /// # Errors

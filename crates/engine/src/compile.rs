@@ -1,0 +1,580 @@
+//! Block compilation: turn the verifier's [`BlockSummary`] partition into
+//! straight-line superop chains with pre-resolved per-visit accounting.
+//!
+//! A compiled block carries three things:
+//!
+//! 1. **Superops** — the body and delay-window instructions lowered to a
+//!    small closed op set ([`Op`]) that can be retired eagerly, in program
+//!    order, against architectural state. Lowering is valid because on a
+//!    stall-free configuration the bypass network's reach is exactly the
+//!    two preceding issue slots and the register file is current beyond
+//!    that (WB of cycle *c−1* strictly precedes ALU of cycle *c*), so
+//!    eager sequential commit computes the same values the pipeline's
+//!    forwarding paths deliver — *except* for stale load-delay reads,
+//!    which compilation refuses (see the hazard guards below).
+//! 2. **Per-visit [`Delta`]s** — closed-form `RunStats` increments per
+//!    branch outcome, derived from the same [`BlockSummary`] facts the
+//!    static/dynamic differential proves exact against the stepper.
+//! 3. **A fallback verdict** — any instruction or hazard outside the fast
+//!    model marks the whole block: the engine demotes to the cycle-accurate
+//!    stepper *at the block boundary, before executing any of it*, so the
+//!    stepper observes exactly the architectural state a contiguous run
+//!    would have had.
+//!
+//! Hazard guards (each one demotes rather than risks divergence):
+//!
+//! - `would_interlock > 0`: an in-block distance-1 load-use pair. Under
+//!   `Trust` the pipeline reads the stale register; under `Detect` it is a
+//!   run error. Both are the stepper's business.
+//! - **Entry hazards**: a block whose *executed* tail instruction is
+//!   load-class and whose dynamic successor ALU-consumes that register at
+//!   distance 1 must not commit the load eagerly — the successor's head is
+//!   entitled to the stale value. The *predecessor* is marked (demoting at
+//!   the successor would be too late: the eager commit already happened).
+//!   Squashing edges are exempt — an annulled window slot is skipped by
+//!   operand resolution, and the bypass reach ends before any live
+//!   producer.
+//! - **Halt shadow**: after `halt` is fetched the pipeline keeps fetching
+//!   for four advances, and runoff words can still act before the retire
+//!   stops the clock (a store reaches MEM, `movtos` commits at ALU, a
+//!   branch bumps the resolve-stage counters, an illegal word faults). If
+//!   any shadow word is not provably inert, the halt block demotes and the
+//!   stepper runs the ending exactly.
+
+use crate::FallbackCause;
+use mipsx_asm::{DecodedEntry, DecodedImage, Program};
+use mipsx_core::{InterlockPolicy, MachineConfig};
+use mipsx_isa::{Cond, Instr, Reg, SpecialReg};
+use mipsx_verify::{BlockExit, BlockSummary, TimingAnalysis, VerifyConfig};
+
+/// Map sentinel: address holds no compiled code.
+const NONE: u32 = u32::MAX;
+/// Map sentinel: address is watched for self-modification (a halt block's
+/// fetch shadow) but is not part of a block.
+const WATCH: u32 = u32::MAX - 1;
+/// Words past a `halt` the pipeline still fetches before the retire stops
+/// the clock (halt drains from WB four advances after its own fetch; the
+/// deepest shadow word that can still act sits three words out).
+const SHADOW_WORDS: u32 = 3;
+
+/// One superop: an instruction the fast path can retire eagerly against
+/// architectural state. Everything outside this set makes its block a
+/// fallback block.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Op {
+    Nop,
+    Compute {
+        op: mipsx_isa::ComputeOp,
+        rs1: Reg,
+        /// `Reg::ZERO` when the op consumes `shamt` instead — reading r0
+        /// reproduces the pipeline's zero operand without a branch.
+        rs2: Reg,
+        rd: Reg,
+        shamt: u8,
+    },
+    Addi {
+        rs1: Reg,
+        rd: Reg,
+        imm: i32,
+    },
+    Ld {
+        rs1: Reg,
+        rd: Reg,
+        offset: i32,
+    },
+    St {
+        rs1: Reg,
+        rsrc: Reg,
+        offset: i32,
+    },
+    /// `movfrs` from MD/PSW/PSWold only — the PC-chain registers are not
+    /// maintained during fast execution, so reading them is a fallback op.
+    Movfrs {
+        rd: Reg,
+        sreg: SpecialReg,
+    },
+    /// `movtos md` — the one unprivileged special write; commits early at
+    /// ALU in the pipeline, which equals program order.
+    MovtosMd {
+        rs: Reg,
+    },
+}
+
+/// Closed-form `RunStats` increments for one block visit under one branch
+/// outcome (index 0 = not taken / non-branch, 1 = taken).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Delta {
+    pub instructions: u64,
+    pub nops: u64,
+    pub squashed: u64,
+    pub branches: u64,
+    pub branches_taken: u64,
+    pub branch_slot_nops: u64,
+    pub branch_slot_squashed: u64,
+    pub jumps: u64,
+    pub loads: u64,
+    pub stores: u64,
+}
+
+/// How a compiled block transfers control.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Exit {
+    Fall {
+        next: u32,
+    },
+    Branch {
+        cond: Cond,
+        rs1: Reg,
+        rs2: Reg,
+        target: u32,
+        fall: u32,
+        /// Whether the delay window is annulled, per outcome.
+        kills: [bool; 2],
+    },
+    /// `jspci`: link committed before the window runs (the window may
+    /// consume it over the bypass), then control goes to `r[rs1] + imm`.
+    Jump {
+        rs1: Reg,
+        rd: Reg,
+        imm: i32,
+        link: u32,
+    },
+    /// `halt` retires; `final_pc` is where a contiguous stepper run leaves
+    /// the PC after the post-halt fetch ramp.
+    Halt {
+        final_pc: u32,
+    },
+}
+
+/// The last up-to-three fetched `(pc, killed)` records of a visit, oldest
+/// first — fuel for the PC-chain seed at a fallback exit.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct TailSeed {
+    pub entries: [(u32, bool); 3],
+    pub len: u8,
+}
+
+/// One basic block, compiled once.
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledBlock {
+    pub start: u32,
+    pub len: u32,
+    /// `Some` when the fast path must demote at this block's boundary.
+    pub fallback: Option<FallbackCause>,
+    /// Superops before the terminator.
+    pub body: Box<[Op]>,
+    /// Superops in the delay window (empty for fall-through/halt blocks).
+    pub window: Box<[Op]>,
+    pub exit: Exit,
+    /// Per-outcome stats increments.
+    pub delta: [Delta; 2],
+    /// Per-outcome PC-chain seed records.
+    pub tail: [TailSeed; 2],
+}
+
+/// The compiled image: blocks plus a dense address map used both for
+/// block dispatch and for the self-modification watch.
+#[derive(Clone, Debug)]
+pub(crate) struct CodeCache {
+    origin: u32,
+    /// `addr - origin` → block index, [`NONE`], or [`WATCH`]. Covers the
+    /// image plus [`SHADOW_WORDS`] words of runway.
+    map: Vec<u32>,
+    pub blocks: Vec<CompiledBlock>,
+}
+
+impl CodeCache {
+    /// A cache holding no code (placeholder before the first compile).
+    pub fn empty(origin: u32) -> CodeCache {
+        CodeCache {
+            origin,
+            map: Vec::new(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// The block starting exactly at `pc`, if any. Mid-block addresses
+    /// return `None` — the fast path only enters blocks at their head.
+    #[inline]
+    pub fn block_at(&self, pc: u32) -> Option<usize> {
+        let i = *self.map.get(pc.wrapping_sub(self.origin) as usize)?;
+        if i >= WATCH {
+            return None;
+        }
+        let i = i as usize;
+        (self.blocks[i].start == pc).then_some(i)
+    }
+
+    /// Whether a store to `addr` can change compiled behaviour (the
+    /// address is inside a compiled block or a watched halt shadow).
+    #[inline]
+    pub fn watched(&self, addr: u32) -> bool {
+        self.map
+            .get(addr.wrapping_sub(self.origin) as usize)
+            .is_some_and(|&i| i != NONE)
+    }
+}
+
+/// Compile an image. `words` is the current memory content of
+/// `[origin, origin + words.len())` — at recompile time that is the
+/// possibly self-modified image, not the original program.
+pub(crate) fn compile(origin: u32, entry: u32, words: &[u32], cfg: &MachineConfig) -> CodeCache {
+    let mut program = Program::from_words(origin, words.to_vec());
+    program.entry = entry;
+    let vcfg = VerifyConfig {
+        branch_delay_slots: cfg.branch_delay_slots,
+    };
+    let ta = TimingAnalysis::of(&program, &vcfg);
+    let image = DecodedImage::from_program(&program);
+
+    let mut blocks: Vec<CompiledBlock> = ta
+        .blocks
+        .iter()
+        .map(|b| compile_block(b, &image, words, origin, cfg))
+        .collect();
+    mark_entry_hazards(&ta, &image, &mut blocks);
+
+    let mut map = vec![NONE; words.len() + SHADOW_WORDS as usize];
+    for (i, b) in blocks.iter().enumerate() {
+        for a in b.start..b.start.wrapping_add(b.len) {
+            if let Some(slot) = map.get_mut(a.wrapping_sub(origin) as usize) {
+                *slot = i as u32;
+            }
+        }
+        if let Exit::Halt { .. } = b.exit {
+            let halt_addr = b.start.wrapping_add(b.len).wrapping_sub(1);
+            for k in 1..=SHADOW_WORDS {
+                let off = halt_addr.wrapping_add(k).wrapping_sub(origin) as usize;
+                if let Some(slot) = map.get_mut(off) {
+                    if *slot == NONE {
+                        *slot = WATCH;
+                    }
+                }
+            }
+        }
+    }
+    CodeCache {
+        origin,
+        map,
+        blocks,
+    }
+}
+
+/// Lower one instruction, or refuse (`None` ⇒ the block is a fallback
+/// block).
+fn compile_op(i: Instr) -> Option<Op> {
+    Some(match i {
+        Instr::Nop => Op::Nop,
+        Instr::Compute {
+            op,
+            rs1,
+            rs2,
+            rd,
+            shamt,
+        } => Op::Compute {
+            op,
+            rs1,
+            rs2: if op.uses_rs2() { rs2 } else { Reg::ZERO },
+            rd,
+            shamt,
+        },
+        Instr::Addi { rs1, rd, imm } => Op::Addi { rs1, rd, imm },
+        Instr::Ld { rs1, rd, offset } => Op::Ld { rs1, rd, offset },
+        Instr::St { rs1, rsrc, offset } => Op::St { rs1, rsrc, offset },
+        Instr::Movfrs { rd, sreg }
+            if matches!(sreg, SpecialReg::Md | SpecialReg::Psw | SpecialReg::PswOld) =>
+        {
+            Op::Movfrs { rd, sreg }
+        }
+        Instr::Movtos {
+            sreg: SpecialReg::Md,
+            rs,
+        } => Op::MovtosMd { rs },
+        // Coprocessor traffic, `jpc`/`jpcrs`, privileged special writes,
+        // PC-chain reads, illegal words: all stepper territory.
+        _ => return None,
+    })
+}
+
+fn compile_block(
+    b: &BlockSummary,
+    image: &DecodedImage,
+    words: &[u32],
+    origin: u32,
+    cfg: &MachineConfig,
+) -> CompiledBlock {
+    let mut fallback: Option<FallbackCause> = None;
+    let demote = |cause: FallbackCause, fb: &mut Option<FallbackCause>| {
+        fb.get_or_insert(cause);
+    };
+
+    if b.irregular {
+        demote(FallbackCause::IrregularBlock, &mut fallback);
+    }
+    if b.would_interlock > 0 {
+        demote(FallbackCause::LoadDelay, &mut fallback);
+    }
+
+    let instrs: Vec<Instr> = (0..b.len)
+        .map(|k| {
+            image
+                .instr_at(b.start.wrapping_add(k))
+                .unwrap_or(Instr::Illegal(0))
+        })
+        .collect();
+
+    let slots = b.slots as usize;
+    let (body_is, term, window_is): (&[Instr], Option<Instr>, &[Instr]) = match b.exit {
+        BlockExit::Halt => (&instrs[..instrs.len() - 1], instrs.last().copied(), &[][..]),
+        BlockExit::FallThrough { .. } => (&instrs[..], None, &[][..]),
+        BlockExit::Branch { .. } | BlockExit::Jump { .. } => {
+            if instrs.len() > slots {
+                let t = instrs.len() - 1 - slots;
+                (&instrs[..t], Some(instrs[t]), &instrs[t + 1..])
+            } else {
+                demote(FallbackCause::IrregularBlock, &mut fallback);
+                (&[][..], None, &[][..])
+            }
+        }
+    };
+
+    let lower = |src: &[Instr], fb: &mut Option<FallbackCause>| -> Box<[Op]> {
+        src.iter()
+            .map(|&i| {
+                compile_op(i).unwrap_or_else(|| {
+                    fb.get_or_insert(FallbackCause::FallbackOp);
+                    Op::Nop
+                })
+            })
+            .collect()
+    };
+    let body = lower(body_is, &mut fallback);
+    let window = lower(window_is, &mut fallback);
+
+    let term_addr = b
+        .term_addr
+        .unwrap_or(b.start.wrapping_add(b.len).wrapping_sub(1));
+    let exit = match b.exit {
+        BlockExit::FallThrough { next } => Exit::Fall { next },
+        BlockExit::Halt => {
+            // A contiguous run keeps advancing while halt drains — the
+            // fetch-advance runs on the retiring cycle too, leaving the PC
+            // at `halt + 6` (measured against the stepper and pinned by the
+            // lockstep suite).
+            if !halt_shadow_inert(term_addr, words, origin, cfg) {
+                demote(FallbackCause::HaltShadow, &mut fallback);
+            }
+            Exit::Halt {
+                final_pc: term_addr.wrapping_add(6),
+            }
+        }
+        BlockExit::Branch { target, fall, .. } => match term {
+            Some(Instr::Branch { cond, rs1, rs2, .. }) => Exit::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+                fall,
+                kills: [b.squashed_when(false) > 0, b.squashed_when(true) > 0],
+            },
+            _ => {
+                demote(FallbackCause::IrregularBlock, &mut fallback);
+                Exit::Halt { final_pc: 0 }
+            }
+        },
+        BlockExit::Jump { .. } => match term {
+            Some(Instr::Jspci { rs1, rd, imm }) => Exit::Jump {
+                rs1,
+                rd,
+                imm,
+                link: term_addr
+                    .wrapping_add(1)
+                    .wrapping_add(cfg.branch_delay_slots as u32),
+            },
+            // jpc/jpcrs consume the PC chain and touch the PSW.
+            _ => {
+                demote(FallbackCause::FallbackOp, &mut fallback);
+                Exit::Halt { final_pc: 0 }
+            }
+        },
+    };
+
+    let delta = [
+        make_delta(b, false, &instrs, term),
+        make_delta(b, true, &instrs, term),
+    ];
+    let tail = [make_tail(b, false), make_tail(b, true)];
+
+    CompiledBlock {
+        start: b.start,
+        len: b.len,
+        fallback,
+        body,
+        window,
+        exit,
+        delta,
+        tail,
+    }
+}
+
+/// The `RunStats` increments of one visit with branch outcome `taken`,
+/// mirroring the stepper's write-back and resolve-stage accounting.
+fn make_delta(b: &BlockSummary, taken: bool, instrs: &[Instr], term: Option<Instr>) -> Delta {
+    let squashed = u64::from(b.squashed_when(taken));
+    let is_branch = matches!(b.exit, BlockExit::Branch { .. });
+    let is_jspci = matches!(term, Some(Instr::Jspci { .. }));
+    let window_from = instrs.len() as u64 - u64::from(b.slots);
+    let (mut loads, mut stores) = (0u64, 0u64);
+    for (i, ins) in instrs.iter().enumerate() {
+        let killed = squashed > 0 && (i as u64) >= window_from;
+        if killed {
+            continue;
+        }
+        // WB's exclusive classification chain: nop, else load, else store.
+        if ins.is_nop() {
+        } else if ins.is_load() {
+            loads += 1;
+        } else if ins.is_store() {
+            stores += 1;
+        }
+    }
+    Delta {
+        instructions: u64::from(b.len) - squashed,
+        nops: u64::from(b.nops_when(taken)),
+        squashed,
+        branches: u64::from(is_branch),
+        branches_taken: u64::from(is_branch && taken),
+        branch_slot_nops: if is_branch && squashed == 0 {
+            u64::from(b.slot_nops)
+        } else {
+            0
+        },
+        branch_slot_squashed: if is_branch { squashed } else { 0 },
+        jumps: u64::from(is_jspci),
+        loads,
+        stores,
+    }
+}
+
+/// The last up-to-three fetched `(pc, killed)` records of a visit with
+/// outcome `taken`, oldest first (fetch order — the window is fetched even
+/// on a taken branch; annulment only marks it killed).
+fn make_tail(b: &BlockSummary, taken: bool) -> TailSeed {
+    let n = b.len.min(3);
+    let squashes = b.squashed_when(taken) > 0;
+    let window_from = b.start.wrapping_add(b.len).wrapping_sub(b.slots);
+    let mut seed = TailSeed::default();
+    for j in 0..n {
+        let addr = b.start.wrapping_add(b.len).wrapping_sub(n).wrapping_add(j);
+        let killed = squashes && addr >= window_from;
+        seed.entries[j as usize] = (addr, killed);
+    }
+    seed.len = n as u8;
+    seed
+}
+
+/// The executed-tail late-def mask of a block under outcome `taken`: the
+/// register (if any) whose value would still be in flight — deliverable
+/// only as MEM data, stale at an ALU consumer one slot later — when
+/// control crosses into a successor.
+fn tail_late_mask(b: &BlockSummary, taken: bool, image: &DecodedImage) -> u32 {
+    if b.len == 0 || matches!(b.exit, BlockExit::Halt) {
+        return 0;
+    }
+    if b.squashed_when(taken) > 0 {
+        // Annulled slots are skipped by operand resolution, and the bypass
+        // reach ends before any live producer: successors read the file.
+        return 0;
+    }
+    let last = b.start.wrapping_add(b.len).wrapping_sub(1);
+    image
+        .meta_at(last)
+        .and_then(|m| m.late_def)
+        .map_or(0, |r| 1u32 << r.index())
+}
+
+/// Mark every block whose executed tail feeds a distance-1 load-use into a
+/// dynamic successor's head (or into an unknowable landing) as fallback —
+/// the *predecessor* must stay on the stepper so the successor can read
+/// the stale register the pipeline contract promises.
+fn mark_entry_hazards(ta: &TimingAnalysis, image: &DecodedImage, blocks: &mut [CompiledBlock]) {
+    let head_alu: Vec<u32> = ta
+        .blocks
+        .iter()
+        .map(|b| image.meta_at(b.start).map_or(0, |m| m.alu_use_mask))
+        .collect();
+    for (i, b) in ta.blocks.iter().enumerate() {
+        for taken in [false, true] {
+            let mask = tail_late_mask(b, taken, image);
+            if mask == 0 {
+                continue;
+            }
+            let edges: &[Option<u32>] = match b.exit {
+                BlockExit::FallThrough { next } if !taken => &[Some(next)],
+                BlockExit::Branch { target, fall, .. } => {
+                    if taken {
+                        &[Some(target)]
+                    } else {
+                        &[Some(fall)]
+                    }
+                }
+                // The `ret` continuation of a linking jump is reached via
+                // the callee's own return jump, not this edge.
+                BlockExit::Jump { target, .. } if !taken => &[target],
+                _ => &[],
+            };
+            let hazardous = edges.iter().any(|t| match t {
+                Some(addr) => match ta.block_at(*addr) {
+                    Some(j) => head_alu[j] & mask != 0,
+                    None => true, // lands outside the partition
+                },
+                None => true, // indirect jump: landing unknowable
+            });
+            if hazardous {
+                blocks[i].fallback.get_or_insert(FallbackCause::EntryHazard);
+            }
+        }
+    }
+}
+
+/// Whether every word in the post-`halt` fetch shadow is provably inert in
+/// the stepper: no resolve-stage control activity within reach, and no
+/// ALU/MEM-stage effect (store, special write, illegal fault, coprocessor
+/// traffic, or a Detect-mode load-use read) before the halt retires.
+fn halt_shadow_inert(halt_addr: u32, words: &[u32], origin: u32, cfg: &MachineConfig) -> bool {
+    let resolve = cfg.branch_delay_slots as u32; // stage index: 2 → ALU, 1 → RF
+    let word_at = |addr: u32| -> u32 {
+        words
+            .get(addr.wrapping_sub(origin) as usize)
+            .copied()
+            .unwrap_or(0)
+    };
+    // halt fetched at cycle C retires from WB at C+4; shadow word k reaches
+    // the resolve stage at C+k+resolve and the ALU at C+k+2.
+    let control_reach = 4 - resolve;
+    let mut prev_late: Option<Reg> = None; // halt defines nothing
+    for k in 1..=control_reach.max(2) {
+        let e = DecodedEntry::decode(word_at(halt_addr.wrapping_add(k)));
+        let m = &e.meta;
+        if k <= control_reach && m.is_control {
+            return false;
+        }
+        if k <= 2 {
+            if matches!(e.instr, Instr::Illegal(_) | Instr::Movtos { .. })
+                || m.is_store
+                || m.is_coproc
+            {
+                return false;
+            }
+            if cfg.interlock == InterlockPolicy::Detect {
+                if let Some(d) = prev_late {
+                    if m.alu_uses(d) {
+                        return false;
+                    }
+                }
+            }
+            prev_late = m.late_def;
+        }
+    }
+    true
+}

@@ -18,6 +18,7 @@
 //! to the root of the span tree so their paths do not depend on whether
 //! the job ran inline (serial) or on a pool worker.
 
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 use mipsx_core::probe::{json_escape, NullSink};
@@ -593,6 +594,16 @@ fn digest(artifact: &Artifact) -> u64 {
     }
 }
 
+thread_local! {
+    /// One machine kept warm per worker thread. Constructing a `Machine`
+    /// dominated serial sweep jobs (the `construct` span measured ~57 % of
+    /// job wall time, almost all of it cache/memory allocation), so
+    /// completed jobs park their machine here and the next job revives it
+    /// with [`Machine::reset_with`] — same architectural state as a fresh
+    /// build, allocations reused.
+    static MACHINE_POOL: RefCell<Option<Machine>> = const { RefCell::new(None) };
+}
+
 fn execute_job(
     job: &Job,
     run_cycles: u64,
@@ -677,7 +688,13 @@ fn execute_job(
                 None => {
                     let mut machine = {
                         let _s = tele.span("construct");
-                        Machine::new(cfg)
+                        match MACHINE_POOL.with(|slot| slot.borrow_mut().take()) {
+                            Some(mut m) => {
+                                m.reset_with(cfg);
+                                m
+                            }
+                            None => Machine::new(cfg),
+                        }
                     };
                     {
                         let _s = tele.span("decode");
@@ -731,7 +748,7 @@ fn execute_job(
             drop(run_span);
             let ic = machine.icache().stats();
             let ec = machine.ecache().stats();
-            JobResult {
+            let result = JobResult {
                 cycles: stats.cycles,
                 instructions: stats.instructions,
                 squashed: stats.squashed,
@@ -754,7 +771,9 @@ fn execute_job(
                 sched_squashing: report.squashing_branches as u64,
                 sched_slot_nops: report.slot_nops as u64,
                 sched_load_nops: report.load_nops as u64,
-            }
+            };
+            MACHINE_POOL.with(|slot| *slot.borrow_mut() = Some(machine));
+            result
         }
     };
     store.save_traced(key, &result, &label, tele);

@@ -117,7 +117,20 @@ impl Ecache {
     /// Invalidate all blocks (cold start — miss classification restarts
     /// too).
     pub fn invalidate_all(&mut self) {
-        self.tags.fill(None);
+        // Every tag ever written belongs to a block in `seen_blocks`
+        // (insert and tag-write happen together in `access`), so when few
+        // blocks were touched, clearing just their frames restores the
+        // cold state without sweeping the full tag array — which for the
+        // ideal-memory configurations spans millions of frames and would
+        // dominate `Machine::reset_with`.
+        if self.seen_blocks.len() < self.tags.len() / 8 {
+            let n = self.cfg.num_blocks();
+            for &b in &self.seen_blocks {
+                self.tags[(b % n) as usize] = None;
+            }
+        } else {
+            self.tags.fill(None);
+        }
         self.seen_blocks.clear();
     }
 

@@ -92,6 +92,21 @@ impl MainMemory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Reset to an empty memory with a new latency.
+    ///
+    /// Resident pages are zeroed in place rather than dropped: sweep
+    /// workers reset thousands of machines back-to-back and the page boxes
+    /// are the only sizable allocation here, so keeping them turns each
+    /// reset into a handful of `memset`s.
+    pub fn reset(&mut self, latency_cycles: u32) {
+        for page in self.pages.values_mut() {
+            page.fill(0);
+        }
+        self.latency_cycles = latency_cycles;
+        self.reads = 0;
+        self.writes = 0;
+    }
 }
 
 impl Default for MainMemory {

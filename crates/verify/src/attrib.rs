@@ -35,7 +35,7 @@ use mipsx_isa::Instr;
 /// drains exactly one instruction: `cycles == total drains + PIPE_FILL`.
 /// (Confirmed empirically by the static/dynamic differential over every
 /// kernel × scheme.)
-pub const PIPE_FILL: u64 = 5;
+pub const PIPE_FILL: u64 = mipsx_core::Machine::PIPE_FILL_CYCLES;
 
 /// Dynamic counters for one basic block.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -43,6 +43,13 @@
 //!   --cycles <n>        cycle budget (default 10,000,000)
 //!   --slots <1|2>       branch delay slots (default 2)
 //!   --trust             disable interlock checking (model the silicon)
+//!   --ideal             use the ideal-cache configuration (no memory
+//!                       stalls) instead of the MIPS-X board
+//!   --engine <block|interp>
+//!                       execution path: `block` runs the basic-block
+//!                       superop engine (fast, cycle-identical; demotes
+//!                       itself to the stepper when it must), `interp`
+//!                       the cycle-accurate stepper (default)
 //!   --regs              dump the register file after the run
 //!
 //! trace options (in addition to --cycles/--slots):
@@ -153,6 +160,7 @@ use mipsx::asm::{assemble, assemble_at, disassemble};
 use mipsx::cli::{flag, parse_args, switch, ArgError, FlagSpec, ParsedArgs};
 use mipsx::core::probe::{CpiAttribution, JsonlSink, NullSink, PipeDiagram};
 use mipsx::core::{FaultPlan, InterlockPolicy, Machine, MachineConfig, RunError};
+use mipsx::engine::BlockEngine;
 use mipsx::explore::{
     run_sweep, Axis, Grid, JournalConfig, ResultStore, SimPoint, SweepOptions, SweepSpec,
     Telemetry, Workload,
@@ -169,7 +177,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: mipsx <asm|dis|run|trace|soak|lint|analyze|sweep|profile|snapshot|info> \
          [file.s|kernel|spec.sweep] \
-         [--cycles N] [--slots 1|2] [--trust] [--regs] [--diagram N] [--jsonl path] \
+         [--cycles N] [--slots 1|2] [--trust] [--ideal] [--engine block|interp] [--regs] \
+         [--diagram N] [--jsonl path] \
          [--from-cycle K] [--runs N] \
          [--seed N] [--faults spec] [--fault-count N] [--snap-dir dir] [--json] [--kernels] \
          [--timing] [--differential] \
@@ -804,7 +813,9 @@ fn cmd_run(path: &str, args: &[String]) -> ExitCode {
         &[
             flag("--cycles"),
             flag("--slots"),
+            flag("--engine"),
             switch("--trust"),
+            switch("--ideal"),
             switch("--regs"),
         ],
     ) {
@@ -832,18 +843,51 @@ fn cmd_run(path: &str, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut cfg = MachineConfig::mipsx();
+    let use_engine = match parsed.value("--engine") {
+        None | Some("interp") => false,
+        Some("block") => true,
+        Some(other) => {
+            eprintln!("mipsx: --engine {other}: expected block or interp");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = if parsed.has("--ideal") {
+        MachineConfig::cache_ideal()
+    } else {
+        MachineConfig::mipsx()
+    };
     cfg.branch_delay_slots = slots;
     if parsed.has("--trust") {
         cfg.interlock = InterlockPolicy::Trust;
     }
     let mut machine = Machine::new(cfg);
     machine.load_program(&program);
-    match machine.run(cycles) {
+    let result = if use_engine {
+        let mut engine = BlockEngine::new(&program, &machine);
+        let result = engine.run(&mut machine, cycles);
+        let es = engine.stats();
+        println!(
+            "engine: {} blocks compiled ({} fallback-only), {} visits, \
+             {} fast cycles, {} recompiles",
+            es.blocks_compiled, es.fallback_blocks, es.block_visits, es.fast_cycles, es.recompiles
+        );
+        for (cause, count) in es.fallback_breakdown() {
+            println!("engine: fallback {cause:<16} x{count}");
+        }
+        result
+    } else {
+        machine.run(cycles)
+    };
+    match result {
         Ok(stats) => {
             println!("{stats}");
-            println!("icache: {}", machine.icache().stats());
-            println!("ecache: {}", machine.ecache().stats());
+            // The block engine only fast-paths ideal-cache configs; its
+            // demoted runs still keep the cache books, so print them in
+            // interpreter mode only (where they are the point).
+            if !use_engine {
+                println!("icache: {}", machine.icache().stats());
+                println!("ecache: {}", machine.ecache().stats());
+            }
             if parsed.has("--regs") {
                 for r in Reg::all() {
                     let v = machine.cpu().reg(r);
