@@ -39,7 +39,7 @@ fn run_with_telemetry(spec: &SweepSpec, telemetry: Telemetry) -> u64 {
         threads: 1,
         store: ResultStore::disabled(),
         telemetry,
-        journal: None,
+        ..SweepOptions::default()
     };
     let outcome = run_sweep(spec, &opts).expect("sweep");
     outcome.rows.iter().map(|r| r.result.cycles).sum()

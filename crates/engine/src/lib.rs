@@ -58,6 +58,8 @@
 
 mod compile;
 
+use std::sync::Arc;
+
 use compile::{CodeCache, Exit, Op};
 use mipsx_asm::Program;
 use mipsx_core::{FaultPlan, Machine, MachineConfig, NullSink, RunError, RunStats, TraceSink};
@@ -223,7 +225,9 @@ pub struct BlockEngine {
     entry: u32,
     image_words: u32,
     cfg: MachineConfig,
-    code: CodeCache,
+    /// Shared immutable compiled image; a recompile swaps in a fresh `Arc`,
+    /// so clones sharing an old image are unaffected.
+    code: Arc<CodeCache>,
     /// A watched store landed since the last (re)compile.
     dirty: bool,
     recent: Recent,
@@ -236,19 +240,65 @@ impl BlockEngine {
     /// (Reading memory rather than the program covers `load_at` patches
     /// applied after assembly.)
     pub fn new(program: &Program, machine: &Machine) -> BlockEngine {
-        let mut engine = BlockEngine {
+        let mut engine = BlockEngine::empty(program, machine.config());
+        engine.compile_from(machine);
+        engine
+    }
+
+    /// Compile `program`'s image as assembled, without a [`Machine`].
+    ///
+    /// This is the prepared-image path: a sweep compiles one engine per
+    /// (image, config) pair up front and hands each job a
+    /// [`clone_template`](BlockEngine::clone_template) of it. The result is
+    /// only valid for a machine that runs `program` verbatim — `load_at`
+    /// patches applied after loading are covered by the self-modify watch
+    /// (the store marks the cache dirty and forces a recompile from the
+    /// machine's memory), not by this constructor.
+    pub fn from_program(program: &Program, cfg: &MachineConfig) -> BlockEngine {
+        let mut engine = BlockEngine::empty(program, cfg);
+        let _span = engine.telemetry.span("engine.compile");
+        engine.install(compile::compile(
+            program.origin,
+            program.entry,
+            &program.words,
+            cfg,
+        ));
+        engine
+    }
+
+    /// A fresh engine sharing this one's compiled image: zeroed run
+    /// counters, clean self-modify state, no telemetry. Cloning is O(1) —
+    /// the [`CodeCache`] rides behind an `Arc` — which is what lets one
+    /// compiled template serve every job of a sweep grid.
+    pub fn clone_template(&self) -> BlockEngine {
+        BlockEngine {
+            origin: self.origin,
+            entry: self.entry,
+            image_words: self.image_words,
+            cfg: self.cfg,
+            code: Arc::clone(&self.code),
+            dirty: false,
+            recent: Recent::default(),
+            stats: EngineStats {
+                fallback_blocks: self.stats.fallback_blocks,
+                ..EngineStats::default()
+            },
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    fn empty(program: &Program, cfg: &MachineConfig) -> BlockEngine {
+        BlockEngine {
             origin: program.origin,
             entry: program.entry,
             image_words: program.words.len() as u32,
-            cfg: *machine.config(),
-            code: CodeCache::empty(program.origin),
+            cfg: *cfg,
+            code: Arc::new(CodeCache::empty(program.origin)),
             dirty: false,
             recent: Recent::default(),
             stats: EngineStats::default(),
             telemetry: Telemetry::disabled(),
-        };
-        engine.compile_from(machine);
-        engine
+        }
     }
 
     /// Attach a telemetry handle; compile spans and fallback counters are
@@ -267,7 +317,11 @@ impl BlockEngine {
         let words: Vec<u32> = (0..self.image_words)
             .map(|i| m.read_word(self.origin.wrapping_add(i)))
             .collect();
-        self.code = compile::compile(self.origin, self.entry, &words, &self.cfg);
+        self.install(compile::compile(self.origin, self.entry, &words, &self.cfg));
+    }
+
+    fn install(&mut self, code: CodeCache) {
+        self.code = Arc::new(code);
         self.dirty = false;
         self.stats.blocks_compiled += self.code.blocks.len() as u64;
         self.stats.fallback_blocks = self
@@ -428,7 +482,7 @@ impl BlockEngine {
             Goto(u32),
             Stop(u32),
         }
-        let code = &self.code;
+        let code: &CodeCache = &self.code;
         let b = &code.blocks[bi];
         let dirty = &mut self.dirty;
         for &op in b.body.iter() {

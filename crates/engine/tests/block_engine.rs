@@ -113,6 +113,57 @@ fn synthetics_lockstep_under_all_schemes() {
     }
 }
 
+/// The sweep's shared-template path — `from_program` (no machine) plus an
+/// O(1) `clone_template` per job — must behave exactly like an engine
+/// compiled against a loaded machine.
+#[test]
+fn template_clones_run_identically_to_machine_compiled_engines() {
+    for scheme in [BranchScheme::mipsx(), BranchScheme::table1()[3]] {
+        for kernel in all_kernels() {
+            let label = format!("{} {scheme}", kernel.name);
+            let (program, _) = Reorganizer::new(scheme)
+                .reorganize(&kernel.raw)
+                .expect("reorg");
+
+            let mut direct_machine = machine_for(&scheme);
+            direct_machine.load_program(&program);
+            let mut direct = BlockEngine::new(&program, &direct_machine);
+            let direct_stats = direct
+                .run(&mut direct_machine, BUDGET)
+                .unwrap_or_else(|e| panic!("{label}: direct engine failed: {e}"));
+
+            let template = BlockEngine::from_program(&program, direct_machine.config());
+            assert_eq!(
+                template.stats().blocks_compiled,
+                direct.stats().blocks_compiled,
+                "{label}: template compiled a different block set"
+            );
+            let mut clone_machine = machine_for(&scheme);
+            clone_machine.load_program(&program);
+            let mut clone = template.clone_template();
+            let clone_stats = clone
+                .run(&mut clone_machine, BUDGET)
+                .unwrap_or_else(|e| panic!("{label}: template clone failed: {e}"));
+
+            assert_eq!(direct_stats, clone_stats, "{label}: RunStats diverged");
+            assert_eq!(
+                direct_machine.cpu().regs_snapshot(),
+                clone_machine.cpu().regs_snapshot(),
+                "{label}: registers diverged"
+            );
+            assert_eq!(
+                direct.stats().block_visits,
+                clone.stats().block_visits,
+                "{label}: fast-path coverage diverged"
+            );
+            check_state(&clone_machine, &kernel.checks, &label);
+            // Clones are independent: a fresh one starts with zeroed run
+            // counters while sharing the compiled code.
+            assert_eq!(template.clone_template().stats().block_visits, 0);
+        }
+    }
+}
+
 /// A live fault plan demotes the whole run, so results — and even the JSONL
 /// event stream — are byte-identical to the stepper's.
 #[test]

@@ -1,0 +1,473 @@
+//! Pluggable execution backends for the MIPS-X model.
+//!
+//! Before this crate, "how to run cycles" was decided ad hoc at every call
+//! site: `mipsx run` special-cased the block engine, the sweep engine and
+//! the profiler hard-wired the cycle-accurate stepper, and the lockstep
+//! differ owned its own machine. [`ExecBackend`] makes the choice a value:
+//!
+//! - [`Stepper`] — the cycle-accurate five-stage pipeline, unchanged;
+//! - [`BlockBackend`] — the basic-block superop engine from
+//!   `mipsx-engine`, demoting to the stepper wherever its closed forms
+//!   don't apply;
+//! - [`CheckedBackend`] — the stepper shadowed by the functional
+//!   reference model, comparing architectural state at every retirement
+//!   (the `mipsx soak` differ, available as an engine).
+//!
+//! All three run a **caller-owned** [`Machine`] — construction, program
+//! loading, and machine pooling stay with the caller — and all three are
+//! cycle-identical on the books: `run(m, budget)` leaves `m` in the same
+//! architectural state and `RunStats` no matter which backend ran it (the
+//! block engine by the cycle-splice contract, the checked backend because
+//! observation doesn't perturb the pipeline).
+//!
+//! [`TraceSink`] carries a `const ENABLED` flag, so the trait's run
+//! methods are generic and the trait is not object-safe; [`AnyBackend`]
+//! provides enum dispatch for runtime engine selection (CLI flags, sweep
+//! axes).
+
+use std::fmt;
+
+use mipsx_asm::Program;
+use mipsx_core::{FaultPlan, Machine, NullSink, RunError, RunStats, TraceSink};
+use mipsx_engine::{BlockEngine, EngineStats};
+use mipsx_ref::{Divergence, LockstepError, Shadow};
+
+/// Which execution backend to run cycles on. The engine is a *host-side*
+/// choice: every kind retires the same instructions and books the same
+/// cycles, so results are comparable across kinds (and the sweep engine
+/// keys its result cache on the engine only to keep cache-counter
+/// bookkeeping separate — see `mipsx-explore`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The cycle-accurate pipeline stepper.
+    #[default]
+    Interp,
+    /// The basic-block superop engine (falls back to the stepper).
+    Block,
+    /// The stepper shadowed by the functional reference model.
+    Checked,
+}
+
+impl EngineKind {
+    /// Every kind, in display order.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Interp, EngineKind::Block, EngineKind::Checked];
+
+    /// Stable lowercase label (CLI flag values, sweep axis values).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Interp => "interp",
+            EngineKind::Block => "block",
+            EngineKind::Checked => "checked",
+        }
+    }
+
+    /// Parse a CLI/spec value. Accepts the stable labels plus `stepper`
+    /// as an alias for `interp`.
+    pub fn parse(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "interp" | "stepper" => Ok(EngineKind::Interp),
+            "block" => Ok(EngineKind::Block),
+            "checked" => Ok(EngineKind::Checked),
+            other => Err(format!(
+                "unknown engine {other} (known: interp, block, checked)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a backend stopped without a clean result.
+#[derive(Debug, Clone)]
+pub enum ExecError {
+    /// A simulator-level error from the machine (budget expiry included).
+    Run(RunError),
+    /// The checked backend's reference model disagreed with the pipeline.
+    Diverged(Box<Divergence>),
+}
+
+impl ExecError {
+    /// The underlying [`RunError`], if this is one.
+    pub fn as_run(&self) -> Option<&RunError> {
+        match self {
+            ExecError::Run(e) => Some(e),
+            ExecError::Diverged(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Run(e) => e.fmt(f),
+            ExecError::Diverged(d) => d.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<RunError> for ExecError {
+    fn from(e: RunError) -> ExecError {
+        ExecError::Run(e)
+    }
+}
+
+impl From<LockstepError> for ExecError {
+    fn from(e: LockstepError) -> ExecError {
+        match e {
+            LockstepError::Machine(e) => ExecError::Run(e),
+            LockstepError::Diverged(d) => ExecError::Diverged(d),
+        }
+    }
+}
+
+/// A way to run cycles on a caller-owned [`Machine`].
+///
+/// The budget is relative, exactly as in [`Machine::run`]: `max_cycles`
+/// counts cycles consumed by *this call*, and expiry reports
+/// [`RunError::CycleLimit`] with the machine stopped at a resumable
+/// boundary — calling again continues the run, which is what the sweep
+/// engine's checkpoint cadence relies on.
+pub trait ExecBackend {
+    /// Which engine this is, for labels and telemetry.
+    fn kind(&self) -> EngineKind;
+
+    /// Run until halt or budget expiry, tracing to `sink` and injecting
+    /// faults from `plan`.
+    fn run_with_faults<S: TraceSink>(
+        &mut self,
+        m: &mut Machine,
+        max_cycles: u64,
+        sink: &mut S,
+        plan: &mut FaultPlan,
+    ) -> Result<RunStats, ExecError>;
+
+    /// Run until halt or budget expiry, no tracing, no fault injection.
+    fn run(&mut self, m: &mut Machine, max_cycles: u64) -> Result<RunStats, ExecError> {
+        self.run_with_faults(m, max_cycles, &mut NullSink, &mut FaultPlan::none())
+    }
+
+    /// Post-halt validation. The checked backend compares the full
+    /// architectural state against the reference model here; the others
+    /// have nothing to add.
+    fn final_check(&self, _m: &Machine) -> Result<(), ExecError> {
+        Ok(())
+    }
+
+    /// The block engine's side counters, when this backend keeps them.
+    fn engine_stats(&self) -> Option<&EngineStats> {
+        None
+    }
+}
+
+/// The cycle-accurate pipeline stepper as a backend. Stateless — the
+/// machine *is* the state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stepper;
+
+impl ExecBackend for Stepper {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Interp
+    }
+
+    fn run_with_faults<S: TraceSink>(
+        &mut self,
+        m: &mut Machine,
+        max_cycles: u64,
+        sink: &mut S,
+        plan: &mut FaultPlan,
+    ) -> Result<RunStats, ExecError> {
+        m.run_with_faults(max_cycles, sink, plan)
+            .map_err(Into::into)
+    }
+
+    fn run(&mut self, m: &mut Machine, max_cycles: u64) -> Result<RunStats, ExecError> {
+        m.run(max_cycles).map_err(Into::into)
+    }
+}
+
+/// The basic-block superop engine as a backend.
+pub struct BlockBackend {
+    engine: BlockEngine,
+}
+
+impl BlockBackend {
+    /// Compile `program`'s image as currently held in `machine`'s memory.
+    pub fn new(program: &Program, machine: &Machine) -> BlockBackend {
+        BlockBackend {
+            engine: BlockEngine::new(program, machine),
+        }
+    }
+
+    /// Wrap an already-compiled engine — e.g. a prepared-image template
+    /// cloned via [`BlockEngine::clone_template`].
+    pub fn from_engine(engine: BlockEngine) -> BlockBackend {
+        BlockBackend { engine }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &BlockEngine {
+        &self.engine
+    }
+
+    /// The wrapped engine, mutable (telemetry attachment).
+    pub fn engine_mut(&mut self) -> &mut BlockEngine {
+        &mut self.engine
+    }
+}
+
+impl ExecBackend for BlockBackend {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Block
+    }
+
+    fn run_with_faults<S: TraceSink>(
+        &mut self,
+        m: &mut Machine,
+        max_cycles: u64,
+        sink: &mut S,
+        plan: &mut FaultPlan,
+    ) -> Result<RunStats, ExecError> {
+        self.engine
+            .run_with_faults(m, max_cycles, sink, plan)
+            .map_err(Into::into)
+    }
+
+    fn run(&mut self, m: &mut Machine, max_cycles: u64) -> Result<RunStats, ExecError> {
+        self.engine.run(m, max_cycles).map_err(Into::into)
+    }
+
+    fn engine_stats(&self) -> Option<&EngineStats> {
+        Some(self.engine.stats())
+    }
+}
+
+/// The stepper shadowed by the functional reference model.
+///
+/// Every retirement is mirrored into a [`Shadow`] oracle and compared —
+/// `(pc, killed)`, the committed instruction, the full register file —
+/// and [`ExecBackend::final_check`] makes the halt-state comparison
+/// (registers, PSW, PSWold, MD, every stored-to word). The oracle joins
+/// at program start, so the machine handed to the first `run` call must
+/// be freshly loaded; resuming a mid-run snapshot under this backend
+/// diverges by construction.
+pub struct CheckedBackend {
+    shadow: Shadow,
+}
+
+impl CheckedBackend {
+    /// Build the oracle over `program` for a machine running `cfg`.
+    ///
+    /// # Panics
+    /// Panics unless `cfg` uses the shipped two-delay-slot pipeline — the
+    /// reference model hard-codes that ISA.
+    pub fn new(machine: &Machine, program: &Program) -> CheckedBackend {
+        CheckedBackend {
+            shadow: Shadow::new(machine.config(), program),
+        }
+    }
+
+    /// The shadow oracle (tests peek at its architectural state).
+    pub fn shadow(&self) -> &Shadow {
+        &self.shadow
+    }
+}
+
+impl ExecBackend for CheckedBackend {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Checked
+    }
+
+    fn run_with_faults<S: TraceSink>(
+        &mut self,
+        m: &mut Machine,
+        max_cycles: u64,
+        sink: &mut S,
+        plan: &mut FaultPlan,
+    ) -> Result<RunStats, ExecError> {
+        if m.halted() {
+            return Err(RunError::AlreadyHalted.into());
+        }
+        let start = m.stats().cycles;
+        while !m.halted() {
+            if m.stats().cycles - start >= max_cycles {
+                return Err(RunError::CycleLimit { limit: max_cycles }.into());
+            }
+            self.shadow.step(m, plan, sink)?;
+        }
+        Ok(*m.stats())
+    }
+
+    fn final_check(&self, m: &Machine) -> Result<(), ExecError> {
+        self.shadow
+            .final_check(m, &FaultPlan::none())
+            .map_err(Into::into)
+    }
+}
+
+/// Runtime-selected backend (CLI `--engine`, sweep `engine=` axis).
+/// Dispatches by enum because [`ExecBackend`] is not object-safe.
+pub enum AnyBackend {
+    /// The cycle-accurate stepper.
+    Interp(Stepper),
+    /// The basic-block superop engine.
+    Block(BlockBackend),
+    /// The reference-checked stepper.
+    Checked(CheckedBackend),
+}
+
+impl AnyBackend {
+    /// Build the backend of `kind` for a machine about to run `program`.
+    /// `machine` must already hold the loaded image (the block engine
+    /// compiles from its memory; the checked oracle loads the program).
+    pub fn new(kind: EngineKind, program: &Program, machine: &Machine) -> AnyBackend {
+        match kind {
+            EngineKind::Interp => AnyBackend::Interp(Stepper),
+            EngineKind::Block => AnyBackend::Block(BlockBackend::new(program, machine)),
+            EngineKind::Checked => AnyBackend::Checked(CheckedBackend::new(machine, program)),
+        }
+    }
+}
+
+impl ExecBackend for AnyBackend {
+    fn kind(&self) -> EngineKind {
+        match self {
+            AnyBackend::Interp(b) => b.kind(),
+            AnyBackend::Block(b) => b.kind(),
+            AnyBackend::Checked(b) => b.kind(),
+        }
+    }
+
+    fn run_with_faults<S: TraceSink>(
+        &mut self,
+        m: &mut Machine,
+        max_cycles: u64,
+        sink: &mut S,
+        plan: &mut FaultPlan,
+    ) -> Result<RunStats, ExecError> {
+        match self {
+            AnyBackend::Interp(b) => b.run_with_faults(m, max_cycles, sink, plan),
+            AnyBackend::Block(b) => b.run_with_faults(m, max_cycles, sink, plan),
+            AnyBackend::Checked(b) => b.run_with_faults(m, max_cycles, sink, plan),
+        }
+    }
+
+    fn run(&mut self, m: &mut Machine, max_cycles: u64) -> Result<RunStats, ExecError> {
+        match self {
+            AnyBackend::Interp(b) => b.run(m, max_cycles),
+            AnyBackend::Block(b) => b.run(m, max_cycles),
+            AnyBackend::Checked(b) => b.run(m, max_cycles),
+        }
+    }
+
+    fn final_check(&self, m: &Machine) -> Result<(), ExecError> {
+        match self {
+            AnyBackend::Interp(b) => b.final_check(m),
+            AnyBackend::Block(b) => b.final_check(m),
+            AnyBackend::Checked(b) => b.final_check(m),
+        }
+    }
+
+    fn engine_stats(&self) -> Option<&EngineStats> {
+        match self {
+            AnyBackend::Interp(b) => b.engine_stats(),
+            AnyBackend::Block(b) => b.engine_stats(),
+            AnyBackend::Checked(b) => b.engine_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mipsx_core::MachineConfig;
+    use mipsx_reorg::{BranchScheme, Reorganizer};
+    use mipsx_workloads::find_kernel;
+
+    fn prepared(scheme: BranchScheme) -> Program {
+        let raw = find_kernel("sum_to_n").expect("kernel").raw;
+        Reorganizer::new(scheme).reorganize(&raw).expect("reorg").0
+    }
+
+    fn fresh(cfg: MachineConfig, program: &Program) -> Machine {
+        let mut m = Machine::new(cfg);
+        m.load_program(program);
+        m
+    }
+
+    /// Every backend kind leaves the machine in the same architectural
+    /// state with the same books.
+    #[test]
+    fn backends_are_cycle_identical() {
+        let program = prepared(BranchScheme::mipsx());
+        let cfg = MachineConfig::cache_ideal();
+        let mut reference = None;
+        for kind in EngineKind::ALL {
+            let mut m = fresh(cfg, &program);
+            let mut backend = AnyBackend::new(kind, &program, &m);
+            let stats = backend.run(&mut m, 1_000_000).expect("run");
+            backend.final_check(&m).expect("final check");
+            let snap = (stats, m.cpu().regs_snapshot());
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => assert_eq!(*r, snap, "{kind} differs from interp"),
+            }
+        }
+    }
+
+    /// Budget expiry is resumable and reported identically by all kinds.
+    #[test]
+    fn budget_expiry_matches_across_backends() {
+        let program = prepared(BranchScheme::mipsx());
+        let cfg = MachineConfig::cache_ideal();
+        let mut reference = None;
+        for kind in EngineKind::ALL {
+            let mut m = fresh(cfg, &program);
+            let mut backend = AnyBackend::new(kind, &program, &m);
+            match backend.run(&mut m, 40) {
+                Err(ExecError::Run(RunError::CycleLimit { limit: 40 })) => {}
+                other => panic!("{kind}: expected CycleLimit, got {other:?}"),
+            }
+            // Resume to completion; totals must agree across kinds.
+            let stats = backend.run(&mut m, 1_000_000).expect("resume");
+            backend.final_check(&m).expect("final check");
+            match &reference {
+                None => reference = Some(stats),
+                Some(r) => assert_eq!(*r, stats, "{kind} resume differs"),
+            }
+        }
+    }
+
+    /// The checked backend notices a corrupted register at retirement.
+    #[test]
+    fn checked_backend_reports_divergence() {
+        let program = prepared(BranchScheme::mipsx());
+        let mut m = fresh(MachineConfig::cache_ideal(), &program);
+        let mut backend = CheckedBackend::new(&m, &program);
+        // Run a little, corrupt state behind the oracle's back, continue.
+        // Use a register the kernel never writes back, so the pipeline's
+        // own writebacks can't erase the corruption before a compare.
+        let _ = backend.run(&mut m, 20);
+        let r25 = mipsx_isa::Reg::new(25);
+        let v = m.cpu().reg(r25);
+        m.cpu_mut().set_reg(r25, v.wrapping_add(0x1234));
+        match backend.run(&mut m, 1_000_000) {
+            Err(ExecError::Diverged(_)) => {}
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_kind_round_trips() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(kind.label()), Ok(kind));
+        }
+        assert_eq!(EngineKind::parse("stepper"), Ok(EngineKind::Interp));
+        assert!(EngineKind::parse("warp").is_err());
+    }
+}

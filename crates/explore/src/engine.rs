@@ -10,30 +10,41 @@
 //! ([`SweepOutcome::to_json_timed`], [`SweepOutcome::to_csv_timed`]).
 //!
 //! When [`SweepOptions::telemetry`] is live, every job records stage
-//! spans (`job/assemble`, `job/reorganize`, `job/construct`,
-//! `job/decode`, `job/run`) plus deterministic guest counters
-//! (`guest.cycles`, ... — totals provably identical between serial and
-//! N-thread runs), and the sweep records `sweep`/`sweep/expand`/
-//! `sweep/execute`/`sweep/aggregate` spans. The per-job spans are pinned
-//! to the root of the span tree so their paths do not depend on whether
-//! the job ran inline (serial) or on a pool worker.
+//! spans (`job/assemble`, `job/reorganize`, `job/compile`,
+//! `job/construct`, `job/decode`, `job/run` — the preparation spans only
+//! on an image-cache miss, since preparation runs once per (workload,
+//! scheme) and is shared through [`SweepOptions::images`]) plus
+//! deterministic guest counters (`guest.cycles`, ... — totals provably
+//! identical between serial and N-thread runs), and the sweep records
+//! `sweep`/`sweep/expand`/`sweep/execute`/`sweep/aggregate` spans. The
+//! per-job spans are pinned to the root of the span tree so their paths
+//! do not depend on whether the job ran inline (serial) or on a pool
+//! worker.
+//!
+//! Each job runs on the execution backend its point selects
+//! ([`SimPoint::engine`](crate::spec::SimPoint)): the cycle-accurate
+//! stepper, the basic-block engine (seeded from the image's shared
+//! compiled template), or the lockstep-checked stepper.
 
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 use mipsx_core::probe::{json_escape, NullSink};
 use mipsx_core::{FaultPlan, InterlockPolicy, Machine, RunError, SimConfig};
+use mipsx_engine::BlockEngine;
+use mipsx_exec::{
+    AnyBackend, BlockBackend, CheckedBackend, EngineKind, ExecBackend, ExecError, Stepper,
+};
 use mipsx_mem::Icache;
-use mipsx_reorg::{RawProgram, Reorganizer, ScheduleReport};
 use mipsx_telemetry::Telemetry;
-use mipsx_workloads::synth::{generate, SynthConfig};
-use mipsx_workloads::traces::{instruction_trace, TraceConfig};
-use mipsx_workloads::{find_kernel, kernel_names, streaming};
 
+use crate::image::{ImageCache, PreparedArtifact};
 use crate::journal::{fingerprint, Journal, JournalConfig};
-use crate::key::{fnv1a_words, job_key, key_hex};
+use crate::key::{job_key, key_hex};
 use crate::pool::run_indexed_catching;
-use crate::spec::{Job, SpecError, SweepSpec, Workload};
+#[cfg(test)]
+use crate::spec::Workload;
+use crate::spec::{Job, SpecError, SweepSpec};
 use crate::store::ResultStore;
 
 macro_rules! job_result {
@@ -198,6 +209,12 @@ pub struct SweepOptions {
     /// interrupted-then-resumed run and an uninterrupted one — every row
     /// renders `cached: false` regardless of store state.
     pub journal: Option<JournalConfig>,
+    /// Shared prepared-image cache ([`crate::image`]): workload
+    /// generation, reorganization and block-engine compilation happen once
+    /// per distinct (workload, scheme) and are shared read-only across the
+    /// worker fleet. Defaults to a fresh cache; clone one `ImageCache`
+    /// into several sweeps to share preparation between them too.
+    pub images: ImageCache,
 }
 
 impl Default for SweepOptions {
@@ -207,6 +224,7 @@ impl Default for SweepOptions {
             store: ResultStore::disabled(),
             telemetry: Telemetry::disabled(),
             journal: None,
+            images: ImageCache::new(),
         }
     }
 }
@@ -466,6 +484,12 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
         spec.expand()?
     };
     tele.count("sweep.jobs", jobs.len() as u64);
+    // Clamp the fleet to the job count — a 32-thread request over 4 jobs
+    // spawns 4 workers, not 28 idle ones. The effective size is recorded
+    // as a gauge (the timing section), since it legitimately differs
+    // between a serial and a parallel run of the same spec.
+    let threads = opts.threads.clamp(1, jobs.len().max(1));
+    tele.gauge_max("sweep.effective_threads", threads as u64);
     let journal = match &opts.journal {
         Some(cfg) => {
             let journal = Journal::open(cfg, fingerprint(&jobs, spec.run_cycles))?;
@@ -481,11 +505,12 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
     // job's own Result<(result, key, cached, wall_ns), SpecError>.
     let executed = {
         let _s = tele.span("execute");
-        run_indexed_catching(jobs.len(), opts.threads, tele, |i| {
+        run_indexed_catching(jobs.len(), threads, tele, |i| {
             execute_job(
                 &jobs[i],
                 spec.run_cycles,
                 &opts.store,
+                &opts.images,
                 journal.as_ref(),
                 tele,
             )
@@ -532,68 +557,6 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
     })
 }
 
-/// What a job simulates, prepared deterministically from its workload.
-enum Artifact {
-    /// A scheduled program plus its schedule report.
-    Program(mipsx_asm::Program, ScheduleReport),
-    /// A raw instruction-address trace (Icache-only job).
-    Trace(Vec<u32>),
-}
-
-fn raw_program(job: &Job) -> Result<Option<RawProgram>, SpecError> {
-    match &job.workload {
-        Workload::Kernel(name) => find_kernel(name).map(|k| Some(k.raw)).ok_or_else(|| {
-            SpecError(format!(
-                "unknown kernel {name} (known: {})",
-                kernel_names().join(", ")
-            ))
-        }),
-        Workload::Synth { profile, seed } => {
-            let cfg = match profile.as_str() {
-                "pascal" => SynthConfig::pascal_like(*seed),
-                "lisp" => SynthConfig::lisp_like(*seed),
-                "tiny" => SynthConfig::tiny(*seed),
-                other => return Err(SpecError(format!("unknown synth profile {other}"))),
-            };
-            Ok(Some(generate(cfg).raw))
-        }
-        Workload::Stream { words, reps } => Ok(Some(streaming(*words, *reps))),
-        Workload::Trace { .. } => Ok(None),
-    }
-}
-
-fn prepare(job: &Job, tele: &Telemetry) -> Result<Artifact, SpecError> {
-    if let Workload::Trace { profile, seed } = &job.workload {
-        let _s = tele.span("assemble");
-        let cfg = match profile.as_str() {
-            "medium" => TraceConfig::medium(*seed),
-            "large" => TraceConfig::large(*seed),
-            other => return Err(SpecError(format!("unknown trace profile {other}"))),
-        };
-        return Ok(Artifact::Trace(instruction_trace(cfg)));
-    }
-    let raw = {
-        let _s = tele.span("assemble");
-        raw_program(job)?.expect("non-trace workloads produce a raw program")
-    };
-    let _s = tele.span("reorganize");
-    let (program, report) = Reorganizer::new(job.point.scheme)
-        .reorganize(&raw)
-        .map_err(|e| SpecError(format!("{}: reorganize failed: {e}", job.workload.id())))?;
-    Ok(Artifact::Program(program, report))
-}
-
-fn digest(artifact: &Artifact) -> u64 {
-    match artifact {
-        Artifact::Program(program, _) => fnv1a_words(
-            [program.origin, program.entry]
-                .into_iter()
-                .chain(program.words.iter().copied()),
-        ),
-        Artifact::Trace(addrs) => fnv1a_words(addrs.iter().copied()),
-    }
-}
-
 thread_local! {
     /// One machine kept warm per worker thread. Constructing a `Machine`
     /// dominated serial sweep jobs (the `construct` span measured ~57 % of
@@ -608,6 +571,7 @@ fn execute_job(
     job: &Job,
     run_cycles: u64,
     store: &ResultStore,
+    images: &ImageCache,
     journal: Option<&Journal>,
     tele: &Telemetry,
 ) -> Result<(JobResult, u64, bool, u64), SpecError> {
@@ -617,11 +581,11 @@ fn execute_job(
     #[cfg(test)]
     deliberate_test_panic(job);
     let job_start = Instant::now();
-    let artifact = prepare(job, tele)?;
+    let image = images.get_or_prepare(job, tele)?;
     let key = job_key(
         &job.point,
         &job.workload.id(),
-        digest(&artifact),
+        image.digest,
         job.fault.as_deref(),
         run_cycles,
     );
@@ -655,8 +619,8 @@ fn execute_job(
     }
     tele.count("sweep.cache_misses", 1);
     let label = format!("{} | {}", job.point_label, job.workload.id());
-    let result = match artifact {
-        Artifact::Trace(addrs) => {
+    let result = match &image.artifact {
+        PreparedArtifact::Trace(addrs) => {
             let _s = tele.span("run");
             let mut cache = Icache::new(job.point.cfg.icache);
             let trace = cache.simulate_trace(addrs.iter().copied());
@@ -667,22 +631,29 @@ fn execute_job(
                 ..JobResult::default()
             }
         }
-        Artifact::Program(program, report) => {
+        PreparedArtifact::Program { program, report } => {
             let cfg = SimConfig {
                 interlock: InterlockPolicy::Detect,
                 ..job.point.cfg
             };
+            // Checked jobs never checkpoint: the oracle joins at program
+            // start, so a snapshot-resumed machine would diverge from it
+            // by construction. They re-run whole instead.
+            let checkpointing = job.point.engine != EngineKind::Checked;
             // A checkpointed machine resumes from its snapshot — the
             // fault-plan cursor rides inside — otherwise build fresh.
             let mut resumed = None;
-            if let Some(j) = journal {
-                if let Some(bytes) = j.load_snapshot(key) {
-                    if let Ok(pair) = Machine::restore_snapshot(&bytes) {
-                        tele.count("snapshot.restores", 1);
-                        resumed = Some(pair);
+            if checkpointing {
+                if let Some(j) = journal {
+                    if let Some(bytes) = j.load_snapshot(key) {
+                        if let Ok(pair) = Machine::restore_snapshot(&bytes) {
+                            tele.count("snapshot.restores", 1);
+                            resumed = Some(pair);
+                        }
                     }
                 }
             }
+            let restored = resumed.is_some();
             let (mut machine, mut plan) = match resumed {
                 Some((machine, plan)) => (machine, plan),
                 None => {
@@ -698,7 +669,7 @@ fn execute_job(
                     };
                     {
                         let _s = tele.span("decode");
-                        machine.load_program(&program);
+                        machine.load_program(program);
                     }
                     let plan = match &job.fault {
                         None => None,
@@ -710,6 +681,26 @@ fn execute_job(
                     (machine, plan)
                 }
             };
+            let mut backend = match job.point.engine {
+                EngineKind::Interp => AnyBackend::Interp(Stepper),
+                EngineKind::Block => {
+                    let mut engine = if restored {
+                        // Pre-checkpoint stores are invisible to the shared
+                        // template's runtime self-modify watch; recompile
+                        // from the restored memory image instead.
+                        BlockEngine::new(program, &machine)
+                    } else {
+                        image
+                            .block_template(&cfg, tele)
+                            .expect("program images compile block templates")
+                    };
+                    if tele.is_enabled() {
+                        engine.set_telemetry(tele.clone());
+                    }
+                    AnyBackend::Block(BlockBackend::from_engine(engine))
+                }
+                EngineKind::Checked => AnyBackend::Checked(CheckedBackend::new(&machine, program)),
+            };
             let run_span = tele.span("run");
             let interval = journal.map_or(0, Journal::snapshot_interval);
             // Run in checkpoint-sized chunks (one chunk = the whole
@@ -719,32 +710,48 @@ fn execute_job(
             // the same error an uninterrupted run produces.
             let stats = loop {
                 let remaining = run_cycles.saturating_sub(machine.stats().cycles);
-                let chunk = if interval > 0 {
+                let chunk = if interval > 0 && checkpointing {
                     remaining.min(interval)
                 } else {
                     remaining
                 };
                 let attempt = match plan.as_mut() {
-                    None => machine.run(chunk),
-                    Some(plan) => machine.run_with_faults(chunk, &mut NullSink, plan),
+                    None => backend.run(&mut machine, chunk),
+                    Some(plan) => backend.run_with_faults(&mut machine, chunk, &mut NullSink, plan),
                 };
                 match attempt {
                     Ok(stats) => break Ok(stats),
-                    Err(RunError::CycleLimit { .. }) if machine.stats().cycles < run_cycles => {
-                        if let (Some(j), Ok(bytes)) =
-                            (journal, machine.save_snapshot(plan.as_ref()))
-                        {
-                            tele.count("snapshot.saves", 1);
-                            j.save_snapshot(key, &bytes);
+                    Err(ExecError::Run(RunError::CycleLimit { .. }))
+                        if machine.stats().cycles < run_cycles =>
+                    {
+                        if checkpointing {
+                            if let (Some(j), Ok(bytes)) =
+                                (journal, machine.save_snapshot(plan.as_ref()))
+                            {
+                                tele.count("snapshot.saves", 1);
+                                j.save_snapshot(key, &bytes);
+                            }
                         }
                     }
-                    Err(RunError::CycleLimit { .. }) => {
-                        break Err(RunError::CycleLimit { limit: run_cycles })
+                    Err(ExecError::Run(RunError::CycleLimit { .. })) => {
+                        break Err(ExecError::Run(RunError::CycleLimit { limit: run_cycles }))
                     }
                     Err(e) => break Err(e),
                 }
             }
             .map_err(|e| SpecError(format!("{label}: run failed: {e}")))?;
+            // The checked backend's halt-state oracle comparison (a no-op
+            // for the other backends).
+            backend
+                .final_check(&machine)
+                .map_err(|e| SpecError(format!("{label}: {e}")))?;
+            if tele.is_enabled() {
+                if let Some(es) = backend.engine_stats() {
+                    tele.count("engine.block_visits", es.block_visits);
+                    tele.count("engine.fast_cycles", es.fast_cycles);
+                    tele.count("engine.fast_instructions", es.fast_instructions);
+                }
+            }
             drop(run_span);
             let ic = machine.icache().stats();
             let ec = machine.ecache().stats();
@@ -1057,22 +1064,20 @@ mod tests {
         let jobs = spec.expand().unwrap();
         let job = &jobs[0];
         let tele = Telemetry::disabled();
-        let artifact = prepare(job, &tele).unwrap();
+        let image = ImageCache::new().get_or_prepare(job, &tele).unwrap();
         let key = job_key(
             &job.point,
             &job.workload.id(),
-            digest(&artifact),
+            image.digest,
             None,
             spec.run_cycles,
         );
-        let Artifact::Program(program, _) = artifact else {
-            panic!("kernel workloads are programs")
-        };
+        let program = image.program().expect("kernel workloads are programs");
         let mut machine = Machine::new(SimConfig {
             interlock: InterlockPolicy::Detect,
             ..job.point.cfg
         });
-        machine.load_program(&program);
+        machine.load_program(program);
         assert!(matches!(
             machine.run(900),
             Err(mipsx_core::RunError::CycleLimit { .. })

@@ -16,12 +16,19 @@
 //! - [`ENGINE_EPOCH`], bumped manually whenever simulator *semantics*
 //!   change in a way the image digest cannot see.
 //!
+//! The execution backend (`engine=`) is part of the canonical form even
+//! though every backend books identical `RunStats`: the block engine's
+//! ideal-config fast path skips the cache models entirely, so the
+//! icache/ecache access counters in a cached row depend on which engine
+//! produced it. Keying on the engine keeps each row attributable to the
+//! engine that (first) computed it.
+//!
 //! [`SimPoint`]: crate::spec::SimPoint
 
 use std::fmt::Write as _;
 
 use mipsx_coproc::InterfaceScheme;
-use mipsx_core::InterlockPolicy;
+use mipsx_core::{InterlockPolicy, SimConfig};
 use mipsx_mem::Replacement;
 
 use crate::spec::SimPoint;
@@ -62,7 +69,20 @@ pub fn fnv1a_words<I: IntoIterator<Item = u32>>(words: I) -> u64 {
 /// fixed order; the clock is written as IEEE-754 bits so no float
 /// formatting ambiguity exists).
 pub fn canonical_point(p: &SimPoint) -> String {
-    let c = &p.cfg;
+    let mut s = canonical_cfg(&p.cfg);
+    let _ = write!(
+        s,
+        ";scheme={}:{:?};engine={}",
+        p.scheme.slots, p.scheme.squash, p.engine,
+    );
+    s
+}
+
+/// The canonical text form of just the machine configuration — the
+/// [`canonical_point`] prefix without the branch scheme or execution
+/// engine. Used to partition compiled block-engine templates, which
+/// depend only on the `SimConfig` the machine will run under.
+pub fn canonical_cfg(c: &SimConfig) -> String {
     let interlock = match c.interlock {
         InterlockPolicy::Trust => "trust",
         InterlockPolicy::Detect => "detect",
@@ -81,7 +101,7 @@ pub fn canonical_point(p: &SimPoint) -> String {
     let mut s = String::with_capacity(256);
     let _ = write!(
         s,
-        "cfg-v1;slots={};interlock={interlock};clock={:016x};vec={};mem={}",
+        "cfg-v2;slots={};interlock={interlock};clock={:016x};vec={};mem={}",
         c.branch_delay_slots,
         c.clock_mhz.to_bits(),
         c.exception_vector,
@@ -99,11 +119,7 @@ pub fn canonical_point(p: &SimPoint) -> String {
         ";ec.size={};ec.block={};ec.late={};ec.on={}",
         ec.size_words, ec.block_words, ec.late_miss_overhead, ec.enabled,
     );
-    let _ = write!(
-        s,
-        ";coproc={coproc};scheme={}:{:?}",
-        p.scheme.slots, p.scheme.squash,
-    );
+    let _ = write!(s, ";coproc={coproc}");
     s
 }
 
@@ -187,6 +203,7 @@ mod tests {
             "branch.slots=1",
             "branch.squash=none",
             "coproc.scheme=noncached",
+            "engine=block",
         ] {
             let axis = Axis::parse_flag(flag).unwrap();
             let mut spec = crate::spec::SweepSpec::new(SimPoint::mipsx());

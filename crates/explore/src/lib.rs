@@ -30,6 +30,7 @@
 //! [`SimConfig`]: mipsx_core::SimConfig
 
 pub mod engine;
+pub mod image;
 pub mod journal;
 pub mod key;
 pub mod pool;
@@ -37,8 +38,10 @@ pub mod spec;
 pub mod store;
 
 pub use engine::{run_sweep, JobResult, SweepOptions, SweepOutcome, SweepRow};
+pub use image::{ImageCache, PreparedArtifact, PreparedImage};
 pub use journal::{Journal, JournalConfig};
-pub use key::{canonical_point, fnv1a, job_key};
+pub use key::{canonical_cfg, canonical_point, fnv1a, job_key};
+pub use mipsx_exec::{AnyBackend, EngineKind, ExecBackend};
 pub use mipsx_telemetry::{Snapshot, Telemetry};
 pub use spec::{Axis, AxisField, AxisValue, Grid, Job, SimPoint, SpecError, SweepSpec, Workload};
 pub use store::{temp_store, ResultStore};

@@ -1,9 +1,12 @@
 //! A fixed-size work-stealing thread pool over a known job list.
 //!
 //! The sweep engine knows every job up front, so the pool is deliberately
-//! minimal: job indices are dealt round-robin into one deque per worker;
-//! each worker pops from the *front* of its own deque and, when empty,
-//! steals from the *back* of the most-loaded victim. There are no external
+//! minimal: contiguous index *chunks* are dealt round-robin into one deque
+//! per worker; each worker pops from the *front* of its own deque and,
+//! when empty, steals from the *back* of the most-loaded victim. Chunks
+//! stay size 1 until the job list is large relative to the fleet, so small
+//! sweeps schedule exactly job-by-job while a many-tiny-jobs sweep
+//! amortizes its queue traffic over whole batches. There are no external
 //! dependencies and no unsafe code — deques are `Mutex`-guarded, which is
 //! negligible next to jobs that each simulate millions of cycles.
 //!
@@ -107,9 +110,17 @@ where
         return (0..count).map(worker).collect();
     }
 
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
-        .map(|w| Mutex::new((w..count).step_by(threads).collect()))
-        .collect();
+    // Deal contiguous chunks round-robin. A chunk of 1 (any sweep under
+    // 8 jobs per worker) reproduces the historical job-by-job dealing
+    // exactly; bigger sweeps batch so each queue operation — and each
+    // steal — moves several small jobs at once. `pool.tasks` still counts
+    // *jobs*, not chunks, so its total stays the job count.
+    let chunk = (count / (threads * 8)).clamp(1, 32);
+    let mut deal: Vec<VecDeque<(usize, usize)>> = (0..threads).map(|_| VecDeque::new()).collect();
+    for (i, start) in (0..count).step_by(chunk).enumerate() {
+        deal[i % threads].push_back((start, count.min(start + chunk)));
+    }
+    let queues: Vec<Mutex<VecDeque<(usize, usize)>>> = deal.into_iter().map(Mutex::new).collect();
     let results: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     if tele.is_enabled() {
         tele.gauge_max("pool.workers", threads as u64);
@@ -145,14 +156,16 @@ where
                             }
                         }
                     }
-                    let Some(index) = job else { break };
+                    let Some((start, end)) = job else { break };
                     let task_start = live.then(Instant::now);
-                    let value = worker(index);
+                    for (index, slot) in results.iter().enumerate().take(end).skip(start) {
+                        let value = worker(index);
+                        *slot.lock().expect("pool poisoned") = Some(value);
+                    }
                     if let Some(t) = task_start {
                         busy_ns += t.elapsed().as_nanos() as u64;
-                        tasks += 1;
+                        tasks += (end - start) as u64;
                     }
-                    *results[index].lock().expect("pool poisoned") = Some(value);
                 }
                 if let Some(t) = spawned {
                     let alive_ns = t.elapsed().as_nanos() as u64;
@@ -214,6 +227,25 @@ mod tests {
         assert!(run_indexed(0, 4, |i| i).is_empty());
         assert_eq!(run_indexed(1, 16, |i| i), vec![0]);
         assert_eq!(run_indexed(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chunked_dealing_covers_every_job_exactly_once() {
+        // 1000 jobs on 4 workers → chunk size 31: the batched path, unlike
+        // the small sweeps above (≤ 8 jobs/worker keep chunk size 1).
+        let calls = AtomicUsize::new(0);
+        let tele = Telemetry::enabled();
+        let out = run_indexed_with(1000, 4, &tele, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+        // pool.tasks counts jobs, not chunks.
+        assert_eq!(
+            tele.snapshot().timing_counters.get("pool.tasks"),
+            Some(&1000)
+        );
     }
 
     #[test]

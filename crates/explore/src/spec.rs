@@ -23,6 +23,7 @@ use std::fmt;
 
 use mipsx_coproc::InterfaceScheme;
 use mipsx_core::SimConfig;
+use mipsx_exec::EngineKind;
 use mipsx_reorg::{BranchScheme, SquashPolicy};
 
 /// Default cycle budget per job (the experiment harness's historical
@@ -54,14 +55,30 @@ pub struct SimPoint {
     pub cfg: SimConfig,
     /// The branch scheme programs are reorganized under.
     pub scheme: BranchScheme,
+    /// Which execution backend runs the cycles. Every kind books the
+    /// same cycles (the block engine by the cycle-splice contract), so
+    /// this is a host-side throughput/verification choice, sweepable
+    /// like any other field.
+    pub engine: EngineKind,
 }
 
 impl SimPoint {
     /// Couple a configuration with a branch scheme (the scheme's slot
-    /// count wins over whatever `cfg` carried).
+    /// count wins over whatever `cfg` carried). Runs on the
+    /// cycle-accurate stepper; see [`SimPoint::with_engine`].
     pub fn new(mut cfg: SimConfig, scheme: BranchScheme) -> SimPoint {
         cfg.branch_delay_slots = scheme.slots;
-        SimPoint { cfg, scheme }
+        SimPoint {
+            cfg,
+            scheme,
+            engine: EngineKind::Interp,
+        }
+    }
+
+    /// The same point on a different execution backend.
+    pub fn with_engine(mut self, engine: EngineKind) -> SimPoint {
+        self.engine = engine;
+        self
     }
 
     /// The shipped machine under the shipped branch scheme.
@@ -96,6 +113,13 @@ impl SimPoint {
             return err(format!(
                 "icache needs >=1 way and a 1- or 2-word fetch-back: ways={} fetch={}",
                 ic.ways, ic.fetch_words
+            ));
+        }
+        if self.engine == EngineKind::Checked && self.scheme.slots != 2 {
+            return err(format!(
+                "engine=checked needs the 2-delay-slot pipeline (the reference model \
+                 hard-codes that ISA); got {} slots",
+                self.scheme.slots
             ));
         }
         let ec = &self.cfg.ecache;
@@ -225,11 +249,13 @@ pub enum AxisField {
     /// `coproc.scheme` — coprocessor interface (`bit`, `field`,
     /// `noncached`, `addr`).
     CoprocScheme,
+    /// `engine` — execution backend (`interp`, `block`, `checked`).
+    Engine,
 }
 
 impl AxisField {
     /// Every sweepable field, with its spec-file name.
-    pub const ALL: [(AxisField, &'static str); 13] = [
+    pub const ALL: [(AxisField, &'static str); 14] = [
         (AxisField::IcacheRows, "icache.rows"),
         (AxisField::IcacheWays, "icache.ways"),
         (AxisField::IcacheBlockWords, "icache.block_words"),
@@ -243,6 +269,7 @@ impl AxisField {
         (AxisField::BranchSlots, "branch.slots"),
         (AxisField::Squash, "branch.squash"),
         (AxisField::CoprocScheme, "coproc.scheme"),
+        (AxisField::Engine, "engine"),
     ];
 
     /// The spec-file name of this field.
@@ -291,6 +318,9 @@ impl AxisField {
                 "false" | "0" => Ok(AxisValue::Bool(false)),
                 _ => Err(bad()),
             },
+            AxisField::Engine => EngineKind::parse(s)
+                .map(AxisValue::Engine)
+                .map_err(|_| bad()),
             _ => s.parse().map(AxisValue::U32).map_err(|_| bad()),
         }
     }
@@ -307,6 +337,8 @@ pub enum AxisValue {
     Squash(SquashPolicy),
     /// A coprocessor interface scheme.
     Coproc(InterfaceScheme),
+    /// An execution backend.
+    Engine(EngineKind),
 }
 
 impl fmt::Display for AxisValue {
@@ -321,6 +353,7 @@ impl fmt::Display for AxisValue {
             AxisValue::Coproc(InterfaceScheme::CoprocField) => f.write_str("field"),
             AxisValue::Coproc(InterfaceScheme::NonCached) => f.write_str("noncached"),
             AxisValue::Coproc(InterfaceScheme::AddressLines) => f.write_str("addr"),
+            AxisValue::Engine(kind) => kind.fmt(f),
         }
     }
 }
@@ -380,6 +413,7 @@ impl Axis {
             }
             (AxisField::Squash, AxisValue::Squash(v)) => point.scheme.squash = v,
             (AxisField::CoprocScheme, AxisValue::Coproc(v)) => point.cfg.coproc_scheme = v,
+            (AxisField::Engine, AxisValue::Engine(v)) => point.engine = v,
             (field, value) => {
                 // parse_value never produces a mismatched kind; constructed
                 // axes that do are a programming error.
@@ -434,9 +468,11 @@ impl SweepSpec {
     /// ```text
     /// # comment
     /// base mipsx            # or: base ideal
+    /// engine block          # or: interp (default), checked
     /// cycles 500000000
     /// workload kernel:fib_recursive
     /// axis icache.rows 2 4 8
+    /// axis engine interp block
     /// fault 120:irq3,340:nmi   # or: fault none
     /// ```
     pub fn parse(text: &str) -> Result<SweepSpec, SpecError> {
@@ -456,6 +492,9 @@ impl SweepSpec {
                 ("base", ["mipsx"]) => spec.base = SimPoint::mipsx(),
                 ("base", ["ideal"]) => spec.base = SimPoint::ideal_memory(),
                 ("base", _) => return Err(at("base must be `mipsx` or `ideal`".into())),
+                ("engine", [kind]) => {
+                    spec.base.engine = EngineKind::parse(kind).map_err(&at)?;
+                }
                 ("cycles", [n]) => {
                     spec.run_cycles = n.parse().map_err(|_| at(format!("bad cycle count {n}")))?;
                 }

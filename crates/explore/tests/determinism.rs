@@ -8,8 +8,8 @@
 //!    distinct across semantically different configurations.
 
 use mipsx_explore::{
-    canonical_point, job_key, run_sweep, Axis, Grid, ResultStore, SimPoint, SweepOptions,
-    SweepSpec, Telemetry, Workload,
+    canonical_point, job_key, run_sweep, Axis, EngineKind, Grid, ImageCache, ResultStore, SimPoint,
+    SweepOptions, SweepSpec, Telemetry, Workload,
 };
 use proptest::prelude::*;
 
@@ -58,7 +58,7 @@ fn deterministic_metrics_are_thread_count_invariant() {
             threads,
             store: ResultStore::disabled(),
             telemetry: Telemetry::enabled(),
-            journal: None,
+            ..SweepOptions::default()
         };
         run_sweep(&spec, &o).unwrap();
         o.telemetry.snapshot()
@@ -111,6 +111,162 @@ fn cached_and_fresh_runs_agree_with_serial_baseline() {
     for (a, b) in baseline.rows.iter().zip(&mixed.rows) {
         assert_eq!(a.result, b.result, "{}/{}", a.point_label, a.workload);
     }
+}
+
+#[test]
+fn warm_image_cache_reports_are_byte_identical_to_cold() {
+    // Same spec, same shared ImageCache: the second sweep prepares nothing
+    // (every job hits the image cache) yet renders the exact bytes of the
+    // first — preparation sharing must be invisible in the results.
+    let spec = small_spec();
+    let images = ImageCache::new();
+    let run = |images: ImageCache| {
+        let o = SweepOptions {
+            threads: 4,
+            store: ResultStore::disabled(),
+            telemetry: Telemetry::enabled(),
+            images,
+            ..SweepOptions::default()
+        };
+        let outcome = run_sweep(&spec, &o).unwrap();
+        (outcome, o.telemetry.snapshot())
+    };
+    let (cold, cold_snap) = run(images.clone());
+    // 2 kernels × 1 scheme: two distinct images serve all 8 jobs.
+    assert_eq!(cold_snap.counter("image.misses"), 2);
+    assert_eq!(cold_snap.counter("image.hits"), 6);
+    let (warm, warm_snap) = run(images);
+    assert_eq!(warm_snap.counter("image.misses"), 0, "warm run re-prepared");
+    assert_eq!(warm_snap.counter("image.hits"), 8);
+    assert_eq!(cold.to_json(), warm.to_json());
+    assert_eq!(cold.to_csv(), warm.to_csv());
+}
+
+#[test]
+fn engine_axis_sweeps_are_thread_count_invariant() {
+    // The determinism guarantees extend over the engine axis: interp and
+    // block jobs interleaved across 4 workers render the serial bytes,
+    // and the deterministic telemetry section (which now carries image
+    // and block-engine counters) totals identically.
+    let mut spec = small_spec();
+    let Grid::Axes(axes) = &mut spec.grid else {
+        panic!("small_spec uses axes")
+    };
+    axes.push(Axis::parse_flag("engine=interp,block").unwrap());
+    let run = |threads: usize| {
+        let o = SweepOptions {
+            threads,
+            store: ResultStore::disabled(),
+            telemetry: Telemetry::enabled(),
+            ..SweepOptions::default()
+        };
+        (run_sweep(&spec, &o).unwrap(), o.telemetry.snapshot())
+    };
+    let (serial, serial_snap) = run(1);
+    let (parallel, parallel_snap) = run(4);
+    assert_eq!(serial.rows.len(), 16);
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(
+        serial_snap.deterministic_json(),
+        parallel_snap.deterministic_json(),
+        "deterministic sections diverged over the engine axis"
+    );
+}
+
+#[test]
+fn block_rows_match_interp_rows_on_pipeline_counters() {
+    // Same grid twice — once per engine — over every kernel × all six
+    // Table 1 schemes on the cache-ideal base (zero miss penalties, so
+    // the block fast path actually engages instead of demoting whole).
+    // Every RunStats-derived counter must agree; the cache counters may
+    // not (the fast path skips the cache models), which is exactly why
+    // the engine is part of the job key.
+    let base = SimPoint::new(
+        mipsx_core::SimConfig::cache_ideal(),
+        mipsx_reorg::BranchScheme::mipsx(),
+    );
+    let mut spec = SweepSpec::new(base);
+    spec.grid = Grid::Axes(vec![
+        Axis::parse_flag("branch.slots=2,1").unwrap(),
+        Axis::parse_flag("branch.squash=none,always,optional").unwrap(),
+    ]);
+    spec.workloads = mipsx_workloads::kernel_names()
+        .iter()
+        .map(|name| Workload::parse(&format!("kernel:{name}")).unwrap())
+        .collect();
+    spec.run_cycles = 5_000_000;
+    let interp = run_sweep(&spec, &opts(4, ResultStore::disabled())).unwrap();
+    let mut block_spec = spec.clone();
+    block_spec.base = block_spec.base.with_engine(EngineKind::Block);
+    let block_opts = SweepOptions {
+        threads: 4,
+        store: ResultStore::disabled(),
+        telemetry: Telemetry::enabled(),
+        ..SweepOptions::default()
+    };
+    let block = run_sweep(&block_spec, &block_opts).unwrap();
+    assert!(
+        block_opts
+            .telemetry
+            .snapshot()
+            .counter("engine.fast_cycles")
+            > 0,
+        "block sweeps on the cache-ideal base must exercise the fast path"
+    );
+    assert_eq!(interp.rows.len(), block.rows.len());
+    for (a, b) in interp.rows.iter().zip(&block.rows) {
+        let tag = format!("{} | {}", a.point_label, a.workload);
+        assert_ne!(a.key, b.key, "{tag}: engines must key differently");
+        let (ra, rb) = (&a.result, &b.result);
+        assert_eq!(ra.cycles, rb.cycles, "{tag}: cycles");
+        assert_eq!(ra.instructions, rb.instructions, "{tag}: instructions");
+        assert_eq!(ra.squashed, rb.squashed, "{tag}: squashed");
+        assert_eq!(ra.nops, rb.nops, "{tag}: nops");
+        assert_eq!(ra.branches, rb.branches, "{tag}: branches");
+        assert_eq!(ra.branches_taken, rb.branches_taken, "{tag}: taken");
+        assert_eq!(ra.branch_slot_nops, rb.branch_slot_nops, "{tag}: slot nops");
+        assert_eq!(
+            ra.branch_slot_squashed, rb.branch_slot_squashed,
+            "{tag}: slot squashed"
+        );
+        assert_eq!(ra.loads, rb.loads, "{tag}: loads");
+        assert_eq!(ra.stores, rb.stores, "{tag}: stores");
+        assert_eq!(ra.exceptions, rb.exceptions, "{tag}: exceptions");
+        assert_eq!(
+            ra.icache_stall_cycles, rb.icache_stall_cycles,
+            "{tag}: icache stalls"
+        );
+        assert_eq!(
+            ra.ecache_stall_cycles, rb.ecache_stall_cycles,
+            "{tag}: ecache stalls"
+        );
+        // Scheduling counters come from the shared prepared image.
+        assert_eq!(ra.sched_branches, rb.sched_branches, "{tag}: sched");
+        assert_eq!(ra.sched_slot_nops, rb.sched_slot_nops, "{tag}: sched nops");
+    }
+}
+
+#[test]
+fn checked_engine_agrees_with_interp_and_validates() {
+    // engine=checked runs the stepper under the reference-model oracle;
+    // its rows must equal plain interp rows bit for bit (same machine,
+    // same books — the oracle only watches).
+    let mut spec = small_spec();
+    spec.workloads.truncate(1);
+    let interp = run_sweep(&spec, &opts(2, ResultStore::disabled())).unwrap();
+    let mut checked_spec = spec.clone();
+    checked_spec.base = checked_spec.base.with_engine(EngineKind::Checked);
+    let checked = run_sweep(&checked_spec, &opts(2, ResultStore::disabled())).unwrap();
+    for (a, b) in interp.rows.iter().zip(&checked.rows) {
+        assert_eq!(a.result, b.result, "{}", a.point_label);
+        assert_ne!(a.key, b.key);
+        assert!(b.failed.is_none());
+    }
+    // And the checked engine refuses the 1-slot pipeline at spec level.
+    let mut bad = checked_spec;
+    bad.grid = Grid::Axes(vec![Axis::parse_flag("branch.slots=1").unwrap()]);
+    assert!(bad.expand().is_err());
 }
 
 /// Build one point by applying three single-valued axes in the given

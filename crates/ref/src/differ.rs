@@ -24,7 +24,9 @@
 use std::fmt;
 
 use mipsx_asm::Program;
-use mipsx_core::{FaultEvent, FaultPlan, Machine, MachineConfig, RunError, RunStats, TraceSink};
+use mipsx_core::{
+    FaultEvent, FaultPlan, Machine, MachineConfig, NullSink, RunError, RunStats, TraceSink,
+};
 use mipsx_isa::{ExceptionCause, Instr};
 
 use crate::interp::RefMachine;
@@ -114,10 +116,199 @@ impl From<RunError> for LockstepError {
     }
 }
 
+/// A reference-model oracle shadowing a pipeline it does **not** own.
+///
+/// [`Shadow`] holds only the functional model; each [`Shadow::step`]
+/// advances a borrowed [`Machine`] one cycle, mirrors its retirements and
+/// exceptions, and compares. This is the machine-external core of the
+/// differ: [`Lockstep`] (which owns both sides) and the `checked`
+/// execution backend (which verifies a caller-owned machine in place) are
+/// both thin wrappers around it.
+pub struct Shadow {
+    oracle: RefMachine,
+}
+
+impl Shadow {
+    /// Build the oracle over `program`.
+    ///
+    /// # Panics
+    /// Panics unless `cfg` uses the shipped two-delay-slot pipeline — the
+    /// reference model hard-codes that ISA.
+    pub fn new(cfg: &MachineConfig, program: &Program) -> Shadow {
+        assert_eq!(
+            cfg.branch_delay_slots, 2,
+            "the reference model encodes the 2-delay-slot ISA"
+        );
+        let mut oracle = RefMachine::new(cfg.exception_vector);
+        oracle.load_program(program);
+        Shadow { oracle }
+    }
+
+    /// Load an image (e.g. an exception handler) on the oracle side.
+    pub fn load_image(&mut self, origin: u32, words: &[u32]) {
+        self.oracle.load_image(origin, words);
+    }
+
+    /// Enable maskable interrupts on the oracle side.
+    pub fn enable_interrupts(&mut self) {
+        self.oracle.psw_mut().set_interrupts_enabled(true);
+    }
+
+    /// The reference side.
+    pub fn oracle(&self) -> &RefMachine {
+        &self.oracle
+    }
+
+    /// Advance `machine` one cycle under `plan`, mirror its retirements
+    /// and exceptions into the oracle, and compare. Per-cycle probe events
+    /// are forwarded to `extra` so a traced run stays byte-identical to an
+    /// unshadowed one. Returns whether the pipeline has halted.
+    pub fn step<S: TraceSink>(
+        &mut self,
+        machine: &mut Machine,
+        plan: &mut FaultPlan,
+        extra: &mut S,
+    ) -> Result<bool, LockstepError> {
+        let mut ev = StepEvents::default();
+        machine
+            .step_with_faults(&mut (&mut ev, &mut *extra), plan)
+            .map_err(LockstepError::Machine)?;
+        for (pc, instr, killed) in std::mem::take(&mut ev.retires) {
+            let step = self.oracle.step_retire();
+            if step.pc != pc {
+                return Err(self.diverge(
+                    machine,
+                    plan,
+                    format!("retired pc: pipeline {:#x}, reference {:#x}", pc, step.pc),
+                ));
+            }
+            if step.killed != killed {
+                return Err(self.diverge(
+                    machine,
+                    plan,
+                    format!(
+                        "kill bit at {pc:#x} ({instr}): pipeline {killed}, reference {}",
+                        step.killed
+                    ),
+                ));
+            }
+            if !killed {
+                if step.instr != Some(instr) {
+                    return Err(self.diverge(
+                        machine,
+                        plan,
+                        format!(
+                            "instruction at {pc:#x}: pipeline {instr}, reference {}",
+                            step.instr
+                                .map_or_else(|| "<drain>".into(), |i| i.to_string())
+                        ),
+                    ));
+                }
+                let m = machine.cpu().regs_snapshot();
+                let o = self.oracle.regs_snapshot();
+                if m != o {
+                    let r = (0..32).find(|&i| m[i] != o[i]).unwrap_or(0);
+                    return Err(self.diverge(
+                        machine,
+                        plan,
+                        format!(
+                            "r{r} after {instr} at {pc:#x}: pipeline {:#x}, reference {:#x}",
+                            m[r], o[r]
+                        ),
+                    ));
+                }
+            }
+        }
+        for cause in ev.exceptions.drain(..) {
+            self.oracle.take_exception(cause);
+        }
+        Ok(machine.halted())
+    }
+
+    /// The final architectural comparison at halt: registers, PSW, PSWold,
+    /// MD and every memory word the reference model stored to.
+    pub fn final_check(&self, machine: &Machine, plan: &FaultPlan) -> Result<(), LockstepError> {
+        if !self.oracle.halted() {
+            return Err(self.diverge(
+                machine,
+                plan,
+                "pipeline halted, reference model did not".into(),
+            ));
+        }
+        let m = machine.cpu().regs_snapshot();
+        let o = self.oracle.regs_snapshot();
+        if m != o {
+            let r = (0..32).find(|&i| m[i] != o[i]).unwrap_or(0);
+            return Err(self.diverge(
+                machine,
+                plan,
+                format!("r{r} at halt: pipeline {:#x}, reference {:#x}", m[r], o[r]),
+            ));
+        }
+        let cpu = machine.cpu();
+        if cpu.psw.bits() != self.oracle.psw().bits() {
+            return Err(self.diverge(
+                machine,
+                plan,
+                format!(
+                    "psw at halt: pipeline {:#010x}, reference {:#010x}",
+                    cpu.psw.bits(),
+                    self.oracle.psw().bits()
+                ),
+            ));
+        }
+        if cpu.psw_old.bits() != self.oracle.psw_old().bits() {
+            return Err(self.diverge(
+                machine,
+                plan,
+                format!(
+                    "pswold at halt: pipeline {:#010x}, reference {:#010x}",
+                    cpu.psw_old.bits(),
+                    self.oracle.psw_old().bits()
+                ),
+            ));
+        }
+        if cpu.md != self.oracle.md() {
+            return Err(self.diverge(
+                machine,
+                plan,
+                format!(
+                    "md at halt: pipeline {:#x}, reference {:#x}",
+                    cpu.md,
+                    self.oracle.md()
+                ),
+            ));
+        }
+        for addr in self.oracle.written_addrs() {
+            let mv = machine.read_word(addr);
+            let ov = self.oracle.mem_word(addr);
+            if mv != ov {
+                return Err(self.diverge(
+                    machine,
+                    plan,
+                    format!("memory word {addr:#x} at halt: pipeline {mv:#x}, reference {ov:#x}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn diverge(&self, machine: &Machine, plan: &FaultPlan, what: String) -> LockstepError {
+        LockstepError::Diverged(Box::new(Divergence {
+            cycle: machine.stats().cycles,
+            committed: machine.stats().instructions,
+            what,
+            machine_pc: machine.cpu().pc,
+            oracle_pc: self.oracle.pc(),
+            pending_fault: plan.last_fired(),
+        }))
+    }
+}
+
 /// Pipeline + reference model in lockstep under one fault plan.
 pub struct Lockstep {
     machine: Machine,
-    oracle: RefMachine,
+    shadow: Shadow,
     plan: FaultPlan,
 }
 
@@ -129,17 +320,12 @@ impl Lockstep {
     /// Panics unless `cfg` uses the shipped two-delay-slot pipeline — the
     /// reference model hard-codes that ISA.
     pub fn new(cfg: MachineConfig, program: &Program, plan: FaultPlan) -> Lockstep {
-        assert_eq!(
-            cfg.branch_delay_slots, 2,
-            "the reference model encodes the 2-delay-slot ISA"
-        );
         let mut machine = Machine::new(cfg);
         machine.load_program(program);
-        let mut oracle = RefMachine::new(cfg.exception_vector);
-        oracle.load_program(program);
+        let shadow = Shadow::new(&cfg, program);
         Lockstep {
             machine,
-            oracle,
+            shadow,
             plan,
         }
     }
@@ -150,13 +336,13 @@ impl Lockstep {
             self.machine
                 .write_word(handler.origin.wrapping_add(i as u32), w);
         }
-        self.oracle.load_image(handler.origin, &handler.words);
+        self.shadow.load_image(handler.origin, &handler.words);
     }
 
     /// Enable maskable interrupts on both sides (boot software would).
     pub fn enable_interrupts(&mut self) {
         self.machine.cpu_mut().psw.set_interrupts_enabled(true);
-        self.oracle.psw_mut().set_interrupts_enabled(true);
+        self.shadow.enable_interrupts();
     }
 
     /// The pipeline side.
@@ -172,54 +358,15 @@ impl Lockstep {
 
     /// The reference side.
     pub fn oracle(&self) -> &RefMachine {
-        &self.oracle
+        self.shadow.oracle()
     }
 
     /// Advance the pipeline one cycle, mirror its retirements and
     /// exceptions into the reference model, and compare. Returns whether
     /// the pipeline has halted.
     pub fn step(&mut self) -> Result<bool, LockstepError> {
-        let mut ev = StepEvents::default();
-        self.machine
-            .step_with_faults(&mut ev, &mut self.plan)
-            .map_err(LockstepError::Machine)?;
-        for (pc, instr, killed) in std::mem::take(&mut ev.retires) {
-            let step = self.oracle.step_retire();
-            if step.pc != pc {
-                return Err(self.diverge(format!(
-                    "retired pc: pipeline {:#x}, reference {:#x}",
-                    pc, step.pc
-                )));
-            }
-            if step.killed != killed {
-                return Err(self.diverge(format!(
-                    "kill bit at {pc:#x} ({instr}): pipeline {killed}, reference {}",
-                    step.killed
-                )));
-            }
-            if !killed {
-                if step.instr != Some(instr) {
-                    return Err(self.diverge(format!(
-                        "instruction at {pc:#x}: pipeline {instr}, reference {}",
-                        step.instr
-                            .map_or_else(|| "<drain>".into(), |i| i.to_string())
-                    )));
-                }
-                let m = self.machine.cpu().regs_snapshot();
-                let o = self.oracle.regs_snapshot();
-                if m != o {
-                    let r = (0..32).find(|&i| m[i] != o[i]).unwrap_or(0);
-                    return Err(self.diverge(format!(
-                        "r{r} after {instr} at {pc:#x}: pipeline {:#x}, reference {:#x}",
-                        m[r], o[r]
-                    )));
-                }
-            }
-        }
-        for cause in ev.exceptions.drain(..) {
-            self.oracle.take_exception(cause);
-        }
-        Ok(self.machine.halted())
+        self.shadow
+            .step(&mut self.machine, &mut self.plan, &mut NullSink)
     }
 
     /// Run to halt (or `max_cycles`) and make the final architectural
@@ -234,65 +381,7 @@ impl Lockstep {
             }
             self.step()?;
         }
-        self.final_check()?;
+        self.shadow.final_check(&self.machine, &self.plan)?;
         Ok(*self.machine.stats())
-    }
-
-    fn final_check(&self) -> Result<(), LockstepError> {
-        if !self.oracle.halted() {
-            return Err(self.diverge("pipeline halted, reference model did not".into()));
-        }
-        let m = self.machine.cpu().regs_snapshot();
-        let o = self.oracle.regs_snapshot();
-        if m != o {
-            let r = (0..32).find(|&i| m[i] != o[i]).unwrap_or(0);
-            return Err(self.diverge(format!(
-                "r{r} at halt: pipeline {:#x}, reference {:#x}",
-                m[r], o[r]
-            )));
-        }
-        let cpu = self.machine.cpu();
-        if cpu.psw.bits() != self.oracle.psw().bits() {
-            return Err(self.diverge(format!(
-                "psw at halt: pipeline {:#010x}, reference {:#010x}",
-                cpu.psw.bits(),
-                self.oracle.psw().bits()
-            )));
-        }
-        if cpu.psw_old.bits() != self.oracle.psw_old().bits() {
-            return Err(self.diverge(format!(
-                "pswold at halt: pipeline {:#010x}, reference {:#010x}",
-                cpu.psw_old.bits(),
-                self.oracle.psw_old().bits()
-            )));
-        }
-        if cpu.md != self.oracle.md() {
-            return Err(self.diverge(format!(
-                "md at halt: pipeline {:#x}, reference {:#x}",
-                cpu.md,
-                self.oracle.md()
-            )));
-        }
-        for addr in self.oracle.written_addrs() {
-            let mv = self.machine.read_word(addr);
-            let ov = self.oracle.mem_word(addr);
-            if mv != ov {
-                return Err(self.diverge(format!(
-                    "memory word {addr:#x} at halt: pipeline {mv:#x}, reference {ov:#x}"
-                )));
-            }
-        }
-        Ok(())
-    }
-
-    fn diverge(&self, what: String) -> LockstepError {
-        LockstepError::Diverged(Box::new(Divergence {
-            cycle: self.machine.stats().cycles,
-            committed: self.machine.stats().instructions,
-            what,
-            machine_pc: self.machine.cpu().pc,
-            oracle_pc: self.oracle.pc(),
-            pending_fault: self.plan.last_fired(),
-        }))
     }
 }

@@ -25,5 +25,5 @@
 mod differ;
 mod interp;
 
-pub use differ::{Divergence, Lockstep, LockstepError, NULL_HANDLER};
+pub use differ::{Divergence, Lockstep, LockstepError, Shadow, NULL_HANDLER};
 pub use interp::{RefMachine, RetireStep};

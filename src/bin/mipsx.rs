@@ -45,11 +45,13 @@
 //!   --trust             disable interlock checking (model the silicon)
 //!   --ideal             use the ideal-cache configuration (no memory
 //!                       stalls) instead of the MIPS-X board
-//!   --engine <block|interp>
-//!                       execution path: `block` runs the basic-block
+//!   --engine <interp|block|checked>
+//!                       execution backend: `block` runs the basic-block
 //!                       superop engine (fast, cycle-identical; demotes
-//!                       itself to the stepper when it must), `interp`
-//!                       the cycle-accurate stepper (default)
+//!                       itself to the stepper when it must), `checked`
+//!                       shadows every step with the functional reference
+//!                       model, `interp` the cycle-accurate stepper
+//!                       (default)
 //!   --regs              dump the register file after the run
 //!
 //! trace options (in addition to --cycles/--slots):
@@ -103,6 +105,9 @@
 //!                       trace:<medium|large>:<seed>, stream:<words>x<reps>
 //!   --fault <spec>      fault plan cell (repeatable; "none" = fault-free)
 //!   --base <mipsx|ideal> base configuration (default mipsx)
+//!   --engine <interp|block|checked>
+//!                       base execution backend (default interp); also an
+//!                       axis: --grid engine=interp,block sweeps it
 //!   --cycles <n>        per-job cycle budget (default 500,000,000)
 //!   --threads <n>       worker threads (default: all cores)
 //!   --json | --csv      report format (default: markdown table)
@@ -137,9 +142,11 @@
 //!
 //! profile options:
 //!   a kernel name or .s file profiles a single run (assemble, machine
-//!   construction, program decode, execution — plus host steps/s); a
-//!   .sweep file or --grid/--workload flags profile a whole sweep with
-//!   the same flags as `mipsx sweep`. `--metrics <path>` works here too.
+//!   construction, program decode, execution — plus host steps/s);
+//!   `--engine <interp|block|checked>` picks the backend, and a block run
+//!   prints its fallback-cause breakdown; a .sweep file or
+//!   --grid/--workload flags profile a whole sweep with the same flags as
+//!   `mipsx sweep`. `--metrics <path>` works here too.
 //! ```
 //!
 //! A failing soak run prints a copy-pasteable `mipsx soak --runs 1 --seed N
@@ -160,7 +167,7 @@ use mipsx::asm::{assemble, assemble_at, disassemble};
 use mipsx::cli::{flag, parse_args, switch, ArgError, FlagSpec, ParsedArgs};
 use mipsx::core::probe::{CpiAttribution, JsonlSink, NullSink, PipeDiagram};
 use mipsx::core::{FaultPlan, InterlockPolicy, Machine, MachineConfig, RunError};
-use mipsx::engine::BlockEngine;
+use mipsx::exec::{AnyBackend, EngineKind, ExecBackend};
 use mipsx::explore::{
     run_sweep, Axis, Grid, JournalConfig, ResultStore, SimPoint, SweepOptions, SweepSpec,
     Telemetry, Workload,
@@ -177,7 +184,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: mipsx <asm|dis|run|trace|soak|lint|analyze|sweep|profile|snapshot|info> \
          [file.s|kernel|spec.sweep] \
-         [--cycles N] [--slots 1|2] [--trust] [--ideal] [--engine block|interp] [--regs] \
+         [--cycles N] [--slots 1|2] [--trust] [--ideal] [--engine interp|block|checked] [--regs] \
          [--diagram N] [--jsonl path] \
          [--from-cycle K] [--runs N] \
          [--seed N] [--faults spec] [--fault-count N] [--snap-dir dir] [--json] [--kernels] \
@@ -843,14 +850,18 @@ fn cmd_run(path: &str, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let use_engine = match parsed.value("--engine") {
-        None | Some("interp") => false,
-        Some("block") => true,
-        Some(other) => {
-            eprintln!("mipsx: --engine {other}: expected block or interp");
+    let kind = match parsed.value("--engine").map(EngineKind::parse) {
+        None => EngineKind::Interp,
+        Some(Ok(kind)) => kind,
+        Some(Err(e)) => {
+            eprintln!("mipsx: --engine: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if kind == EngineKind::Checked && slots != 2 {
+        eprintln!("mipsx: --engine checked models the 2-delay-slot pipeline only");
+        return ExitCode::FAILURE;
+    }
     let mut cfg = if parsed.has("--ideal") {
         MachineConfig::cache_ideal()
     } else {
@@ -862,10 +873,11 @@ fn cmd_run(path: &str, args: &[String]) -> ExitCode {
     }
     let mut machine = Machine::new(cfg);
     machine.load_program(&program);
-    let result = if use_engine {
-        let mut engine = BlockEngine::new(&program, &machine);
-        let result = engine.run(&mut machine, cycles);
-        let es = engine.stats();
+    let mut backend = AnyBackend::new(kind, &program, &machine);
+    let result = backend
+        .run(&mut machine, cycles)
+        .and_then(|stats| backend.final_check(&machine).map(|()| stats));
+    if let Some(es) = backend.engine_stats() {
         println!(
             "engine: {} blocks compiled ({} fallback-only), {} visits, \
              {} fast cycles, {} recompiles",
@@ -874,17 +886,14 @@ fn cmd_run(path: &str, args: &[String]) -> ExitCode {
         for (cause, count) in es.fallback_breakdown() {
             println!("engine: fallback {cause:<16} x{count}");
         }
-        result
-    } else {
-        machine.run(cycles)
-    };
+    }
     match result {
         Ok(stats) => {
             println!("{stats}");
             // The block engine only fast-paths ideal-cache configs; its
             // demoted runs still keep the cache books, so print them in
-            // interpreter mode only (where they are the point).
-            if !use_engine {
+            // the stepper-driven modes only (where they are the point).
+            if kind != EngineKind::Block {
                 println!("icache: {}", machine.icache().stats());
                 println!("ecache: {}", machine.ecache().stats());
             }
@@ -921,6 +930,9 @@ fn sweep_spec_from(parsed: &ParsedArgs) -> Result<SweepSpec, String> {
         Some("mipsx") => spec.base = SimPoint::mipsx(),
         Some("ideal") => spec.base = SimPoint::ideal_memory(),
         Some(other) => return Err(format!("--base {other}: expected mipsx or ideal")),
+    }
+    if let Some(kind) = parsed.value("--engine") {
+        spec.base.engine = EngineKind::parse(kind).map_err(|e| format!("--engine: {e}"))?;
     }
     let flag_axes: Vec<Axis> = parsed
         .values_of("--grid")
@@ -969,6 +981,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             flag("--workload"),
             flag("--fault"),
             flag("--base"),
+            flag("--engine"),
             flag("--cycles"),
             flag("--threads"),
             flag("--store"),
@@ -1034,6 +1047,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         store,
         telemetry,
         journal,
+        ..SweepOptions::default()
     };
     let outcome = match run_sweep(&spec, &opts) {
         Ok(o) => o,
@@ -1127,7 +1141,7 @@ fn sweep_bench(path: &str, threads: usize) -> ExitCode {
                 threads,
                 store: mipsx::explore::temp_store(&format!("bench-{name}-{threads}")),
                 telemetry,
-                journal: None,
+                ..SweepOptions::default()
             };
             let start = std::time::Instant::now();
             let outcome = run_sweep(&spec, &opts).expect("bench sweep");
@@ -1212,6 +1226,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             flag("--workload"),
             flag("--fault"),
             flag("--base"),
+            flag("--engine"),
             flag("--cycles"),
             flag("--threads"),
             flag("--slots"),
@@ -1254,7 +1269,7 @@ fn cmd_profile(args: &[String]) -> ExitCode {
             threads,
             store,
             telemetry: tele.clone(),
-            journal: None,
+            ..SweepOptions::default()
         };
         let outcome = match run_sweep(&spec, &opts) {
             Ok(o) => o,
@@ -1322,6 +1337,18 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         (Ok(c), Ok(s)) => (c, s),
         (Err(code), _) | (_, Err(code)) => return code,
     };
+    let kind = match parsed.value("--engine").map(EngineKind::parse) {
+        None => EngineKind::Interp,
+        Some(Ok(kind)) => kind,
+        Some(Err(e)) => {
+            eprintln!("mipsx: --engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if kind == EngineKind::Checked && slots != 2 {
+        eprintln!("mipsx: --engine checked models the 2-delay-slot pipeline only");
+        return ExitCode::FAILURE;
+    }
     let root = tele.span_root("profile");
     let program = {
         let _s = tele.span("assemble");
@@ -1343,10 +1370,19 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         let _s = tele.span("decode");
         machine.load_program(&program);
     }
+    let mut backend = {
+        // Only the block backend does real work here (compiling the
+        // image into superop blocks); the span prices exactly that.
+        let _s = (kind == EngineKind::Block).then(|| tele.span("compile"));
+        AnyBackend::new(kind, &program, &machine)
+    };
     let run_start = std::time::Instant::now();
     let stats = {
         let _s = tele.span("run");
-        match machine.run(cycles) {
+        let finished = backend
+            .run(&mut machine, cycles)
+            .and_then(|s| backend.final_check(&machine).map(|()| s));
+        match finished {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("mipsx: execution failed: {e}");
@@ -1368,6 +1404,25 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         stats.dynamic_instructions() as f64 / run_wall.as_secs_f64().max(1e-9) / 1e6,
     );
     println!("guest: {stats}");
+    if let Some(es) = backend.engine_stats() {
+        println!();
+        println!(
+            "engine: {} blocks compiled ({} fallback-only), {} visits, \
+             {} fast cycles ({:.1}% of run), {} recompiles",
+            es.blocks_compiled,
+            es.fallback_blocks,
+            es.block_visits,
+            es.fast_cycles,
+            100.0 * es.fast_cycles as f64 / (stats.cycles as f64).max(1.0),
+            es.recompiles,
+        );
+        if es.total_fallbacks() == 0 {
+            println!("engine: no stepper fallbacks");
+        }
+        for (cause, count) in es.fallback_breakdown() {
+            println!("engine: fallback {cause:<16} x{count}");
+        }
+    }
     if let Some(path) = parsed.value("--metrics") {
         if let Err(e) = write_metrics(path, &snap) {
             eprintln!("mipsx: {e}");

@@ -26,6 +26,7 @@
 //! | [`baseline`] | `mipsx-baseline` | IR with MIPS-X and VAX-like backends |
 //! | [`bench`] | `mipsx-bench` | the paper's experiments (E1..E11) |
 //! | [`engine`] | `mipsx-engine` | basic-block superop execution engine (fast path) |
+//! | [`exec`] | `mipsx-exec` | pluggable execution backends (stepper, block engine, checked) |
 //! | [`explore`] | `mipsx-explore` | design-space sweep engine, result cache, thread pool |
 //! | [`telemetry`] | `mipsx-telemetry` | host observability: spans, metrics registry, exporters |
 //!
@@ -55,6 +56,7 @@ pub use mipsx_bench as bench;
 pub use mipsx_coproc as coproc;
 pub use mipsx_core as core;
 pub use mipsx_engine as engine;
+pub use mipsx_exec as exec;
 pub use mipsx_explore as explore;
 pub use mipsx_isa as isa;
 pub use mipsx_mem as mem;
